@@ -1,0 +1,185 @@
+// Command egs-bench regenerates the evaluation tables and figures of
+// the EGS paper (PLDI 2021) over the 86-task benchmark suite.
+//
+// Usage:
+//
+//	egs-bench [flags]
+//
+// Flags:
+//
+//	-dir path       benchmark directory (default testdata/benchmarks)
+//	-table N        regenerate Table N (1, 2, 3, 4, or 5)
+//	-figure N       regenerate Figure N (4)
+//	-quality        regenerate the Section 6.4 program-quality report
+//	-ablation       run this reproduction's ablation tool set instead
+//	-timeout d      per-(tool, task) budget (default 300s, the paper's)
+//	-tools csv      restrict to a comma-separated subset of tools
+//	-v              stream per-run progress to stderr
+//
+// Without -table/-figure/-quality, everything is regenerated in
+// paper order. Expect a full run with the paper's 300s timeout to
+// take a while: the task-agnostic baselines time out by design on
+// most tasks, exactly as in the paper.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/bench"
+	"github.com/egs-synthesis/egs/internal/synth"
+)
+
+func main() {
+	dir := flag.String("dir", "testdata/benchmarks", "benchmark directory")
+	table := flag.Int("table", 0, "regenerate one table (1-5)")
+	figure := flag.Int("figure", 0, "regenerate one figure (4)")
+	quality := flag.Bool("quality", false, "regenerate the program-quality report")
+	ablation := flag.Bool("ablation", false, "run the ablation tool set")
+	timeout := flag.Duration("timeout", 300*time.Second, "per-(tool, task) budget")
+	toolsCSV := flag.String("tools", "", "comma-separated tool subset (e.g. egs,scythe)")
+	verbose := flag.Bool("v", false, "stream per-run progress to stderr")
+	flag.Parse()
+
+	suite, err := bench.LoadSuite(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egs-bench:", err)
+		os.Exit(2)
+	}
+	tools := bench.ToolSet()
+	if *ablation {
+		tools = bench.AblationToolSet()
+	}
+	if *toolsCSV != "" {
+		tools = filterTools(tools, strings.Split(*toolsCSV, ","))
+		if len(tools) == 0 {
+			fmt.Fprintln(os.Stderr, "egs-bench: no tools match", *toolsCSV)
+			os.Exit(2)
+		}
+	}
+	h := &harness{
+		suite:   suite,
+		tools:   tools,
+		timeout: *timeout,
+		verbose: *verbose,
+	}
+
+	any := false
+	if *table != 0 {
+		any = true
+		h.runTable(*table)
+	}
+	if *figure != 0 {
+		any = true
+		h.runFigure(*figure)
+	}
+	if *quality {
+		any = true
+		h.runQuality()
+	}
+	if !any {
+		for _, n := range []int{1} {
+			h.runTable(n)
+		}
+		h.runFigure(4)
+		for _, n := range []int{2, 3, 4, 5} {
+			h.runTable(n)
+		}
+		h.runQuality()
+	}
+}
+
+type harness struct {
+	suite   *bench.Suite
+	tools   []synth.Synthesizer
+	timeout time.Duration
+	verbose bool
+}
+
+func (h *harness) progress() func(bench.Record) {
+	if !h.verbose {
+		return nil
+	}
+	return func(r bench.Record) {
+		fmt.Fprintf(os.Stderr, "  %-24s %-12s %-9s %v\n",
+			r.Task, r.Tool, r.Outcome, r.Duration.Round(time.Millisecond))
+	}
+}
+
+func (h *harness) banner(s string) {
+	fmt.Printf("\n=== %s ===\n\n", s)
+}
+
+func (h *harness) runTable(n int) {
+	ctx := context.Background()
+	switch n {
+	case 1:
+		h.banner("Table 1: benchmark characteristics")
+		if err := bench.WriteTable1(os.Stdout, h.suite); err != nil {
+			fatal(err)
+		}
+	case 2:
+		h.banner("Table 2: unrealizable benchmarks")
+		recs := bench.RunMatrix(ctx, h.tools, h.suite.Unrealizable, h.timeout, h.progress())
+		if err := bench.WriteTable2(os.Stdout, recs); err != nil {
+			fatal(err)
+		}
+	case 3, 4, 5:
+		cat := map[int]string{3: "knowledge-discovery", 4: "program-analysis", 5: "database-queries"}[n]
+		h.banner(fmt.Sprintf("Table %d: runtimes, %s", n, cat))
+		tasks := h.suite.ByCategory(cat)
+		recs := bench.RunMatrix(ctx, h.tools, tasks, h.timeout, h.progress())
+		counts := bench.RuleCounts(ctx, tasks, h.timeout/10+time.Second, 2_000_000)
+		if err := bench.WriteRuntimeTable(os.Stdout, recs, counts); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown table %d", n))
+	}
+}
+
+func (h *harness) runFigure(n int) {
+	if n != 4 {
+		fatal(fmt.Errorf("unknown figure %d", n))
+	}
+	h.banner("Figure 4: benchmarks solved within each time budget (cactus plot)")
+	recs := bench.RunMatrix(context.Background(), h.tools, h.suite.Realizable, h.timeout, h.progress())
+	if err := bench.WriteFigure4(os.Stdout, recs); err != nil {
+		fatal(err)
+	}
+}
+
+func (h *harness) runQuality() {
+	h.banner("Section 6.4: quality of synthesized programs (EGS)")
+	egsOnly := filterTools(h.tools, []string{"egs"})
+	if len(egsOnly) == 0 {
+		egsOnly = []synth.Synthesizer{&synth.EGS{}}
+	}
+	recs := bench.RunMatrix(context.Background(), egsOnly, h.suite.Realizable, h.timeout, h.progress())
+	if err := bench.WriteQuality(os.Stdout, recs); err != nil {
+		fatal(err)
+	}
+}
+
+func filterTools(tools []synth.Synthesizer, names []string) []synth.Synthesizer {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []synth.Synthesizer
+	for _, t := range tools {
+		if want[t.Name()] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "egs-bench:", err)
+	os.Exit(2)
+}

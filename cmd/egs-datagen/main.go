@@ -1,0 +1,39 @@
+// Command egs-datagen deterministically regenerates the large
+// benchmark instances of the suite (see internal/datagen).
+//
+// Usage:
+//
+//	egs-datagen [-out testdata/benchmarks]
+//
+// Re-running reproduces the committed task files byte for byte; the
+// test suite enforces this.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/egs-synthesis/egs/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("egs-datagen: ")
+	out := flag.String("out", "testdata/benchmarks", "output benchmark directory")
+	flag.Parse()
+
+	for _, g := range datagen.Generators {
+		dir := filepath.Join(*out, g.Domain)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(dir, g.Name+".task")
+		if err := os.WriteFile(path, []byte(g.Gen()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -1,0 +1,211 @@
+// Command egs synthesizes a relational query from an input-output
+// example, using the Example-Guided Synthesis algorithm of Thakkar et
+// al. (PLDI 2021).
+//
+// Usage:
+//
+//	egs [flags] task.task
+//
+// The task file format is described in DESIGN.md. On success the
+// synthesized union of conjunctive queries is printed in Datalog
+// syntax; if the task is unrealizable, "unsat" is printed together
+// with the completeness argument's witness (the exhausted context
+// space). Exit status: 0 for sat, 1 for unsat, 2 for errors or
+// timeout.
+//
+// Flags:
+//
+//	-priority p1|p2   queue priority function (default p2, Section 4.3)
+//	-timeout d        synthesis budget (default 300s, the paper's limit)
+//	-quick-unsat      enable the Lemma 4.2 unsat fast path
+//	-best-effort      tolerate noise: skip unexplainable positive tuples
+//	-parallel n       wave-parallel per-tuple explanation (EGS only)
+//	-explain          print a why-provenance witness per positive tuple
+//	-sql              additionally print the synthesized query as SQL
+//	-tool name        run a baseline instead of EGS: scythe, ilasp-L,
+//	                  ilasp-F, prosynth-L, prosynth-F, enumerative
+//	-stats            print search statistics to stderr
+//	-graph            print the constant co-occurrence graph and exit
+//	-dot              print the graph in Graphviz DOT syntax and exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/cograph"
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/enumerative"
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/ilasp"
+	"github.com/egs-synthesis/egs/internal/prosynth"
+	"github.com/egs-synthesis/egs/internal/scythe"
+	"github.com/egs-synthesis/egs/internal/sqlgen"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	priority := flag.String("priority", "p2", "queue priority function: p1 or p2")
+	timeout := flag.Duration("timeout", 300*time.Second, "synthesis budget")
+	quickUnsat := flag.Bool("quick-unsat", false, "enable the Lemma 4.2 unsat fast path")
+	bestEffort := flag.Bool("best-effort", false, "tolerate noise: skip unexplainable positive tuples")
+	explain := flag.Bool("explain", false, "print a why-provenance witness for each positive tuple")
+	sql := flag.Bool("sql", false, "additionally print the synthesized query as SQL")
+	parallel := flag.Int("parallel", 1, "worker goroutines for per-tuple explanation (EGS only)")
+	tool := flag.String("tool", "egs", "synthesizer: egs, scythe, ilasp-L, ilasp-F, prosynth-L, prosynth-F, enumerative")
+	stats := flag.Bool("stats", false, "print search statistics to stderr")
+	graph := flag.Bool("graph", false, "print the constant co-occurrence graph and exit")
+	dot := flag.Bool("dot", false, "print the co-occurrence graph in Graphviz DOT syntax and exit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: egs [flags] task.task")
+		flag.Usage()
+		return 2
+	}
+	t, err := task.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egs:", err)
+		return 2
+	}
+
+	if *graph {
+		fmt.Print(cograph.New(t.Input).String())
+		return 0
+	}
+	if *dot {
+		fmt.Print(cograph.New(t.Input).DOT(t.Name))
+		return 0
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	opts := egs.Options{QuickUnsat: *quickUnsat, BestEffort: *bestEffort}
+	switch *priority {
+	case "p1":
+		opts.Priority = egs.P1
+	case "p2":
+		opts.Priority = egs.P2
+	default:
+		fmt.Fprintf(os.Stderr, "egs: unknown priority %q\n", *priority)
+		return 2
+	}
+
+	var tl synth.Synthesizer
+	switch *tool {
+	case "egs":
+		if *parallel > 1 {
+			tl = &parallelEGS{opts: opts, workers: *parallel}
+		} else {
+			tl = &synth.EGS{Options: opts}
+		}
+	case "scythe":
+		tl = &scythe.Synthesizer{}
+	case "ilasp-L":
+		tl = &ilasp.Synthesizer{Source: ilasp.TaskSpecific}
+	case "ilasp-F":
+		tl = &ilasp.Synthesizer{Source: ilasp.TaskAgnostic}
+	case "prosynth-L":
+		tl = &prosynth.Synthesizer{Source: ilasp.TaskSpecific}
+	case "prosynth-F":
+		tl = &prosynth.Synthesizer{Source: ilasp.TaskAgnostic}
+	case "enumerative":
+		tl = &enumerative.Synthesizer{Indistinguishability: true}
+	default:
+		fmt.Fprintf(os.Stderr, "egs: unknown tool %q\n", *tool)
+		return 2
+	}
+
+	start := time.Now()
+	res, err := tl.Synthesize(ctx, t)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egs: %v (after %v)\n", err, elapsed.Round(time.Millisecond))
+		return 2
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "# task=%s tool=%s time=%v status=%v %s\n",
+			t.Name, tl.Name(), elapsed.Round(time.Millisecond), res.Status, res.Detail)
+	}
+	switch res.Status {
+	case synth.Sat:
+		if !*bestEffort {
+			if ok, why := synth.CheckSat(t, res); !ok {
+				fmt.Fprintf(os.Stderr, "egs: internal error: synthesized query is inconsistent: %s\n", why)
+				return 2
+			}
+		}
+		fmt.Println(res.Query.String(t.Schema, t.Domain))
+		if *sql {
+			stmt, err := sqlgen.UCQ(res.Query, t.Schema, t.Domain)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "egs: sql rendering:", err)
+				return 2
+			}
+			fmt.Println("-- SQL:")
+			fmt.Println(stmt + ";")
+		}
+		if *explain {
+			printExplanations(t, res)
+		}
+		return 0
+	case synth.Unsat:
+		fmt.Println("unsat")
+		if res.Detail != "" {
+			fmt.Println("#", res.Detail)
+		}
+		return 1
+	default:
+		fmt.Printf("no solution within the search space (%s)\n", res.Detail)
+		return 1
+	}
+}
+
+// parallelEGS adapts SynthesizeParallel to the Synthesizer interface.
+type parallelEGS struct {
+	opts    egs.Options
+	workers int
+}
+
+func (p *parallelEGS) Name() string { return fmt.Sprintf("egs-parallel-%d", p.workers) }
+
+func (p *parallelEGS) Synthesize(ctx context.Context, t *task.Task) (synth.Result, error) {
+	res, err := egs.SynthesizeParallel(ctx, t, p.opts, p.workers)
+	if err != nil {
+		return synth.Result{}, err
+	}
+	if res.Unsat {
+		return synth.Result{Status: synth.Unsat}, nil
+	}
+	return synth.Result{Status: synth.Sat, Query: res.Query}, nil
+}
+
+// printExplanations emits a why-provenance witness for each positive
+// tuple the synthesized query derives.
+func printExplanations(t *task.Task, res synth.Result) {
+	fmt.Println("# explanations:")
+	for _, p := range t.Pos {
+		d, ok := eval.WhyUCQ(res.Query, t.Input, p)
+		if !ok {
+			fmt.Printf("#   %s: not derived\n", p.String(t.Schema, t.Domain))
+			continue
+		}
+		fmt.Printf("#   %s because", p.String(t.Schema, t.Domain))
+		for i, w := range d.Witnesses {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Printf(" %s", w.String(t.Schema, t.Domain))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,271 @@
+package egs_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	egs "github.com/egs-synthesis/egs"
+)
+
+func buildGrandparent(t *testing.T) *egs.Task {
+	t.Helper()
+	b := egs.NewBuilder().Name("grandparent")
+	b.Input("parent", 2)
+	b.Output("grandparent", 2)
+	b.Fact("parent", "alice", "bob")
+	b.Fact("parent", "bob", "carol")
+	b.Fact("parent", "carol", "dave")
+	b.Positive("grandparent", "alice", "carol")
+	b.Positive("grandparent", "bob", "dave")
+	b.Negative("grandparent", "alice", "bob")
+	b.Negative("grandparent", "alice", "dave")
+	task, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task
+}
+
+func TestBuilderSynthesize(t *testing.T) {
+	task := buildGrandparent(t)
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("grandparent reported unsat")
+	}
+	if ok, why := task.Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s", why)
+	}
+	want := "grandparent(x, z) :- parent(x, y), parent(y, z)."
+	if got := res.Query.Datalog(); got != want {
+		t.Errorf("Datalog() = %q, want %q", got, want)
+	}
+	if res.Query.NumRules() != 1 || res.Query.NumLiterals() != 2 {
+		t.Errorf("size: %d rules, %d literals", res.Query.NumRules(), res.Query.NumLiterals())
+	}
+	if res.Stats.ContextsExplored == 0 || res.Stats.CandidatesEvaluated == 0 {
+		t.Errorf("stats empty: %+v", res.Stats)
+	}
+}
+
+func TestQueryEval(t *testing.T) {
+	task := buildGrandparent(t)
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Query.Eval(task)
+	if len(outs) != 2 {
+		t.Fatalf("Eval = %v", outs)
+	}
+	if outs[0] != "grandparent(alice, carol)" || outs[1] != "grandparent(bob, dave)" {
+		t.Errorf("Eval = %v", outs)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	// Undeclared relation.
+	b := egs.NewBuilder()
+	b.Fact("nosuch", "a")
+	if _, err := b.Task(); err == nil {
+		t.Error("undeclared relation not reported")
+	}
+	// Arity mismatch.
+	b = egs.NewBuilder().Input("p", 2)
+	b.Fact("p", "a")
+	if _, err := b.Task(); err == nil {
+		t.Error("arity mismatch not reported")
+	}
+	// Output fact via Fact.
+	b = egs.NewBuilder().Output("q", 1)
+	b.Fact("q", "a")
+	if _, err := b.Task(); err == nil {
+		t.Error("Fact on output relation not reported")
+	}
+	// Positive on input relation.
+	b = egs.NewBuilder().Input("p", 1)
+	b.Positive("p", "a")
+	if _, err := b.Task(); err == nil {
+		t.Error("Positive on input relation not reported")
+	}
+	// Double finalize.
+	b = egs.NewBuilder().Input("p", 1).Output("q", 1)
+	b.Fact("p", "a")
+	b.Positive("q", "a")
+	if _, err := b.Task(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Task(); err == nil {
+		t.Error("double finalize not reported")
+	}
+}
+
+func TestUnsatProof(t *testing.T) {
+	b := egs.NewBuilder().ClosedWorld(true)
+	b.Input("edge", 2)
+	b.Output("target", 1)
+	b.Fact("edge", "a", "b")
+	b.Fact("edge", "b", "a")
+	b.Positive("target", "a")
+	task, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unsat {
+		t.Fatalf("isomorphic vertices distinguished:\n%s", res.Query.Datalog())
+	}
+	if res.Query != nil {
+		t.Error("Unsat result carries a query")
+	}
+}
+
+func TestNegationHelpers(t *testing.T) {
+	b := egs.NewBuilder().AddNeq()
+	b.Input("mother", 2)
+	b.Output("sibling", 2)
+	b.Fact("mother", "nala", "kiara")
+	b.Fact("mother", "nala", "kopa")
+	b.Positive("sibling", "kopa", "kiara")
+	b.Negative("sibling", "kopa", "kopa")
+	task, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("sibling with neq reported unsat")
+	}
+	if !strings.Contains(res.Query.Datalog(), "neq(") {
+		t.Errorf("solution ignores neq:\n%s", res.Query.Datalog())
+	}
+}
+
+func TestNegateComplement(t *testing.T) {
+	b := egs.NewBuilder().ClosedWorld(true).Negate("booked")
+	b.Input("room", 1)
+	b.Input("booked", 1)
+	b.Output("free", 1)
+	b.Fact("room", "r1")
+	b.Fact("room", "r2")
+	b.Fact("room", "r3")
+	b.Fact("booked", "r1")
+	b.Positive("free", "r2")
+	b.Positive("free", "r3")
+	task, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("free rooms reported unsat")
+	}
+	if ok, why := task.Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s", why)
+	}
+}
+
+func TestPrioritySize(t *testing.T) {
+	task := buildGrandparent(t)
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{Priority: egs.PrioritySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat || res.Query.NumLiterals() != 2 {
+		t.Errorf("p1 result: unsat=%v size=%d", res.Unsat, res.Query.NumLiterals())
+	}
+}
+
+func TestMaxContexts(t *testing.T) {
+	// The unrealizable isomorphism instance explores several
+	// contexts before exhausting the space, so a budget of 1 must
+	// trip.
+	b := egs.NewBuilder().ClosedWorld(true)
+	b.Input("edge", 2)
+	b.Output("target", 1)
+	b.Fact("edge", "a", "b")
+	b.Fact("edge", "b", "a")
+	b.Positive("target", "a")
+	task, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = egs.Synthesize(context.Background(), task, egs.Options{MaxContexts: 1})
+	if err != egs.ErrBudgetExceeded {
+		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestExplainTuple(t *testing.T) {
+	task := buildGrandparent(t)
+	q, ok, err := egs.ExplainTuple(context.Background(), task, "grandparent", []string{"alice", "carol"}, egs.Options{})
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if q.NumRules() != 1 {
+		t.Errorf("NumRules = %d", q.NumRules())
+	}
+	// Unknown constant: unexplainable, not an error.
+	_, ok, err = egs.ExplainTuple(context.Background(), task, "grandparent", []string{"alice", "zeus"}, egs.Options{})
+	if err != nil || ok {
+		t.Errorf("unknown constant: ok=%v err=%v", ok, err)
+	}
+	// Undeclared relation and arity mismatch are errors.
+	if _, _, err := egs.ExplainTuple(context.Background(), task, "nosuch", []string{"a"}, egs.Options{}); err == nil {
+		t.Error("undeclared relation not reported")
+	}
+	if _, _, err := egs.ExplainTuple(context.Background(), task, "grandparent", []string{"alice"}, egs.Options{}); err == nil {
+		t.Error("arity mismatch not reported")
+	}
+}
+
+func TestParseTask(t *testing.T) {
+	src := `
+task t
+closed-world true
+input edge(2)
+output out(2)
+edge(a, b).
++out(b, a).
+`
+	task, err := egs.ParseTask(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Name() != "t" || task.NumFacts() != 1 {
+		t.Errorf("Name=%q NumFacts=%d", task.Name(), task.NumFacts())
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil || res.Unsat {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestLoadTask(t *testing.T) {
+	task, err := egs.LoadTask("testdata/benchmarks/knowledge-discovery/traffic.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("traffic unsat")
+	}
+	if !strings.Contains(res.Query.Datalog(), "Crashes(") {
+		t.Errorf("unexpected query:\n%s", res.Query.Datalog())
+	}
+}

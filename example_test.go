@@ -1,0 +1,117 @@
+package egs_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	egs "github.com/egs-synthesis/egs"
+)
+
+// ExampleSynthesize demonstrates end-to-end synthesis: the
+// grandparent relation is learned from one positive and two negative
+// examples.
+func ExampleSynthesize() {
+	b := egs.NewBuilder()
+	b.Input("parent", 2)
+	b.Output("grandparent", 2)
+	b.Fact("parent", "alice", "bob")
+	b.Fact("parent", "bob", "carol")
+	b.Positive("grandparent", "alice", "carol")
+	b.Negative("grandparent", "alice", "bob")
+	b.Negative("grandparent", "bob", "carol")
+	task, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Query.Datalog())
+	// Output:
+	// grandparent(x, z) :- parent(x, y), parent(y, z).
+}
+
+// ExampleSynthesize_unsat demonstrates a proof of unrealizability:
+// two isomorphic vertices cannot be told apart by any relational
+// query (the paper's Section 6.5).
+func ExampleSynthesize_unsat() {
+	b := egs.NewBuilder().ClosedWorld(true)
+	b.Input("edge", 2)
+	b.Output("target", 1)
+	b.Fact("edge", "a", "b")
+	b.Fact("edge", "b", "a")
+	b.Positive("target", "a")
+	task, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Unsat)
+	fmt.Println(res.UnsatReason)
+	// Output:
+	// true
+	// unsat: all 3 enumeration contexts reachable for field 1 of target(a) were exhausted without finding a consistent rule, so by Theorem 4.3 no consistent query exists
+}
+
+// ExampleQuery_SQL renders a synthesized query as SQL.
+func ExampleQuery_SQL() {
+	b := egs.NewBuilder().ClosedWorld(true)
+	b.Input("ordered", 2)
+	b.Input("instock", 1)
+	b.Output("ship", 2)
+	b.Fact("ordered", "ann", "lamp")
+	b.Fact("ordered", "ben", "rug")
+	b.Fact("instock", "lamp")
+	b.Positive("ship", "ann", "lamp")
+	task, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql, err := res.Query.SQL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sql)
+	// Output:
+	// SELECT DISTINCT t0.c0 AS c0, t0.c1 AS c1
+	// FROM ordered AS t0, instock AS t1
+	// WHERE t0.c1 = t1.c0
+}
+
+// ExampleQuery_Explain shows why-provenance for a derived tuple.
+func ExampleQuery_Explain() {
+	b := egs.NewBuilder().ClosedWorld(true)
+	b.Input("basedIn", 2)
+	b.Input("locatedIn", 2)
+	b.Output("hqIn", 2)
+	b.Fact("basedIn", "Acme", "Austin")
+	b.Fact("locatedIn", "Austin", "Texas")
+	b.Positive("hqIn", "Acme", "Texas")
+	task, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, ok := res.Query.Explain(task, "hqIn", []string{"Acme", "Texas"})
+	if !ok {
+		log.Fatal("not derived")
+	}
+	for _, f := range exp.Facts {
+		fmt.Println(f)
+	}
+	// Output:
+	// basedIn(Acme, Austin)
+	// locatedIn(Austin, Texas)
+}

@@ -1,0 +1,182 @@
+// Disambiguation: using alternative explanations to choose the next
+// example to label — the interactive-feedback direction the paper
+// sketches in Section 8.
+//
+// Run from the repository root:
+//
+//	go run ./examples/disambiguation
+//
+// With a single labelled crash, many queries explain the data. The
+// example asks EGS for several alternative explanations
+// (egs.Alternatives), finds an output tuple on which they disagree,
+// and shows how labelling that tuple collapses the ambiguity to the
+// paper's Equation 1. It finishes with why-provenance for the final
+// query (Query.Explain).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	egs "github.com/egs-synthesis/egs"
+)
+
+// buildTraffic builds the Figure 1 instance with explicit partial
+// labels: under open-world labelling, unlabelled tuples are
+// unconstrained, so distinct consistent queries can disagree on them.
+func buildTraffic(positives, negatives []string) *egs.Task {
+	b := egs.NewBuilder().Name("traffic")
+	b.Input("Intersects", 2)
+	b.Input("GreenSignal", 1)
+	b.Input("HasTraffic", 1)
+	b.Output("Crashes", 1)
+	pairs := [][2]string{
+		{"Broadway", "LibertySt"}, {"Broadway", "WallSt"}, {"Broadway", "Whitehall"},
+		{"LibertySt", "Broadway"}, {"LibertySt", "WilliamSt"},
+		{"WallSt", "Broadway"}, {"WallSt", "WilliamSt"},
+		{"Whitehall", "Broadway"},
+		{"WilliamSt", "LibertySt"}, {"WilliamSt", "WallSt"},
+	}
+	for _, p := range pairs {
+		b.Fact("Intersects", p[0], p[1])
+	}
+	for _, s := range []string{"Broadway", "LibertySt", "WilliamSt", "Whitehall"} {
+		b.Fact("GreenSignal", s)
+	}
+	for _, s := range []string{"Broadway", "WallSt", "WilliamSt", "Whitehall"} {
+		b.Fact("HasTraffic", s)
+	}
+	for _, p := range positives {
+		b.Positive("Crashes", p)
+	}
+	for _, n := range negatives {
+		b.Negative("Crashes", n)
+	}
+	t, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+// buildFull builds the fully labelled closed-world instance of the
+// paper (Section 2.1).
+func buildFull() *egs.Task {
+	b := egs.NewBuilder().Name("traffic-full").ClosedWorld(true)
+	b.Input("Intersects", 2)
+	b.Input("GreenSignal", 1)
+	b.Input("HasTraffic", 1)
+	b.Output("Crashes", 1)
+	pairs := [][2]string{
+		{"Broadway", "LibertySt"}, {"Broadway", "WallSt"}, {"Broadway", "Whitehall"},
+		{"LibertySt", "Broadway"}, {"LibertySt", "WilliamSt"},
+		{"WallSt", "Broadway"}, {"WallSt", "WilliamSt"},
+		{"Whitehall", "Broadway"},
+		{"WilliamSt", "LibertySt"}, {"WilliamSt", "WallSt"},
+	}
+	for _, p := range pairs {
+		b.Fact("Intersects", p[0], p[1])
+	}
+	for _, s := range []string{"Broadway", "LibertySt", "WilliamSt", "Whitehall"} {
+		b.Fact("GreenSignal", s)
+	}
+	for _, s := range []string{"Broadway", "WallSt", "WilliamSt", "Whitehall"} {
+		b.Fact("HasTraffic", s)
+	}
+	b.Positive("Crashes", "Broadway")
+	b.Positive("Crashes", "Whitehall")
+	task, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return task
+}
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	// Underspecified: one positive and one negative label; the other
+	// streets are unlabelled, so several small queries fit.
+	fmt.Println("With only +Crashes(Whitehall) and -Crashes(WallSt) labelled,")
+	fmt.Println("several queries explain Crashes(Whitehall):")
+	t := buildTraffic([]string{"Whitehall"}, []string{"WallSt"})
+	raw, err := egs.Alternatives(ctx, t, "Crashes", []string{"Whitehall"}, 12, egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Keep alternatives that are semantically distinct on this input
+	// (syntactic variants deriving identical outputs teach nothing).
+	var alts []*egs.Query
+	sigSeen := map[string]bool{}
+	for _, q := range raw {
+		outs := q.Eval(t)
+		sig := fmt.Sprint(outs)
+		if sigSeen[sig] {
+			continue
+		}
+		sigSeen[sig] = true
+		alts = append(alts, q)
+		if len(alts) == 3 {
+			break
+		}
+	}
+	for i, q := range alts {
+		fmt.Printf("  %d) %s\n", i+1, q.Datalog())
+	}
+	if len(alts) < 2 {
+		fmt.Println("  (the data pins the concept down already)")
+		return
+	}
+
+	// Find a tuple the alternatives disagree on: a candidate for the
+	// user's next label.
+	outputs := make([]map[string]bool, len(alts))
+	union := map[string]bool{}
+	for i, q := range alts {
+		outputs[i] = map[string]bool{}
+		for _, tu := range q.Eval(t) {
+			outputs[i][tu] = true
+			union[tu] = true
+		}
+	}
+	var disputed []string
+	for tu := range union {
+		n := 0
+		for i := range alts {
+			if outputs[i][tu] {
+				n++
+			}
+		}
+		if n != len(alts) {
+			disputed = append(disputed, tu)
+		}
+	}
+	sort.Strings(disputed)
+	fmt.Println("\nThey disagree on:")
+	for _, d := range disputed {
+		fmt.Println("  ", d)
+	}
+	fmt.Println("\nEach disputed tuple is a good next question for the user.")
+	fmt.Println("With the paper's full closed-world labelling, a single concept")
+	fmt.Println("remains:")
+
+	t = buildFull()
+	res, err := egs.Synthesize(ctx, t, egs.Options{})
+	if err != nil || res.Unsat {
+		log.Fatalf("res=%+v err=%v", res, err)
+	}
+	fmt.Println("  ", res.Query.Datalog())
+
+	exp, ok := res.Query.Explain(t, "Crashes", []string{"Whitehall"})
+	if !ok {
+		log.Fatal("no explanation")
+	}
+	fmt.Println("\nWhy Crashes(Whitehall)?")
+	fmt.Println("  rule:", exp.Rule)
+	for _, f := range exp.Facts {
+		fmt.Println("  fact:", f)
+	}
+}

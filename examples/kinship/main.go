@@ -1,0 +1,137 @@
+// Kinship: the Section 5 walkthrough — multi-column outputs, unions
+// of conjunctive queries, and negation — on the public egs API.
+//
+// Run from the repository root:
+//
+//	go run ./examples/kinship
+//
+// Three tasks over the Figure 3 genealogy tree:
+//
+//  1. grandparent with explicit negatives: the slice-wise
+//     ExplainTuple procedure (Section 5.1) explains the two fields of
+//     grandparent(Sarabi, Kiara) one at a time;
+//  2. the full grandparent relation: the divide-and-conquer loop
+//     (Section 5.2) learns a union of conjunctive queries;
+//  3. sibling: unsolvable without negation, solvable once the
+//     inequality relation neq is added (Section 5.3).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	egs "github.com/egs-synthesis/egs"
+)
+
+// figure3 populates the genealogy tree of Figure 3.
+func figure3(b *egs.Builder) {
+	b.Input("father", 2)
+	b.Input("mother", 2)
+	b.Fact("father", "Mufasa", "Simba")
+	b.Fact("mother", "Sarabi", "Simba")
+	b.Fact("father", "Jasiri", "Nala")
+	b.Fact("mother", "Sarafina", "Nala")
+	b.Fact("father", "Simba", "Kiara")
+	b.Fact("mother", "Nala", "Kiara")
+	b.Fact("father", "Simba", "Kopa")
+	b.Fact("mother", "Nala", "Kopa")
+}
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	fmt.Println("-- 1. Explaining one tuple, field by field (Section 5.1)")
+	b := egs.NewBuilder()
+	figure3(b)
+	b.Output("grandparent", 2)
+	b.Positive("grandparent", "Sarabi", "Kiara")
+	b.Negative("grandparent", "Sarabi", "Simba")
+	t1, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, ok, err := egs.ExplainTuple(ctx, t1, "grandparent", []string{"Sarabi", "Kiara"}, egs.Options{})
+	if err != nil || !ok {
+		log.Fatalf("ExplainTuple failed: ok=%v err=%v", ok, err)
+	}
+	fmt.Printf("   grandparent(Sarabi, Kiara) is explained by:\n   %s\n\n", q.Datalog())
+
+	fmt.Println("-- 2. Learning the full relation as a union (Section 5.2)")
+	b = egs.NewBuilder()
+	figure3(b)
+	b.Output("grandparent", 2)
+	for _, gp := range []string{"Sarabi", "Mufasa", "Jasiri", "Sarafina"} {
+		b.Positive("grandparent", gp, "Kiara")
+		b.Positive("grandparent", gp, "Kopa")
+	}
+	b.Negative("grandparent", "Mufasa", "Nala")
+	b.Negative("grandparent", "Sarafina", "Simba")
+	b.Negative("grandparent", "Sarabi", "Simba")
+	b.Negative("grandparent", "Simba", "Kiara")
+	t2, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := egs.Synthesize(ctx, t2, egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   learned %d rules:\n", res.Query.NumRules())
+	fmt.Println(indent(res.Query.Datalog()))
+	fmt.Println()
+
+	fmt.Println("-- 3. Negation: sibling needs the neq relation (Section 5.3)")
+	sibling := func(withNeq bool) *egs.Task {
+		b := egs.NewBuilder()
+		if withNeq {
+			b.AddNeq()
+		}
+		figure3(b)
+		b.Output("sibling", 2)
+		b.Positive("sibling", "Kopa", "Kiara")
+		b.Negative("sibling", "Kopa", "Kopa")
+		t, err := b.Task()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t
+	}
+	res3, err := egs.Synthesize(ctx, sibling(false), egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   without neq: unsat=%v (no strictly positive query can\n", res3.Unsat)
+	fmt.Println("   distinguish sibling(Kopa, Kiara) from sibling(Kopa, Kopa))")
+
+	res4, err := egs.Synthesize(ctx, sibling(true), egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res4.Unsat {
+		log.Fatal("sibling with neq should be solvable")
+	}
+	fmt.Println("   with neq:")
+	fmt.Println(indent(res4.Query.Datalog()))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "   " + line + "\n"
+	}
+	return out[:len(out)-1]
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(lines, s[start:])
+}

@@ -1,0 +1,74 @@
+// Quickstart: synthesize a relational query from an input-output
+// example in a few lines, using the public egs API.
+//
+// Run from the repository root:
+//
+//	go run ./examples/quickstart
+//
+// The example encodes a tiny programming-by-example task — "which
+// movies should we recommend?" — with the task builder, runs the EGS
+// synthesizer, and prints the learned Datalog query.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	egs "github.com/egs-synthesis/egs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Describe the example: input facts, output relation, and the
+	//    desired/undesired output tuples. Closed-world labelling
+	//    marks every unlisted recommendation as undesirable.
+	b := egs.NewBuilder().Name("recommend").ClosedWorld(true)
+	b.Input("trusts", 2) // trusts(user, critic)
+	b.Input("likes", 2)  // likes(critic, movie)
+	b.Output("recommend", 2)
+
+	b.Fact("trusts", "Sam", "Ebert")
+	b.Fact("trusts", "Sam", "Kael")
+	b.Fact("trusts", "Joy", "Kael")
+	b.Fact("likes", "Ebert", "Ikiru")
+	b.Fact("likes", "Ebert", "PlayTime")
+	b.Fact("likes", "Kael", "Badlands")
+	b.Fact("likes", "Sarris", "Vertigo")
+
+	b.Positive("recommend", "Sam", "Ikiru")
+	b.Positive("recommend", "Sam", "PlayTime")
+	b.Positive("recommend", "Sam", "Badlands")
+	b.Positive("recommend", "Joy", "Badlands")
+
+	task, err := b.Task()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Synthesize. EGS either returns a consistent query or proves
+	//    that none exists.
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Unsat {
+		log.Fatal("no consistent query exists")
+	}
+
+	// 3. Inspect the result.
+	fmt.Println("Synthesized query:")
+	fmt.Println(res.Query.Datalog())
+	fmt.Printf("\nSearch explored %d contexts and evaluated %d candidate rules.\n",
+		res.Stats.ContextsExplored, res.Stats.CandidatesEvaluated)
+
+	// 4. Independently verify consistency and inspect the output.
+	if ok, why := task.Consistent(res.Query); !ok {
+		log.Fatalf("inconsistent: %s", why)
+	}
+	fmt.Println("Derived tuples:")
+	for _, t := range res.Query.Eval(task) {
+		fmt.Println(" ", t)
+	}
+}

@@ -1,0 +1,243 @@
+package egs_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	egs "github.com/egs-synthesis/egs"
+)
+
+func TestBestEffortPublicAPI(t *testing.T) {
+	b := egs.NewBuilder().ClosedWorld(true)
+	b.Input("likes", 2)
+	b.Output("rec", 1)
+	b.Fact("likes", "Ann", "Ikiru")
+	b.Positive("rec", "Ann")
+	b.Positive("rec", "Ghost") // noise: Ghost is not in the input
+	task, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{BestEffort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("best-effort reported unsat")
+	}
+	if len(res.Uncovered) != 1 || !strings.Contains(res.Uncovered[0], "Ghost") {
+		t.Errorf("Uncovered = %v", res.Uncovered)
+	}
+}
+
+func TestAlternativesPublicAPI(t *testing.T) {
+	task, err := egs.LoadTask("testdata/benchmarks/knowledge-discovery/traffic.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alts, err := egs.Alternatives(context.Background(), task, "Crashes", []string{"Whitehall"}, 4, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts) == 0 {
+		t.Fatal("no alternatives")
+	}
+	seen := map[string]bool{}
+	for _, q := range alts {
+		if q.NumRules() != 1 {
+			t.Errorf("alternative has %d rules", q.NumRules())
+		}
+		s := q.Datalog()
+		if seen[s] {
+			t.Errorf("duplicate alternative %s", s)
+		}
+		seen[s] = true
+	}
+	// Error cases.
+	if _, err := egs.Alternatives(context.Background(), task, "nosuch", nil, 2, egs.Options{}); err == nil {
+		t.Error("undeclared relation accepted")
+	}
+	if _, err := egs.Alternatives(context.Background(), task, "Crashes", []string{"a", "b"}, 2, egs.Options{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	alts, err = egs.Alternatives(context.Background(), task, "Crashes", []string{"Atlantis"}, 2, egs.Options{})
+	if err != nil || alts != nil {
+		t.Errorf("unknown constant: alts=%v err=%v", alts, err)
+	}
+}
+
+func TestExplainPublicAPI(t *testing.T) {
+	task, err := egs.LoadTask("testdata/benchmarks/knowledge-discovery/headquarters.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil || res.Unsat {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	exp, ok := res.Query.Explain(task, "hqIn", []string{"Acme", "Texas"})
+	if !ok {
+		t.Fatal("no explanation for a derived tuple")
+	}
+	if len(exp.Facts) == 0 || exp.Rule == "" {
+		t.Errorf("explanation = %+v", exp)
+	}
+	joined := strings.Join(exp.Facts, ";")
+	if !strings.Contains(joined, "Acme") {
+		t.Errorf("facts do not mention Acme: %v", exp.Facts)
+	}
+	// Non-derived tuple: no explanation.
+	if _, ok := res.Query.Explain(task, "hqIn", []string{"Acme", "Oregon"}); ok {
+		t.Error("explanation produced for underivable tuple")
+	}
+	// Unknown constant / relation.
+	if _, ok := res.Query.Explain(task, "hqIn", []string{"Acme", "Mars"}); ok {
+		t.Error("explanation for unknown constant")
+	}
+	if _, ok := res.Query.Explain(task, "zzz", []string{"Acme"}); ok {
+		t.Error("explanation for unknown relation")
+	}
+}
+
+func TestWorkersPublicAPI(t *testing.T) {
+	task, err := egs.LoadTask("testdata/benchmarks/knowledge-discovery/grandparent.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("parallel grandparent reported unsat")
+	}
+	if ok, why := task.Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s", why)
+	}
+}
+
+func TestInteractPublicAPI(t *testing.T) {
+	b := egs.NewBuilder()
+	b.Input("Intersects", 2)
+	b.Input("GreenSignal", 1)
+	b.Input("HasTraffic", 1)
+	b.Output("Crashes", 1)
+	pairs := [][2]string{
+		{"Broadway", "LibertySt"}, {"Broadway", "WallSt"}, {"Broadway", "Whitehall"},
+		{"LibertySt", "Broadway"}, {"LibertySt", "WilliamSt"},
+		{"WallSt", "Broadway"}, {"WallSt", "WilliamSt"},
+		{"Whitehall", "Broadway"},
+		{"WilliamSt", "LibertySt"}, {"WilliamSt", "WallSt"},
+	}
+	for _, p := range pairs {
+		b.Fact("Intersects", p[0], p[1])
+	}
+	for _, s := range []string{"Broadway", "LibertySt", "WilliamSt", "Whitehall"} {
+		b.Fact("GreenSignal", s)
+	}
+	for _, s := range []string{"Broadway", "WallSt", "WilliamSt", "Whitehall"} {
+		b.Fact("HasTraffic", s)
+	}
+	b.Positive("Crashes", "Whitehall")
+	b.Negative("Crashes", "WallSt")
+	task, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(rel string, args []string) bool {
+		return len(args) == 1 && (args[0] == "Broadway" || args[0] == "Whitehall")
+	}
+	res, err := egs.Interact(context.Background(), task, oracle, egs.InteractConfig{MaxQuestions: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat || !res.Converged {
+		t.Fatalf("unsat=%v converged=%v after %d questions", res.Unsat, res.Converged, len(res.Questions))
+	}
+	if len(res.Questions) == 0 {
+		t.Error("converged without asking; partial labels should be ambiguous")
+	}
+	// Final query agrees with the oracle on the training input.
+	for _, tu := range res.Query.Eval(task) {
+		if !strings.Contains(tu, "Broadway") && !strings.Contains(tu, "Whitehall") {
+			t.Errorf("final query derives %s against the oracle", tu)
+		}
+	}
+}
+
+func TestInteractClosedWorldRejected(t *testing.T) {
+	b := egs.NewBuilder().ClosedWorld(true)
+	b.Input("p", 1)
+	b.Output("q", 1)
+	b.Fact("p", "a")
+	b.Positive("q", "a")
+	task, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := egs.Interact(context.Background(), task, func(string, []string) bool { return false }, egs.InteractConfig{}); err == nil {
+		t.Fatal("closed-world task accepted")
+	}
+}
+
+func TestQuerySQLPublicAPI(t *testing.T) {
+	task, err := egs.LoadTask("testdata/benchmarks/database-queries/sql07.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+	if err != nil || res.Unsat {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	sql, err := res.Query.SQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "SELECT DISTINCT") || !strings.Contains(sql, "FROM") {
+		t.Errorf("SQL rendering:\n%s", sql)
+	}
+}
+
+func TestTypedNegationPublicAPI(t *testing.T) {
+	build := func(typed bool) *egs.Task {
+		b := egs.NewBuilder().ClosedWorld(true).Negate("subtype")
+		if typed {
+			b.TypedNegation()
+		}
+		b.Input("subtype", 2)
+		b.Input("cast", 2)
+		b.Input("pointsto", 2)
+		b.Input("hastype", 2)
+		b.Output("unsafe", 1)
+		b.Fact("subtype", "TInt", "TNum")
+		b.Fact("subtype", "TInt", "TInt")
+		b.Fact("subtype", "TNum", "TNum")
+		b.Fact("subtype", "TStr", "TStr")
+		b.Fact("cast", "v1", "TNum")
+		b.Fact("cast", "v2", "TInt")
+		b.Fact("pointsto", "v1", "o1")
+		b.Fact("pointsto", "v2", "o2")
+		b.Fact("hastype", "o1", "TInt")
+		b.Fact("hastype", "o2", "TStr")
+		b.Positive("unsafe", "v2") // o2 : TStr is not a subtype of TInt
+		task, err := b.Task()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return task
+	}
+	for _, typed := range []bool{true, false} {
+		task := build(typed)
+		res, err := egs.Synthesize(context.Background(), task, egs.Options{})
+		if err != nil {
+			t.Fatalf("typed=%v: %v", typed, err)
+		}
+		if res.Unsat {
+			t.Fatalf("typed=%v: unsat", typed)
+		}
+		if ok, why := task.Consistent(res.Query); !ok {
+			t.Fatalf("typed=%v: inconsistent: %s", typed, why)
+		}
+	}
+}

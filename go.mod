@@ -1,0 +1,3 @@
+module github.com/egs-synthesis/egs
+
+go 1.22

@@ -1,0 +1,206 @@
+// Package active implements an interactive synthesis loop on top of
+// EGS — the "interactive feedback mechanisms" direction the paper
+// sketches in Section 8 as a way to reduce the amount of labelled
+// data a user must provide up front.
+//
+// The loop works on tasks with explicit (partial) labelling:
+//
+//  1. synthesize a query consistent with the current labels;
+//  2. ask EGS for alternative explanations of each positive tuple
+//     (the top-k variant of Algorithm 1) and look for an output tuple
+//     on which two alternatives disagree;
+//  3. if none exists, the data pins the concept down (up to the
+//     training input) — stop; otherwise ask the user's oracle to
+//     label one disputed tuple, extend the example, and repeat.
+//
+// Each round therefore costs the user exactly one membership query,
+// chosen to split the remaining version space.
+package active
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// Oracle answers membership queries: is the given output tuple
+// desirable? It stands in for the user.
+type Oracle func(t relation.Tuple) bool
+
+// Config tunes the loop.
+type Config struct {
+	// MaxRounds caps oracle interactions (default 10).
+	MaxRounds int
+	// Alternatives is how many explanations to request per positive
+	// tuple when hunting for disagreement (default 4).
+	Alternatives int
+	// Options forwards to the core synthesizer.
+	Options egs.Options
+}
+
+// Labeled records one oracle interaction.
+type Labeled struct {
+	Tuple    relation.Tuple
+	Positive bool
+}
+
+// Result is the outcome of the interactive loop.
+type Result struct {
+	// Query is consistent with the original labels plus everything
+	// the oracle answered.
+	Query query.UCQ
+	// Unsat reports that the labels (original or acquired) admit no
+	// consistent query.
+	Unsat bool
+	// Converged is true when no two alternative explanations
+	// disagreed on any unlabelled tuple — the concept is determined
+	// up to the training input.
+	Converged bool
+	// Rounds is the number of oracle queries made.
+	Rounds int
+	// Labels lists the acquired labels in order.
+	Labels []Labeled
+}
+
+// ErrClosedWorld reports a task with complete labelling, which has
+// nothing for an oracle to answer.
+var ErrClosedWorld = errors.New("active: closed-world tasks are fully labelled")
+
+// Learn runs the interactive loop.
+func Learn(ctx context.Context, t *task.Task, oracle Oracle, cfg Config) (Result, error) {
+	if err := t.Prepare(); err != nil {
+		return Result{}, err
+	}
+	if t.ClosedWorld {
+		return Result{}, ErrClosedWorld
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 10
+	}
+	if cfg.Alternatives == 0 {
+		cfg.Alternatives = 4
+	}
+
+	cur := t
+	var res Result
+	for {
+		synth, err := egs.Synthesize(ctx, cur, cfg.Options)
+		if err != nil {
+			return Result{}, err
+		}
+		if synth.Unsat {
+			res.Unsat = true
+			return res, nil
+		}
+		res.Query = synth.Query
+
+		// Phase 1: disagreement between alternative explanations.
+		disputed, err := findDisputed(ctx, cur, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		// Phase 2: unlabelled predictions of the current query. At
+		// convergence every derived tuple has been labelled or
+		// confirmed by the oracle, so the final query agrees with
+		// the oracle on the training input.
+		if disputed == nil {
+			disputed = findUnconfirmed(cur, synth.Query)
+		}
+		if disputed == nil {
+			res.Converged = true
+			return res, nil
+		}
+		if res.Rounds >= cfg.MaxRounds {
+			return res, nil
+		}
+		res.Rounds++
+		lbl := Labeled{Tuple: *disputed, Positive: oracle(*disputed)}
+		res.Labels = append(res.Labels, lbl)
+		if lbl.Positive {
+			cur, err = cur.Relabel([]relation.Tuple{lbl.Tuple}, nil)
+		} else {
+			cur, err = cur.Relabel(nil, []relation.Tuple{lbl.Tuple})
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+}
+
+// findDisputed looks for an unlabelled output tuple on which two
+// alternative explanations of some positive tuple disagree. It
+// returns nil when every pair of alternatives agrees everywhere.
+func findDisputed(ctx context.Context, t *task.Task, cfg Config) (*relation.Tuple, error) {
+	ex := t.Example()
+	for _, pos := range t.Pos {
+		alts, err := egs.Alternatives(ctx, t, pos, cfg.Alternatives, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		if len(alts) < 2 {
+			continue
+		}
+		outs := make([]map[string]relation.Tuple, len(alts))
+		for i, r := range alts {
+			outs[i] = eval.RuleOutputs(r, ex.DB)
+		}
+		// A tuple derived by some alternative but not all of them,
+		// and not already labelled, is a useful membership query.
+		var candidates []relation.Tuple
+		seen := map[string]bool{}
+		for i := range outs {
+			for k, tu := range outs[i] {
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if ex.IsPositive(tu) || ex.IsNegative(tu) {
+					continue
+				}
+				inAll := true
+				for j := range outs {
+					if _, ok := outs[j][k]; !ok {
+						inAll = false
+						break
+					}
+				}
+				if !inAll {
+					candidates = append(candidates, tu)
+				}
+			}
+		}
+		if len(candidates) > 0 {
+			// Deterministic choice: smallest tuple.
+			sort.Slice(candidates, func(i, j int) bool {
+				return candidates[i].Compare(candidates[j]) < 0
+			})
+			return &candidates[0], nil
+		}
+	}
+	return nil, nil
+}
+
+// findUnconfirmed returns an unlabelled tuple derived by the current
+// query, smallest first, or nil when every prediction is labelled.
+func findUnconfirmed(t *task.Task, q query.UCQ) *relation.Tuple {
+	ex := t.Example()
+	var candidates []relation.Tuple
+	for _, tu := range eval.UCQOutputs(q, ex.DB) {
+		if !ex.IsPositive(tu) && !ex.IsNegative(tu) {
+			candidates = append(candidates, tu)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].Compare(candidates[j]) < 0
+	})
+	return &candidates[0]
+}

@@ -1,0 +1,236 @@
+// Package bench is the benchmark harness of the reproduction: it
+// runs the synthesizers over the 86-task suite under a timeout and
+// renders the paper's tables and figures (Table 1, Figure 4, Table 2,
+// and the appendix Tables 3-5), plus the Section 6.4 program-quality
+// report.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/enumerative"
+	"github.com/egs-synthesis/egs/internal/ilasp"
+	"github.com/egs-synthesis/egs/internal/prosynth"
+	"github.com/egs-synthesis/egs/internal/scythe"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// Outcome classifies one (tool, task) run.
+type Outcome uint8
+
+const (
+	// Solved: the tool returned a consistent query.
+	Solved Outcome = iota
+	// ProvedUnsat: the tool proved unrealizability.
+	ProvedUnsat
+	// SpaceExhausted: the tool's bounded space contained no solution.
+	SpaceExhausted
+	// TimedOut: the timeout expired.
+	TimedOut
+	// Failed: the tool returned an error or an inconsistent query.
+	Failed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Solved:
+		return "solved"
+	case ProvedUnsat:
+		return "unsat"
+	case SpaceExhausted:
+		return "exhausted"
+	case TimedOut:
+		return "timeout"
+	default:
+		return "failed"
+	}
+}
+
+// Record is the result of one (tool, task) run.
+type Record struct {
+	Task     string
+	Category string
+	Tool     string
+	Outcome  Outcome
+	Duration time.Duration
+	// Rules and Literals describe the synthesized program when
+	// Outcome is Solved.
+	Rules, Literals int
+	Detail          string
+	Err             error
+}
+
+// Run executes one tool on one task under the given timeout,
+// re-checking any Sat result with the reference evaluator.
+func Run(parent context.Context, tool synth.Synthesizer, t *task.Task, timeout time.Duration) Record {
+	rec := Record{Task: t.Name, Category: t.Category, Tool: tool.Name()}
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	defer cancel()
+
+	type reply struct {
+		res synth.Result
+		err error
+	}
+	ch := make(chan reply, 1)
+	start := time.Now()
+	go func() {
+		res, err := tool.Synthesize(ctx, t)
+		ch <- reply{res, err}
+	}()
+	// Grace period beyond the context deadline so tools that poll the
+	// context between expensive steps can notice cancellation.
+	grace := timeout + timeout/2 + time.Second
+	var r reply
+	select {
+	case r = <-ch:
+	case <-time.After(grace):
+		rec.Outcome = TimedOut
+		rec.Duration = time.Since(start)
+		rec.Detail = "no response within grace period"
+		return rec
+	}
+	rec.Duration = time.Since(start)
+	if r.err != nil {
+		if ctx.Err() != nil {
+			rec.Outcome = TimedOut
+			return rec
+		}
+		rec.Outcome = Failed
+		rec.Err = r.err
+		return rec
+	}
+	rec.Detail = r.res.Detail
+	switch r.res.Status {
+	case synth.Sat:
+		if ok, why := synth.CheckSat(t, r.res); !ok {
+			rec.Outcome = Failed
+			rec.Err = fmt.Errorf("inconsistent result: %s", why)
+			return rec
+		}
+		rec.Outcome = Solved
+		rec.Rules = len(r.res.Query.Rules)
+		rec.Literals = r.res.Query.Size()
+	case synth.Unsat:
+		rec.Outcome = ProvedUnsat
+	case synth.Exhausted:
+		rec.Outcome = SpaceExhausted
+	}
+	return rec
+}
+
+// ToolSet returns the paper's six tool configurations (Figure 4):
+// EGS, Scythe, and ILASP / ProSynth each with task-specific (L) and
+// task-agnostic (F) rule sets.
+func ToolSet() []synth.Synthesizer {
+	return []synth.Synthesizer{
+		&synth.EGS{},
+		&scythe.Synthesizer{},
+		&ilasp.Synthesizer{Source: ilasp.TaskSpecific},
+		&ilasp.Synthesizer{Source: ilasp.TaskAgnostic},
+		&prosynth.Synthesizer{Source: ilasp.TaskSpecific},
+		&prosynth.Synthesizer{Source: ilasp.TaskAgnostic},
+	}
+}
+
+// AblationToolSet returns the configurations exercised by this
+// reproduction's additional ablations: the p1 priority, the
+// Lemma 4.2 unsat fast path, and the naive enumerator with and
+// without the indistinguishability optimization.
+func AblationToolSet() []synth.Synthesizer {
+	return []synth.Synthesizer{
+		&synth.EGS{},
+		&synth.EGS{Label: "egs-p1", Options: egs.Options{Priority: egs.P1}},
+		&synth.EGS{Label: "egs-quickunsat", Options: egs.Options{QuickUnsat: true}},
+		&enumerative.Synthesizer{},
+		&enumerative.Synthesizer{Indistinguishability: true},
+	}
+}
+
+// Suite is a loaded benchmark suite split by realizability.
+type Suite struct {
+	All          []*task.Task
+	Realizable   []*task.Task
+	Unrealizable []*task.Task
+}
+
+// LoadSuite loads every task under dir.
+func LoadSuite(dir string) (*Suite, error) {
+	tasks, err := task.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{All: tasks}
+	for _, t := range tasks {
+		if t.Expect == task.ExpectUnsat {
+			s.Unrealizable = append(s.Unrealizable, t)
+		} else {
+			s.Realizable = append(s.Realizable, t)
+		}
+	}
+	return s, nil
+}
+
+// Categories returns the category names present in the suite, in
+// presentation order.
+func (s *Suite) Categories() []string {
+	order := map[string]int{
+		"knowledge-discovery": 0,
+		"program-analysis":    1,
+		"database-queries":    2,
+		"unrealizable":        3,
+	}
+	seen := map[string]bool{}
+	var cats []string
+	for _, t := range s.All {
+		if !seen[t.Category] {
+			seen[t.Category] = true
+			cats = append(cats, t.Category)
+		}
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		oi, oki := order[cats[i]]
+		oj, okj := order[cats[j]]
+		switch {
+		case oki && okj:
+			return oi < oj
+		case oki:
+			return true
+		case okj:
+			return false
+		default:
+			return cats[i] < cats[j]
+		}
+	})
+	return cats
+}
+
+// ByCategory returns the suite's tasks in the given category.
+func (s *Suite) ByCategory(cat string) []*task.Task {
+	var out []*task.Task
+	for _, t := range s.All {
+		if t.Category == cat {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RunMatrix runs every tool on every given task.
+func RunMatrix(ctx context.Context, tools []synth.Synthesizer, tasks []*task.Task, timeout time.Duration, progress func(Record)) []Record {
+	var recs []Record
+	for _, t := range tasks {
+		for _, tool := range tools {
+			rec := Run(ctx, tool, t, timeout)
+			recs = append(recs, rec)
+			if progress != nil {
+				progress(rec)
+			}
+		}
+	}
+	return recs
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+const suiteDir = "../../testdata/benchmarks"
+
+func loadSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := LoadSuite(suiteDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSuiteShape(t *testing.T) {
+	s := loadSuite(t)
+	if got := len(s.All); got != 86 {
+		t.Errorf("suite has %d tasks, want 86", got)
+	}
+	if got := len(s.Realizable); got != 79 {
+		t.Errorf("suite has %d realizable tasks, want 79", got)
+	}
+	if got := len(s.Unrealizable); got != 7 {
+		t.Errorf("suite has %d unrealizable tasks, want 7", got)
+	}
+	counts := map[string]int{}
+	for _, tk := range s.All {
+		counts[tk.Category]++
+	}
+	want := map[string]int{
+		"knowledge-discovery": 20,
+		"program-analysis":    18,
+		"database-queries":    41,
+		"unrealizable":        7,
+	}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("category %s has %d tasks, want %d", cat, counts[cat], n)
+		}
+	}
+	// Every task declares its expected outcome.
+	for _, tk := range s.All {
+		if tk.Expect == task.ExpectUnknown {
+			t.Errorf("task %s has no expect directive", tk.Name)
+		}
+	}
+}
+
+// TestEGSSolvesEntireSuite is the headline integration test: EGS must
+// decide all 86 benchmarks correctly — synthesizing a consistent
+// query for each of the 79 realizable tasks and proving the 7
+// unrealizable ones unsat — mirroring the paper's central result
+// that EGS handles the full suite with no timeouts.
+func TestEGSSolvesEntireSuite(t *testing.T) {
+	s := loadSuite(t)
+	tool := &synth.EGS{}
+	for _, tk := range s.All {
+		tk := tk
+		t.Run(tk.Name, func(t *testing.T) {
+			rec := Run(context.Background(), tool, tk, 120*time.Second)
+			switch tk.Expect {
+			case task.ExpectSat:
+				if rec.Outcome != Solved {
+					t.Fatalf("outcome = %v (%v), want solved", rec.Outcome, rec.Err)
+				}
+				if rec.Rules == 0 || rec.Literals == 0 {
+					t.Errorf("solved with empty program? rules=%d lits=%d", rec.Rules, rec.Literals)
+				}
+			case task.ExpectUnsat:
+				if rec.Outcome != ProvedUnsat {
+					t.Fatalf("outcome = %v (%v), want unsat", rec.Outcome, rec.Err)
+				}
+			}
+		})
+	}
+}
+
+// slowTool blocks until its context is cancelled.
+type slowTool struct{}
+
+func (slowTool) Name() string { return "slow" }
+func (slowTool) Synthesize(ctx context.Context, _ *task.Task) (synth.Result, error) {
+	<-ctx.Done()
+	return synth.Result{}, ctx.Err()
+}
+
+// badTool returns an inconsistent query.
+type badTool struct{}
+
+func (badTool) Name() string { return "bad" }
+func (badTool) Synthesize(_ context.Context, _ *task.Task) (synth.Result, error) {
+	return synth.Result{Status: synth.Sat}, nil
+}
+
+// errTool fails outright.
+type errTool struct{}
+
+func (errTool) Name() string { return "err" }
+func (errTool) Synthesize(_ context.Context, _ *task.Task) (synth.Result, error) {
+	return synth.Result{}, errors.New("boom")
+}
+
+func anyTask(t *testing.T) *task.Task {
+	t.Helper()
+	s := loadSuite(t)
+	return s.Realizable[0]
+}
+
+func TestRunTimeout(t *testing.T) {
+	rec := Run(context.Background(), slowTool{}, anyTask(t), 50*time.Millisecond)
+	if rec.Outcome != TimedOut {
+		t.Errorf("outcome = %v, want timeout", rec.Outcome)
+	}
+}
+
+func TestRunRejectsInconsistentResult(t *testing.T) {
+	rec := Run(context.Background(), badTool{}, anyTask(t), time.Second)
+	if rec.Outcome != Failed {
+		t.Errorf("outcome = %v, want failed", rec.Outcome)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	rec := Run(context.Background(), errTool{}, anyTask(t), time.Second)
+	if rec.Outcome != Failed || rec.Err == nil {
+		t.Errorf("outcome = %v err = %v, want failed with error", rec.Outcome, rec.Err)
+	}
+}
+
+func TestWriteTable1(t *testing.T) {
+	s := loadSuite(t)
+	var sb strings.Builder
+	if err := WriteTable1(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"traffic", "downcast", "sql41", "isomorphism", "#In.Tuples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	// 86 task rows + header.
+	if got := strings.Count(out, "\n"); got != 87 {
+		t.Errorf("Table 1 has %d lines, want 87", got)
+	}
+}
+
+func TestWriteFigure4(t *testing.T) {
+	recs := []Record{
+		{Task: "a", Tool: "egs", Outcome: Solved, Duration: 50 * time.Millisecond},
+		{Task: "b", Tool: "egs", Outcome: Solved, Duration: 2 * time.Second},
+		{Task: "a", Tool: "scythe", Outcome: TimedOut, Duration: 300 * time.Second},
+		{Task: "b", Tool: "scythe", Outcome: Solved, Duration: 20 * time.Second},
+	}
+	var sb strings.Builder
+	if err := WriteFigure4(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "egs") || !strings.Contains(out, "scythe") {
+		t.Fatalf("Figure 4 output missing tools:\n%s", out)
+	}
+	// egs: 1 solved <=100ms, 2 solved <=3s; scythe: 1 solved total.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("Figure 4 has %d lines, want 3:\n%s", len(lines), out)
+	}
+	egsLine := strings.Fields(lines[1])
+	if egsLine[1] != "1" || egsLine[4] != "2" {
+		t.Errorf("egs cumulative counts wrong: %v", egsLine)
+	}
+}
+
+func TestWriteTable2AndRuntime(t *testing.T) {
+	recs := []Record{
+		{Task: "isomorphism", Tool: "egs", Outcome: ProvedUnsat, Duration: 10 * time.Millisecond},
+		{Task: "isomorphism", Tool: "ilasp-L", Outcome: SpaceExhausted, Duration: 30 * time.Millisecond},
+		{Task: "isomorphism", Tool: "scythe", Outcome: TimedOut},
+	}
+	var sb strings.Builder
+	if err := WriteTable2(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "(unsat)") || !strings.Contains(out, "(exh)") || !strings.Contains(out, "-") {
+		t.Errorf("Table 2 cells wrong:\n%s", out)
+	}
+	sb.Reset()
+	counts := map[string][2]string{"isomorphism": {"12", ">500"}}
+	if err := WriteRuntimeTable(&sb, recs, counts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ">500") {
+		t.Errorf("runtime table missing rule counts:\n%s", sb.String())
+	}
+}
+
+func TestWriteQuality(t *testing.T) {
+	recs := []Record{
+		{Task: "traffic", Tool: "egs", Outcome: Solved, Rules: 1, Literals: 5, Duration: time.Millisecond},
+		{Task: "iso", Tool: "egs", Outcome: ProvedUnsat},
+	}
+	var sb strings.Builder
+	if err := WriteQuality(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "traffic") || strings.Contains(out, "iso\t") {
+		t.Errorf("quality table wrong:\n%s", out)
+	}
+}
+
+func TestRuleCountsTruncation(t *testing.T) {
+	s := loadSuite(t)
+	var traffic *task.Task
+	for _, tk := range s.All {
+		if tk.Name == "traffic" {
+			traffic = tk
+		}
+	}
+	if traffic == nil {
+		t.Fatal("traffic task missing")
+	}
+	counts := RuleCounts(context.Background(), []*task.Task{traffic}, 200*time.Millisecond, 100000)
+	rc := counts["traffic"]
+	if rc[0] == "" || rc[1] == "" {
+		t.Fatalf("missing counts: %v", rc)
+	}
+	// The task-specific space is small and must enumerate fully.
+	if strings.HasPrefix(rc[0], ">") {
+		t.Errorf("task-specific count truncated: %v", rc)
+	}
+}
+
+func TestCategoriesOrdered(t *testing.T) {
+	s := loadSuite(t)
+	cats := s.Categories()
+	want := []string{"knowledge-discovery", "program-analysis", "database-queries", "unrealizable"}
+	if len(cats) != len(want) {
+		t.Fatalf("categories = %v", cats)
+	}
+	for i := range want {
+		if cats[i] != want[i] {
+			t.Fatalf("categories = %v, want %v", cats, want)
+		}
+	}
+}
+
+func TestToolSets(t *testing.T) {
+	if got := len(ToolSet()); got != 6 {
+		t.Errorf("ToolSet has %d tools, want 6 (the Figure 4 configurations)", got)
+	}
+	if got := len(AblationToolSet()); got < 4 {
+		t.Errorf("AblationToolSet has %d tools", got)
+	}
+}

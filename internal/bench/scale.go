@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// ScaledTraffic generates an n-street instance of the paper's
+// running example for scalability experiments (the "larger input
+// data" direction of Section 8). Streets form a ring with chords;
+// signal and traffic attributes are assigned deterministically so
+// that exactly the pairs matching Equation 1 crash:
+//
+//	Crashes(x) :- Intersects(x, y), HasTraffic(x), HasTraffic(y),
+//	              GreenSignal(x), GreenSignal(y).
+//
+// The instance is closed-world labelled with that rule's exact
+// output, so it is realizable by construction at every size.
+func ScaledTraffic(n int) (*task.Task, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("bench: scaled traffic needs at least 4 streets, got %d", n)
+	}
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	intersects := s.MustDeclare("Intersects", 2, relation.Input)
+	green := s.MustDeclare("GreenSignal", 1, relation.Input)
+	traffic := s.MustDeclare("HasTraffic", 1, relation.Input)
+	crashes := s.MustDeclare("Crashes", 1, relation.Output)
+
+	t := &task.Task{
+		Name:        fmt.Sprintf("traffic-%d", n),
+		Category:    "scalability",
+		ClosedWorld: true,
+		Expect:      task.ExpectSat,
+		Schema:      s,
+		Domain:      d,
+	}
+	t.Input = relation.NewDatabase(s, d)
+
+	streets := make([]relation.Const, n)
+	for i := range streets {
+		streets[i] = d.Intern(fmt.Sprintf("St%04d", i))
+	}
+	// Ring edges plus a chord per third street: bidirectional.
+	addEdge := func(a, b relation.Const) {
+		t.Input.Insert(relation.NewTuple(intersects, a, b))
+		t.Input.Insert(relation.NewTuple(intersects, b, a))
+	}
+	hasGreen := make([]bool, n)
+	hasTraffic := make([]bool, n)
+	for i := 0; i < n; i++ {
+		addEdge(streets[i], streets[(i+1)%n])
+		if i%3 == 0 {
+			// Long chord for graph diameter, short chord connecting
+			// the next fully-equipped street so crash pairs exist at
+			// every size.
+			addEdge(streets[i], streets[(i+n/2)%n])
+			addEdge(streets[i], streets[(i+3)%n])
+		}
+		// Deterministic attribute pattern: greens on ~2/3, traffic
+		// on ~2/3, overlapping on ~1/3 of streets.
+		if i%3 != 1 {
+			hasGreen[i] = true
+			t.Input.Insert(relation.NewTuple(green, streets[i]))
+		}
+		if i%3 != 2 {
+			hasTraffic[i] = true
+			t.Input.Insert(relation.NewTuple(traffic, streets[i]))
+		}
+	}
+	// Label with the intended rule's exact output.
+	index := make(map[relation.Const]int, n)
+	for i, st := range streets {
+		index[st] = i
+	}
+	crash := map[relation.Const]bool{}
+	for _, id := range t.Input.Extent(intersects) {
+		tu := t.Input.Tuple(id)
+		x, y := tu.Args[0], tu.Args[1]
+		if hasGreen[index[x]] && hasGreen[index[y]] &&
+			hasTraffic[index[x]] && hasTraffic[index[y]] {
+			crash[x] = true
+		}
+	}
+	for _, st := range streets {
+		if crash[st] {
+			t.Pos = append(t.Pos, relation.NewTuple(crashes, st))
+		}
+	}
+	if len(t.Pos) == 0 {
+		return nil, fmt.Errorf("bench: scaled traffic %d generated no crashes", n)
+	}
+	t.IntendedSrc = []string{
+		"Crashes(x) :- Intersects(x, y), HasTraffic(x), HasTraffic(y), GreenSignal(x), GreenSignal(y).",
+	}
+	if err := t.Prepare(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

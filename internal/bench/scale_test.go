@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/egs"
+)
+
+func TestScaledTrafficRealizable(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		tk, err := ScaledTraffic(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tk.Pos) == 0 {
+			t.Fatalf("n=%d: no crashes labelled", n)
+		}
+		// The intended program must be consistent by construction.
+		if ok, why := tk.Example().Consistent(tk.Intended()); !ok {
+			t.Fatalf("n=%d: intended inconsistent: %s", n, why)
+		}
+		res, err := egs.Synthesize(context.Background(), tk, egs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Unsat {
+			t.Fatalf("n=%d: unsat", n)
+		}
+		if ok, why := tk.Example().Consistent(res.Query); !ok {
+			t.Fatalf("n=%d: inconsistent: %s", n, why)
+		}
+	}
+}
+
+func TestScaledTrafficDeterministic(t *testing.T) {
+	a, err := ScaledTraffic(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaledTraffic(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Input.Size() != b.Input.Size() || len(a.Pos) != len(b.Pos) {
+		t.Error("generator nondeterministic")
+	}
+}
+
+func TestScaledTrafficRejectsTiny(t *testing.T) {
+	if _, err := ScaledTraffic(3); err == nil {
+		t.Error("n=3 accepted")
+	}
+}
+
+// TestScaledTrafficGrowth sanity-checks that the synthesis cost
+// grows sub-quadratically in practice on this family: EGS at n=128
+// must stay well under a second, which is the property that makes
+// the paper's "larger input data" direction plausible.
+func TestScaledTrafficGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tk, err := ScaledTraffic(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := egs.Synthesize(context.Background(), tk, egs.Options{})
+	if err != nil || res.Unsat {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("n=128 took %v", elapsed)
+	}
+}

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/ilasp"
+	"github.com/egs-synthesis/egs/internal/modes"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// WriteTable1 renders the benchmark-characteristics table (Table 1
+// of the paper): per task, the number of input/output relations and
+// tuples and the disjunction/negation features.
+func WriteTable1(w io.Writer, s *Suite) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Category\tName\t#In.Rels\t#In.Tuples\t#Out.Rels\t#Out.Tuples\tFeatures")
+	for _, cat := range s.Categories() {
+		for _, t := range s.ByCategory(cat) {
+			var feats []string
+			if t.FeatureDisj {
+				feats = append(feats, "∨")
+			}
+			if t.FeatureNeg {
+				feats = append(feats, "¬")
+			}
+			if t.Expect == task.ExpectUnsat {
+				feats = append(feats, "unsat")
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+				cat, t.Name, t.RawInputRels, t.RawInputCount,
+				len(t.OutputRelations()), len(t.Pos), strings.Join(feats, ","))
+		}
+	}
+	return tw.Flush()
+}
+
+// figure4Buckets are the cumulative time thresholds of the cactus
+// plot rendering.
+var figure4Buckets = []time.Duration{
+	100 * time.Millisecond,
+	300 * time.Millisecond,
+	time.Second,
+	3 * time.Second,
+	10 * time.Second,
+	30 * time.Second,
+	100 * time.Second,
+	300 * time.Second,
+}
+
+// WriteFigure4 renders the cactus plot of Figure 4 as a table: for
+// each tool, how many of the realizable benchmarks were solved within
+// each time budget. A datapoint (n, t) means the tool solved n
+// benchmarks in at most t each (the paper plots the same cumulative
+// series).
+func WriteFigure4(w io.Writer, recs []Record) error {
+	byTool := map[string][]time.Duration{}
+	total := map[string]int{}
+	var tools []string
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if !seen[r.Tool] {
+			seen[r.Tool] = true
+			tools = append(tools, r.Tool)
+		}
+		total[r.Tool]++
+		if r.Outcome == Solved {
+			byTool[r.Tool] = append(byTool[r.Tool], r.Duration)
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Tool")
+	for _, b := range figure4Buckets {
+		fmt.Fprintf(tw, "\t≤%v", b)
+	}
+	fmt.Fprintln(tw, "\tsolved\ttasks")
+	for _, tool := range tools {
+		ds := byTool[tool]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Fprint(tw, tool)
+		for _, b := range figure4Buckets {
+			n := sort.Search(len(ds), func(i int) bool { return ds[i] > b })
+			fmt.Fprintf(tw, "\t%d", n)
+		}
+		fmt.Fprintf(tw, "\t%d\t%d\n", len(ds), total[tool])
+	}
+	return tw.Flush()
+}
+
+// WriteTable2 renders the unrealizable-benchmark table (Table 2):
+// per task and tool, the runtime, or the failure mode. Verdicts are
+// annotated: EGS's "unsat" is a proof; "exhausted" only rules out the
+// searched space (the Section 6.5 distinction).
+func WriteTable2(w io.Writer, recs []Record) error {
+	tools, byKey := pivot(recs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Benchmark\t%s\n", strings.Join(tools, "\t"))
+	for _, name := range taskOrder(recs) {
+		fmt.Fprint(tw, name)
+		for _, tool := range tools {
+			fmt.Fprintf(tw, "\t%s", cell(byKey[name+"\x00"+tool]))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteRuntimeTable renders the per-task runtime tables (Tables 3-5)
+// for one category, including the candidate-rule counts of the
+// task-specific and task-agnostic rule sets when requested.
+func WriteRuntimeTable(w io.Writer, recs []Record, ruleCounts map[string][2]string) error {
+	tools, byKey := pivot(recs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Benchmark\t%s", strings.Join(tools, "\t"))
+	if ruleCounts != nil {
+		fmt.Fprint(tw, "\t#Rules(L)\t#Rules(F)")
+	}
+	fmt.Fprintln(tw)
+	for _, name := range taskOrder(recs) {
+		fmt.Fprint(tw, name)
+		for _, tool := range tools {
+			fmt.Fprintf(tw, "\t%s", cell(byKey[name+"\x00"+tool]))
+		}
+		if ruleCounts != nil {
+			rc := ruleCounts[name]
+			fmt.Fprintf(tw, "\t%s\t%s", rc[0], rc[1])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteQuality renders the Section 6.4 program-quality report: the
+// size of each synthesized program (rules and body literals).
+func WriteQuality(w io.Writer, recs []Record) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tTool\tRules\tLiterals\tTime")
+	for _, r := range recs {
+		if r.Outcome != Solved {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%v\n",
+			r.Task, r.Tool, r.Rules, r.Literals, r.Duration.Round(time.Millisecond))
+	}
+	return tw.Flush()
+}
+
+// RuleCounts computes, for each task, the candidate-rule counts of
+// the task-specific and task-agnostic mode declarations (the
+// "#Rules" columns of Tables 3-5). Counting is bounded by the
+// timeout and by cap; a dash marks spaces whose enumeration did not
+// finish, mirroring the enumeration timeouts the paper reports.
+func RuleCounts(ctx context.Context, tasks []*task.Task, timeout time.Duration, cap int) map[string][2]string {
+	out := make(map[string][2]string)
+	for _, t := range tasks {
+		var cells [2]string
+		for i, src := range []ilasp.ModeSource{ilasp.TaskSpecific, ilasp.TaskAgnostic} {
+			cctx, cancel := context.WithTimeout(ctx, timeout)
+			res := modes.Generate(cctx, t, ilasp.ModesFor(t, src), cap)
+			cancel()
+			if res.Truncated {
+				cells[i] = fmt.Sprintf(">%d", len(res.Rules))
+			} else {
+				cells[i] = fmt.Sprintf("%d", len(res.Rules))
+			}
+		}
+		out[t.Name] = [2]string{cells[0], cells[1]}
+	}
+	return out
+}
+
+// pivot indexes records by task and tool, preserving tool order.
+func pivot(recs []Record) (tools []string, byKey map[string]Record) {
+	byKey = make(map[string]Record)
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if !seen[r.Tool] {
+			seen[r.Tool] = true
+			tools = append(tools, r.Tool)
+		}
+		byKey[r.Task+"\x00"+r.Tool] = r
+	}
+	return tools, byKey
+}
+
+// taskOrder lists the distinct task names in first-seen order.
+func taskOrder(recs []Record) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range recs {
+		if !seen[r.Task] {
+			seen[r.Task] = true
+			names = append(names, r.Task)
+		}
+	}
+	return names
+}
+
+// cell renders one table cell for a record.
+func cell(r Record) string {
+	switch r.Outcome {
+	case Solved:
+		return fmtDuration(r.Duration)
+	case ProvedUnsat:
+		return fmtDuration(r.Duration) + " (unsat)"
+	case SpaceExhausted:
+		return fmtDuration(r.Duration) + " (exh)"
+	case TimedOut:
+		return "-"
+	default:
+		return "fail"
+	}
+}
+
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.2fs", d.Seconds())
+}

@@ -1,0 +1,273 @@
+// Package cograph implements the constant co-occurrence graph G_I of
+// Section 4.1 of the EGS paper.
+//
+// Vertices are the constants of the data domain D (every constant
+// occurring in an input tuple). For every input tuple
+// R(c1, ..., ck) and every ordered pair of positions i != j there is
+// a labelled edge ci -R-> cj witnessed by that tuple, so edges are
+// bi-directional as in the paper. Unary tuples contribute vertices
+// with tuple incidences but no proper edges; we additionally treat
+// every tuple as incident to each of its constants, which is what the
+// EGS enumeration actually consumes: the successors of an enumeration
+// context C are exactly the input tuples outside C that share at
+// least one constant with C (this covers the paper's worked example,
+// where the unary fact HasTraffic(Whitehall) extends the context
+// {GreenSignal(Whitehall)}).
+package cograph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// Edge is a labelled, directed co-occurrence edge c -R-> c'.
+type Edge struct {
+	From, To relation.Const
+	Rel      relation.RelID
+	Witness  relation.TupleID
+}
+
+// Graph is the constant co-occurrence graph of a database.
+type Graph struct {
+	db *relation.Database
+	// edges grouped by source constant, deterministic order.
+	edges map[relation.Const][]Edge
+	// vertices in ascending order.
+	vertices []relation.Const
+	numEdges int
+}
+
+// New builds the co-occurrence graph of db. The database must not be
+// modified afterwards.
+func New(db *relation.Database) *Graph {
+	g := &Graph{db: db, edges: make(map[relation.Const][]Edge)}
+	seen := make(map[relation.Const]bool)
+	for _, id := range db.AllIDs() {
+		t := db.Tuple(id)
+		for _, c := range t.Args {
+			if !seen[c] {
+				seen[c] = true
+				g.vertices = append(g.vertices, c)
+			}
+		}
+		for i, a := range t.Args {
+			for j, b := range t.Args {
+				if i == j {
+					continue
+				}
+				g.edges[a] = append(g.edges[a], Edge{From: a, To: b, Rel: t.Rel, Witness: id})
+				g.numEdges++
+			}
+		}
+	}
+	sort.Slice(g.vertices, func(i, j int) bool { return g.vertices[i] < g.vertices[j] })
+	return g
+}
+
+// Vertices returns the constants of the graph in ascending id order.
+// The returned slice is shared; do not mutate.
+func (g *Graph) Vertices() []relation.Const { return g.vertices }
+
+// NumVertices reports |D| restricted to constants that occur in
+// input tuples.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges reports the number of directed labelled edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// EdgesFrom returns the edges with source c. The returned slice is
+// shared; do not mutate.
+func (g *Graph) EdgesFrom(c relation.Const) []Edge { return g.edges[c] }
+
+// Neighbors returns the distinct constants adjacent to c, ascending.
+func (g *Graph) Neighbors(c relation.Const) []relation.Const {
+	seen := make(map[relation.Const]bool)
+	var out []relation.Const
+	for _, e := range g.edges[c] {
+		if !seen[e.To] {
+			seen[e.To] = true
+			out = append(out, e.To)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IncidentTuples returns the ids of tuples mentioning constant c:
+// the tuples that witness edges at c plus unary incidences. This is
+// the expansion neighbourhood used by the EGS enumerator.
+func (g *Graph) IncidentTuples(c relation.Const) []relation.TupleID {
+	return g.db.Mentioning(c)
+}
+
+// Successors returns the ids of tuples, outside the context given by
+// inContext, that share at least one constant with the context's
+// constant set. This realizes Step 3(c) of Algorithm 1.
+func (g *Graph) Successors(contextConsts []relation.Const, inContext func(relation.TupleID) bool) []relation.TupleID {
+	seen := make(map[relation.TupleID]bool)
+	var out []relation.TupleID
+	for _, c := range contextConsts {
+		for _, id := range g.db.Mentioning(c) {
+			if seen[id] || inContext(id) {
+				continue
+			}
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders an adjacency summary resembling Figure 1c: one line
+// per vertex with its incident relations and neighbours.
+func (g *Graph) String() string {
+	var b strings.Builder
+	s, d := g.db.Schema, g.db.Domain
+	for _, v := range g.vertices {
+		fmt.Fprintf(&b, "%s:", d.Name(v))
+		// Unary/relation incidences.
+		rels := map[string]bool{}
+		for _, id := range g.db.Mentioning(v) {
+			rels[s.Name(g.db.Tuple(id).Rel)] = true
+		}
+		names := make([]string, 0, len(rels))
+		for n := range rels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, " [%s]", strings.Join(names, ","))
+		ns := g.Neighbors(v)
+		if len(ns) > 0 {
+			parts := make([]string, len(ns))
+			for i, n := range ns {
+				parts[i] = d.Name(n)
+			}
+			fmt.Fprintf(&b, " -> %s", strings.Join(parts, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DOT renders the graph in Graphviz syntax, one undirected edge per
+// unordered constant pair, labelled with the witnessing relations —
+// a faithful rendering of Figure 1c. Vertices carry their unary
+// incidences as a second label line.
+func (g *Graph) DOT(name string) string {
+	s, d := g.db.Schema, g.db.Domain
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", sanitizeDotID(name))
+	fmt.Fprintf(&b, "  node [shape=box];\n")
+	for _, v := range g.vertices {
+		rels := map[string]bool{}
+		for _, id := range g.db.Mentioning(v) {
+			t := g.db.Tuple(id)
+			if len(t.Args) == 1 {
+				rels[s.Name(t.Rel)] = true
+			}
+		}
+		names := make([]string, 0, len(rels))
+		for n := range rels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		label := d.Name(v)
+		if len(names) > 0 {
+			label += "\\n" + strings.Join(names, ", ")
+		}
+		fmt.Fprintf(&b, "  %s [label=\"%s\"];\n", sanitizeDotID(d.Name(v)), label)
+	}
+	type pair struct{ a, b relation.Const }
+	edgeRels := map[pair]map[string]bool{}
+	for _, v := range g.vertices {
+		for _, e := range g.edges[v] {
+			p := pair{e.From, e.To}
+			if p.b < p.a {
+				p.a, p.b = p.b, p.a
+			}
+			if edgeRels[p] == nil {
+				edgeRels[p] = map[string]bool{}
+			}
+			edgeRels[p][s.Name(e.Rel)] = true
+		}
+	}
+	var pairs []pair
+	for p := range edgeRels {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for _, p := range pairs {
+		var names []string
+		for n := range edgeRels[p] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "  %s -- %s [label=\"%s\"];\n",
+			sanitizeDotID(d.Name(p.a)), sanitizeDotID(d.Name(p.b)), strings.Join(names, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// sanitizeDotID turns an arbitrary constant spelling into a valid
+// Graphviz identifier.
+func sanitizeDotID(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// Degree returns the number of distinct neighbours of c.
+func (g *Graph) Degree(c relation.Const) int { return len(g.Neighbors(c)) }
+
+// ConnectedComponents returns the vertex sets of the connected
+// components of the undirected co-occurrence graph, each sorted, in
+// order of smallest member.
+func (g *Graph) ConnectedComponents() [][]relation.Const {
+	visited := make(map[relation.Const]bool)
+	var comps [][]relation.Const
+	for _, v := range g.vertices {
+		if visited[v] {
+			continue
+		}
+		var comp []relation.Const
+		stack := []relation.Const{v}
+		visited[v] = true
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, c)
+			for _, e := range g.edges[c] {
+				if !visited[e.To] {
+					visited[e.To] = true
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}

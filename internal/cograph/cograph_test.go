@@ -1,0 +1,196 @@
+package cograph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// trafficDB builds the Figure 1b database.
+func trafficDB(t *testing.T) (*relation.Database, map[string]relation.Const) {
+	t.Helper()
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	intersects := s.MustDeclare("Intersects", 2, relation.Input)
+	green := s.MustDeclare("GreenSignal", 1, relation.Input)
+	traffic := s.MustDeclare("HasTraffic", 1, relation.Input)
+	db := relation.NewDatabase(s, d)
+	cs := map[string]relation.Const{}
+	for _, n := range []string{"Broadway", "LibertySt", "WallSt", "Whitehall", "WilliamSt"} {
+		cs[n] = d.Intern(n)
+	}
+	pairs := [][2]string{
+		{"Broadway", "LibertySt"}, {"Broadway", "WallSt"}, {"Broadway", "Whitehall"},
+		{"LibertySt", "Broadway"}, {"LibertySt", "WilliamSt"},
+		{"WallSt", "Broadway"}, {"WallSt", "WilliamSt"},
+		{"Whitehall", "Broadway"},
+		{"WilliamSt", "LibertySt"}, {"WilliamSt", "WallSt"},
+	}
+	for _, p := range pairs {
+		db.Insert(relation.NewTuple(intersects, cs[p[0]], cs[p[1]]))
+	}
+	for _, n := range []string{"Broadway", "LibertySt", "WilliamSt", "Whitehall"} {
+		db.Insert(relation.NewTuple(green, cs[n]))
+	}
+	for _, n := range []string{"Broadway", "WallSt", "WilliamSt", "Whitehall"} {
+		db.Insert(relation.NewTuple(traffic, cs[n]))
+	}
+	return db, cs
+}
+
+func TestGraphVerticesAndEdges(t *testing.T) {
+	db, _ := trafficDB(t)
+	g := New(db)
+	if g.NumVertices() != 5 {
+		t.Errorf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	// 10 binary tuples, each witnessing 2 directed edges.
+	if g.NumEdges() != 20 {
+		t.Errorf("NumEdges = %d, want 20", g.NumEdges())
+	}
+}
+
+func TestWhitehallNeighbourhood(t *testing.T) {
+	// Section 2.2: only 4 tuples refer to Whitehall.
+	db, cs := trafficDB(t)
+	g := New(db)
+	inc := g.IncidentTuples(cs["Whitehall"])
+	if len(inc) != 4 {
+		t.Errorf("IncidentTuples(Whitehall) = %d tuples, want 4", len(inc))
+	}
+	ns := g.Neighbors(cs["Whitehall"])
+	if len(ns) != 1 || ns[0] != cs["Broadway"] {
+		t.Errorf("Neighbors(Whitehall) = %v, want [Broadway]", ns)
+	}
+	if g.Degree(cs["Broadway"]) != 3 {
+		t.Errorf("Degree(Broadway) = %d, want 3", g.Degree(cs["Broadway"]))
+	}
+}
+
+func TestSuccessorsMatchPaperExample(t *testing.T) {
+	// Context C5 = {GreenSignal(Whitehall), HasTraffic(Whitehall)}
+	// has exactly two successors: the two Intersects tuples that
+	// mention Whitehall (Section 2.2).
+	db, cs := trafficDB(t)
+	g := New(db)
+	green, _ := db.Schema.Lookup("GreenSignal")
+	traffic, _ := db.Schema.Lookup("HasTraffic")
+	id1, _ := db.ID(relation.NewTuple(green, cs["Whitehall"]))
+	id2, _ := db.ID(relation.NewTuple(traffic, cs["Whitehall"]))
+	in := map[relation.TupleID]bool{id1: true, id2: true}
+	succ := g.Successors([]relation.Const{cs["Whitehall"]}, func(id relation.TupleID) bool { return in[id] })
+	if len(succ) != 2 {
+		t.Fatalf("successors of C5 = %d, want 2", len(succ))
+	}
+	for _, id := range succ {
+		tu := db.Tuple(id)
+		if db.Schema.Name(tu.Rel) != "Intersects" {
+			t.Errorf("unexpected successor %s", tu.String(db.Schema, db.Domain))
+		}
+	}
+}
+
+func TestSuccessorsDeduplicate(t *testing.T) {
+	db, cs := trafficDB(t)
+	g := New(db)
+	// Broadway and Whitehall share the Intersects tuples; successors
+	// must not repeat them.
+	succ := g.Successors([]relation.Const{cs["Broadway"], cs["Whitehall"]},
+		func(relation.TupleID) bool { return false })
+	seen := map[relation.TupleID]bool{}
+	for _, id := range succ {
+		if seen[id] {
+			t.Fatalf("duplicate successor %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	edge := s.MustDeclare("edge", 2, relation.Input)
+	mark := s.MustDeclare("mark", 1, relation.Input)
+	db := relation.NewDatabase(s, d)
+	a, b := d.Intern("a"), d.Intern("b")
+	c := d.Intern("c")
+	lonely := d.Intern("lonely")
+	db.Insert(relation.NewTuple(edge, a, b))
+	db.Insert(relation.NewTuple(edge, b, c))
+	db.Insert(relation.NewTuple(mark, lonely))
+	g := New(db)
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 1 {
+		t.Errorf("component sizes = %d, %d", len(comps[0]), len(comps[1]))
+	}
+}
+
+func TestUnaryOnlyGraphHasNoEdges(t *testing.T) {
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	mark := s.MustDeclare("mark", 1, relation.Input)
+	db := relation.NewDatabase(s, d)
+	db.Insert(relation.NewTuple(mark, d.Intern("a")))
+	db.Insert(relation.NewTuple(mark, d.Intern("b")))
+	g := New(db)
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	if g.NumVertices() != 2 {
+		t.Errorf("NumVertices = %d, want 2", g.NumVertices())
+	}
+	// Unary incidences still drive expansion.
+	a, _ := d.Lookup("a")
+	if len(g.IncidentTuples(a)) != 1 {
+		t.Error("unary incidence missing")
+	}
+}
+
+func TestTernaryTupleEdges(t *testing.T) {
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	r3 := s.MustDeclare("r3", 3, relation.Input)
+	db := relation.NewDatabase(s, d)
+	db.Insert(relation.NewTuple(r3, d.Intern("a"), d.Intern("b"), d.Intern("c")))
+	g := New(db)
+	// 3 constants, all ordered pairs: 6 directed edges.
+	if g.NumEdges() != 6 {
+		t.Errorf("NumEdges = %d, want 6", g.NumEdges())
+	}
+	a, _ := d.Lookup("a")
+	if got := len(g.Neighbors(a)); got != 2 {
+		t.Errorf("Neighbors(a) = %d, want 2", got)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	db, _ := trafficDB(t)
+	g := New(db)
+	out := g.String()
+	if !strings.Contains(out, "Whitehall: [GreenSignal,HasTraffic,Intersects] -> Broadway") {
+		t.Errorf("String output missing Whitehall line:\n%s", out)
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	db, _ := trafficDB(t)
+	g := New(db)
+	out := g.DOT("traffic example")
+	if !strings.HasPrefix(out, "graph traffic_example {") {
+		t.Errorf("header wrong:\n%s", out[:40])
+	}
+	// Undirected dedup: Broadway--Whitehall appears once.
+	if n := strings.Count(out, "Broadway -- Whitehall") + strings.Count(out, "Whitehall -- Broadway"); n != 1 {
+		t.Errorf("Broadway/Whitehall edges rendered %d times, want 1", n)
+	}
+	if !strings.Contains(out, "GreenSignal") {
+		t.Error("unary incidence labels missing")
+	}
+	if sanitizeDotID("Wall St") != "Wall_St" || sanitizeDotID("9x") != "_x" || sanitizeDotID("") != "_" {
+		t.Error("sanitizeDotID wrong")
+	}
+}

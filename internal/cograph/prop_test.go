@@ -1,0 +1,152 @@
+package cograph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// randomDB builds a random database over small relations.
+func randomDB(rng *rand.Rand) *relation.Database {
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	rels := []relation.RelID{
+		s.MustDeclare("u", 1, relation.Input),
+		s.MustDeclare("b", 2, relation.Input),
+		s.MustDeclare("t", 3, relation.Input),
+	}
+	nConst := 2 + rng.Intn(5)
+	consts := make([]relation.Const, nConst)
+	for i := range consts {
+		consts[i] = d.Intern(string(rune('a' + i)))
+	}
+	db := relation.NewDatabase(s, d)
+	for i := 0; i < rng.Intn(15); i++ {
+		rel := rels[rng.Intn(len(rels))]
+		args := make([]relation.Const, s.Arity(rel))
+		for j := range args {
+			args[j] = consts[rng.Intn(nConst)]
+		}
+		db.Insert(relation.Tuple{Rel: rel, Args: args})
+	}
+	return db
+}
+
+// TestEdgesMatchDefinition cross-checks the graph against Equation 4
+// computed by brute force: c -R-> c' exists iff some tuple of R
+// contains both constants at distinct positions.
+func TestEdgesMatchDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		db := randomDB(rng)
+		g := New(db)
+		// Brute force edge set.
+		type edge struct {
+			from, to relation.Const
+			rel      relation.RelID
+		}
+		want := map[edge]bool{}
+		for _, tu := range db.All() {
+			for i, a := range tu.Args {
+				for j, b := range tu.Args {
+					if i != j {
+						want[edge{a, b, tu.Rel}] = true
+					}
+				}
+			}
+		}
+		got := map[edge]bool{}
+		for _, v := range g.Vertices() {
+			for _, e := range g.EdgesFrom(v) {
+				got[edge{e.From, e.To, e.Rel}] = true
+				// The witness must actually contain both endpoints.
+				w := db.Tuple(e.Witness)
+				if !w.Contains(e.From) || !w.Contains(e.To) {
+					t.Fatalf("trial %d: witness does not contain edge endpoints", trial)
+				}
+			}
+		}
+		for e := range want {
+			if !got[e] {
+				t.Fatalf("trial %d: edge missing from graph", trial)
+			}
+		}
+		for e := range got {
+			if !want[e] {
+				t.Fatalf("trial %d: spurious edge in graph", trial)
+			}
+		}
+	}
+}
+
+// TestSuccessorsMatchDefinition cross-checks Successors against its
+// specification: tuples outside the context sharing a constant with
+// the context's constant set.
+func TestSuccessorsMatchDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 200; trial++ {
+		db := randomDB(rng)
+		if db.Size() == 0 {
+			continue
+		}
+		g := New(db)
+		// Random context.
+		inCtx := map[relation.TupleID]bool{}
+		for _, id := range db.AllIDs() {
+			if rng.Intn(2) == 0 {
+				inCtx[id] = true
+			}
+		}
+		var ctxConsts []relation.Const
+		seen := map[relation.Const]bool{}
+		for id := range inCtx {
+			for _, c := range db.Tuple(id).Args {
+				if !seen[c] {
+					seen[c] = true
+					ctxConsts = append(ctxConsts, c)
+				}
+			}
+		}
+		got := map[relation.TupleID]bool{}
+		for _, id := range g.Successors(ctxConsts, func(id relation.TupleID) bool { return inCtx[id] }) {
+			got[id] = true
+		}
+		for _, id := range db.AllIDs() {
+			shares := false
+			for _, c := range db.Tuple(id).Args {
+				if seen[c] {
+					shares = true
+					break
+				}
+			}
+			want := shares && !inCtx[id]
+			if got[id] != want {
+				t.Fatalf("trial %d: successor disagreement on tuple %d: got %v want %v",
+					trial, id, got[id], want)
+			}
+		}
+	}
+}
+
+// TestComponentsPartitionVertices: connected components partition
+// the vertex set.
+func TestComponentsPartitionVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		db := randomDB(rng)
+		g := New(db)
+		seen := map[relation.Const]int{}
+		for ci, comp := range g.ConnectedComponents() {
+			for _, v := range comp {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("trial %d: vertex in components %d and %d", trial, prev, ci)
+				}
+				seen[v] = ci
+			}
+		}
+		if len(seen) != g.NumVertices() {
+			t.Fatalf("trial %d: components cover %d of %d vertices", trial, len(seen), g.NumVertices())
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package datagen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/task"
+
+	"context"
+)
+
+// TestGeneratorsMatchCommittedFiles enforces determinism: the
+// committed benchmark files must be byte-identical to a fresh
+// generation. A failure means either the generator changed without
+// regenerating (run `go run ./cmd/egs-datagen`) or nondeterminism
+// crept in.
+func TestGeneratorsMatchCommittedFiles(t *testing.T) {
+	for _, g := range Generators {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			path := filepath.Join("..", "..", "testdata", "benchmarks", g.Domain, g.Name+".task")
+			committed, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.Gen(); got != string(committed) {
+				t.Errorf("generated %s differs from committed file; run `go run ./cmd/egs-datagen`", g.Name)
+			}
+		})
+	}
+}
+
+// TestGeneratedTasksWellFormed parses every generated instance and
+// checks its intended program is consistent — the consistency-by-
+// construction guarantee.
+func TestGeneratedTasksWellFormed(t *testing.T) {
+	for _, g := range Generators {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			tk, err := task.Parse(strings.NewReader(g.Gen()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tk.Pos) == 0 {
+				t.Fatal("no positive tuples generated")
+			}
+			if !tk.HasIntended() {
+				t.Fatal("no intended program")
+			}
+			if ok, why := tk.Example().Consistent(tk.Intended()); !ok {
+				t.Fatalf("intended program inconsistent: %s", why)
+			}
+			res, err := egs.Synthesize(context.Background(), tk, egs.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Unsat {
+				t.Fatal("generated task unrealizable")
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range Generators {
+		if g.Gen() != g.Gen() {
+			t.Errorf("%s: two generations differ", g.Name)
+		}
+	}
+}
+
+func TestLCGStream(t *testing.T) {
+	a, b := newLCG(1), newLCG(1)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same-seed streams diverge")
+		}
+	}
+	c := newLCG(2)
+	same := true
+	a2 := newLCG(1)
+	for i := 0; i < 10; i++ {
+		if a2.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produce identical streams")
+	}
+	r := newLCG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+}
+
+func TestTaskBuilderOutput(t *testing.T) {
+	b := &taskBuilder{}
+	b.head("task x", "input p(1)")
+	b.fact("p", "a")
+	b.positive("out", "b", "c")
+	b.positive("out", "a", "z")
+	out := b.build()
+	if !strings.Contains(out, "p(a).") {
+		t.Errorf("fact missing:\n%s", out)
+	}
+	// Positives keep insertion order: the EGS union loop explains
+	// tuples in file order, so the order is part of the benchmark.
+	ia := strings.Index(out, "+out(a, z).")
+	ib := strings.Index(out, "+out(b, c).")
+	if ia < 0 || ib < 0 || ib > ia {
+		t.Errorf("positives not in insertion order:\n%s", out)
+	}
+}

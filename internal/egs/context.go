@@ -1,0 +1,128 @@
+// Package egs implements the Example-Guided Synthesis algorithm for
+// relational queries (Sections 4 and 5 of the PLDI 2021 paper): the
+// ExplainCell worklist search over enumeration contexts drawn from
+// the constant co-occurrence graph, the slice-wise ExplainTuple
+// procedure for multi-column outputs, and the divide-and-conquer
+// LearnUCQ loop for unions of conjunctive queries.
+package egs
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// ectx is an enumeration context: a set of input tuples C ⊆ I
+// (Section 4.2), held as sorted tuple ids, together with the
+// evaluation results that the priority queue orders by.
+type ectx struct {
+	ids []relation.TupleID // sorted ascending
+
+	// consistent records whether r_{C -> t[1..i]} derives no
+	// forbidden i-slice (Step 3b of Algorithm 1).
+	consistent bool
+	// score is the paper's p2 numerator: forbidden slices eliminated
+	// per body literal.
+	score float64
+	// seq is a FIFO tie-breaker for deterministic exploration.
+	seq int
+}
+
+func (c *ectx) size() int { return len(c.ids) }
+
+// ctxKey canonically encodes a sorted id set.
+func ctxKey(ids []relation.TupleID) string {
+	var b strings.Builder
+	b.Grow(4 * len(ids))
+	for _, id := range ids {
+		b.WriteByte(byte(id))
+		b.WriteByte(byte(id >> 8))
+		b.WriteByte(byte(id >> 16))
+		b.WriteByte(byte(id >> 24))
+	}
+	return b.String()
+}
+
+// extend returns a new sorted id set ids ∪ {id}; ok is false when id
+// is already present.
+func extend(ids []relation.TupleID, id relation.TupleID) ([]relation.TupleID, bool) {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	if i < len(ids) && ids[i] == id {
+		return nil, false
+	}
+	out := make([]relation.TupleID, 0, len(ids)+1)
+	out = append(out, ids[:i]...)
+	out = append(out, id)
+	out = append(out, ids[i:]...)
+	return out, true
+}
+
+func containsID(ids []relation.TupleID, id relation.TupleID) bool {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	return i < len(ids) && ids[i] == id
+}
+
+// generalize builds the rule r_{C -> t[1..i]} of Equation 5: the
+// context's tuples become body literals and the target slice becomes
+// the head, with constants consistently replaced by fresh variables.
+// ok is false when some head constant does not occur in the context
+// (the rule would be unsafe, so the context cannot explain the slice).
+func generalize(db *relation.Database, ids []relation.TupleID, target relation.Tuple, i int) (query.Rule, bool) {
+	varOf := make(map[relation.Const]query.Var)
+	next := query.Var(0)
+	lookup := func(c relation.Const) query.Var {
+		v, ok := varOf[c]
+		if !ok {
+			v = next
+			next++
+			varOf[c] = v
+		}
+		return v
+	}
+	// Assign body variables first (deterministic in tuple-id order),
+	// so admissibility of the head is checkable afterwards.
+	body := make([]query.Literal, len(ids))
+	for bi, id := range ids {
+		tu := db.Tuple(id)
+		lit := query.Literal{Rel: tu.Rel, Args: make([]query.Term, len(tu.Args))}
+		for ai, c := range tu.Args {
+			lit.Args[ai] = query.V(lookup(c))
+		}
+		body[bi] = lit
+	}
+	head := query.Literal{Rel: target.Rel, Args: make([]query.Term, i)}
+	for ai := 0; ai < i; ai++ {
+		v, ok := varOf[target.Args[ai]]
+		if !ok {
+			return query.Rule{}, false
+		}
+		head.Args[ai] = query.V(v)
+	}
+	return query.Rule{Head: head, Body: body}, true
+}
+
+// assess evaluates r_{C -> t[1..i]} against the example: it counts
+// the derived i-slices lying in the forbidden set F_i and computes
+// the paper's score |F_i \ [[r]]| / |C|. A context whose head
+// constants are missing from C is inadmissible: never consistent and
+// of minimal score.
+func assess(ex *task.Example, ids []relation.TupleID, target relation.Tuple, i int, totalForbidden float64) (consistent bool, score float64, evals int) {
+	rule, ok := generalize(ex.DB, ids, target, i)
+	if !ok {
+		return false, -1, 0
+	}
+	k := len(target.Args)
+	derivedForbidden := 0
+	eval.EvalRule(rule, ex.DB, func(t relation.Tuple) bool {
+		if ex.ForbiddenSliceKey(t.Key(), i, k) {
+			derivedForbidden++
+		}
+		return true
+	})
+	eliminated := totalForbidden - float64(derivedForbidden)
+	return derivedForbidden == 0, eliminated / float64(len(ids)), 1
+}

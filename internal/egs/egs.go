@@ -1,0 +1,394 @@
+package egs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// Options configures the synthesizer.
+type Options struct {
+	// Priority selects p1 or p2 (Section 4.3); the default (zero
+	// value) is P2, as in the paper's experiments.
+	Priority Priority
+	// QuickUnsat enables the Lemma 4.2 fast path: before searching a
+	// cell, check whether the maximal context r_{I -> t[1..i]} is
+	// consistent; if not, report unsat immediately instead of
+	// exhausting the context space. The paper's tool does not use
+	// this shortcut (its unsat proofs enumerate the space); we expose
+	// it as an ablation.
+	QuickUnsat bool
+	// MaxContexts caps the number of contexts popped per cell as a
+	// safety valve; 0 means unlimited.
+	MaxContexts int
+	// BestEffort tolerates noise in the examples (a Section 8
+	// extension): positive tuples that admit no consistent
+	// explanation are skipped and reported in Result.Uncovered
+	// instead of failing the whole task. The returned program still
+	// derives no negative tuple.
+	BestEffort bool
+}
+
+// Stats summarizes the work performed by one synthesis run.
+type Stats struct {
+	ContextsPushed int
+	ContextsPopped int
+	RuleEvals      int
+	MaxQueue       int
+	CellsSolved    int
+	RulesLearned   int
+	Duration       time.Duration
+}
+
+// Result is the outcome of a synthesis run: either a consistent UCQ,
+// or a proof of unrealizability (Unsat true), per Problem 3.1.
+type Result struct {
+	Query query.UCQ
+	Unsat bool
+	// Witness documents an Unsat verdict (nil otherwise).
+	Witness *UnsatWitness
+	// Uncovered lists positive tuples left unexplained in
+	// best-effort mode (empty otherwise).
+	Uncovered []relation.Tuple
+	Stats     Stats
+}
+
+// UnsatWitness is the completeness argument behind an unsat verdict:
+// the positive tuple that cannot be explained, the field (slice) at
+// which its search failed, and the size of the exhausted context
+// space. By Theorem 4.3 / Lemma 5.1, exhausting the space proves
+// that no consistent conjunctive query explains the tuple, and hence
+// (Lemma 5.2) no union of conjunctive queries is consistent with the
+// example. With QuickUnsat the verdict instead cites Lemma 4.2: the
+// maximal context r_{I -> t} is itself inconsistent.
+type UnsatWitness struct {
+	// Target is the unexplainable positive tuple.
+	Target relation.Tuple
+	// FailedSlice is the 1-based field index whose ExplainCell
+	// search failed.
+	FailedSlice int
+	// ContextsExhausted counts the enumeration contexts explored for
+	// the failing cell (0 when the anchor constant does not occur in
+	// the input at all, or when the Lemma 4.2 fast path fired).
+	ContextsExhausted int
+	// ViaLemma42 is true when the fast path decided the verdict.
+	ViaLemma42 bool
+}
+
+// String renders the witness as a one-paragraph explanation.
+func (w *UnsatWitness) String(s *relation.Schema, d *relation.Domain) string {
+	target := w.Target.String(s, d)
+	if w.ViaLemma42 {
+		return fmt.Sprintf("unsat: the maximal context rule r_{I -> %s} derives a forbidden tuple at field %d, so by Lemma 4.2 no consistent query exists",
+			target, w.FailedSlice)
+	}
+	if w.ContextsExhausted == 0 {
+		return fmt.Sprintf("unsat: field %d of %s contains a constant that occurs in no input tuple, so no context can explain it (Theorem 4.1)",
+			w.FailedSlice, target)
+	}
+	return fmt.Sprintf("unsat: all %d enumeration contexts reachable for field %d of %s were exhausted without finding a consistent rule, so by Theorem 4.3 no consistent query exists",
+		w.ContextsExhausted, w.FailedSlice, target)
+}
+
+// ErrBudgetExceeded reports that MaxContexts was exhausted before the
+// search completed; no conclusion about realizability follows.
+var ErrBudgetExceeded = errors.New("egs: context budget exceeded")
+
+// Synthesize runs the EGS algorithm (Algorithm 3) on a prepared task:
+// it returns a union of conjunctive queries consistent with the
+// task's example, or Unsat if the completeness argument of Theorem
+// 4.3 / Lemma 5.2 proves that none exists. The context ctx bounds the
+// search (cancellation and deadlines are honoured between context
+// expansions).
+func Synthesize(ctx context.Context, t *task.Task, opts Options) (Result, error) {
+	if err := t.Prepare(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	s := &searcher{
+		ctx:  ctx,
+		ex:   t.Example(),
+		opts: opts,
+	}
+
+	// Algorithm 3: explain each still-unexplained positive tuple with
+	// a conjunctive query, removing everything the new rule derives.
+	unexplained := append([]relation.Tuple(nil), t.Pos...)
+	var rules []query.Rule
+	var uncovered []relation.Tuple
+	for len(unexplained) > 0 {
+		target := unexplained[0]
+		ids, ok, err := s.explainTuple(target)
+		if err != nil {
+			return Result{Stats: s.statsWith(start)}, err
+		}
+		if !ok {
+			if opts.BestEffort {
+				uncovered = append(uncovered, target)
+				unexplained = unexplained[1:]
+				continue
+			}
+			return Result{Unsat: true, Witness: s.failure, Stats: s.statsWith(start)}, nil
+		}
+		rule, admissible := generalize(s.ex.DB, ids, target, len(target.Args))
+		if !admissible {
+			// Cannot happen for a context returned by explainTuple;
+			// guard against future refactors.
+			return Result{Stats: s.statsWith(start)}, fmt.Errorf("egs: internal error: inadmissible explaining context for %s",
+				target.String(t.Schema, t.Domain))
+		}
+		outs := eval.RuleOutputs(rule, s.ex.DB)
+		var still []relation.Tuple
+		for _, u := range unexplained {
+			if _, derived := outs[u.Key()]; !derived {
+				still = append(still, u)
+			}
+		}
+		if len(still) == len(unexplained) {
+			return Result{Stats: s.statsWith(start)}, fmt.Errorf("egs: internal error: learned rule does not derive its target %s",
+				target.String(t.Schema, t.Domain))
+		}
+		unexplained = still
+		rules = append(rules, rule)
+	}
+	s.stats.RulesLearned = len(rules)
+	return Result{
+		Query:     query.UCQ{Rules: rules},
+		Uncovered: uncovered,
+		Stats:     s.statsWith(start),
+	}, nil
+}
+
+type searcher struct {
+	ctx   context.Context
+	ex    *task.Example
+	opts  Options
+	stats Stats
+	seq   int
+	// failure records why the most recent explainCell exhausted,
+	// for unsat witnesses.
+	failure *UnsatWitness
+}
+
+func (s *searcher) statsWith(start time.Time) Stats {
+	st := s.stats
+	st.Duration = time.Since(start)
+	return st
+}
+
+// explainTuple implements Algorithm 2: explain the fields of the
+// target tuple one at a time, growing the context C_1 ⊆ ... ⊆ C_k.
+// It returns the final context and ok=false when some cell is
+// unrealizable.
+func (s *searcher) explainTuple(target relation.Tuple) ([]relation.TupleID, bool, error) {
+	var base []relation.TupleID
+	for i := 1; i <= len(target.Args); i++ {
+		next, ok, err := s.explainCell(base, target, i)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if s.failure == nil {
+				s.failure = &UnsatWitness{}
+			}
+			s.failure.Target = target
+			s.failure.FailedSlice = i
+			return nil, false, nil
+		}
+		base = next
+	}
+	return base, true, nil
+}
+
+// explainCell implements Algorithm 1 (with the Section 5.1
+// generalization): starting from the prior slice's context, find a
+// context whose generalized rule derives no forbidden i-slice.
+func (s *searcher) explainCell(base []relation.TupleID, target relation.Tuple, i int) ([]relation.TupleID, bool, error) {
+	cs, err := s.explainCellMulti(base, target, i, 1)
+	if err != nil || len(cs) == 0 {
+		return nil, false, err
+	}
+	return cs[0], true, nil
+}
+
+// explainCellMulti is explainCell generalized to collect up to k
+// distinct consistent contexts, in priority order. It powers the
+// Alternatives API: the search simply keeps popping after the first
+// success instead of returning.
+func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tuple, i, k int) ([][]relation.TupleID, error) {
+	ex := s.ex
+	db := ex.DB
+	arity := len(target.Args)
+	anchor := target.Args[i-1]
+
+	totalForbiddenU, okCount := ex.CountForbidden(target.Rel, i, arity)
+	totalForbidden := float64(totalForbiddenU)
+	if !okCount {
+		totalForbidden = float64(1 << 62)
+	}
+
+	if s.opts.QuickUnsat {
+		// Lemma 4.2 fast path: the maximal context base ∪ I. Since
+		// base ⊆ I this is just all of I.
+		all := db.AllIDs()
+		if consistent, _, _ := assess(ex, all, target, i, totalForbidden); !consistent {
+			s.failure = &UnsatWitness{ViaLemma42: true}
+			return nil, nil
+		}
+	}
+
+	visited := make(map[string]bool)
+	queue := newCtxQueue(s.opts.Priority)
+
+	push := func(ids []relation.TupleID) {
+		key := ctxKey(ids)
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		consistent, score, evals := assess(ex, ids, target, i, totalForbidden)
+		s.stats.RuleEvals += evals
+		s.seq++
+		queue.push(&ectx{ids: ids, consistent: consistent, score: score, seq: s.seq})
+		s.stats.ContextsPushed++
+		if queue.Len() > s.stats.MaxQueue {
+			s.stats.MaxQueue = queue.Len()
+		}
+	}
+
+	// Initialization (Equation 6 for i = 1, Equation 8 for i > 1):
+	// extend the prior context with each tuple containing the
+	// anchor constant t[i]. When the anchor already occurs in the
+	// prior context, the prior context itself is admissible and is
+	// seeded too (this covers targets with repeated constants such
+	// as sibling(Kopa, Kopa)).
+	if len(base) > 0 {
+		baseConsts := db.ConstantsOf(base)
+		for _, c := range baseConsts {
+			if c == anchor {
+				push(append([]relation.TupleID(nil), base...))
+				break
+			}
+		}
+	}
+	for _, id := range db.Mentioning(anchor) {
+		if ids, fresh := extend(base, id); fresh {
+			push(ids)
+		}
+	}
+
+	var found [][]relation.TupleID
+	popped := 0
+	for queue.Len() > 0 {
+		if popped%64 == 0 {
+			select {
+			case <-s.ctx.Done():
+				return nil, s.ctx.Err()
+			default:
+			}
+		}
+		cur := queue.pop()
+		popped++
+		s.stats.ContextsPopped++
+		if s.opts.MaxContexts > 0 && popped > s.opts.MaxContexts {
+			return nil, ErrBudgetExceeded
+		}
+		if cur.consistent {
+			if len(found) == 0 {
+				s.stats.CellsSolved++
+			}
+			found = append(found, cur.ids)
+			if len(found) >= k {
+				return found, nil
+			}
+			continue
+		}
+		// Step 3(c): successors are the input tuples adjacent to the
+		// context in the co-occurrence graph — those sharing at
+		// least one constant with C.
+		for _, c := range db.ConstantsOf(cur.ids) {
+			for _, id := range db.Mentioning(c) {
+				if containsID(cur.ids, id) {
+					continue
+				}
+				if ids, fresh := extend(cur.ids, id); fresh {
+					push(ids)
+				}
+			}
+		}
+	}
+	// Queue exhausted: by Theorem 4.3 / Lemma 5.1, fewer than k
+	// explaining contexts exist; in particular an empty result proves
+	// the cell unrealizable.
+	if len(found) == 0 {
+		s.failure = &UnsatWitness{ContextsExhausted: popped}
+	}
+	return found, nil
+}
+
+// Alternatives synthesizes up to k distinct conjunctive queries,
+// each consistent with (I, {target}, O-), in the priority order the
+// search discovers them. The leading fields of target are explained
+// as in Algorithm 2; the final cell's worklist is then drained until
+// k explanations accumulate. Alternatives underpin disambiguation
+// workflows: when several queries explain the data, their differing
+// outputs suggest which example to label next.
+func Alternatives(ctx context.Context, t *task.Task, target relation.Tuple, k int, opts Options) ([]query.Rule, error) {
+	if err := t.Prepare(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, nil
+	}
+	s := &searcher{ctx: ctx, ex: t.Example(), opts: opts}
+	var base []relation.TupleID
+	arity := len(target.Args)
+	for i := 1; i < arity; i++ {
+		next, ok, err := s.explainCell(base, target, i)
+		if err != nil || !ok {
+			return nil, err
+		}
+		base = next
+	}
+	contexts, err := s.explainCellMulti(base, target, arity, k)
+	if err != nil {
+		return nil, err
+	}
+	var rules []query.Rule
+	seen := make(map[string]bool)
+	for _, ids := range contexts {
+		rule, ok := generalize(s.ex.DB, ids, target, arity)
+		if !ok {
+			continue
+		}
+		key := rule.CanonicalKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+// ExplainOne exposes the single-tuple ExplainTuple procedure for
+// examples and tools: it synthesizes one conjunctive query explaining
+// target, or reports unsat.
+func ExplainOne(ctx context.Context, t *task.Task, target relation.Tuple, opts Options) (query.Rule, bool, error) {
+	if err := t.Prepare(); err != nil {
+		return query.Rule{}, false, err
+	}
+	s := &searcher{ctx: ctx, ex: t.Example(), opts: opts}
+	ids, ok, err := s.explainTuple(target)
+	if err != nil || !ok {
+		return query.Rule{}, false, err
+	}
+	rule, _ := generalize(s.ex.DB, ids, target, len(target.Args))
+	return rule, true, nil
+}

@@ -1,0 +1,319 @@
+package egs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+const trafficSrc = `
+task traffic
+closed-world true
+expect sat
+input Intersects(2)
+input GreenSignal(1)
+input HasTraffic(1)
+output Crashes(1)
+Intersects(Broadway, LibertySt).
+Intersects(Broadway, WallSt).
+Intersects(Broadway, Whitehall).
+Intersects(LibertySt, Broadway).
+Intersects(LibertySt, WilliamSt).
+Intersects(WallSt, Broadway).
+Intersects(WallSt, WilliamSt).
+Intersects(Whitehall, Broadway).
+Intersects(WilliamSt, LibertySt).
+Intersects(WilliamSt, WallSt).
+GreenSignal(Broadway).
+GreenSignal(LibertySt).
+GreenSignal(WilliamSt).
+GreenSignal(Whitehall).
+HasTraffic(Broadway).
+HasTraffic(WallSt).
+HasTraffic(WilliamSt).
+HasTraffic(Whitehall).
++Crashes(Broadway).
++Crashes(Whitehall).
+`
+
+const grandparentSrc = `
+task grandparent
+closed-world false
+input father(2)
+input mother(2)
+output grandparent(2)
+father(Mufasa, Simba).
+mother(Sarabi, Simba).
+father(Jasiri, Nala).
+mother(Sarafina, Nala).
+father(Simba, Kiara).
+mother(Nala, Kiara).
+father(Kopa, Unused).
++grandparent(Sarabi, Kiara).
++grandparent(Mufasa, Kiara).
++grandparent(Jasiri, Kiara).
++grandparent(Sarafina, Kiara).
+-grandparent(Mufasa, Nala).
+-grandparent(Sarafina, Simba).
+-grandparent(Sarabi, Simba).
+`
+
+const isomorphismSrc = `
+task isomorphism
+closed-world true
+expect unsat
+input edge(2)
+output target(1)
+edge(a, b).
+edge(b, a).
++target(a).
+`
+
+func mustTask(t *testing.T, src string) *task.Task {
+	t.Helper()
+	tk, err := task.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+func synth(t *testing.T, tk *task.Task, opts Options) Result {
+	t.Helper()
+	res, err := Synthesize(context.Background(), tk, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTrafficSynthesis(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	res := synth(t, tk, Options{})
+	if res.Unsat {
+		t.Fatal("traffic reported unsat")
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("synthesized query inconsistent: %s\n%s", why, res.Query.String(tk.Schema, tk.Domain))
+	}
+	// The paper's target concept needs one rule.
+	if len(res.Query.Rules) != 1 {
+		t.Errorf("learned %d rules, want 1:\n%s", len(res.Query.Rules), res.Query.String(tk.Schema, tk.Domain))
+	}
+}
+
+func TestTrafficP1AlsoSolves(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	res := synth(t, tk, Options{Priority: P1})
+	if res.Unsat {
+		t.Fatal("traffic reported unsat under p1")
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("p1 query inconsistent: %s", why)
+	}
+	// p1 guarantees the smallest solution; the paper's is 5 literals.
+	if got := res.Query.Rules[0].Size(); got > 5 {
+		t.Errorf("p1 solution has %d literals, want <= 5", got)
+	}
+}
+
+func TestGrandparentUnion(t *testing.T) {
+	tk := mustTask(t, grandparentSrc)
+	res := synth(t, tk, Options{})
+	if res.Unsat {
+		t.Fatal("grandparent reported unsat")
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("synthesized query inconsistent: %s\n%s", why, res.Query.String(tk.Schema, tk.Domain))
+	}
+	// Four positives from four distinct parent-gender combinations
+	// cannot be covered by fewer than... actually mother/father pairs
+	// differ, so expect multiple disjuncts.
+	if len(res.Query.Rules) < 2 {
+		t.Errorf("expected a union, got %d rule(s):\n%s",
+			len(res.Query.Rules), res.Query.String(tk.Schema, tk.Domain))
+	}
+}
+
+func TestSiblingNeedsNeq(t *testing.T) {
+	base := `
+task sibling
+closed-world false
+input mother(2)
+output sibling(2)
+mother(Nala, Kiara).
+mother(Nala, Kopa).
++sibling(Kopa, Kiara).
+-sibling(Kopa, Kopa).
+`
+	// Without neq the task is unrealizable (Section 5.3).
+	tk := mustTask(t, base)
+	res := synth(t, tk, Options{})
+	if !res.Unsat {
+		t.Fatalf("sibling without neq should be unsat, got:\n%s", res.Query.String(tk.Schema, tk.Domain))
+	}
+	// With neq it is solvable.
+	tk2 := mustTask(t, strings.Replace(base, "closed-world false", "closed-world false\nneq true", 1))
+	res2 := synth(t, tk2, Options{})
+	if res2.Unsat {
+		t.Fatal("sibling with neq reported unsat")
+	}
+	if ok, why := tk2.Example().Consistent(res2.Query); !ok {
+		t.Fatalf("sibling query inconsistent: %s", why)
+	}
+	// The solution must use the neq relation.
+	if !strings.Contains(res2.Query.String(tk2.Schema, tk2.Domain), "neq(") {
+		t.Errorf("solution does not use neq:\n%s", res2.Query.String(tk2.Schema, tk2.Domain))
+	}
+}
+
+func TestIsomorphismUnsat(t *testing.T) {
+	tk := mustTask(t, isomorphismSrc)
+	res := synth(t, tk, Options{})
+	if !res.Unsat {
+		t.Fatalf("isomorphism should be unsat, got:\n%s", res.Query.String(tk.Schema, tk.Domain))
+	}
+}
+
+func TestQuickUnsatAgreesWithExhaustive(t *testing.T) {
+	for _, src := range []string{isomorphismSrc, trafficSrc, grandparentSrc} {
+		slow := synth(t, mustTask(t, src), Options{})
+		fast := synth(t, mustTask(t, src), Options{QuickUnsat: true})
+		if slow.Unsat != fast.Unsat {
+			t.Errorf("QuickUnsat disagrees with exhaustive search: %v vs %v", fast.Unsat, slow.Unsat)
+		}
+	}
+}
+
+func TestOutputConstantMissingFromInput(t *testing.T) {
+	// traffic-extra-output style: a positive tuple mentions a
+	// constant absent from the input, so no context can explain it.
+	src := `
+task extra
+closed-world true
+input p(1)
+output q(1)
+p(a).
++q(Mars).
+`
+	tk := mustTask(t, src)
+	res := synth(t, tk, Options{})
+	if !res.Unsat {
+		t.Fatal("unknown output constant should be unsat")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	tk := mustTask(t, isomorphismSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Synthesize(ctx, tk, Options{})
+	if err == nil {
+		t.Fatal("cancelled synthesis returned no error")
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := Synthesize(ctx, tk, Options{}); err == nil {
+		t.Fatal("expired deadline returned no error")
+	}
+}
+
+func TestMaxContextsBudget(t *testing.T) {
+	tk := mustTask(t, isomorphismSrc)
+	_, err := Synthesize(context.Background(), tk, Options{MaxContexts: 1})
+	if err != ErrBudgetExceeded {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestStatspopulated(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	res := synth(t, tk, Options{})
+	st := res.Stats
+	if st.ContextsPopped == 0 || st.ContextsPushed == 0 || st.RuleEvals == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	if st.RulesLearned != len(res.Query.Rules) {
+		t.Errorf("RulesLearned = %d, want %d", st.RulesLearned, len(res.Query.Rules))
+	}
+	if st.Duration <= 0 {
+		t.Error("Duration not set")
+	}
+}
+
+func TestExplainOne(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	crashes, _ := tk.Schema.Lookup("Crashes")
+	broadway, _ := tk.Domain.Lookup("Broadway")
+	rule, ok, err := ExplainOne(context.Background(), tk, relation.NewTuple(crashes, broadway), Options{})
+	if err != nil || !ok {
+		t.Fatalf("ExplainOne: ok=%v err=%v", ok, err)
+	}
+	if rule.Head.Rel != crashes {
+		t.Errorf("rule head = %v", rule.Head)
+	}
+	if !tk.Example().RuleConsistentWithNegatives(rule) {
+		t.Errorf("explaining rule derives negatives: %s", rule.String(tk.Schema, tk.Domain))
+	}
+}
+
+func TestRepeatedConstantTarget(t *testing.T) {
+	// sibling(Kopa, Kopa) as a positive: the second cell's anchor is
+	// already in the slice-1 context.
+	src := `
+task self
+closed-world true
+input likes(2)
+output pair(2)
+likes(Kopa, Kopa).
+likes(Kopa, Kiara).
++pair(Kopa, Kopa).
+`
+	tk := mustTask(t, src)
+	res := synth(t, tk, Options{})
+	if res.Unsat {
+		t.Fatal("self-pair reported unsat")
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s\n%s", why, res.Query.String(tk.Schema, tk.Domain))
+	}
+}
+
+func TestMultiColumnSlicing(t *testing.T) {
+	// The grandparent slicing example of Section 5.1 with explicit
+	// negatives forcing the slice-1 search to avoid Sarabi->Simba.
+	src := `
+task gp-slice
+closed-world false
+input father(2)
+input mother(2)
+output grandparent(2)
+father(Mufasa, Simba).
+mother(Sarabi, Simba).
+father(Simba, Kiara).
+mother(Nala, Kiara).
++grandparent(Sarabi, Kiara).
+-grandparent(Sarabi, Simba).
+`
+	tk := mustTask(t, src)
+	res := synth(t, tk, Options{})
+	if res.Unsat {
+		t.Fatal("gp-slice reported unsat")
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s\n%s", why, res.Query.String(tk.Schema, tk.Domain))
+	}
+	got := res.Query.String(tk.Schema, tk.Domain)
+	if !strings.Contains(got, "mother(") || !strings.Contains(got, "father(") {
+		t.Errorf("expected mother/father join, got:\n%s", got)
+	}
+}

@@ -1,0 +1,165 @@
+package egs
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+func TestBestEffortSkipsNoise(t *testing.T) {
+	// Crashes(Albany) is noise: the constant never occurs in the
+	// input, so it cannot be explained. Best-effort mode must learn
+	// the clean concept and report the noisy tuple.
+	src := strings.Replace(trafficSrc, "+Crashes(Broadway).",
+		"+Crashes(Broadway).\n+Crashes(Albany).", 1)
+	tk := mustTask(t, src)
+	// Exact mode: unsat.
+	exact := synth(t, tk, Options{})
+	if !exact.Unsat {
+		t.Fatal("noisy task should be unsat in exact mode")
+	}
+	// Best-effort: solves, reporting the noise.
+	tk2 := mustTask(t, src)
+	res, err := Synthesize(context.Background(), tk2, Options{BestEffort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("best-effort mode reported unsat")
+	}
+	if len(res.Uncovered) != 1 {
+		t.Fatalf("uncovered = %d tuples, want 1", len(res.Uncovered))
+	}
+	albany, ok := tk2.Domain.Lookup("Albany")
+	if !ok || !res.Uncovered[0].Contains(albany) {
+		t.Errorf("uncovered tuple = %v", res.Uncovered[0].String(tk2.Schema, tk2.Domain))
+	}
+	// The learned program must still avoid all negatives and derive
+	// the clean positives.
+	ex := tk2.Example()
+	for _, r := range res.Query.Rules {
+		if !ex.RuleConsistentWithNegatives(r) {
+			t.Errorf("best-effort rule derives negatives: %s", r.String(tk2.Schema, tk2.Domain))
+		}
+	}
+}
+
+func TestBestEffortCleanTaskUnchanged(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	res, err := Synthesize(context.Background(), tk, Options{BestEffort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat || len(res.Uncovered) != 0 {
+		t.Fatalf("clean task: unsat=%v uncovered=%d", res.Unsat, len(res.Uncovered))
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s", why)
+	}
+}
+
+func TestUnsatWitnessExhaustion(t *testing.T) {
+	tk := mustTask(t, isomorphismSrc)
+	res := synth(t, tk, Options{})
+	if !res.Unsat || res.Witness == nil {
+		t.Fatalf("unsat=%v witness=%v", res.Unsat, res.Witness)
+	}
+	w := res.Witness
+	if w.ViaLemma42 || w.ContextsExhausted == 0 || w.FailedSlice != 1 {
+		t.Errorf("witness = %+v", w)
+	}
+	msg := w.String(tk.Schema, tk.Domain)
+	if !strings.Contains(msg, "Theorem 4.3") || !strings.Contains(msg, "target(a)") {
+		t.Errorf("witness message = %q", msg)
+	}
+}
+
+func TestUnsatWitnessMissingConstant(t *testing.T) {
+	src := `
+task ghost
+closed-world true
+input p(1)
+output q(1)
+p(a).
++q(Mars).
+`
+	tk := mustTask(t, src)
+	res := synth(t, tk, Options{})
+	if !res.Unsat || res.Witness == nil {
+		t.Fatal("no witness")
+	}
+	msg := res.Witness.String(tk.Schema, tk.Domain)
+	if !strings.Contains(msg, "occurs in no input tuple") {
+		t.Errorf("witness message = %q", msg)
+	}
+}
+
+func TestUnsatWitnessLemma42(t *testing.T) {
+	tk := mustTask(t, isomorphismSrc)
+	res := synth(t, tk, Options{QuickUnsat: true})
+	if !res.Unsat || res.Witness == nil || !res.Witness.ViaLemma42 {
+		t.Fatalf("witness = %+v", res.Witness)
+	}
+	if !strings.Contains(res.Witness.String(tk.Schema, tk.Domain), "Lemma 4.2") {
+		t.Error("fast-path witness does not cite Lemma 4.2")
+	}
+}
+
+func TestSatResultHasNoWitness(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	res := synth(t, tk, Options{})
+	if res.Witness != nil {
+		t.Errorf("sat result carries a witness: %+v", res.Witness)
+	}
+}
+
+func TestAlternativesDistinctAndConsistent(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	crashes, _ := tk.Schema.Lookup("Crashes")
+	whitehall, _ := tk.Domain.Lookup("Whitehall")
+	target := relation.NewTuple(crashes, whitehall)
+	rules, err := Alternatives(context.Background(), tk, target, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no alternatives found")
+	}
+	seen := map[string]bool{}
+	ex := tk.Example()
+	for _, r := range rules {
+		key := r.CanonicalKey()
+		if seen[key] {
+			t.Errorf("duplicate alternative %s", r.String(tk.Schema, tk.Domain))
+		}
+		seen[key] = true
+		if !ex.RuleConsistentWithNegatives(r) {
+			t.Errorf("alternative derives negatives: %s", r.String(tk.Schema, tk.Domain))
+		}
+	}
+}
+
+func TestAlternativesUnsatYieldsNone(t *testing.T) {
+	tk := mustTask(t, isomorphismSrc)
+	targetRel, _ := tk.Schema.Lookup("target")
+	a, _ := tk.Domain.Lookup("a")
+	rules, err := Alternatives(context.Background(), tk, relation.NewTuple(targetRel, a), 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 0 {
+		t.Fatalf("unrealizable target produced %d alternatives", len(rules))
+	}
+}
+
+func TestAlternativesKZero(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	crashes, _ := tk.Schema.Lookup("Crashes")
+	b, _ := tk.Domain.Lookup("Broadway")
+	rules, err := Alternatives(context.Background(), tk, relation.NewTuple(crashes, b), 0, Options{})
+	if err != nil || rules != nil {
+		t.Errorf("k=0: rules=%v err=%v", rules, err)
+	}
+}

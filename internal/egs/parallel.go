@@ -1,0 +1,114 @@
+package egs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// SynthesizeParallel is Algorithm 3 with the per-tuple explanations
+// fanned out across worker goroutines. The paper's tool is
+// single-threaded (Section 6); this variant exploits the observation
+// that ExplainTuple calls for different positive tuples are
+// independent.
+//
+// Work proceeds in waves: up to `workers` still-unexplained tuples
+// are explained concurrently, then the resulting rules are applied in
+// input order, discarding rules whose target was already covered by
+// an earlier rule of the same wave. Waves bound the redundant work to
+// at most `workers` explanations per accepted rule — explaining every
+// positive tuple up front would do far more total work than the
+// sequential algorithm saves.
+//
+// The result is consistent exactly as in the sequential algorithm,
+// though its union may decompose differently.
+func SynthesizeParallel(ctx context.Context, t *task.Task, opts Options, workers int) (Result, error) {
+	if workers <= 1 {
+		return Synthesize(ctx, t, opts)
+	}
+	if err := t.Prepare(); err != nil {
+		return Result{}, err
+	}
+	ex := t.Example()
+
+	var res Result
+	unexplained := append([]relation.Tuple(nil), t.Pos...)
+	var rules []query.Rule
+
+	for len(unexplained) > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{Stats: res.Stats}, err
+		}
+		n := workers
+		if n > len(unexplained) {
+			n = len(unexplained)
+		}
+		batch := unexplained[:n]
+
+		type outcome struct {
+			ids  []relation.TupleID
+			ok   bool
+			err  error
+			stat Stats
+		}
+		outcomes := make([]outcome, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s := &searcher{ctx: ctx, ex: ex, opts: opts}
+				ids, ok, err := s.explainTuple(batch[i])
+				outcomes[i] = outcome{ids: ids, ok: ok, err: err, stat: s.stats}
+			}(i)
+		}
+		wg.Wait()
+
+		covered := make(map[string]bool)
+		var stillUncovered []relation.Tuple
+		for i := 0; i < n; i++ {
+			out := outcomes[i]
+			res.Stats.ContextsPopped += out.stat.ContextsPopped
+			res.Stats.ContextsPushed += out.stat.ContextsPushed
+			res.Stats.RuleEvals += out.stat.RuleEvals
+			res.Stats.CellsSolved += out.stat.CellsSolved
+			if out.err != nil {
+				return Result{Stats: res.Stats}, out.err
+			}
+			if !out.ok {
+				if opts.BestEffort {
+					res.Uncovered = append(res.Uncovered, batch[i])
+					continue
+				}
+				res.Unsat = true
+				return res, nil
+			}
+			if covered[batch[i].Key()] {
+				continue
+			}
+			rule, admissible := generalize(ex.DB, out.ids, batch[i], len(batch[i].Args))
+			if !admissible {
+				return Result{Stats: res.Stats}, fmt.Errorf("egs: internal error: inadmissible parallel context for %s",
+					batch[i].String(t.Schema, t.Domain))
+			}
+			for k := range eval.RuleOutputs(rule, ex.DB) {
+				covered[k] = true
+			}
+			rules = append(rules, rule)
+		}
+		for _, p := range unexplained[n:] {
+			if !covered[p.Key()] {
+				stillUncovered = append(stillUncovered, p)
+			}
+		}
+		unexplained = stillUncovered
+	}
+	res.Query = query.UCQ{Rules: rules}
+	res.Stats.RulesLearned = len(rules)
+	return res, nil
+}

@@ -1,0 +1,82 @@
+package egs
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func TestParallelAgreesOnVerdicts(t *testing.T) {
+	for _, src := range []string{trafficSrc, grandparentSrc, isomorphismSrc} {
+		seqTk := mustTask(t, src)
+		seq, err := Synthesize(context.Background(), seqTk, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parTk := mustTask(t, src)
+		par, err := SynthesizeParallel(context.Background(), parTk, Options{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Unsat != par.Unsat {
+			t.Fatalf("verdicts differ: seq=%v par=%v", seq.Unsat, par.Unsat)
+		}
+		if !par.Unsat {
+			if ok, why := parTk.Example().Consistent(par.Query); !ok {
+				t.Fatalf("parallel result inconsistent: %s", why)
+			}
+		}
+	}
+}
+
+func TestParallelSingleWorkerIsSequential(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	res, err := SynthesizeParallel(context.Background(), tk, Options{}, 1)
+	if err != nil || res.Unsat {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestParallelOnPlantedInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		tk, _ := plantedInstance(rng)
+		if len(tk.Pos) == 0 {
+			continue
+		}
+		if err := tk.Prepare(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := SynthesizeParallel(context.Background(), tk, Options{}, 3)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Unsat {
+			t.Fatalf("trial %d: realizable instance reported unsat", trial)
+		}
+		if ok, why := tk.Example().Consistent(res.Query); !ok {
+			t.Fatalf("trial %d: inconsistent: %s", trial, why)
+		}
+	}
+}
+
+func TestParallelBestEffort(t *testing.T) {
+	src := trafficSrc + "+Crashes(Ghost).\n"
+	tk := mustTask(t, src)
+	res, err := SynthesizeParallel(context.Background(), tk, Options{BestEffort: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat || len(res.Uncovered) != 1 {
+		t.Fatalf("unsat=%v uncovered=%d", res.Unsat, len(res.Uncovered))
+	}
+}
+
+func TestParallelCancellation(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SynthesizeParallel(ctx, tk, Options{}, 4); err == nil {
+		t.Fatal("cancelled parallel run returned no error")
+	}
+}

@@ -1,0 +1,68 @@
+package egs
+
+import "container/heap"
+
+// Priority selects the queue ordering of Section 4.3.
+type Priority uint8
+
+const (
+	// P2 orders contexts lexicographically by (score, -|C|): highest
+	// explanatory power per literal first, then smallest. This is the
+	// paper's default and the one used in its experiments.
+	P2 Priority = iota
+	// P1 orders contexts by ascending size only, guaranteeing the
+	// syntactically smallest solution.
+	P1
+)
+
+func (p Priority) String() string {
+	if p == P1 {
+		return "p1"
+	}
+	return "p2"
+}
+
+// ctxQueue is a max-first priority queue of enumeration contexts.
+type ctxQueue struct {
+	items []*ectx
+	prio  Priority
+}
+
+func newCtxQueue(p Priority) *ctxQueue {
+	q := &ctxQueue{prio: p}
+	heap.Init(q)
+	return q
+}
+
+func (q *ctxQueue) Len() int { return len(q.items) }
+
+// Less reports whether item i should be popped before item j.
+func (q *ctxQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.prio == P2 {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+	}
+	if a.size() != b.size() {
+		return a.size() < b.size()
+	}
+	return a.seq < b.seq
+}
+
+func (q *ctxQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *ctxQueue) Push(x any) { q.items = append(q.items, x.(*ectx)) }
+
+func (q *ctxQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *ctxQueue) push(c *ectx) { heap.Push(q, c) }
+
+func (q *ctxQueue) pop() *ectx { return heap.Pop(q).(*ectx) }

@@ -1,0 +1,240 @@
+// Package enumerative implements the naive syntax-guided baseline
+// sketched in Section 2.1 of the EGS paper: enumerate candidate
+// conjunctive queries in order of increasing size until one is
+// consistent with the examples.
+//
+// Two standard optimizations from the syntax-guided literature are
+// included so the baseline is honest rather than a strawman:
+//
+//   - canonical enumeration: candidates are generated modulo variable
+//     renaming and body order (the same machinery as package modes);
+//   - the indistinguishability optimization (TRANSIT, Udupa et al.):
+//     two candidates producing identical outputs on the given inputs
+//     are equivalent, so only the first representative of each output
+//     signature is retained as the search deepens.
+//
+// Unions are handled by the divide-and-conquer loop over unexplained
+// positive tuples. Like every syntax-guided tool, the enumerator
+// bounds its space (body size and variable count), so a fruitless
+// search yields Exhausted rather than an unrealizability proof.
+package enumerative
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// Synthesizer is the naive enumerative baseline.
+type Synthesizer struct {
+	// MaxSize bounds the number of body literals (default 6).
+	MaxSize int
+	// MaxVars bounds distinct variables per rule (default 8).
+	MaxVars int
+	// Indistinguishability enables output-signature pruning.
+	Indistinguishability bool
+}
+
+// Name implements synth.Synthesizer.
+func (s *Synthesizer) Name() string {
+	if s.Indistinguishability {
+		return "enumerative+indist"
+	}
+	return "enumerative"
+}
+
+// Synthesize implements synth.Synthesizer.
+func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Result, error) {
+	if err := t.Prepare(); err != nil {
+		return synth.Result{}, err
+	}
+	maxSize := s.MaxSize
+	if maxSize == 0 {
+		maxSize = 6
+	}
+	maxVars := s.MaxVars
+	if maxVars == 0 {
+		maxVars = 8
+	}
+	ex := t.Example()
+	unexplained := append([]relation.Tuple(nil), t.Pos...)
+	var rules []query.Rule
+	enumerated := 0
+	for len(unexplained) > 0 {
+		target := unexplained[0]
+		e := &enumerator{
+			ctx:     ctx,
+			t:       t,
+			ex:      ex,
+			target:  target,
+			maxVars: maxVars,
+			indist:  s.Indistinguishability,
+			sigSeen: make(map[string]bool),
+			canSeen: make(map[string]bool),
+		}
+		var found *query.Rule
+		for size := 1; size <= maxSize && found == nil; size++ {
+			r, ok, err := e.enumerate(size)
+			if err != nil {
+				return synth.Result{}, err
+			}
+			if ok {
+				found = &r
+			}
+		}
+		enumerated += e.count
+		if found == nil {
+			return synth.Result{Status: synth.Exhausted,
+				Detail: fmt.Sprintf("%d candidates enumerated", enumerated)}, nil
+		}
+		outs := eval.RuleOutputs(*found, ex.DB)
+		var still []relation.Tuple
+		for _, u := range unexplained {
+			if _, derived := outs[u.Key()]; !derived {
+				still = append(still, u)
+			}
+		}
+		unexplained = still
+		rules = append(rules, *found)
+	}
+	return synth.Result{
+		Status: synth.Sat,
+		Query:  query.UCQ{Rules: rules},
+		Detail: fmt.Sprintf("%d candidates enumerated", enumerated),
+	}, nil
+}
+
+type enumerator struct {
+	ctx     context.Context
+	t       *task.Task
+	ex      *task.Example
+	target  relation.Tuple
+	maxVars int
+	indist  bool
+	sigSeen map[string]bool
+	canSeen map[string]bool
+	count   int
+	steps   int
+}
+
+// enumerate searches all rules with exactly size body literals for
+// one that derives the target and no negative tuple.
+func (e *enumerator) enumerate(size int) (query.Rule, bool, error) {
+	schema := e.t.Schema
+	inputs := schema.Relations(relation.Input)
+	k := len(e.target.Args)
+	head := query.Literal{Rel: e.target.Rel, Args: make([]query.Term, k)}
+	for i := 0; i < k; i++ {
+		head.Args[i] = query.V(query.Var(i))
+	}
+	var body []query.Literal
+	var hit query.Rule
+	found := false
+
+	var rec func(minRelIdx, usedVars int) error
+	rec = func(minRelIdx, usedVars int) error {
+		e.steps++
+		if e.steps%1024 == 0 {
+			select {
+			case <-e.ctx.Done():
+				return e.ctx.Err()
+			default:
+			}
+		}
+		if found {
+			return nil
+		}
+		if len(body) == size {
+			return e.consider(head, body, &hit, &found)
+		}
+		for ri := minRelIdx; ri < len(inputs); ri++ {
+			rel := inputs[ri]
+			arity := schema.Arity(rel)
+			args := make([]query.Term, arity)
+			var argRec func(ai, used int) error
+			argRec = func(ai, used int) error {
+				if found {
+					return nil
+				}
+				if ai == arity {
+					body = append(body, query.Literal{Rel: rel, Args: append([]query.Term(nil), args...)})
+					err := rec(ri, used)
+					body = body[:len(body)-1]
+					return err
+				}
+				limit := used
+				if used < e.maxVars {
+					limit = used + 1
+				}
+				for v := 0; v < limit; v++ {
+					args[ai] = query.V(query.Var(v))
+					nu := used
+					if v == used {
+						nu = used + 1
+					}
+					if err := argRec(ai+1, nu); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := argRec(0, usedVars); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := rec(0, k)
+	return hit, found, err
+}
+
+// consider checks one candidate.
+func (e *enumerator) consider(head query.Literal, body []query.Literal, hit *query.Rule, found *bool) error {
+	r := query.Rule{Head: head, Body: append([]query.Literal(nil), body...)}
+	if r.Safe() != nil {
+		return nil
+	}
+	key := r.CanonicalKey()
+	if e.canSeen[key] {
+		return nil
+	}
+	e.canSeen[key] = true
+	e.count++
+
+	outs := eval.RuleOutputs(r, e.ex.DB)
+	if e.indist {
+		sig := outputSignature(outs)
+		if e.sigSeen[sig] {
+			return nil
+		}
+		e.sigSeen[sig] = true
+	}
+	if _, ok := outs[e.target.Key()]; !ok {
+		return nil
+	}
+	for _, o := range outs {
+		if e.ex.IsNegative(o) {
+			return nil
+		}
+	}
+	*hit = r
+	*found = true
+	return nil
+}
+
+// outputSignature canonically encodes a rule's output set.
+func outputSignature(outs map[string]relation.Tuple) string {
+	keys := make([]string, 0, len(outs))
+	for k := range outs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}

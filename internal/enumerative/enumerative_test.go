@@ -1,0 +1,137 @@
+package enumerative
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+func load(t *testing.T, src string) *task.Task {
+	t.Helper()
+	tk, err := task.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+const twoHopSrc = `
+task twohop
+closed-world true
+input edge(2)
+output out(2)
+edge(a, b).
+edge(b, c).
+edge(c, d).
++out(a, c).
++out(b, d).
+`
+
+func TestEnumerateTwoHop(t *testing.T) {
+	tk := load(t, twoHopSrc)
+	s := &Synthesizer{}
+	res, err := s.Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Sat {
+		t.Fatalf("status = %v (%s)", res.Status, res.Detail)
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s", why)
+	}
+	// Size-ordered enumeration finds the minimal 2-literal rule.
+	if got := res.Query.Rules[0].Size(); got != 2 {
+		t.Errorf("rule size = %d, want 2", got)
+	}
+}
+
+func TestIndistinguishabilityPrunesWork(t *testing.T) {
+	tkPlain := load(t, twoHopSrc)
+	plain, err := (&Synthesizer{}).Synthesize(context.Background(), tkPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkOpt := load(t, twoHopSrc)
+	opt, err := (&Synthesizer{Indistinguishability: true}).Synthesize(context.Background(), tkOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Status != synth.Sat || opt.Status != synth.Sat {
+		t.Fatal("both configurations should solve")
+	}
+	// Both count enumerated candidates in Detail; with pruning the
+	// count must not exceed the plain one.
+	if candidates(t, opt.Detail) > candidates(t, plain.Detail) {
+		t.Errorf("indistinguishability increased work: %q vs %q", opt.Detail, plain.Detail)
+	}
+}
+
+func candidates(t *testing.T, detail string) int {
+	t.Helper()
+	fields := strings.Fields(detail)
+	if len(fields) == 0 {
+		t.Fatalf("bad detail %q", detail)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		t.Fatalf("bad detail %q", detail)
+	}
+	return n
+}
+
+func TestExhaustedWithinBounds(t *testing.T) {
+	tk := load(t, twoHopSrc)
+	s := &Synthesizer{MaxSize: 1, MaxVars: 2}
+	res, err := s.Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Exhausted {
+		t.Fatalf("status = %v, want exhausted", res.Status)
+	}
+}
+
+func TestUnionDivideAndConquer(t *testing.T) {
+	src := `
+task u
+closed-world true
+input p(1)
+input q(1)
+output out(1)
+p(a).
+q(b).
++out(a).
++out(b).
+`
+	tk := load(t, src)
+	res, err := (&Synthesizer{Indistinguishability: true}).Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Sat || len(res.Query.Rules) != 2 {
+		t.Fatalf("status=%v rules=%d", res.Status, len(res.Query.Rules))
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	tk := load(t, twoHopSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Synthesizer{}).Synthesize(ctx, tk); err == nil {
+		t.Skip("solved before first cancellation check")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&Synthesizer{}).Name() != "enumerative" {
+		t.Error("plain name wrong")
+	}
+	if (&Synthesizer{Indistinguishability: true}).Name() != "enumerative+indist" {
+		t.Error("optimized name wrong")
+	}
+}

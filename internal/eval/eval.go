@@ -1,0 +1,274 @@
+// Package eval implements evaluation of conjunctive queries and
+// unions of conjunctive queries over an indexed database.
+//
+// It is the workhorse substrate of the reproduction: the EGS
+// synthesizer evaluates one candidate rule per enumeration context
+// (Section 4.3 of the paper), the baselines evaluate thousands of
+// candidate rules, and every synthesizer's output is re-checked for
+// consistency with the evaluator before being reported.
+//
+// The main evaluator performs a backtracking join: body literals are
+// greedily ordered so that literals with already-bound variables come
+// first, and candidate tuples for each literal are drawn from the
+// database's per-column indexes rather than by scanning extents. A
+// deliberately simple reference evaluator (EvalRuleNaive) is provided
+// for differential testing.
+package eval
+
+import (
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// Yield receives one derived head tuple. Returning false stops
+// evaluation early; derived tuples are deduplicated before being
+// yielded, so each distinct head tuple is reported exactly once.
+type Yield func(relation.Tuple) bool
+
+// EvalRule enumerates the distinct head tuples derivable from db by
+// rule r, invoking yield on each. Evaluation stops early if yield
+// returns false.
+func EvalRule(r query.Rule, db *relation.Database, yield Yield) {
+	e := newEvaluator(r, db)
+	e.run(yield)
+}
+
+// RuleOutputs returns the set of head tuples derivable by r, keyed by
+// Tuple.Key.
+func RuleOutputs(r query.Rule, db *relation.Database) map[string]relation.Tuple {
+	out := make(map[string]relation.Tuple)
+	EvalRule(r, db, func(t relation.Tuple) bool {
+		out[t.Key()] = t
+		return true
+	})
+	return out
+}
+
+// UCQOutputs returns the set of head tuples derivable by any rule of
+// q, keyed by Tuple.Key.
+func UCQOutputs(q query.UCQ, db *relation.Database) map[string]relation.Tuple {
+	out := make(map[string]relation.Tuple)
+	for _, r := range q.Rules {
+		EvalRule(r, db, func(t relation.Tuple) bool {
+			out[t.Key()] = t
+			return true
+		})
+	}
+	return out
+}
+
+// Derives reports whether rule r derives exactly the tuple t. The
+// head variables are pre-bound to t's constants, so this is usually
+// much cheaper than a full evaluation.
+func Derives(r query.Rule, db *relation.Database, t relation.Tuple) bool {
+	if r.Head.Rel != t.Rel || len(r.Head.Args) != len(t.Args) {
+		return false
+	}
+	e := newEvaluator(r, db)
+	// Pre-bind head arguments; fail fast on clashes with head
+	// constants or repeated head variables.
+	for i, arg := range r.Head.Args {
+		if arg.IsConst {
+			if arg.Const != t.Args[i] {
+				return false
+			}
+			continue
+		}
+		v := int(arg.Var)
+		if e.bound[v] && e.val[v] != t.Args[i] {
+			return false
+		}
+		e.bound[v] = true
+		e.val[v] = t.Args[i]
+	}
+	found := false
+	e.search(0, func(relation.Tuple) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// evaluator holds the mutable state of one backtracking join.
+type evaluator struct {
+	rule  query.Rule
+	db    *relation.Database
+	order []int // body literal evaluation order
+	val   []relation.Const
+	bound []bool
+	seen  map[string]bool // dedup of emitted head tuples
+}
+
+func newEvaluator(r query.Rule, db *relation.Database) *evaluator {
+	n := r.NumVars()
+	e := &evaluator{
+		rule:  r,
+		db:    db,
+		val:   make([]relation.Const, n),
+		bound: make([]bool, n),
+		seen:  make(map[string]bool),
+	}
+	e.order = planOrder(r, db)
+	return e
+}
+
+// planOrder greedily orders body literals: at each step pick the
+// literal with the most already-bound argument positions, breaking
+// ties by smaller relation extent. This keeps index lookups selective
+// without a full cost model.
+func planOrder(r query.Rule, db *relation.Database) []int {
+	n := len(r.Body)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	boundVars := make(map[query.Var]bool)
+	// Head constants do not bind variables; head variables are bound
+	// only in Derives, which re-plans implicitly via the same greedy
+	// rule (the order is computed without that knowledge, which is
+	// acceptable: selectivity still comes from the index lookups).
+	for len(order) < n {
+		best, bestBound, bestExtent := -1, -1, 0
+		for i, lit := range r.Body {
+			if used[i] {
+				continue
+			}
+			b := 0
+			for _, t := range lit.Args {
+				if t.IsConst || boundVars[t.Var] {
+					b++
+				}
+			}
+			ext := db.ExtentSize(lit.Rel)
+			if best == -1 || b > bestBound || (b == bestBound && ext < bestExtent) {
+				best, bestBound, bestExtent = i, b, ext
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, t := range r.Body[best].Args {
+			if !t.IsConst {
+				boundVars[t.Var] = true
+			}
+		}
+	}
+	return order
+}
+
+func (e *evaluator) run(yield Yield) {
+	e.search(0, yield)
+}
+
+// search extends the current partial valuation over body literals
+// order[i:]. It returns false when the caller asked to stop.
+func (e *evaluator) search(i int, yield Yield) bool {
+	if i == len(e.order) {
+		return e.emit(yield)
+	}
+	lit := e.rule.Body[e.order[i]]
+	for _, id := range e.candidates(lit) {
+		tup := e.db.Tuple(id)
+		newly, ok := e.match(lit, tup)
+		if !ok {
+			continue
+		}
+		cont := e.search(i+1, yield)
+		for _, v := range newly {
+			e.bound[v] = false
+		}
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates returns the tuple ids to try for the literal under the
+// current partial valuation, using the most selective single-column
+// index available, or the full extent when nothing is bound.
+func (e *evaluator) candidates(lit query.Literal) []relation.TupleID {
+	bestCol, bestConst := -1, relation.Const(0)
+	bestLen := -1
+	for col, t := range lit.Args {
+		var c relation.Const
+		switch {
+		case t.IsConst:
+			c = t.Const
+		case e.bound[t.Var]:
+			c = e.val[t.Var]
+		default:
+			continue
+		}
+		l := len(e.db.AtColumn(lit.Rel, col, c))
+		if bestLen == -1 || l < bestLen {
+			bestCol, bestConst, bestLen = col, c, l
+		}
+	}
+	if bestCol == -1 {
+		return e.db.Extent(lit.Rel)
+	}
+	return e.db.AtColumn(lit.Rel, bestCol, bestConst)
+}
+
+// match unifies the literal's arguments with the tuple under the
+// current valuation. On success it returns the variables newly bound
+// (so the caller can undo them) and true; on failure it undoes its own
+// bindings and returns false.
+func (e *evaluator) match(lit query.Literal, tup relation.Tuple) ([]query.Var, bool) {
+	if len(lit.Args) != len(tup.Args) {
+		return nil, false
+	}
+	var newly []query.Var
+	for i, t := range lit.Args {
+		c := tup.Args[i]
+		if t.IsConst {
+			if t.Const != c {
+				e.undo(newly)
+				return nil, false
+			}
+			continue
+		}
+		v := int(t.Var)
+		if e.bound[v] {
+			if e.val[v] != c {
+				e.undo(newly)
+				return nil, false
+			}
+			continue
+		}
+		e.bound[v] = true
+		e.val[v] = c
+		newly = append(newly, t.Var)
+	}
+	return newly, true
+}
+
+func (e *evaluator) undo(vars []query.Var) {
+	for _, v := range vars {
+		e.bound[v] = false
+	}
+}
+
+// emit projects the current valuation onto the head and yields the
+// resulting tuple if it has not been produced before.
+func (e *evaluator) emit(yield Yield) bool {
+	args := make([]relation.Const, len(e.rule.Head.Args))
+	for i, t := range e.rule.Head.Args {
+		if t.IsConst {
+			args[i] = t.Const
+			continue
+		}
+		if !e.bound[t.Var] {
+			// Unsafe rule: a head variable is not bound by the body.
+			// Such rules derive nothing (they are rejected earlier by
+			// Rule.Safe; this is a defensive guard).
+			return true
+		}
+		args[i] = e.val[t.Var]
+	}
+	t := relation.Tuple{Rel: e.rule.Head.Rel, Args: args}
+	k := t.Key()
+	if e.seen[k] {
+		return true
+	}
+	e.seen[k] = true
+	return yield(t)
+}

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// FixpointUCQ evaluates a possibly-recursive Datalog program: rules
+// whose bodies may mention output (intensional) relations, including
+// the rule's own head relation. It computes the least fixpoint by
+// semi-naive iteration: each round re-derives only instantiations
+// that use at least one tuple discovered in the previous round.
+//
+// The EGS synthesizer itself targets the non-recursive UCQ fragment
+// (the paper lists recursion as future work), but the evaluator
+// substrate supports recursion so that synthesized programs can be
+// composed with hand-written recursive rules — e.g. closing a learned
+// edge relation transitively — and as groundwork for a recursive
+// synthesizer.
+//
+// The input database is not modified; the result contains the
+// derived intensional tuples only, keyed by Tuple.Key.
+func FixpointUCQ(q query.UCQ, db *relation.Database) (map[string]relation.Tuple, error) {
+	// Validate: body literals must be declared; heads must not be
+	// input relations (that would amount to mutating the EDB).
+	for i, r := range q.Rules {
+		if db.Schema.Info(r.Head.Rel).Kind == relation.Input {
+			return nil, fmt.Errorf("eval: rule %d derives into input relation %s",
+				i, db.Schema.Name(r.Head.Rel))
+		}
+		if err := r.Safe(); err != nil {
+			return nil, fmt.Errorf("eval: rule %d: %w", i, err)
+		}
+	}
+	// Working database: a copy of db extended with derived tuples.
+	// Copying keeps FixpointUCQ free of side effects on the input.
+	work := relation.NewDatabase(db.Schema, db.Domain)
+	for _, t := range db.All() {
+		work.Insert(t)
+	}
+	derived := make(map[string]relation.Tuple)
+
+	// Naive first round: evaluate every rule against the base facts.
+	frontier := make(map[string]relation.Tuple)
+	for _, r := range q.Rules {
+		EvalRule(r, work, func(t relation.Tuple) bool {
+			k := t.Key()
+			if _, ok := derived[k]; !ok && !containsTuple(db, t) {
+				derived[k] = t
+				frontier[k] = t
+			}
+			return true
+		})
+	}
+	for _, t := range frontier {
+		work.Insert(t)
+	}
+
+	// Semi-naive rounds: a rule can produce a new tuple only if some
+	// body literal matches a frontier tuple. We approximate the
+	// delta-rule optimization at the relation level: re-evaluate a
+	// rule only if its body mentions a relation that gained tuples
+	// in the previous round.
+	for len(frontier) > 0 {
+		grew := map[relation.RelID]bool{}
+		for _, t := range frontier {
+			grew[t.Rel] = true
+		}
+		next := make(map[string]relation.Tuple)
+		for _, r := range q.Rules {
+			relevant := false
+			for _, lit := range r.Body {
+				if grew[lit.Rel] {
+					relevant = true
+					break
+				}
+			}
+			if !relevant {
+				continue
+			}
+			EvalRule(r, work, func(t relation.Tuple) bool {
+				k := t.Key()
+				if _, ok := derived[k]; !ok && !containsTuple(db, t) {
+					derived[k] = t
+					next[k] = t
+				}
+				return true
+			})
+		}
+		for _, t := range next {
+			work.Insert(t)
+		}
+		frontier = next
+	}
+	return derived, nil
+}
+
+func containsTuple(db *relation.Database, t relation.Tuple) bool {
+	return db.Contains(t)
+}
+
+// TransitiveClosureRules builds the textbook recursive program
+//
+//	closure(x, y) :- base(x, y).
+//	closure(x, y) :- closure(x, z), base(z, y).
+//
+// over the given relations, as a convenience for composing a
+// synthesized edge relation with its transitive closure.
+func TransitiveClosureRules(base, closure relation.RelID) query.UCQ {
+	x, y, z := query.V(0), query.V(1), query.V(2)
+	return query.UCQ{Rules: []query.Rule{
+		{
+			Head: query.Literal{Rel: closure, Args: []query.Term{x, y}},
+			Body: []query.Literal{{Rel: base, Args: []query.Term{x, y}}},
+		},
+		{
+			Head: query.Literal{Rel: closure, Args: []query.Term{x, y}},
+			Body: []query.Literal{
+				{Rel: closure, Args: []query.Term{x, z}},
+				{Rel: base, Args: []query.Term{z, y}},
+			},
+		},
+	}}
+}

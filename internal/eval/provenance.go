@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// Derivation is a why-provenance witness: one rule instantiation
+// deriving a tuple (Section 3.1 of the paper). Valuation maps the
+// rule's variables to constants; Witnesses lists the input tuples
+// matched by each body literal, in body order.
+type Derivation struct {
+	Rule      query.Rule
+	Valuation map[query.Var]relation.Const
+	Witnesses []relation.Tuple
+}
+
+// Why returns a why-provenance witness for rule r deriving tuple t,
+// or ok=false when r does not derive t. When several derivations
+// exist, one is returned deterministically (the first in the
+// evaluator's search order).
+//
+// This is the provenance primitive underlying the ProSynth-style
+// baseline, exposed for explanation UIs: given a synthesized program
+// and a derived tuple, Why reports the facts that justify it.
+func Why(r query.Rule, db *relation.Database, t relation.Tuple) (Derivation, bool) {
+	if r.Head.Rel != t.Rel || len(r.Head.Args) != len(t.Args) {
+		return Derivation{}, false
+	}
+	w := &whySearch{
+		rule:  r,
+		db:    db,
+		val:   make([]relation.Const, r.NumVars()),
+		bound: make([]bool, r.NumVars()),
+		chose: make([]relation.Tuple, len(r.Body)),
+		order: planOrder(r, db),
+	}
+	// Pre-bind the head to the target tuple.
+	for i, arg := range r.Head.Args {
+		if arg.IsConst {
+			if arg.Const != t.Args[i] {
+				return Derivation{}, false
+			}
+			continue
+		}
+		v := int(arg.Var)
+		if w.bound[v] && w.val[v] != t.Args[i] {
+			return Derivation{}, false
+		}
+		w.bound[v] = true
+		w.val[v] = t.Args[i]
+	}
+	if !w.solve(0) {
+		return Derivation{}, false
+	}
+	d := Derivation{
+		Rule:      r.Clone(),
+		Valuation: make(map[query.Var]relation.Const),
+		Witnesses: append([]relation.Tuple(nil), w.chose...),
+	}
+	for v := 0; v < len(w.val); v++ {
+		if w.bound[v] {
+			d.Valuation[query.Var(v)] = w.val[v]
+		}
+	}
+	return d, true
+}
+
+// WhyUCQ returns a witness from the first rule of q that derives t.
+func WhyUCQ(q query.UCQ, db *relation.Database, t relation.Tuple) (Derivation, bool) {
+	for _, r := range q.Rules {
+		if d, ok := Why(r, db, t); ok {
+			return d, true
+		}
+	}
+	return Derivation{}, false
+}
+
+// whySearch is a backtracking join that records, per body literal,
+// the witness tuple chosen on the satisfying path.
+type whySearch struct {
+	rule  query.Rule
+	db    *relation.Database
+	order []int
+	val   []relation.Const
+	bound []bool
+	chose []relation.Tuple
+}
+
+func (w *whySearch) solve(i int) bool {
+	if i == len(w.order) {
+		return true
+	}
+	litIdx := w.order[i]
+	lit := w.rule.Body[litIdx]
+	for _, id := range w.candidates(lit) {
+		tup := w.db.Tuple(id)
+		newly, ok := w.match(lit, tup)
+		if !ok {
+			continue
+		}
+		w.chose[litIdx] = tup
+		if w.solve(i + 1) {
+			return true
+		}
+		for _, v := range newly {
+			w.bound[v] = false
+		}
+	}
+	return false
+}
+
+func (w *whySearch) candidates(lit query.Literal) []relation.TupleID {
+	bestCol, bestConst := -1, relation.Const(0)
+	bestLen := -1
+	for col, t := range lit.Args {
+		var c relation.Const
+		switch {
+		case t.IsConst:
+			c = t.Const
+		case w.bound[t.Var]:
+			c = w.val[t.Var]
+		default:
+			continue
+		}
+		l := len(w.db.AtColumn(lit.Rel, col, c))
+		if bestLen == -1 || l < bestLen {
+			bestCol, bestConst, bestLen = col, c, l
+		}
+	}
+	if bestCol == -1 {
+		return w.db.Extent(lit.Rel)
+	}
+	return w.db.AtColumn(lit.Rel, bestCol, bestConst)
+}
+
+func (w *whySearch) match(lit query.Literal, tup relation.Tuple) ([]query.Var, bool) {
+	if len(lit.Args) != len(tup.Args) {
+		return nil, false
+	}
+	var newly []query.Var
+	for i, t := range lit.Args {
+		c := tup.Args[i]
+		if t.IsConst {
+			if t.Const != c {
+				for _, v := range newly {
+					w.bound[v] = false
+				}
+				return nil, false
+			}
+			continue
+		}
+		v := int(t.Var)
+		if w.bound[v] {
+			if w.val[v] != c {
+				for _, u := range newly {
+					w.bound[u] = false
+				}
+				return nil, false
+			}
+			continue
+		}
+		w.bound[v] = true
+		w.val[v] = c
+		newly = append(newly, t.Var)
+	}
+	return newly, true
+}

@@ -1,0 +1,246 @@
+// Package ilasp re-implements the constraint-solving baseline of the
+// EGS evaluation (Section 6.2): an ILASP-style learner that phrases
+// hypothesis selection over a mode-bounded candidate-rule space as a
+// constraint problem.
+//
+// The original ILASP compiles the learning task to answer-set
+// programming and delegates to clingo. For the paper's fragment —
+// non-recursive unions of conjunctive queries — the encoding
+// simplifies without loss of behaviour:
+//
+//  1. generate every candidate rule permitted by the mode
+//     declarations (package modes);
+//  2. evaluate each candidate once; a rule deriving any negative
+//     tuple can never be part of a hypothesis (hard exclusion,
+//     because unions are monotone);
+//  3. select a minimal set of remaining rules covering every
+//     positive tuple, solved with the SAT substrate (package sat)
+//     using coverage clauses and a descending cardinality bound.
+//
+// Like ILASP, this baseline searches a *finite* space: when no
+// hypothesis exists within the modes it reports Exhausted, which —
+// as the paper emphasizes in Section 6.5 — does not prove
+// unrealizability.
+package ilasp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/modes"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/sat"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// ModeSource selects where the mode declarations come from,
+// mirroring the paper's two configurations.
+type ModeSource uint8
+
+const (
+	// TaskSpecific uses the task's minimal mode declaration (the
+	// paper's "L" rule sets).
+	TaskSpecific ModeSource = iota
+	// TaskAgnostic uses the uniform declaration: every relation up
+	// to 3 occurrences, up to 10 variables (the paper's "F" sets).
+	TaskAgnostic
+)
+
+// Synthesizer is the ILASP-style baseline.
+type Synthesizer struct {
+	Source ModeSource
+	// RuleCap bounds candidate generation as a safety valve
+	// (0 = unlimited; generation is still bounded by the context
+	// deadline, as the paper's enumerator was by its timeout).
+	RuleCap int
+}
+
+// Name implements synth.Synthesizer.
+func (s *Synthesizer) Name() string {
+	if s.Source == TaskAgnostic {
+		return "ilasp-F"
+	}
+	return "ilasp-L"
+}
+
+// ModesFor resolves the mode declaration for a task under the given
+// source, falling back to task-agnostic modes when the task carries
+// none.
+func ModesFor(t *task.Task, src ModeSource) *task.ModeSpec {
+	if src == TaskSpecific && t.Modes != nil {
+		return t.Modes
+	}
+	return modes.AgnosticModes(t)
+}
+
+// Synthesize implements synth.Synthesizer.
+func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Result, error) {
+	if err := t.Prepare(); err != nil {
+		return synth.Result{}, err
+	}
+	spec := ModesFor(t, s.Source)
+	gen := modes.Generate(ctx, t, spec, s.RuleCap)
+	if gen.Truncated {
+		if err := ctx.Err(); err != nil {
+			return synth.Result{}, err
+		}
+		return synth.Result{}, fmt.Errorf("ilasp: candidate rule cap %d exceeded", s.RuleCap)
+	}
+	modes.SortRules(gen.Rules)
+
+	sel, status, err := SelectMinimal(ctx, t, gen.Rules)
+	if err != nil {
+		return synth.Result{}, err
+	}
+	detail := fmt.Sprintf("%d candidate rules", len(gen.Rules))
+	if status != synth.Sat {
+		return synth.Result{Status: status, Detail: detail}, nil
+	}
+	return synth.Result{Status: synth.Sat, Query: query.UCQ{Rules: sel}, Detail: detail}, nil
+}
+
+// SelectMinimal picks a minimum-cardinality subset of the candidate
+// rules that covers every positive tuple and derives no negative
+// tuple, via SAT with a descending at-most bound. It returns
+// Exhausted when the space contains no consistent hypothesis.
+func SelectMinimal(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.Rule, synth.Status, error) {
+	ex := t.Example()
+	allowed, derivers, err := EvaluateCandidates(ctx, ex, t.Pos, candidates)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Coverage feasibility check.
+	for pi := range t.Pos {
+		if len(derivers[pi]) == 0 {
+			return nil, synth.Exhausted, nil
+		}
+	}
+	// Feasible upper bound: a greedy set cover. Starting the
+	// cardinality descent from this small bound keeps the
+	// sequential-counter encodings tiny (the bound is typically a
+	// handful of rules, versus thousands of candidates).
+	greedy := greedyCover(t.Pos, derivers)
+	best := len(greedy)
+	bestRules := make([]query.Rule, 0, best)
+	for _, ri := range greedy {
+		bestRules = append(bestRules, candidates[ri])
+	}
+	for bound := best - 1; bound >= 1; bound-- {
+		var solver sat.Solver
+		vars := make(map[int]sat.Lit, len(allowed))
+		var all []sat.Lit
+		for _, ri := range allowed {
+			l := sat.Lit(solver.NewVar())
+			vars[ri] = l
+			all = append(all, l)
+		}
+		for pi := range t.Pos {
+			lits := make([]sat.Lit, 0, len(derivers[pi]))
+			for _, ri := range derivers[pi] {
+				lits = append(lits, vars[ri])
+			}
+			solver.AddAtLeastOne(lits)
+		}
+		solver.AddAtMost(all, bound)
+		model, ok, err := solver.Solve(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		var chosen []query.Rule
+		for _, ri := range allowed {
+			if model.Lit(vars[ri]) {
+				chosen = append(chosen, candidates[ri])
+			}
+		}
+		best = len(chosen)
+		bestRules = chosen
+		if best <= bound {
+			bound = best // skip straight below the achieved size
+		}
+	}
+	return bestRules, synth.Sat, nil
+}
+
+// greedyCover picks rules covering all positives by repeatedly
+// choosing the rule deriving the most still-uncovered tuples. All
+// positives are coverable (checked by the caller).
+func greedyCover(pos []relation.Tuple, derivers [][]int) []int {
+	covered := make([]bool, len(pos))
+	remaining := len(pos)
+	// coverage[ri] = positive indices derived by rule ri.
+	coverage := map[int][]int{}
+	for pi, ds := range derivers {
+		for _, ri := range ds {
+			coverage[ri] = append(coverage[ri], pi)
+		}
+	}
+	var chosen []int
+	for remaining > 0 {
+		bestRule, bestGain := -1, 0
+		for ri, ps := range coverage {
+			gain := 0
+			for _, pi := range ps {
+				if !covered[pi] {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && bestRule != -1 && ri < bestRule) {
+				bestRule, bestGain = ri, gain
+			}
+		}
+		if bestRule < 0 || bestGain == 0 {
+			break // unreachable: caller verified coverage
+		}
+		chosen = append(chosen, bestRule)
+		for _, pi := range coverage[bestRule] {
+			if !covered[pi] {
+				covered[pi] = true
+				remaining--
+			}
+		}
+		delete(coverage, bestRule)
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// EvaluateCandidates evaluates every candidate rule once, returning
+// the indices of rules that derive no negative tuple (allowed) and,
+// for each positive tuple, the allowed rules deriving it.
+func EvaluateCandidates(ctx context.Context, ex *task.Example, pos []relation.Tuple, candidates []query.Rule) (allowed []int, derivers [][]int, err error) {
+	derivers = make([][]int, len(pos))
+	for ri, r := range candidates {
+		if ri%32 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			default:
+			}
+		}
+		outs := eval.RuleOutputs(r, ex.DB)
+		bad := false
+		for _, o := range outs {
+			if ex.IsNegative(o) {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		allowed = append(allowed, ri)
+		for pi, p := range pos {
+			if _, okd := outs[p.Key()]; okd {
+				derivers[pi] = append(derivers[pi], ri)
+			}
+		}
+	}
+	return allowed, derivers, nil
+}

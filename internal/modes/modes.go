@@ -1,0 +1,194 @@
+// Package modes implements mode declarations and candidate-rule
+// generation in the style of ILASP (Section 6.2 of the EGS paper).
+//
+// A mode declaration bounds the hypothesis space of the
+// syntax-guided baselines: for each input relation, the maximum
+// number of times it may occur in a rule body, and the maximum number
+// of distinct variables per rule. The generator enumerates every safe
+// conjunctive query within those bounds, modulo variable renaming and
+// body-literal order.
+//
+// The paper evaluates ILASP and ProSynth with two rule sets per task:
+// a task-specific set recovered from the intended program's minimal
+// modes, and a task-agnostic set (every relation up to 3 occurrences,
+// up to 10 distinct variables). The task-agnostic spaces are often
+// astronomically large — the paper's rule enumerator timed out on 31
+// of 79 benchmarks — so Generate accepts a context and a hard cap and
+// reports truncation, which the benchmark harness surfaces as a
+// timeout exactly like the paper does.
+package modes
+
+import (
+	"context"
+	"sort"
+
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// AgnosticModes returns the paper's task-agnostic mode declaration
+// for a task: every input relation may occur up to 3 times and rules
+// may use up to 10 distinct variables (Section 6.2).
+func AgnosticModes(t *task.Task) *task.ModeSpec {
+	m := &task.ModeSpec{MaxVars: 10, Occurrences: make(map[string]int)}
+	for _, rel := range t.Schema.Relations(relation.Input) {
+		m.Occurrences[t.Schema.Name(rel)] = 3
+	}
+	return m
+}
+
+// Result is the outcome of candidate-rule generation.
+type Result struct {
+	Rules []query.Rule
+	// Truncated reports that the cap or deadline was hit before the
+	// space was exhausted; the rule set is incomplete.
+	Truncated bool
+}
+
+// Generate enumerates the candidate rules for every output relation
+// of the task under the given mode declaration. Rules are
+// deduplicated up to variable renaming and body order. Generation
+// stops early — with Truncated set — when cap rules have been
+// produced (cap <= 0 means unlimited) or ctx is done.
+func Generate(ctx context.Context, t *task.Task, m *task.ModeSpec, cap int) Result {
+	g := &generator{
+		ctx:    ctx,
+		schema: t.Schema,
+		m:      m,
+		cap:    cap,
+		seen:   make(map[string]bool),
+	}
+	// Deterministic relation order.
+	for _, rel := range t.Schema.Relations(relation.Input) {
+		if m.Occurrences[t.Schema.Name(rel)] > 0 {
+			g.rels = append(g.rels, rel)
+		}
+	}
+	for _, out := range t.OutputRelations() {
+		if !g.generateFor(out) {
+			return Result{Rules: g.rules, Truncated: true}
+		}
+	}
+	return Result{Rules: g.rules}
+}
+
+type generator struct {
+	ctx    context.Context
+	schema *relation.Schema
+	m      *task.ModeSpec
+	rels   []relation.RelID
+	cap    int
+	rules  []query.Rule
+	seen   map[string]bool
+	steps  int
+}
+
+// generateFor enumerates rules with head out(v0, ..., v_{k-1}).
+// It returns false if generation was truncated.
+func (g *generator) generateFor(out relation.RelID) bool {
+	k := g.schema.Arity(out)
+	if k > g.m.MaxVars {
+		return true // no rule can bind that many head variables
+	}
+	head := query.Literal{Rel: out, Args: make([]query.Term, k)}
+	for i := 0; i < k; i++ {
+		head.Args[i] = query.V(query.Var(i))
+	}
+	occ := make(map[relation.RelID]int)
+	maxBody := 0
+	for _, r := range g.rels {
+		maxBody += g.m.Occurrences[g.schema.Name(r)]
+	}
+	var body []query.Literal
+	var rec func(minRelIdx, usedVars int) bool
+	rec = func(minRelIdx, usedVars int) bool {
+		g.steps++
+		if g.steps%1024 == 0 {
+			select {
+			case <-g.ctx.Done():
+				return false
+			default:
+			}
+		}
+		if len(body) > 0 {
+			if !g.emit(head, body) {
+				return false
+			}
+		}
+		if len(body) == maxBody {
+			return true
+		}
+		// Append one more literal; relations in nondecreasing order to
+		// curb permutation duplicates (canonical dedup removes the rest).
+		for ri := minRelIdx; ri < len(g.rels); ri++ {
+			rel := g.rels[ri]
+			if occ[rel] >= g.m.Occurrences[g.schema.Name(rel)] {
+				continue
+			}
+			occ[rel]++
+			arity := g.schema.Arity(rel)
+			args := make([]query.Term, arity)
+			var argRec func(ai, used int) bool
+			argRec = func(ai, used int) bool {
+				if ai == arity {
+					body = append(body, query.Literal{Rel: rel, Args: append([]query.Term(nil), args...)})
+					ok := rec(ri, used)
+					body = body[:len(body)-1]
+					return ok
+				}
+				// A variable is either an existing one (0..used-1) or
+				// the next fresh index, bounded by MaxVars.
+				limit := used
+				if used < g.m.MaxVars {
+					limit = used + 1
+				}
+				for v := 0; v < limit; v++ {
+					args[ai] = query.V(query.Var(v))
+					nu := used
+					if v == used {
+						nu = used + 1
+					}
+					if !argRec(ai+1, nu) {
+						return false
+					}
+				}
+				return true
+			}
+			ok := argRec(0, usedVars)
+			occ[rel]--
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, k)
+}
+
+// emit records a candidate rule if it is safe and new. It returns
+// false when the cap was reached.
+func (g *generator) emit(head query.Literal, body []query.Literal) bool {
+	r := query.Rule{Head: head, Body: append([]query.Literal(nil), body...)}
+	if r.Safe() != nil {
+		return true
+	}
+	key := r.CanonicalKey()
+	if g.seen[key] {
+		return true
+	}
+	g.seen[key] = true
+	g.rules = append(g.rules, r.Clone())
+	return g.cap <= 0 || len(g.rules) < g.cap
+}
+
+// SortRules orders rules by size then canonical key, giving the
+// baselines a deterministic search order.
+func SortRules(rules []query.Rule) {
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Size() != rules[j].Size() {
+			return rules[i].Size() < rules[j].Size()
+		}
+		return rules[i].CanonicalKey() < rules[j].CanonicalKey()
+	})
+}

@@ -1,0 +1,178 @@
+package modes
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+const miniSrc = `
+task mini
+closed-world true
+input edge(2)
+output out(1)
+edge(a, b).
++out(a).
+`
+
+func miniTask(t *testing.T) *task.Task {
+	t.Helper()
+	tk, err := task.Parse(strings.NewReader(miniSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+func TestGenerateSmallSpace(t *testing.T) {
+	tk := miniTask(t)
+	m := &task.ModeSpec{MaxVars: 2, Occurrences: map[string]int{"edge": 1}}
+	res := Generate(context.Background(), tk, m, 0)
+	if res.Truncated {
+		t.Fatal("tiny space truncated")
+	}
+	// Head out(x); bodies with one edge literal over <=2 vars:
+	// edge(x,x), edge(x,y), edge(y,x), edge(y,y)... edge(y,y) is
+	// unsafe (x missing). So 3 rules.
+	if len(res.Rules) != 3 {
+		var got []string
+		for _, r := range res.Rules {
+			got = append(got, r.String(tk.Schema, tk.Domain))
+		}
+		t.Fatalf("generated %d rules, want 3:\n%s", len(res.Rules), strings.Join(got, "\n"))
+	}
+	for _, r := range res.Rules {
+		if err := r.Validate(tk.Schema); err != nil {
+			t.Errorf("invalid rule %s: %v", r.String(tk.Schema, tk.Domain), err)
+		}
+	}
+}
+
+func TestGenerateTwoOccurrences(t *testing.T) {
+	tk := miniTask(t)
+	m := &task.ModeSpec{MaxVars: 3, Occurrences: map[string]int{"edge": 2}}
+	res := Generate(context.Background(), tk, m, 0)
+	if res.Truncated {
+		t.Fatal("space truncated")
+	}
+	// Must include the two-hop pattern out(x) :- edge(x,y), edge(y,z).
+	found := false
+	for _, r := range res.Rules {
+		if r.Size() == 2 && strings.Contains(r.String(tk.Schema, tk.Domain), "edge(x, y), edge(y, z)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("two-hop rule missing from generated space")
+	}
+	// All rules distinct up to renaming.
+	seen := map[string]bool{}
+	for _, r := range res.Rules {
+		k := r.CanonicalKey()
+		if seen[k] {
+			t.Errorf("duplicate rule %s", r.String(tk.Schema, tk.Domain))
+		}
+		seen[k] = true
+	}
+}
+
+func TestGenerateRespectsCap(t *testing.T) {
+	tk := miniTask(t)
+	m := &task.ModeSpec{MaxVars: 5, Occurrences: map[string]int{"edge": 3}}
+	res := Generate(context.Background(), tk, m, 10)
+	if !res.Truncated {
+		t.Error("cap not reported as truncation")
+	}
+	if len(res.Rules) != 10 {
+		t.Errorf("got %d rules, want 10", len(res.Rules))
+	}
+}
+
+func TestGenerateRespectsDeadline(t *testing.T) {
+	tk := miniTask(t)
+	m := AgnosticModes(tk)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res := Generate(ctx, tk, m, 0)
+	// edge up to 3 times with 10 vars: the space is enormous; the
+	// deadline must fire and truncation be reported.
+	if !res.Truncated {
+		t.Skipf("agnostic space unexpectedly exhausted with %d rules", len(res.Rules))
+	}
+}
+
+func TestAgnosticModes(t *testing.T) {
+	tk := miniTask(t)
+	m := AgnosticModes(tk)
+	if m.MaxVars != 10 || m.Occurrences["edge"] != 3 {
+		t.Errorf("agnostic modes = %+v", m)
+	}
+}
+
+func TestSortRulesDeterministic(t *testing.T) {
+	tk := miniTask(t)
+	m := &task.ModeSpec{MaxVars: 3, Occurrences: map[string]int{"edge": 2}}
+	a := Generate(context.Background(), tk, m, 0).Rules
+	b := Generate(context.Background(), tk, m, 0).Rules
+	SortRules(a)
+	SortRules(b)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic generation size")
+	}
+	for i := range a {
+		if a[i].CanonicalKey() != b[i].CanonicalKey() {
+			t.Fatal("nondeterministic order")
+		}
+	}
+	for i := 0; i+1 < len(a); i++ {
+		if a[i].Size() > a[i+1].Size() {
+			t.Fatal("not sorted by size")
+		}
+	}
+}
+
+func TestGenerateSafetyAndBounds(t *testing.T) {
+	tk := miniTask(t)
+	m := &task.ModeSpec{MaxVars: 2, Occurrences: map[string]int{"edge": 2}}
+	res := Generate(context.Background(), tk, m, 0)
+	for _, r := range res.Rules {
+		if r.NumVars() > 2 {
+			t.Errorf("rule exceeds maxv: %s", r.String(tk.Schema, tk.Domain))
+		}
+		if r.Size() > 2 {
+			t.Errorf("rule exceeds occurrence bound: %s", r.String(tk.Schema, tk.Domain))
+		}
+		if err := r.Safe(); err != nil {
+			t.Errorf("unsafe rule generated: %s", r.String(tk.Schema, tk.Domain))
+		}
+	}
+}
+
+func TestGenerateMultipleOutputs(t *testing.T) {
+	src := `
+task multi
+closed-world true
+input p(1)
+output a(1)
+output b(1)
+p(x1).
++a(x1).
++b(x1).
+`
+	tk, err := task.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &task.ModeSpec{MaxVars: 1, Occurrences: map[string]int{"p": 1}}
+	res := Generate(context.Background(), tk, m, 0)
+	heads := map[string]bool{}
+	for _, r := range res.Rules {
+		heads[tk.Schema.Name(r.Head.Rel)] = true
+	}
+	if !heads["a"] || !heads["b"] {
+		t.Errorf("heads covered: %v", heads)
+	}
+}

@@ -1,0 +1,88 @@
+package parser
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// FuzzTokenize checks the lexer never panics and always terminates,
+// returning either tokens ending in EOF or an error.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"path(x, y) :- edge(x, z), edge(z, y).",
+		`p("Wall St", 3.5).`,
+		"# comment\nq(a).",
+		`broken(":-"`,
+		"p(x) :",
+		`s("\n\t\"")`,
+		"¬odd(x).",
+		"p(-5).",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream does not end in EOF: %v", toks)
+		}
+	})
+}
+
+// FuzzParseRule checks that any rule the parser accepts survives a
+// print/re-parse round trip with its structure intact.
+func FuzzParseRule(f *testing.F) {
+	for _, seed := range []string{
+		"path(x, y) :- edge(x, z), edge(z, y).",
+		"path(x, x) :- color(x).",
+		"path(x, y) :- edge(x, y), color(x), color(y).",
+		"path(Broadway, x) :- edge(Broadway, x).",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s := relation.NewSchema()
+		d := relation.NewDomain()
+		s.MustDeclare("edge", 2, relation.Input)
+		s.MustDeclare("color", 1, relation.Input)
+		s.MustDeclare("path", 2, relation.Output)
+		r1, err := ParseRule(src, s, d)
+		if err != nil {
+			return
+		}
+		printed := r1.String(s, d)
+		r2, err := ParseRule(printed, s, d)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %q: %v", printed, err)
+		}
+		if !r1.EquivalentTo(r2) {
+			t.Fatalf("round trip changed the rule: %q -> %q", src, printed)
+		}
+	})
+}
+
+// FuzzParseGroundAtom checks atom parsing never panics and accepted
+// atoms have nonempty relation names and arguments.
+func FuzzParseGroundAtom(f *testing.F) {
+	for _, seed := range []string{
+		"edge(a, b).",
+		`Intersects(Broadway, "Wall St")`,
+		"p(1, 2, 3).",
+		"p()",
+		"p(,)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rel, args, err := ParseGroundAtom(src)
+		if err != nil {
+			return
+		}
+		if rel == "" || len(args) == 0 {
+			t.Fatalf("accepted malformed atom: rel=%q args=%v from %q", rel, args, src)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+// Package parser implements the surface syntax of the reproduction:
+// a Datalog-style notation for facts and rules, plus helpers used by
+// the line-oriented task-file loader (package task).
+//
+// Conventions, following the paper's notation:
+//
+//   - relation names and constants are identifiers, numbers, or
+//     quoted strings ("Liberty St");
+//   - within rule bodies and heads, lowercase identifiers are
+//     variables (x, y, z, v4, ...), while uppercase identifiers,
+//     numbers, and quoted strings are constants;
+//   - facts are ground: every argument is a constant regardless of
+//     capitalization;
+//   - ":-" separates a head from its body; "," separates literals and
+//     arguments; "." terminates a clause; "#" and "//" start comments.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokLParen
+	TokRParen
+	TokComma
+	TokPeriod
+	TokTurnstile // :-
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokPeriod:
+		return "'.'"
+	case TokTurnstile:
+		return "':-'"
+	default:
+		return fmt.Sprintf("TokKind(%d)", uint8(k))
+	}
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// SyntaxError describes a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at %s: %s", e.Pos, e.Msg)
+}
+
+func errAt(p Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer tokenizes an input string.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == -1:
+			return
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '#':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "//"):
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '¬'
+}
+
+func isIdentCont(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '\''
+}
+
+// Next returns the next token. After EOF it keeps returning EOF.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	r := l.peek()
+	switch {
+	case r == -1:
+		return Token{Kind: TokEOF, Pos: start}, nil
+	case r == '(':
+		l.advance()
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case r == ')':
+		l.advance()
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case r == ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case r == '.':
+		l.advance()
+		return Token{Kind: TokPeriod, Text: ".", Pos: start}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return Token{}, errAt(start, "expected ':-' but found ':%c'", l.peek())
+		}
+		l.advance()
+		return Token{Kind: TokTurnstile, Text: ":-", Pos: start}, nil
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			c := l.advance()
+			switch c {
+			case -1, '\n':
+				return Token{}, errAt(start, "unterminated string literal")
+			case '"':
+				return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+			case '\\':
+				esc := l.advance()
+				switch esc {
+				case '"', '\\':
+					b.WriteRune(esc)
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					return Token{}, errAt(start, "unknown escape '\\%c' in string", esc)
+				}
+			default:
+				b.WriteRune(c)
+			}
+		}
+	case unicode.IsDigit(r) || (r == '-' && l.off+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.off+1]))):
+		var b strings.Builder
+		b.WriteRune(l.advance())
+		for unicode.IsDigit(l.peek()) || l.peek() == '.' && l.numberDotAhead() {
+			b.WriteRune(l.advance())
+		}
+		return Token{Kind: TokNumber, Text: b.String(), Pos: start}, nil
+	case isIdentStart(r):
+		var b strings.Builder
+		b.WriteRune(l.advance())
+		for isIdentCont(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return Token{Kind: TokIdent, Text: b.String(), Pos: start}, nil
+	default:
+		return Token{}, errAt(start, "unexpected character %q", r)
+	}
+}
+
+// numberDotAhead reports whether the '.' at the current offset is a
+// decimal point (followed by a digit) rather than a clause terminator.
+func (l *Lexer) numberDotAhead() bool {
+	if l.off+1 >= len(l.src) {
+		return false
+	}
+	return unicode.IsDigit(rune(l.src[l.off+1]))
+}
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package parser
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// Atom is a parsed, unresolved atom: a relation name applied to a
+// list of arguments, each classified as variable or constant.
+type Atom struct {
+	Rel  string
+	Args []Arg
+	Pos  Pos
+}
+
+// Arg is one unresolved atom argument.
+type Arg struct {
+	IsVar bool
+	Name  string
+}
+
+// IsVariableName reports whether an identifier denotes a variable
+// under the surface-syntax convention: it starts with a lowercase
+// letter. Quoted strings and numbers are always constants.
+func IsVariableName(ident string) bool {
+	r, _ := utf8.DecodeRuneInString(ident)
+	return unicode.IsLower(r)
+}
+
+type parser struct {
+	lex *Lexer
+	tok Token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: NewLexer(src)}
+	return p, p.next()
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errAt(p.tok.Pos, "expected %v, found %v %q", k, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+// atom parses rel(arg, ..., arg). When ground is true, every argument
+// is treated as a constant regardless of capitalization (facts are
+// ground by definition).
+func (p *parser) atom(ground bool) (Atom, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Rel: name.Text, Pos: name.Pos}
+	if _, err := p.expect(TokLParen); err != nil {
+		return Atom{}, err
+	}
+	for {
+		switch p.tok.Kind {
+		case TokIdent:
+			isVar := !ground && IsVariableName(p.tok.Text)
+			a.Args = append(a.Args, Arg{IsVar: isVar, Name: p.tok.Text})
+		case TokNumber, TokString:
+			a.Args = append(a.Args, Arg{Name: p.tok.Text})
+		default:
+			return Atom{}, errAt(p.tok.Pos, "expected an argument, found %v %q", p.tok.Kind, p.tok.Text)
+		}
+		if err := p.next(); err != nil {
+			return Atom{}, err
+		}
+		if p.tok.Kind == TokComma {
+			if err := p.next(); err != nil {
+				return Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+// clause parses one "head [:- body]." clause into unresolved atoms.
+func (p *parser) clause() (head Atom, body []Atom, err error) {
+	head, err = p.atom(false)
+	if err != nil {
+		return Atom{}, nil, err
+	}
+	if p.tok.Kind == TokTurnstile {
+		if err := p.next(); err != nil {
+			return Atom{}, nil, err
+		}
+		for {
+			a, err := p.atom(false)
+			if err != nil {
+				return Atom{}, nil, err
+			}
+			body = append(body, a)
+			if p.tok.Kind == TokComma {
+				if err := p.next(); err != nil {
+					return Atom{}, nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(TokPeriod); err != nil {
+		return Atom{}, nil, err
+	}
+	return head, body, nil
+}
+
+// ParseGroundAtom parses a single ground atom "rel(c1, ..., ck)" with
+// an optional trailing period, returning the relation name and
+// constant spellings.
+func ParseGroundAtom(src string) (string, []string, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return "", nil, err
+	}
+	a, err := p.atom(true)
+	if err != nil {
+		return "", nil, err
+	}
+	if p.tok.Kind == TokPeriod {
+		if err := p.next(); err != nil {
+			return "", nil, err
+		}
+	}
+	if p.tok.Kind != TokEOF {
+		return "", nil, errAt(p.tok.Pos, "unexpected trailing input %q", p.tok.Text)
+	}
+	args := make([]string, len(a.Args))
+	for i, arg := range a.Args {
+		args[i] = arg.Name
+	}
+	return a.Rel, args, nil
+}
+
+// resolveAtom turns an unresolved atom into a query.Literal against
+// the given schema and domain, interning constants and assigning
+// variable ids via vars (shared across one rule).
+func resolveAtom(a Atom, s *relation.Schema, d *relation.Domain, vars map[string]query.Var, next *query.Var) (query.Literal, error) {
+	rel, ok := s.Lookup(a.Rel)
+	if !ok {
+		return query.Literal{}, errAt(a.Pos, "undeclared relation %q", a.Rel)
+	}
+	if got, want := len(a.Args), s.Arity(rel); got != want {
+		return query.Literal{}, errAt(a.Pos, "relation %q has arity %d, literal has %d arguments", a.Rel, want, got)
+	}
+	lit := query.Literal{Rel: rel, Args: make([]query.Term, len(a.Args))}
+	for i, arg := range a.Args {
+		if arg.IsVar {
+			v, ok := vars[arg.Name]
+			if !ok {
+				v = *next
+				*next++
+				vars[arg.Name] = v
+			}
+			lit.Args[i] = query.V(v)
+		} else {
+			lit.Args[i] = query.C(d.Intern(arg.Name))
+		}
+	}
+	return lit, nil
+}
+
+// ParseRule parses one rule (or ground fact) against the schema and
+// domain. Every relation mentioned must already be declared. The rule
+// is checked for safety.
+func ParseRule(src string, s *relation.Schema, d *relation.Domain) (query.Rule, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return query.Rule{}, err
+	}
+	r, err := p.rule(s, d)
+	if err != nil {
+		return query.Rule{}, err
+	}
+	if p.tok.Kind != TokEOF {
+		return query.Rule{}, errAt(p.tok.Pos, "unexpected trailing input %q", p.tok.Text)
+	}
+	return r, nil
+}
+
+func (p *parser) rule(s *relation.Schema, d *relation.Domain) (query.Rule, error) {
+	head, body, err := p.clause()
+	if err != nil {
+		return query.Rule{}, err
+	}
+	vars := make(map[string]query.Var)
+	next := query.Var(0)
+	h, err := resolveAtom(head, s, d, vars, &next)
+	if err != nil {
+		return query.Rule{}, err
+	}
+	r := query.Rule{Head: h}
+	for _, a := range body {
+		l, err := resolveAtom(a, s, d, vars, &next)
+		if err != nil {
+			return query.Rule{}, err
+		}
+		r.Body = append(r.Body, l)
+	}
+	if err := r.Safe(); err != nil {
+		return query.Rule{}, errAt(head.Pos, "%v", err)
+	}
+	return r, nil
+}
+
+// ParseProgram parses a sequence of rules into a UCQ.
+func ParseProgram(src string, s *relation.Schema, d *relation.Domain) (query.UCQ, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return query.UCQ{}, err
+	}
+	var q query.UCQ
+	for p.tok.Kind != TokEOF {
+		r, err := p.rule(s, d)
+		if err != nil {
+			return query.UCQ{}, err
+		}
+		q.Rules = append(q.Rules, r)
+	}
+	return q, nil
+}
+
+// MustParseRule is ParseRule for statically known-good inputs; it
+// panics on error. Intended for tests and examples.
+func MustParseRule(src string, s *relation.Schema, d *relation.Domain) query.Rule {
+	r, err := ParseRule(src, s, d)
+	if err != nil {
+		panic(fmt.Sprintf("MustParseRule(%q): %v", src, err))
+	}
+	return r
+}
+
+// MustParseProgram is ParseProgram for statically known-good inputs;
+// it panics on error. Intended for tests and examples.
+func MustParseProgram(src string, s *relation.Schema, d *relation.Domain) query.UCQ {
+	q, err := ParseProgram(src, s, d)
+	if err != nil {
+		panic(fmt.Sprintf("MustParseProgram: %v", err))
+	}
+	return q
+}

@@ -1,0 +1,233 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`path(x, y) :- edge(x, "Wall St"), color(3).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{
+		TokIdent, TokLParen, TokIdent, TokComma, TokIdent, TokRParen,
+		TokTurnstile,
+		TokIdent, TokLParen, TokIdent, TokComma, TokString, TokRParen,
+		TokComma,
+		TokIdent, TokLParen, TokNumber, TokRParen, TokPeriod, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: kind %v, want %v (%q)", i, toks[i].Kind, k, toks[i].Text)
+		}
+	}
+	if toks[11].Text != "Wall St" {
+		t.Errorf("string token = %q, want %q", toks[11].Text, "Wall St")
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("# a comment\nedge(a, b). // trailing\n# done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "edge" || toks[0].Pos.Line != 2 {
+		t.Errorf("first token %+v", toks[0])
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	toks, err := Tokenize("p(12, -5, 3.5).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []string
+	for _, tok := range toks {
+		if tok.Kind == TokNumber {
+			nums = append(nums, tok.Text)
+		}
+	}
+	want := []string{"12", "-5", "3.5"}
+	if strings.Join(nums, " ") != strings.Join(want, " ") {
+		t.Errorf("numbers = %v, want %v", nums, want)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{`p(x) :` + "\n", `"unterminated`, `p(x) @`, `"bad \q escape"`} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`p("a\"b\\c\nd").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Text != "a\"b\\c\nd" {
+		t.Errorf("escaped string = %q", toks[2].Text)
+	}
+}
+
+func TestParseGroundAtom(t *testing.T) {
+	rel, args, err := ParseGroundAtom(`Intersects(Broadway, "Wall St").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "Intersects" || len(args) != 2 || args[0] != "Broadway" || args[1] != "Wall St" {
+		t.Errorf("got %s %v", rel, args)
+	}
+	// Lowercase identifiers are constants in ground atoms.
+	rel, args, err = ParseGroundAtom("edge(a, b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "edge" || args[0] != "a" || args[1] != "b" {
+		t.Errorf("got %s %v", rel, args)
+	}
+	if _, _, err := ParseGroundAtom("edge(a, b) extra"); err == nil {
+		t.Error("trailing input not rejected")
+	}
+	if _, _, err := ParseGroundAtom("edge(,)"); err == nil {
+		t.Error("empty arg not rejected")
+	}
+}
+
+func freshSchema(t *testing.T) (*relation.Schema, *relation.Domain) {
+	t.Helper()
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	s.MustDeclare("edge", 2, relation.Input)
+	s.MustDeclare("color", 1, relation.Input)
+	s.MustDeclare("path", 2, relation.Output)
+	return s, d
+}
+
+func TestParseRule(t *testing.T) {
+	s, d := freshSchema(t)
+	r, err := ParseRule("path(x, y) :- edge(x, z), edge(z, y).", s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 || r.NumVars() != 3 {
+		t.Errorf("Size=%d NumVars=%d", r.Size(), r.NumVars())
+	}
+	// Round trip through the printer.
+	if got := r.String(s, d); got != "path(x, y) :- edge(x, z), edge(z, y)." {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestParseRuleWithConstants(t *testing.T) {
+	s, d := freshSchema(t)
+	r, err := ParseRule(`path(x, x) :- edge(x, Broadway), color(x).`, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Body[0].Args[1].IsConst {
+		t.Error("uppercase identifier not treated as constant")
+	}
+	c, ok := d.Lookup("Broadway")
+	if !ok || r.Body[0].Args[1].Const != c {
+		t.Error("constant not interned correctly")
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	s, d := freshSchema(t)
+	cases := []string{
+		"nosuch(x) :- edge(x, y).",      // undeclared head
+		"path(x, y) :- nosuch(x, y).",   // undeclared body
+		"path(x) :- edge(x, y).",        // head arity
+		"path(x, y) :- edge(x).",        // body arity
+		"path(x, y) :- edge(x, x).",     // unsafe: y not in body
+		"path(x, y) : edge(x, y).",      // bad turnstile
+		"path(x, y) :- edge(x, y)",      // missing period
+		"path(x, y) :- edge(x, y). zzz", // trailing garbage
+	}
+	for _, src := range cases {
+		if _, err := ParseRule(src, s, d); err == nil {
+			t.Errorf("ParseRule(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseGroundFactAsRule(t *testing.T) {
+	s, d := freshSchema(t)
+	// A ground head with no body parses as a fact; Safe holds trivially.
+	r, err := ParseRule("path(Broadway, Whitehall).", s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Body) != 0 || !r.Head.Args[0].IsConst {
+		t.Errorf("fact parse = %+v", r)
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	s, d := freshSchema(t)
+	q, err := ParseProgram(`
+		# two-hop and one-hop
+		path(x, y) :- edge(x, y).
+		path(x, y) :- edge(x, z), edge(z, y).
+	`, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(q.Rules))
+	}
+	if err := q.Validate(s); err != nil {
+		t.Errorf("parsed program invalid: %v", err)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	s, d := freshSchema(t)
+	srcs := []string{
+		"path(x, y) :- edge(x, y).",
+		"path(x, y) :- edge(x, z), edge(z, y), color(x).",
+		"path(x, x) :- color(x).",
+	}
+	for _, src := range srcs {
+		r1, err := ParseRule(src, s, d)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		printed := r1.String(s, d)
+		r2, err := ParseRule(printed, s, d)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", printed, err)
+		}
+		if r1.CanonicalKey() != r2.CanonicalKey() {
+			t.Errorf("round trip changed rule: %q -> %q", src, printed)
+		}
+	}
+}
+
+func TestVariableNaming(t *testing.T) {
+	if !IsVariableName("x") || !IsVariableName("foo") {
+		t.Error("lowercase should be variables")
+	}
+	if IsVariableName("X") || IsVariableName("Broadway") || IsVariableName("_x") {
+		t.Error("uppercase/underscore should not be variables")
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	s, d := freshSchema(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseRule did not panic on bad input")
+		}
+	}()
+	_ = MustParseRule("bogus((", s, d)
+}

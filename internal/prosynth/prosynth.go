@@ -1,0 +1,229 @@
+// Package prosynth re-implements the hybrid baseline of the EGS
+// evaluation: ProSynth-style provenance-guided synthesis
+// (Raghothaman et al., POPL 2020) over a mode-bounded candidate-rule
+// space.
+//
+// ProSynth runs a CEGIS loop between a SAT solver, which proposes a
+// subset of candidate rules, and a Datalog solver, which evaluates
+// the subset and returns provenance for the mistakes:
+//
+//   - "why" provenance for an undesirable derived tuple yields the
+//     constraint that some rule used in its derivation be disabled —
+//     for the paper's non-recursive fragment, each offending rule
+//     derives the tuple on its own, so the constraint is simply that
+//     the rule be off;
+//   - "why-not" provenance for a missing desirable tuple yields the
+//     constraint that at least one rule able to derive it be enabled.
+//
+// The loop starts, as ProSynth does, from the subset containing every
+// candidate rule, and converges because each iteration's constraints
+// eliminate the current subset. Like ILASP, the search space is
+// finite: exhausting it yields Exhausted, not an unrealizability
+// proof.
+package prosynth
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/ilasp"
+	"github.com/egs-synthesis/egs/internal/modes"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/sat"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// Synthesizer is the ProSynth-style baseline.
+type Synthesizer struct {
+	Source ilasp.ModeSource
+	// RuleCap bounds candidate generation (0 = unlimited).
+	RuleCap int
+}
+
+// Name implements synth.Synthesizer.
+func (s *Synthesizer) Name() string {
+	if s.Source == ilasp.TaskAgnostic {
+		return "prosynth-F"
+	}
+	return "prosynth-L"
+}
+
+// Synthesize implements synth.Synthesizer.
+func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Result, error) {
+	if err := t.Prepare(); err != nil {
+		return synth.Result{}, err
+	}
+	spec := ilasp.ModesFor(t, s.Source)
+	gen := modes.Generate(ctx, t, spec, s.RuleCap)
+	if gen.Truncated {
+		if err := ctx.Err(); err != nil {
+			return synth.Result{}, err
+		}
+		return synth.Result{}, fmt.Errorf("prosynth: candidate rule cap %d exceeded", s.RuleCap)
+	}
+	modes.SortRules(gen.Rules)
+	detail := fmt.Sprintf("%d candidate rules", len(gen.Rules))
+
+	rules, status, err := cegis(ctx, t, gen.Rules)
+	if err != nil {
+		return synth.Result{}, err
+	}
+	if status != synth.Sat {
+		return synth.Result{Status: status, Detail: detail}, nil
+	}
+	return synth.Result{Status: synth.Sat, Query: query.UCQ{Rules: rules}, Detail: detail}, nil
+}
+
+// cegis runs the provenance-guided loop.
+func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.Rule, synth.Status, error) {
+	ex := t.Example()
+	n := len(candidates)
+
+	var solver sat.Solver
+	lits := make([]sat.Lit, n)
+	for i := range lits {
+		lits[i] = sat.Lit(solver.NewVar())
+	}
+
+	// Rule evaluation memo: outputs of rule i, computed on demand.
+	outsMemo := make([]map[string]relation.Tuple, n)
+	outputsOf := func(i int) map[string]relation.Tuple {
+		if outsMemo[i] == nil {
+			outsMemo[i] = eval.RuleOutputs(candidates[i], ex.DB)
+		}
+		return outsMemo[i]
+	}
+	// Why-not provenance memo: for each positive tuple key, the
+	// candidate rules able to derive it (computed lazily, since it
+	// requires evaluating the entire space once).
+	deriverMemo := make(map[string][]int)
+	deriversOf := func(p relation.Tuple) []int {
+		key := p.Key()
+		if d, ok := deriverMemo[key]; ok {
+			return d
+		}
+		var d []int
+		for i := 0; i < n; i++ {
+			if _, ok := outputsOf(i)[key]; ok {
+				d = append(d, i)
+			}
+		}
+		deriverMemo[key] = d
+		return d
+	}
+
+	// Initial candidate subset: all rules on (ProSynth's seed).
+	selected := make([]bool, n)
+	for i := range selected {
+		selected[i] = true
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		default:
+		}
+		// Evaluate the current subset.
+		derived := make(map[string]relation.Tuple)
+		for i := 0; i < n; i++ {
+			if !selected[i] {
+				continue
+			}
+			for k, tu := range outputsOf(i) {
+				derived[k] = tu
+			}
+		}
+		consistent := true
+		// Why provenance: disable every selected rule deriving a
+		// negative tuple (sound for non-recursive unions).
+		for i := 0; i < n; i++ {
+			if !selected[i] {
+				continue
+			}
+			for _, tu := range outputsOf(i) {
+				if ex.IsNegative(tu) {
+					solver.AddClause(lits[i].Neg())
+					consistent = false
+					break
+				}
+			}
+		}
+		// Why-not provenance: for each missing positive tuple,
+		// require one of its derivers.
+		for _, p := range t.Pos {
+			if _, ok := derived[p.Key()]; ok {
+				continue
+			}
+			consistent = false
+			ds := deriversOf(p)
+			clause := make([]sat.Lit, 0, len(ds))
+			for _, i := range ds {
+				clause = append(clause, lits[i])
+			}
+			solver.AddAtLeastOne(clause)
+		}
+		if consistent {
+			// Also confirm positives are covered (they are, or the
+			// loop would have added why-not constraints).
+			var out []query.Rule
+			for i := 0; i < n; i++ {
+				if selected[i] && contributes(t.Pos, outputsOf(i)) {
+					out = append(out, candidates[i])
+				}
+			}
+			out = pruneRedundant(ex, t.Pos, out)
+			return out, synth.Sat, nil
+		}
+		model, ok, err := solver.Solve(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return nil, synth.Exhausted, nil
+		}
+		for i := 0; i < n; i++ {
+			selected[i] = model.Lit(lits[i])
+		}
+	}
+}
+
+// contributes reports whether a rule derives at least one positive
+// tuple; rules that do not are dropped from the final hypothesis.
+func contributes(pos []relation.Tuple, outs map[string]relation.Tuple) bool {
+	for _, p := range pos {
+		if _, ok := outs[p.Key()]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneRedundant greedily removes rules whose positive coverage is
+// subsumed by the rest, mirroring ProSynth's final minimization pass.
+func pruneRedundant(ex *task.Example, pos []relation.Tuple, rules []query.Rule) []query.Rule {
+	kept := append([]query.Rule(nil), rules...)
+	for i := len(kept) - 1; i >= 0; i-- {
+		without := make([]query.Rule, 0, len(kept)-1)
+		without = append(without, kept[:i]...)
+		without = append(without, kept[i+1:]...)
+		if len(without) == 0 {
+			continue
+		}
+		outs := eval.UCQOutputs(query.UCQ{Rules: without}, ex.DB)
+		all := true
+		for _, p := range pos {
+			if _, ok := outs[p.Key()]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			kept = without
+		}
+	}
+	return kept
+}

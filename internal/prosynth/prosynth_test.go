@@ -1,0 +1,155 @@
+package prosynth
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/ilasp"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+func load(t *testing.T, src string) *task.Task {
+	t.Helper()
+	tk, err := task.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+const twoHopSrc = `
+task twohop
+closed-world true
+modes maxv=3 edge=2
+input edge(2)
+output out(2)
+edge(a, b).
+edge(b, c).
+edge(c, d).
++out(a, c).
++out(b, d).
+`
+
+func TestCEGISConverges(t *testing.T) {
+	tk := load(t, twoHopSrc)
+	s := &Synthesizer{Source: ilasp.TaskSpecific}
+	res, err := s.Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Sat {
+		t.Fatalf("status = %v (%s)", res.Status, res.Detail)
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s", why)
+	}
+}
+
+func TestPruneRedundantRules(t *testing.T) {
+	// The all-on seed selects many consistent rules; the final
+	// hypothesis must not contain rules whose coverage is subsumed.
+	src := `
+task union
+closed-world true
+modes maxv=1 p=1 q=1
+input p(1)
+input q(1)
+output out(1)
+p(a).
+p(b).
+q(b).
++out(a).
++out(b).
+`
+	tk := load(t, src)
+	s := &Synthesizer{Source: ilasp.TaskSpecific}
+	res, err := s.Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Sat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// out(x) :- p(x) covers both positives; the q rule is redundant.
+	if len(res.Query.Rules) != 1 {
+		t.Errorf("hypothesis has %d rules, want pruned 1:\n%s",
+			len(res.Query.Rules), res.Query.String(tk.Schema, tk.Domain))
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	src := strings.Replace(twoHopSrc, "modes maxv=3 edge=2", "modes maxv=2 edge=1", 1)
+	tk := load(t, src)
+	s := &Synthesizer{Source: ilasp.TaskSpecific}
+	res, err := s.Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Exhausted {
+		t.Fatalf("status = %v, want exhausted", res.Status)
+	}
+}
+
+func TestWhyNotDrivesCoverage(t *testing.T) {
+	// A disjunctive concept: the loop must enable rules for both
+	// positives even though the seed's negatives-driven constraints
+	// disable others.
+	src := `
+task disj
+closed-world true
+modes maxv=2 r=1 s=1
+input r(2)
+input s(2)
+output out(1)
+r(a, a).
+r(c, d).
+s(b, b).
+s(d, c).
++out(a).
++out(b).
+`
+	tk := load(t, src)
+	s := &Synthesizer{Source: ilasp.TaskSpecific}
+	res, err := s.Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Sat {
+		t.Fatalf("status = %v (%s)", res.Status, res.Detail)
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s", why)
+	}
+	if len(res.Query.Rules) < 2 {
+		t.Errorf("expected a union:\n%s", res.Query.String(tk.Schema, tk.Domain))
+	}
+}
+
+func TestRuleCapError(t *testing.T) {
+	tk := load(t, twoHopSrc)
+	s := &Synthesizer{Source: ilasp.TaskAgnostic, RuleCap: 5}
+	if _, err := s.Synthesize(context.Background(), tk); err == nil {
+		t.Fatal("rule cap exceeded but no error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&Synthesizer{Source: ilasp.TaskSpecific}).Name() != "prosynth-L" {
+		t.Error("prosynth-L name wrong")
+	}
+	if (&Synthesizer{Source: ilasp.TaskAgnostic}).Name() != "prosynth-F" {
+		t.Error("prosynth-F name wrong")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	tk := load(t, twoHopSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := &Synthesizer{Source: ilasp.TaskSpecific}
+	if _, err := s.Synthesize(ctx, tk); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+}

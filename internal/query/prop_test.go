@@ -1,0 +1,210 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// randomRule builds a random safe rule over a fixed 3-relation schema.
+func randomRule(rng *rand.Rand) Rule {
+	arities := []int{1, 2, 3}
+	nVars := 1 + rng.Intn(4)
+	nBody := 1 + rng.Intn(4)
+	var body []Literal
+	var vars []Var
+	seen := map[Var]bool{}
+	for i := 0; i < nBody; i++ {
+		rel := relation.RelID(rng.Intn(3))
+		args := make([]Term, arities[rel])
+		for j := range args {
+			v := Var(rng.Intn(nVars))
+			args[j] = V(v)
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+		body = append(body, Literal{Rel: rel, Args: args})
+	}
+	head := Literal{Rel: relation.RelID(3), Args: make([]Term, 2)}
+	for j := range head.Args {
+		head.Args[j] = V(vars[rng.Intn(len(vars))])
+	}
+	return Rule{Head: head, Body: body}
+}
+
+// shuffleRename produces a random alpha-variant of r: an injective
+// variable renaming followed by a body permutation.
+func shuffleRename(rng *rand.Rand, r Rule) Rule {
+	perm := rng.Perm(16)
+	m := map[Var]Var{}
+	for v := 0; v < 16; v++ {
+		m[Var(v)] = Var(perm[v])
+	}
+	renamed := r.Rename(m)
+	order := rng.Perm(len(renamed.Body))
+	shuffled := renamed.Clone()
+	for i, j := range order {
+		shuffled.Body[i] = renamed.Body[j].Clone2()
+	}
+	return shuffled
+}
+
+// TestEquivalentToRecognizesAlphaVariants: the exact equivalence test
+// must accept every alpha-variant.
+func TestEquivalentToRecognizesAlphaVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		r := randomRule(rng)
+		v := shuffleRename(rng, r)
+		if !r.EquivalentTo(v) {
+			t.Fatalf("trial %d: alpha-variant rejected\nr: %+v\nv: %+v", trial, r, v)
+		}
+		if !v.EquivalentTo(r) {
+			t.Fatalf("trial %d: EquivalentTo not symmetric", trial)
+		}
+	}
+}
+
+// TestCanonicalKeySound: equal canonical keys must imply exact
+// alpha-equivalence (the converse may fail for symmetric rules; see
+// the CanonicalKey doc comment).
+func TestCanonicalKeySound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	byKey := map[string]Rule{}
+	for trial := 0; trial < 800; trial++ {
+		r := randomRule(rng)
+		key := r.CanonicalKey()
+		if prev, ok := byKey[key]; ok {
+			if !prev.EquivalentTo(r) {
+				t.Fatalf("trial %d: key collision between inequivalent rules\n%+v\n%+v", trial, prev, r)
+			}
+		} else {
+			byKey[key] = r
+		}
+	}
+}
+
+// TestCanonicalKeyMostlyComplete: the heuristic key should identify
+// the overwhelming majority of alpha-variants (it exists to
+// deduplicate enumerator output); tolerate rare symmetric cases.
+func TestCanonicalKeyMostlyComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	misses := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		r := randomRule(rng)
+		v := shuffleRename(rng, r)
+		if r.CanonicalKey() != v.CanonicalKey() {
+			misses++
+		}
+	}
+	if misses > trials/20 {
+		t.Fatalf("canonical key missed %d/%d alpha-variants (> 5%%)", misses, trials)
+	}
+}
+
+// TestEquivalentToRejectsDifferent: structurally different rules are
+// not equivalent.
+func TestEquivalentToRejectsDifferent(t *testing.T) {
+	a := Rule{
+		Head: Literal{Rel: 3, Args: []Term{V(0), V(1)}},
+		Body: []Literal{{Rel: 1, Args: []Term{V(0), V(1)}}},
+	}
+	b := Rule{
+		Head: Literal{Rel: 3, Args: []Term{V(0), V(1)}},
+		Body: []Literal{{Rel: 1, Args: []Term{V(1), V(0)}}},
+	}
+	if a.EquivalentTo(b) {
+		t.Error("flipped join reported equivalent")
+	}
+	c := Rule{
+		Head: Literal{Rel: 3, Args: []Term{V(0), V(0)}},
+		Body: []Literal{{Rel: 1, Args: []Term{V(0), V(0)}}},
+	}
+	if a.EquivalentTo(c) {
+		t.Error("merged variables reported equivalent")
+	}
+	d := Rule{
+		Head: Literal{Rel: 3, Args: []Term{V(0), V(1)}},
+		Body: []Literal{
+			{Rel: 1, Args: []Term{V(0), V(1)}},
+			{Rel: 0, Args: []Term{V(0)}},
+		},
+	}
+	if a.EquivalentTo(d) {
+		t.Error("different body sizes reported equivalent")
+	}
+}
+
+// Clone2 deep-copies a literal (test helper).
+func (l Literal) Clone2() Literal {
+	return Literal{Rel: l.Rel, Args: append([]Term(nil), l.Args...)}
+}
+
+// TestCanonicalKeySeparates: structurally different rules (different
+// relation multisets or different join structure) must get distinct
+// keys with overwhelming probability. We check a weaker, exact
+// property: rules with different body-relation multisets never
+// collide.
+func TestCanonicalKeySeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	byKey := map[string]Rule{}
+	for trial := 0; trial < 500; trial++ {
+		r := randomRule(rng)
+		key := r.CanonicalKey()
+		if prev, ok := byKey[key]; ok {
+			if relMultiset(prev) != relMultiset(r) {
+				t.Fatalf("distinct relation multisets share a key:\n%+v\n%+v", prev, r)
+			}
+			continue
+		}
+		byKey[key] = r
+	}
+}
+
+func relMultiset(r Rule) string {
+	counts := [4]int{}
+	for _, l := range r.Body {
+		counts[l.Rel]++
+	}
+	return string(rune('0'+counts[0])) + string(rune('0'+counts[1])) + string(rune('0'+counts[2]))
+}
+
+// TestSafeAfterCanonicalize: canonicalization preserves safety.
+func TestSafeAfterCanonicalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		r := randomRule(rng)
+		if (r.Safe() == nil) != (r.Canonicalize().Safe() == nil) {
+			t.Fatalf("trial %d: canonicalization changed safety", trial)
+		}
+	}
+}
+
+// TestNumVarsAfterCanonicalize: canonicalization yields dense
+// variable numbering.
+func TestNumVarsAfterCanonicalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		c := randomRule(rng).Canonicalize()
+		used := map[Var]bool{}
+		collect := func(l Literal) {
+			for _, t := range l.Args {
+				if !t.IsConst {
+					used[t.Var] = true
+				}
+			}
+		}
+		collect(c.Head)
+		for _, l := range c.Body {
+			collect(l)
+		}
+		if len(used) != c.NumVars() {
+			t.Fatalf("trial %d: sparse numbering after canonicalize: %d used, NumVars %d",
+				trial, len(used), c.NumVars())
+		}
+	}
+}

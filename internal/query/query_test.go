@@ -1,0 +1,225 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+func testSchema(t *testing.T) (*relation.Schema, *relation.Domain, relation.RelID, relation.RelID, relation.RelID) {
+	t.Helper()
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	edge := s.MustDeclare("edge", 2, relation.Input)
+	color := s.MustDeclare("color", 1, relation.Input)
+	out := s.MustDeclare("path", 2, relation.Output)
+	d.Intern("a")
+	d.Intern("b")
+	return s, d, edge, color, out
+}
+
+func TestRuleString(t *testing.T) {
+	s, d, edge, _, out := testSchema(t)
+	r := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{
+			{Rel: edge, Args: []Term{V(0), V(2)}},
+			{Rel: edge, Args: []Term{V(2), V(1)}},
+		},
+	}
+	want := "path(x, y) :- edge(x, z), edge(z, y)."
+	if got := r.String(s, d); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRuleStringWithConstAndManyVars(t *testing.T) {
+	s, d, edge, _, out := testSchema(t)
+	a, _ := d.Lookup("a")
+	r := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(4)}},
+		Body: []Literal{
+			{Rel: edge, Args: []Term{V(0), C(a)}},
+			{Rel: edge, Args: []Term{V(4), V(0)}},
+		},
+	}
+	got := r.String(s, d)
+	if !strings.Contains(got, "edge(x, a)") || !strings.Contains(got, "v4") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFactString(t *testing.T) {
+	s, d, edge, _, _ := testSchema(t)
+	a, _ := d.Lookup("a")
+	r := Rule{Head: Literal{Rel: edge, Args: []Term{C(a), C(a)}}}
+	if got := r.String(s, d); got != "edge(a, a)." {
+		t.Errorf("fact String = %q", got)
+	}
+}
+
+func TestSafe(t *testing.T) {
+	_, _, edge, _, out := testSchema(t)
+	safe := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{{Rel: edge, Args: []Term{V(0), V(1)}}},
+	}
+	if err := safe.Safe(); err != nil {
+		t.Errorf("safe rule reported unsafe: %v", err)
+	}
+	unsafe := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(5)}},
+		Body: []Literal{{Rel: edge, Args: []Term{V(0), V(1)}}},
+	}
+	if err := unsafe.Safe(); err == nil {
+		t.Error("unsafe rule reported safe")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s, _, edge, color, out := testSchema(t)
+	good := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{
+			{Rel: edge, Args: []Term{V(0), V(1)}},
+			{Rel: color, Args: []Term{V(0)}},
+		},
+	}
+	if err := good.Validate(s); err != nil {
+		t.Errorf("good rule invalid: %v", err)
+	}
+	badArity := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{{Rel: edge, Args: []Term{V(0)}}},
+	}
+	if err := badArity.Validate(s); err == nil {
+		t.Error("arity mismatch not caught")
+	}
+	headInput := Rule{
+		Head: Literal{Rel: edge, Args: []Term{V(0), V(1)}},
+		Body: []Literal{{Rel: edge, Args: []Term{V(0), V(1)}}},
+	}
+	if err := headInput.Validate(s); err == nil {
+		t.Error("input-relation head not caught")
+	}
+	bodyOutput := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{{Rel: out, Args: []Term{V(0), V(1)}}},
+	}
+	if err := bodyOutput.Validate(s); err == nil {
+		t.Error("output-relation body not caught")
+	}
+	undeclared := Rule{
+		Head: Literal{Rel: relation.RelID(99), Args: []Term{V(0)}},
+		Body: []Literal{{Rel: edge, Args: []Term{V(0), V(0)}}},
+	}
+	if err := undeclared.Validate(s); err == nil {
+		t.Error("undeclared relation not caught")
+	}
+}
+
+func TestNumVarsAndSize(t *testing.T) {
+	_, _, edge, _, out := testSchema(t)
+	r := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{
+			{Rel: edge, Args: []Term{V(0), V(3)}},
+			{Rel: edge, Args: []Term{V(3), V(1)}},
+		},
+	}
+	if r.NumVars() != 4 {
+		t.Errorf("NumVars = %d, want 4", r.NumVars())
+	}
+	if r.Size() != 2 {
+		t.Errorf("Size = %d, want 2", r.Size())
+	}
+	q := UCQ{Rules: []Rule{r, r}}
+	if q.Size() != 4 {
+		t.Errorf("UCQ Size = %d, want 4", q.Size())
+	}
+}
+
+func TestCanonicalizeFirstOccurrenceOrder(t *testing.T) {
+	_, _, edge, _, out := testSchema(t)
+	r := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(7), V(3)}},
+		Body: []Literal{
+			{Rel: edge, Args: []Term{V(7), V(9)}},
+			{Rel: edge, Args: []Term{V(9), V(3)}},
+		},
+	}
+	c := r.Canonicalize()
+	if c.Head.Args[0].Var != 0 || c.Head.Args[1].Var != 1 {
+		t.Errorf("head vars = %v", c.Head.Args)
+	}
+	if c.Body[0].Args[1].Var != 2 {
+		t.Errorf("fresh body var = %v", c.Body[0].Args[1])
+	}
+	if c.NumVars() != 3 {
+		t.Errorf("NumVars after canonicalize = %d", c.NumVars())
+	}
+}
+
+func TestCanonicalKeyInvariantUnderRenamingAndReorder(t *testing.T) {
+	_, _, edge, color, out := testSchema(t)
+	r1 := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{
+			{Rel: edge, Args: []Term{V(0), V(2)}},
+			{Rel: color, Args: []Term{V(2)}},
+			{Rel: edge, Args: []Term{V(2), V(1)}},
+		},
+	}
+	// Rename all variables and shuffle the body.
+	r2 := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(5), V(8)}},
+		Body: []Literal{
+			{Rel: edge, Args: []Term{V(9), V(8)}},
+			{Rel: edge, Args: []Term{V(5), V(9)}},
+			{Rel: color, Args: []Term{V(9)}},
+		},
+	}
+	if r1.CanonicalKey() != r2.CanonicalKey() {
+		t.Errorf("alpha-equivalent rules have different keys:\n%q\n%q",
+			r1.CanonicalKey(), r2.CanonicalKey())
+	}
+	// A genuinely different rule must differ.
+	r3 := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{
+			{Rel: edge, Args: []Term{V(0), V(2)}},
+			{Rel: edge, Args: []Term{V(1), V(2)}}, // flipped join
+			{Rel: color, Args: []Term{V(2)}},
+		},
+	}
+	if r1.CanonicalKey() == r3.CanonicalKey() {
+		t.Error("distinct rules share a canonical key")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	_, _, edge, _, out := testSchema(t)
+	r := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{{Rel: edge, Args: []Term{V(0), V(1)}}},
+	}
+	c := r.Clone()
+	c.Body[0].Args[0] = V(9)
+	if r.Body[0].Args[0].Var != 0 {
+		t.Error("Clone shares body args")
+	}
+}
+
+func TestUCQString(t *testing.T) {
+	s, d, edge, _, out := testSchema(t)
+	r := Rule{
+		Head: Literal{Rel: out, Args: []Term{V(0), V(1)}},
+		Body: []Literal{{Rel: edge, Args: []Term{V(0), V(1)}}},
+	}
+	q := UCQ{Rules: []Rule{r, r}}
+	got := q.String(s, d)
+	if strings.Count(got, "\n") != 1 {
+		t.Errorf("UCQ String = %q", got)
+	}
+}

@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"sort"
+)
+
+// TupleID identifies a tuple within a Database. Ids are dense and
+// assigned in insertion order; the EGS algorithm uses them to build
+// canonical keys for enumeration contexts.
+type TupleID int32
+
+// Database is an indexed set of ground tuples over a Schema and a
+// Domain. It supports the access paths the synthesizer needs:
+//
+//   - extent of a relation (for join enumeration),
+//   - tuples with a given constant at a given column (for index joins),
+//   - tuples mentioning a given constant anywhere (the co-occurrence
+//     graph's neighbourhood function),
+//   - membership tests.
+//
+// A Database is append-only; it is safe for concurrent reads after all
+// Insert calls have completed.
+type Database struct {
+	Schema *Schema
+	Domain *Domain
+
+	tuples []Tuple
+	keys   map[string]TupleID
+
+	byRel [][]TupleID // relation id -> extent
+	// byCol[rel][col] maps a constant to the tuples of rel having
+	// that constant in column col.
+	byCol [][]map[Const][]TupleID
+	// byConst maps a constant to every tuple mentioning it (dedup'd).
+	byConst map[Const][]TupleID
+}
+
+// NewDatabase returns an empty database over the given schema and
+// domain.
+func NewDatabase(s *Schema, d *Domain) *Database {
+	return &Database{
+		Schema:  s,
+		Domain:  d,
+		keys:    make(map[string]TupleID),
+		byConst: make(map[Const][]TupleID),
+	}
+}
+
+// Insert adds a tuple and returns its id. Inserting a duplicate tuple
+// returns the existing id without modifying the database.
+func (db *Database) Insert(t Tuple) TupleID {
+	k := t.Key()
+	if id, ok := db.keys[k]; ok {
+		return id
+	}
+	id := TupleID(len(db.tuples))
+	db.tuples = append(db.tuples, t)
+	db.keys[k] = id
+
+	for int(t.Rel) >= len(db.byRel) {
+		db.byRel = append(db.byRel, nil)
+		db.byCol = append(db.byCol, nil)
+	}
+	db.byRel[t.Rel] = append(db.byRel[t.Rel], id)
+
+	cols := db.byCol[t.Rel]
+	for len(cols) < len(t.Args) {
+		cols = append(cols, make(map[Const][]TupleID))
+	}
+	db.byCol[t.Rel] = cols
+	seen := make(map[Const]bool, len(t.Args))
+	for col, c := range t.Args {
+		cols[col][c] = append(cols[col][c], id)
+		if !seen[c] {
+			seen[c] = true
+			db.byConst[c] = append(db.byConst[c], id)
+		}
+	}
+	return id
+}
+
+// Size reports the number of tuples.
+func (db *Database) Size() int { return len(db.tuples) }
+
+// Tuple returns the tuple with the given id.
+func (db *Database) Tuple(id TupleID) Tuple { return db.tuples[id] }
+
+// Contains reports whether the database holds the given tuple.
+func (db *Database) Contains(t Tuple) bool {
+	_, ok := db.keys[t.Key()]
+	return ok
+}
+
+// ID returns the id of the given tuple, if present.
+func (db *Database) ID(t Tuple) (TupleID, bool) {
+	id, ok := db.keys[t.Key()]
+	return id, ok
+}
+
+// Extent returns the ids of all tuples of relation r. The returned
+// slice is shared; callers must not mutate it.
+func (db *Database) Extent(r RelID) []TupleID {
+	if int(r) >= len(db.byRel) {
+		return nil
+	}
+	return db.byRel[r]
+}
+
+// ExtentSize reports the number of tuples of relation r.
+func (db *Database) ExtentSize(r RelID) int { return len(db.Extent(r)) }
+
+// AtColumn returns the ids of tuples of relation r whose column col
+// holds constant c. The returned slice is shared; do not mutate.
+func (db *Database) AtColumn(r RelID, col int, c Const) []TupleID {
+	if int(r) >= len(db.byCol) || col >= len(db.byCol[r]) {
+		return nil
+	}
+	return db.byCol[r][col][c]
+}
+
+// Mentioning returns the ids of all tuples that mention constant c in
+// any position. The returned slice is shared; do not mutate.
+func (db *Database) Mentioning(c Const) []TupleID {
+	return db.byConst[c]
+}
+
+// All returns all tuples in insertion order. The result is a deep
+// copy: mutating the returned tuples cannot corrupt the database or
+// its indexes.
+func (db *Database) All() []Tuple {
+	out := make([]Tuple, len(db.tuples))
+	for i, t := range db.tuples {
+		out[i] = Tuple{Rel: t.Rel, Args: append([]Const(nil), t.Args...)}
+	}
+	return out
+}
+
+// AllIDs returns all tuple ids in insertion order.
+func (db *Database) AllIDs() []TupleID {
+	ids := make([]TupleID, len(db.tuples))
+	for i := range ids {
+		ids[i] = TupleID(i)
+	}
+	return ids
+}
+
+// Sorted returns all tuples in canonical (Compare) order; useful for
+// deterministic printing.
+func (db *Database) Sorted() []Tuple {
+	ts := db.All()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	return ts
+}
+
+// ConstantsOf returns the distinct constants mentioned by the tuple
+// set, in ascending id order.
+func (db *Database) ConstantsOf(ids []TupleID) []Const {
+	seen := make(map[Const]bool)
+	var out []Const
+	for _, id := range ids {
+		for _, c := range db.tuples[id].Args {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,80 @@
+// Package relation provides the relational data model that the EGS
+// synthesizer and its baselines operate over: interned constants
+// (Domain), relation schemas (Schema), ground tuples (Tuple), and
+// indexed extensional databases (Database).
+//
+// The model corresponds to Section 3 of "Example-Guided Synthesis of
+// Relational Queries" (PLDI 2021): a data domain D of constants, a set
+// of named relations each with a fixed arity, and databases as finite
+// sets of tuples. Constants and relation names are interned to small
+// integer identifiers so that the synthesizer's inner loops (query
+// evaluation, co-occurrence graph traversal) never compare strings.
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Const identifies an interned constant of the data domain D.
+// Constants are dense: a Domain with n constants uses ids 0..n-1.
+type Const int32
+
+// Domain is the data domain D: an interning table for constants.
+// The zero value is not ready for use; call NewDomain.
+type Domain struct {
+	byName map[string]Const
+	names  []string
+}
+
+// NewDomain returns an empty data domain.
+func NewDomain() *Domain {
+	return &Domain{byName: make(map[string]Const)}
+}
+
+// Intern returns the id for the constant with the given spelling,
+// creating it if necessary.
+func (d *Domain) Intern(name string) Const {
+	if c, ok := d.byName[name]; ok {
+		return c
+	}
+	c := Const(len(d.names))
+	d.byName[name] = c
+	d.names = append(d.names, name)
+	return c
+}
+
+// Lookup returns the id of an already-interned constant.
+func (d *Domain) Lookup(name string) (Const, bool) {
+	c, ok := d.byName[name]
+	return c, ok
+}
+
+// Name returns the spelling of constant c.
+func (d *Domain) Name(c Const) string {
+	if int(c) < 0 || int(c) >= len(d.names) {
+		return fmt.Sprintf("<const:%d>", int32(c))
+	}
+	return d.names[c]
+}
+
+// Size reports the number of interned constants, |D|.
+func (d *Domain) Size() int { return len(d.names) }
+
+// Constants returns all constants in id order. The returned slice is
+// freshly allocated and safe for the caller to mutate.
+func (d *Domain) Constants() []Const {
+	cs := make([]Const, len(d.names))
+	for i := range cs {
+		cs[i] = Const(i)
+	}
+	return cs
+}
+
+// Names returns the spellings of all constants, sorted
+// lexicographically. Useful for deterministic output.
+func (d *Domain) Names() []string {
+	ns := append([]string(nil), d.names...)
+	sort.Strings(ns)
+	return ns
+}

@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RelID identifies an interned relation name. Relation ids are dense:
+// a Schema with n relations uses ids 0..n-1.
+type RelID int32
+
+// Kind classifies a relation as input (extensional, drawn from I) or
+// output (intensional, the head relations O of synthesized queries).
+type Kind uint8
+
+const (
+	// Input marks an extensional relation: its tuples are given.
+	Input Kind = iota
+	// Output marks an intensional relation: its tuples are derived.
+	Output
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// RelInfo describes one declared relation.
+type RelInfo struct {
+	Name  string
+	Arity int
+	Kind  Kind
+}
+
+// Schema is the interning table for relation names, recording the
+// arity and kind of each. The zero value is not ready for use; call
+// NewSchema.
+type Schema struct {
+	byName map[string]RelID
+	rels   []RelInfo
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{byName: make(map[string]RelID)}
+}
+
+// Declare interns a relation with the given name, arity, and kind. It
+// returns an error if the relation was already declared with a
+// different arity or kind. Re-declaring identically is a no-op.
+func (s *Schema) Declare(name string, arity int, kind Kind) (RelID, error) {
+	if arity < 1 {
+		return 0, fmt.Errorf("relation %s: arity must be at least 1, got %d", name, arity)
+	}
+	if id, ok := s.byName[name]; ok {
+		ri := s.rels[id]
+		if ri.Arity != arity {
+			return 0, fmt.Errorf("relation %s redeclared with arity %d (was %d)", name, arity, ri.Arity)
+		}
+		if ri.Kind != kind {
+			return 0, fmt.Errorf("relation %s redeclared as %v (was %v)", name, kind, ri.Kind)
+		}
+		return id, nil
+	}
+	id := RelID(len(s.rels))
+	s.byName[name] = id
+	s.rels = append(s.rels, RelInfo{Name: name, Arity: arity, Kind: kind})
+	return id, nil
+}
+
+// MustDeclare is Declare for static schemas known to be consistent;
+// it panics on error.
+func (s *Schema) MustDeclare(name string, arity int, kind Kind) RelID {
+	id, err := s.Declare(name, arity, kind)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Lookup returns the id of an already-declared relation.
+func (s *Schema) Lookup(name string) (RelID, bool) {
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// Info returns the descriptor of relation r.
+func (s *Schema) Info(r RelID) RelInfo {
+	if int(r) < 0 || int(r) >= len(s.rels) {
+		return RelInfo{Name: fmt.Sprintf("<rel:%d>", int32(r)), Arity: 0}
+	}
+	return s.rels[r]
+}
+
+// Name returns the name of relation r.
+func (s *Schema) Name(r RelID) string { return s.Info(r).Name }
+
+// Arity returns the arity of relation r.
+func (s *Schema) Arity(r RelID) int { return s.Info(r).Arity }
+
+// Size reports the number of declared relations.
+func (s *Schema) Size() int { return len(s.rels) }
+
+// Relations returns the ids of all relations of the given kind, in a
+// deterministic (name-sorted) order.
+func (s *Schema) Relations(kind Kind) []RelID {
+	var ids []RelID
+	for id, ri := range s.rels {
+		if ri.Kind == kind {
+			ids = append(ids, RelID(id))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return s.Name(ids[i]) < s.Name(ids[j]) })
+	return ids
+}
+
+// All returns the ids of every declared relation in id order.
+func (s *Schema) All() []RelID {
+	ids := make([]RelID, len(s.rels))
+	for i := range ids {
+		ids[i] = RelID(i)
+	}
+	return ids
+}

@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"strings"
+)
+
+// Tuple is a ground fact R(c1, ..., ck): an interned relation id
+// together with k interned constants.
+type Tuple struct {
+	Rel  RelID
+	Args []Const
+}
+
+// NewTuple builds a tuple. The args slice is used directly (not
+// copied); callers that reuse buffers must copy first.
+func NewTuple(rel RelID, args ...Const) Tuple {
+	return Tuple{Rel: rel, Args: args}
+}
+
+// Equal reports whether two tuples are identical.
+func (t Tuple) Equal(u Tuple) bool {
+	if t.Rel != u.Rel || len(t.Args) != len(u.Args) {
+		return false
+	}
+	for i := range t.Args {
+		if t.Args[i] != u.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key encodes the tuple into a compact string usable as a map key.
+// The encoding is injective across tuples of any relation and arity.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(4 + 4*len(t.Args))
+	putInt32(&b, int32(t.Rel))
+	for _, a := range t.Args {
+		putInt32(&b, int32(a))
+	}
+	return b.String()
+}
+
+// SliceKey encodes the i-slice of the tuple — its relation id and
+// first i arguments — into a map key. SliceKey(len(Args)) == Key().
+func (t Tuple) SliceKey(i int) string {
+	var b strings.Builder
+	b.Grow(4 + 4*i)
+	putInt32(&b, int32(t.Rel))
+	for _, a := range t.Args[:i] {
+		putInt32(&b, int32(a))
+	}
+	return b.String()
+}
+
+// ArgsKey encodes only the argument vector (not the relation). Useful
+// for keys over D^k such as closed-world negative-example sets.
+func ArgsKey(args []Const) string {
+	var b strings.Builder
+	b.Grow(4 * len(args))
+	for _, a := range args {
+		putInt32(&b, int32(a))
+	}
+	return b.String()
+}
+
+func putInt32(b *strings.Builder, v int32) {
+	b.WriteByte(byte(v))
+	b.WriteByte(byte(v >> 8))
+	b.WriteByte(byte(v >> 16))
+	b.WriteByte(byte(v >> 24))
+}
+
+// Compare orders tuples by relation id, then arity, then
+// argument-wise. It returns -1, 0, or +1.
+func (t Tuple) Compare(u Tuple) int {
+	switch {
+	case t.Rel < u.Rel:
+		return -1
+	case t.Rel > u.Rel:
+		return 1
+	}
+	switch {
+	case len(t.Args) < len(u.Args):
+		return -1
+	case len(t.Args) > len(u.Args):
+		return 1
+	}
+	for i := range t.Args {
+		switch {
+		case t.Args[i] < u.Args[i]:
+			return -1
+		case t.Args[i] > u.Args[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// String renders the tuple using the given schema and domain, e.g.
+// "Intersects(Broadway, Whitehall)".
+func (t Tuple) String(s *Schema, d *Domain) string {
+	var b strings.Builder
+	b.WriteString(s.Name(t.Rel))
+	b.WriteByte('(')
+	for i, a := range t.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(d.Name(a))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Contains reports whether the tuple mentions constant c.
+func (t Tuple) Contains(c Const) bool {
+	for _, a := range t.Args {
+		if a == c {
+			return true
+		}
+	}
+	return false
+}

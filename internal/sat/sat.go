@@ -1,0 +1,301 @@
+// Package sat implements a small DPLL SAT solver with unit
+// propagation and a cardinality (at-most-k) encoding.
+//
+// It is the constraint-solving substrate for the ILASP-style and
+// ProSynth-style baselines of the EGS reproduction (the original
+// tools delegate to clingo and Z3 respectively): hypothesis selection
+// over a candidate-rule space is encoded as clauses over one boolean
+// per rule, with coverage disjunctions, hard exclusions, and a
+// sequential-counter cardinality bound used to minimize hypothesis
+// size.
+package sat
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: +v for variable v, -v for its negation. Variable
+// numbering starts at 1.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Solver is a DPLL solver. The zero value is ready to use.
+type Solver struct {
+	numVars int
+	clauses [][]Lit
+}
+
+// ErrInterrupted reports that Solve stopped because its context was
+// cancelled; satisfiability is undetermined.
+var ErrInterrupted = errors.New("sat: interrupted")
+
+// NewVar allocates a fresh variable and returns it.
+func (s *Solver) NewVar() int {
+	s.numVars++
+	return s.numVars
+}
+
+// NumVars reports the number of allocated variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NumClauses reports the number of clauses added.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// AddClause adds a disjunction of literals. An empty clause makes the
+// instance trivially unsatisfiable. Variables mentioned beyond the
+// allocated range are allocated implicitly.
+func (s *Solver) AddClause(lits ...Lit) {
+	cl := make([]Lit, 0, len(lits))
+	seen := make(map[Lit]bool, len(lits))
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: zero literal")
+		}
+		if seen[l] {
+			continue
+		}
+		if seen[l.Neg()] {
+			return // tautology
+		}
+		seen[l] = true
+		cl = append(cl, l)
+		if l.Var() > s.numVars {
+			s.numVars = l.Var()
+		}
+	}
+	s.clauses = append(s.clauses, cl)
+}
+
+// AddAtMost constrains at most k of the given literals to be true,
+// using the sequential-counter encoding (Sinz 2005), which adds
+// O(n*k) auxiliary variables and clauses and is propagation-complete.
+func (s *Solver) AddAtMost(lits []Lit, k int) {
+	n := len(lits)
+	if k >= n {
+		return
+	}
+	if k == 0 {
+		for _, l := range lits {
+			s.AddClause(l.Neg())
+		}
+		return
+	}
+	// reg[i][j] is true when at least j+1 of lits[0..i] are true.
+	reg := make([][]int, n-1)
+	for i := range reg {
+		reg[i] = make([]int, k)
+		for j := range reg[i] {
+			reg[i][j] = s.NewVar()
+		}
+	}
+	s.AddClause(lits[0].Neg(), Lit(reg[0][0]))
+	for j := 1; j < k; j++ {
+		s.AddClause(Lit(reg[0][j]).Neg())
+	}
+	for i := 1; i < n-1; i++ {
+		s.AddClause(lits[i].Neg(), Lit(reg[i][0]))
+		s.AddClause(Lit(reg[i-1][0]).Neg(), Lit(reg[i][0]))
+		for j := 1; j < k; j++ {
+			s.AddClause(lits[i].Neg(), Lit(reg[i-1][j-1]).Neg(), Lit(reg[i][j]))
+			s.AddClause(Lit(reg[i-1][j]).Neg(), Lit(reg[i][j]))
+		}
+		s.AddClause(lits[i].Neg(), Lit(reg[i-1][k-1]).Neg())
+	}
+	s.AddClause(lits[n-1].Neg(), Lit(reg[n-2][k-1]).Neg())
+}
+
+// AddAtLeastOne adds the plain disjunction of the literals.
+func (s *Solver) AddAtLeastOne(lits []Lit) {
+	if len(lits) == 0 {
+		s.AddClause() // empty clause: unsatisfiable
+		return
+	}
+	s.AddClause(lits...)
+}
+
+// Model is a satisfying assignment: Model[v] is the value of variable
+// v (index 0 unused).
+type Model []bool
+
+// Lit reports the value of literal l under the model.
+func (m Model) Lit(l Lit) bool {
+	v := m[l.Var()]
+	if l < 0 {
+		return !v
+	}
+	return v
+}
+
+// Solve decides satisfiability. It returns the model if satisfiable.
+// The context is checked periodically; cancellation yields
+// ErrInterrupted.
+func (s *Solver) Solve(ctx context.Context) (Model, bool, error) {
+	d := &dpll{
+		ctx:     ctx,
+		clauses: s.clauses,
+		assign:  make([]int8, s.numVars+1),
+		occur:   make([][]int, s.numVars+1),
+	}
+	for ci, cl := range s.clauses {
+		for _, l := range cl {
+			d.occur[l.Var()] = append(d.occur[l.Var()], ci)
+		}
+	}
+	// Static branching order: most occurrences first.
+	d.order = make([]int, 0, s.numVars)
+	for v := 1; v <= s.numVars; v++ {
+		d.order = append(d.order, v)
+	}
+	sort.SliceStable(d.order, func(i, j int) bool {
+		return len(d.occur[d.order[i]]) > len(d.occur[d.order[j]])
+	})
+	ok, err := d.solve()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	m := make(Model, s.numVars+1)
+	for v := 1; v <= s.numVars; v++ {
+		m[v] = d.assign[v] == 1
+	}
+	return m, true, nil
+}
+
+type dpll struct {
+	ctx     context.Context
+	clauses [][]Lit
+	assign  []int8 // 0 unknown, 1 true, -1 false
+	occur   [][]int
+	order   []int
+	steps   int
+	trail   []int // assigned variables in order
+}
+
+func (d *dpll) value(l Lit) int8 {
+	v := d.assign[l.Var()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+// propagate performs unit propagation to a fixed point under the
+// current assignment. It returns false on conflict. Newly assigned
+// variables are appended to the trail. Full-scan propagation is
+// deliberate: the instances built by the baselines are small
+// (hundreds to low thousands of clauses), and the simplicity keeps
+// the solver auditable.
+func (d *dpll) propagate() bool {
+	for {
+		changed := false
+		for ci := range d.clauses {
+			cl := d.clauses[ci]
+			numUnknown := 0
+			var unknown Lit
+			satisfied := false
+			for _, l := range cl {
+				switch d.value(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					numUnknown++
+					unknown = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if numUnknown == 0 {
+				return false // conflict
+			}
+			if numUnknown == 1 {
+				d.set(unknown)
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+}
+
+func (d *dpll) set(l Lit) {
+	if l < 0 {
+		d.assign[l.Var()] = -1
+	} else {
+		d.assign[l.Var()] = 1
+	}
+	d.trail = append(d.trail, l.Var())
+}
+
+func (d *dpll) undoTo(mark int) {
+	for len(d.trail) > mark {
+		v := d.trail[len(d.trail)-1]
+		d.trail = d.trail[:len(d.trail)-1]
+		d.assign[v] = 0
+	}
+}
+
+func (d *dpll) solve() (bool, error) {
+	d.steps++
+	if d.steps%256 == 0 {
+		select {
+		case <-d.ctx.Done():
+			return false, ErrInterrupted
+		default:
+		}
+	}
+	mark := len(d.trail)
+	if !d.propagate() {
+		d.undoTo(mark)
+		return false, nil
+	}
+	// Pick an unassigned variable.
+	branch := 0
+	for _, v := range d.order {
+		if d.assign[v] == 0 {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		return true, nil // all assigned, no conflict
+	}
+	for _, phase := range []Lit{Lit(branch), -Lit(branch)} {
+		mark2 := len(d.trail)
+		d.set(phase)
+		ok, err := d.solve()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		d.undoTo(mark2)
+	}
+	d.undoTo(mark)
+	return false, nil
+}
+
+// String summarizes the instance for debugging.
+func (s *Solver) String() string {
+	return fmt.Sprintf("sat.Solver{vars: %d, clauses: %d}", s.numVars, len(s.clauses))
+}

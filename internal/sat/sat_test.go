@@ -1,0 +1,295 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+func solve(t *testing.T, s *Solver) (Model, bool) {
+	t.Helper()
+	m, ok, err := s.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ok
+}
+
+func TestTrivialSat(t *testing.T) {
+	var s Solver
+	a := s.NewVar()
+	s.AddClause(Lit(a))
+	m, ok := solve(t, &s)
+	if !ok || !m.Lit(Lit(a)) {
+		t.Fatalf("ok=%v model=%v", ok, m)
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	var s Solver
+	a := s.NewVar()
+	s.AddClause(Lit(a))
+	s.AddClause(-Lit(a))
+	if _, ok := solve(t, &s); ok {
+		t.Fatal("contradiction reported sat")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	var s Solver
+	s.AddClause()
+	if _, ok := solve(t, &s); ok {
+		t.Fatal("empty clause reported sat")
+	}
+}
+
+func TestNoClausesSat(t *testing.T) {
+	var s Solver
+	s.NewVar()
+	if _, ok := solve(t, &s); !ok {
+		t.Fatal("empty instance reported unsat")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	var s Solver
+	a := s.NewVar()
+	s.AddClause(Lit(a), -Lit(a))
+	if s.NumClauses() != 0 {
+		t.Errorf("tautology stored: %d clauses", s.NumClauses())
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	var s Solver
+	const n = 20
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	s.AddClause(Lit(vs[0]))
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(-Lit(vs[i]), Lit(vs[i+1]))
+	}
+	m, ok := solve(t, &s)
+	if !ok {
+		t.Fatal("chain unsat")
+	}
+	for i := range vs {
+		if !m.Lit(Lit(vs[i])) {
+			t.Fatalf("var %d not propagated true", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// 4 pigeons, 3 holes: unsatisfiable.
+	var s Solver
+	p := make([][]int, 4)
+	for i := range p {
+		p[i] = make([]int, 3)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		s.AddClause(Lit(p[i][0]), Lit(p[i][1]), Lit(p[i][2]))
+	}
+	for j := 0; j < 3; j++ {
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				s.AddClause(-Lit(p[a][j]), -Lit(p[b][j]))
+			}
+		}
+	}
+	if _, ok := solve(t, &s); ok {
+		t.Fatal("pigeonhole reported sat")
+	}
+}
+
+// bruteForce decides satisfiability by enumeration; n <= 20.
+func bruteForce(numVars int, clauses [][]Lit) bool {
+	for mask := 0; mask < 1<<numVars; mask++ {
+		ok := true
+		for _, cl := range clauses {
+			clauseSat := false
+			for _, l := range cl {
+				v := l.Var()
+				val := mask&(1<<(v-1)) != 0
+				if (l > 0) == val {
+					clauseSat = true
+					break
+				}
+			}
+			if !clauseSat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		numVars := 1 + rng.Intn(10)
+		numClauses := rng.Intn(30)
+		var s Solver
+		for i := 0; i < numVars; i++ {
+			s.NewVar()
+		}
+		clauses := make([][]Lit, 0, numClauses)
+		for i := 0; i < numClauses; i++ {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, 0, width)
+			for j := 0; j < width; j++ {
+				l := Lit(1 + rng.Intn(numVars))
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				cl = append(cl, l)
+			}
+			clauses = append(clauses, cl)
+			s.AddClause(cl...)
+		}
+		m, got, err := s.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(numVars, clauses)
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v (%d vars, %d clauses)", trial, got, want, numVars, numClauses)
+		}
+		if got {
+			// The model must actually satisfy every clause.
+			for _, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					if m.Lit(l) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: returned model violates a clause", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestAtMostExact(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for k := 0; k <= n; k++ {
+			var s Solver
+			lits := make([]Lit, n)
+			for i := range lits {
+				lits[i] = Lit(s.NewVar())
+			}
+			s.AddAtMost(lits, k)
+			// Force exactly j of them true for each j and check
+			// satisfiability matches j <= k.
+			for j := 0; j <= n; j++ {
+				var s2 Solver
+				lits2 := make([]Lit, n)
+				for i := range lits2 {
+					lits2[i] = Lit(s2.NewVar())
+				}
+				s2.AddAtMost(lits2, k)
+				for i := 0; i < n; i++ {
+					if i < j {
+						s2.AddClause(lits2[i])
+					} else {
+						s2.AddClause(lits2[i].Neg())
+					}
+				}
+				_, ok := solve(t, &s2)
+				if want := j <= k; ok != want {
+					t.Errorf("n=%d k=%d j=%d: sat=%v want %v", n, k, j, ok, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAtMostWithSearch(t *testing.T) {
+	// AtMost(2) of 5 vars plus AtLeastOne over two disjoint pairs.
+	var s Solver
+	lits := make([]Lit, 5)
+	for i := range lits {
+		lits[i] = Lit(s.NewVar())
+	}
+	s.AddAtMost(lits, 2)
+	s.AddAtLeastOne([]Lit{lits[0], lits[1]})
+	s.AddAtLeastOne([]Lit{lits[2], lits[3]})
+	m, ok := solve(t, &s)
+	if !ok {
+		t.Fatal("unsat")
+	}
+	count := 0
+	for _, l := range lits {
+		if m.Lit(l) {
+			count++
+		}
+	}
+	if count > 2 {
+		t.Errorf("model sets %d lits, bound was 2", count)
+	}
+}
+
+func TestAtLeastOneEmpty(t *testing.T) {
+	var s Solver
+	s.AddAtLeastOne(nil)
+	if _, ok := solve(t, &s); ok {
+		t.Fatal("empty at-least-one reported sat")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	var s Solver
+	// A hard instance: pigeonhole 7 into 6.
+	const P, H = 7, 6
+	p := make([][]int, P)
+	for i := range p {
+		p[i] = make([]int, H)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < P; i++ {
+		cl := make([]Lit, H)
+		for j := 0; j < H; j++ {
+			cl[j] = Lit(p[i][j])
+		}
+		s.AddClause(cl...)
+	}
+	for j := 0; j < H; j++ {
+		for a := 0; a < P; a++ {
+			for b := a + 1; b < P; b++ {
+				s.AddClause(-Lit(p[a][j]), -Lit(p[b][j]))
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Solve(ctx); err != ErrInterrupted {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+func TestModelLitNegative(t *testing.T) {
+	var s Solver
+	a := s.NewVar()
+	s.AddClause(-Lit(a))
+	m, ok := solve(t, &s)
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if m.Lit(Lit(a)) || !m.Lit(-Lit(a)) {
+		t.Error("negative literal valuation wrong")
+	}
+}

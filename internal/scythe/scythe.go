@@ -1,0 +1,285 @@
+// Package scythe re-implements the enumerative baseline of the EGS
+// evaluation: Scythe-style two-phase query synthesis (Wang, Cheung,
+// Bodík, PLDI 2017), restricted — as in the paper's comparison — to
+// the aggregation-free fragment (select / join / project / union).
+//
+// Scythe first enumerates *abstract queries* that over-approximate
+// the desired output: a join skeleton (which relations are joined,
+// which columns are projected) with all filter predicates abstracted
+// away. Skeletons whose over-approximation cannot produce the desired
+// tuples are pruned wholesale. Each surviving skeleton is then
+// *concretized* by searching the space of equality predicates —
+// here, identifications of join variables — until a query consistent
+// with the examples is found.
+//
+// The search is syntax-guided: its cost grows with the number of
+// relations and the join depth, independently of structure in the
+// examples, which is exactly the behaviour the paper measures
+// against. Unions are handled by the divide-and-conquer loop the
+// paper describes for eusolver-style tools: synthesize one
+// conjunctive query per still-unexplained positive tuple.
+package scythe
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// Synthesizer is the Scythe-style baseline.
+type Synthesizer struct {
+	// MaxJoins bounds the number of joined relations per rule;
+	// 0 selects the default (8, large enough that realizable
+	// benchmarks are bounded by the timeout rather than the limit,
+	// as with the real tool).
+	MaxJoins int
+}
+
+// Name implements synth.Synthesizer.
+func (s *Synthesizer) Name() string { return "scythe" }
+
+// Synthesize implements synth.Synthesizer.
+func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Result, error) {
+	if err := t.Prepare(); err != nil {
+		return synth.Result{}, err
+	}
+	maxJoins := s.MaxJoins
+	if maxJoins == 0 {
+		maxJoins = 8
+	}
+	e := &engine{
+		ctx:      ctx,
+		t:        t,
+		ex:       t.Example(),
+		maxJoins: maxJoins,
+		seen:     make(map[string]bool),
+	}
+	unexplained := append([]relation.Tuple(nil), t.Pos...)
+	var rules []query.Rule
+	for len(unexplained) > 0 {
+		target := unexplained[0]
+		rule, ok, err := e.searchOne(target)
+		if err != nil {
+			return synth.Result{}, err
+		}
+		if !ok {
+			return synth.Result{Status: synth.Exhausted,
+				Detail: fmt.Sprintf("no consistent query with <= %d joins", maxJoins)}, nil
+		}
+		outs := eval.RuleOutputs(rule, e.ex.DB)
+		var still []relation.Tuple
+		for _, u := range unexplained {
+			if _, derived := outs[u.Key()]; !derived {
+				still = append(still, u)
+			}
+		}
+		unexplained = still
+		rules = append(rules, rule)
+	}
+	return synth.Result{Status: synth.Sat, Query: query.UCQ{Rules: rules}}, nil
+}
+
+type engine struct {
+	ctx      context.Context
+	t        *task.Task
+	ex       *task.Example
+	maxJoins int
+	seen     map[string]bool // concretization dedup across the whole run
+	steps    int
+}
+
+func (e *engine) tick() error {
+	e.steps++
+	if e.steps%512 == 0 {
+		select {
+		case <-e.ctx.Done():
+			return e.ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// searchOne looks for a conjunctive query consistent with the
+// negatives that derives target, enumerating skeletons in increasing
+// join count.
+func (e *engine) searchOne(target relation.Tuple) (query.Rule, bool, error) {
+	inputs := e.t.Schema.Relations(relation.Input)
+	for size := 1; size <= e.maxJoins; size++ {
+		rule, ok, err := e.skeletons(target, inputs, size)
+		if err != nil {
+			return query.Rule{}, false, err
+		}
+		if ok {
+			return rule, true, nil
+		}
+	}
+	return query.Rule{}, false, nil
+}
+
+// skeletons enumerates nondecreasing relation multisets of the given
+// size and tries each one.
+func (e *engine) skeletons(target relation.Tuple, inputs []relation.RelID, size int) (query.Rule, bool, error) {
+	skeleton := make([]relation.RelID, size)
+	var rec func(pos, minIdx int) (query.Rule, bool, error)
+	rec = func(pos, minIdx int) (query.Rule, bool, error) {
+		if err := e.tick(); err != nil {
+			return query.Rule{}, false, err
+		}
+		if pos == size {
+			if !e.abstractFeasible(skeleton, target) {
+				return query.Rule{}, false, nil
+			}
+			return e.concretize(skeleton, target)
+		}
+		for i := minIdx; i < len(inputs); i++ {
+			skeleton[pos] = inputs[i]
+			if r, ok, err := rec(pos+1, i); ok || err != nil {
+				return r, ok, err
+			}
+		}
+		return query.Rule{}, false, nil
+	}
+	return rec(0, 0)
+}
+
+// abstractFeasible checks the abstract (predicate-free) query: every
+// constant of the target tuple must occur somewhere in the extents of
+// the skeleton's relations, and every relation must be nonempty.
+// This is Scythe's phase-1 pruning adapted to the Datalog fragment:
+// an abstract query over-approximates all of its concretizations, so
+// an infeasible abstraction prunes the whole subtree.
+func (e *engine) abstractFeasible(skeleton []relation.RelID, target relation.Tuple) bool {
+	db := e.ex.DB
+	for _, rel := range skeleton {
+		if db.ExtentSize(rel) == 0 {
+			return false
+		}
+	}
+	for _, c := range target.Args {
+		found := false
+		for _, rel := range skeleton {
+			for col := 0; col < db.Schema.Arity(rel) && !found; col++ {
+				if len(db.AtColumn(rel, col, c)) > 0 {
+					found = true
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// concretize searches the equality-predicate space of one skeleton:
+// assignments of variables to the skeleton's argument slots (in
+// canonical fresh-index order), with the head projecting variables
+// that appear in the body. The first consistent concretization that
+// derives the target wins.
+func (e *engine) concretize(skeleton []relation.RelID, target relation.Tuple) (query.Rule, bool, error) {
+	db := e.ex.DB
+	var slots []int // arity per body literal
+	total := 0
+	for _, rel := range skeleton {
+		a := db.Schema.Arity(rel)
+		slots = append(slots, a)
+		total += a
+	}
+	assign := make([]int, total) // slot -> variable index
+	k := len(target.Args)
+
+	var tryHead func() (query.Rule, bool, error)
+	tryHead = func() (query.Rule, bool, error) {
+		// Choose head variables among the used variables; enumerate
+		// slot choices per head column (projections).
+		used := 0
+		for _, v := range assign {
+			if v+1 > used {
+				used = v + 1
+			}
+		}
+		headVars := make([]int, k)
+		var rec func(i int) (query.Rule, bool, error)
+		rec = func(i int) (query.Rule, bool, error) {
+			if err := e.tick(); err != nil {
+				return query.Rule{}, false, err
+			}
+			if i == k {
+				rule := buildRule(skeleton, slots, assign, headVars, target.Rel)
+				key := rule.CanonicalKey()
+				if e.seen[key] {
+					return query.Rule{}, false, nil
+				}
+				e.seen[key] = true
+				if !eval.Derives(rule, db, target) {
+					return query.Rule{}, false, nil
+				}
+				if !e.ex.RuleConsistentWithNegatives(rule) {
+					return query.Rule{}, false, nil
+				}
+				return rule, true, nil
+			}
+			for v := 0; v < used; v++ {
+				headVars[i] = v
+				if r, ok, err := rec(i + 1); ok || err != nil {
+					return r, ok, err
+				}
+			}
+			return query.Rule{}, false, nil
+		}
+		return rec(0)
+	}
+
+	var recSlot func(i, used int) (query.Rule, bool, error)
+	recSlot = func(i, used int) (query.Rule, bool, error) {
+		if i == total {
+			return tryHead()
+		}
+		limit := used
+		if limit < total {
+			limit = used + 1
+		}
+		for v := 0; v < limit; v++ {
+			assign[i] = v
+			nu := used
+			if v == used {
+				nu = used + 1
+			}
+			if r, ok, err := recSlot(i+1, nu); ok || err != nil {
+				return r, ok, err
+			}
+		}
+		return query.Rule{}, false, nil
+	}
+	return recSlot(0, 0)
+}
+
+// buildRule materializes a rule from a skeleton, a slot-to-variable
+// assignment, and head variable choices.
+func buildRule(skeleton []relation.RelID, slots, assign, headVars []int, headRel relation.RelID) query.Rule {
+	r := query.Rule{
+		Head: query.Literal{Rel: headRel, Args: make([]query.Term, len(headVars))},
+	}
+	for i, v := range headVars {
+		r.Head.Args[i] = query.V(query.Var(v))
+	}
+	s := 0
+	for bi, rel := range skeleton {
+		lit := query.Literal{Rel: rel, Args: make([]query.Term, slots[bi])}
+		for ai := 0; ai < slots[bi]; ai++ {
+			lit.Args[ai] = query.V(query.Var(assign[s]))
+			s++
+		}
+		r.Body = append(r.Body, lit)
+	}
+	return r
+}

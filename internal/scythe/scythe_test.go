@@ -1,0 +1,158 @@
+package scythe
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+func load(t *testing.T, src string) *task.Task {
+	t.Helper()
+	tk, err := task.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+const joinSrc = `
+task join
+closed-world true
+input r(2)
+input mark(1)
+output out(1)
+r(a, b).
+r(b, c).
+r(c, a).
+mark(b).
++out(a).
+`
+
+func TestSynthesizeSelectionJoin(t *testing.T) {
+	tk := load(t, joinSrc)
+	s := &Synthesizer{}
+	res, err := s.Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Sat {
+		t.Fatalf("status = %v (%s)", res.Status, res.Detail)
+	}
+	if ok, why := tk.Example().Consistent(res.Query); !ok {
+		t.Fatalf("inconsistent: %s", why)
+	}
+}
+
+func TestUnionByDivideAndConquer(t *testing.T) {
+	src := `
+task u
+closed-world true
+input p(1)
+input q(1)
+output out(1)
+p(a).
+q(b).
++out(a).
++out(b).
+`
+	tk := load(t, src)
+	res, err := (&Synthesizer{}).Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Sat || len(res.Query.Rules) != 2 {
+		t.Fatalf("status=%v rules=%d", res.Status, len(res.Query.Rules))
+	}
+}
+
+func TestJoinLimitExhausts(t *testing.T) {
+	// The concept needs a 2-way join; MaxJoins 1 cannot express it.
+	src := `
+task deep
+closed-world true
+input e(2)
+output out(2)
+e(a, b).
+e(b, c).
++out(a, c).
+`
+	tk := load(t, src)
+	res, err := (&Synthesizer{MaxJoins: 1}).Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Exhausted {
+		t.Fatalf("status = %v, want exhausted", res.Status)
+	}
+	// With the default limit it solves.
+	tk2 := load(t, src)
+	res2, err := (&Synthesizer{}).Synthesize(context.Background(), tk2)
+	if err != nil || res2.Status != synth.Sat {
+		t.Fatalf("default limit: status=%v err=%v", res2.Status, err)
+	}
+}
+
+func TestAbstractPruning(t *testing.T) {
+	// A target constant that appears in no input tuple makes every
+	// skeleton abstractly infeasible, so the search exhausts quickly
+	// even with a high join limit.
+	src := `
+task ghost
+closed-world true
+input p(1)
+output out(1)
+p(a).
++out(ghostly).
+`
+	tk := load(t, src)
+	start := time.Now()
+	res, err := (&Synthesizer{}).Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Exhausted {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("abstract pruning ineffective")
+	}
+}
+
+func TestAbstractFeasibleDirect(t *testing.T) {
+	tk := load(t, joinSrc)
+	e := &engine{ctx: context.Background(), t: tk, ex: tk.Example(), maxJoins: 2, seen: map[string]bool{}}
+	r, _ := tk.Schema.Lookup("r")
+	mark, _ := tk.Schema.Lookup("mark")
+	a, _ := tk.Domain.Lookup("a")
+	target := relation.NewTuple(tk.Pos[0].Rel, a)
+	if !e.abstractFeasible([]relation.RelID{r}, target) {
+		t.Error("r skeleton should be feasible for out(a)")
+	}
+	if !e.abstractFeasible([]relation.RelID{r, mark}, target) {
+		t.Error("r+mark skeleton should be feasible")
+	}
+	ghost := relation.NewTuple(tk.Pos[0].Rel, relation.Const(99))
+	if e.abstractFeasible([]relation.RelID{r}, ghost) {
+		t.Error("unknown constant should be infeasible")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	tk := load(t, joinSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Synthesizer{}).Synthesize(ctx, tk); err == nil {
+		t.Skip("solved before first deadline check")
+	}
+}
+
+func TestName(t *testing.T) {
+	if (&Synthesizer{}).Name() != "scythe" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,110 @@
+// Package sqlgen renders unions of conjunctive queries as SQL, the
+// concrete syntax of the paper's database-queries domain (Section 3.1
+// notes that conjunctive queries are exactly the select-from-where
+// idiom; unions of them are UNION queries).
+//
+// Since the relational schema is positional, columns are rendered as
+// c0, c1, ... and each body literal becomes one aliased table in the
+// FROM clause. Join conditions arise from repeated variables,
+// selections from constants. Complement relations (not_r, neq) are
+// rendered like ordinary tables; a deployment would define them as
+// views over the base tables.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// Rule renders one conjunctive query as a SELECT statement.
+func Rule(r query.Rule, s *relation.Schema, d *relation.Domain) (string, error) {
+	if len(r.Body) == 0 {
+		return "", fmt.Errorf("sqlgen: cannot render a bodiless rule")
+	}
+	// first occurrence of each variable: (literal index, column).
+	type site struct{ lit, col int }
+	first := map[query.Var]site{}
+	var conds []string
+	for li, lit := range r.Body {
+		for ci, t := range lit.Args {
+			switch {
+			case t.IsConst:
+				conds = append(conds, fmt.Sprintf("t%d.c%d = %s", li, ci, sqlConst(d.Name(t.Const))))
+			default:
+				if prev, ok := first[t.Var]; ok {
+					conds = append(conds, fmt.Sprintf("t%d.c%d = t%d.c%d", prev.lit, prev.col, li, ci))
+				} else {
+					first[t.Var] = site{li, ci}
+				}
+			}
+		}
+	}
+	var sel []string
+	for hi, t := range r.Head.Args {
+		if t.IsConst {
+			sel = append(sel, fmt.Sprintf("%s AS c%d", sqlConst(d.Name(t.Const)), hi))
+			continue
+		}
+		site, ok := first[t.Var]
+		if !ok {
+			return "", fmt.Errorf("sqlgen: head variable v%d not bound by the body", t.Var)
+		}
+		sel = append(sel, fmt.Sprintf("t%d.c%d AS c%d", site.lit, site.col, hi))
+	}
+	var from []string
+	for li, lit := range r.Body {
+		from = append(from, fmt.Sprintf("%s AS t%d", sqlIdent(s.Name(lit.Rel)), li))
+	}
+	var b strings.Builder
+	b.WriteString("SELECT DISTINCT ")
+	b.WriteString(strings.Join(sel, ", "))
+	b.WriteString("\nFROM ")
+	b.WriteString(strings.Join(from, ", "))
+	if len(conds) > 0 {
+		b.WriteString("\nWHERE ")
+		b.WriteString(strings.Join(conds, "\n  AND "))
+	}
+	return b.String(), nil
+}
+
+// UCQ renders a union of conjunctive queries as a UNION of SELECT
+// statements.
+func UCQ(q query.UCQ, s *relation.Schema, d *relation.Domain) (string, error) {
+	if len(q.Rules) == 0 {
+		return "", fmt.Errorf("sqlgen: empty query")
+	}
+	parts := make([]string, len(q.Rules))
+	for i, r := range q.Rules {
+		sql, err := Rule(r, s, d)
+		if err != nil {
+			return "", err
+		}
+		parts[i] = sql
+	}
+	return strings.Join(parts, "\nUNION\n"), nil
+}
+
+// sqlIdent quotes a relation name when it is not a plain identifier.
+func sqlIdent(name string) string {
+	plain := true
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			plain = false
+		}
+	}
+	if plain && name != "" {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// sqlConst renders a constant as a SQL string literal.
+func sqlConst(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}

@@ -1,0 +1,149 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/parser"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+func fixture(t *testing.T) (*relation.Schema, *relation.Domain) {
+	t.Helper()
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	s.MustDeclare("edge", 2, relation.Input)
+	s.MustDeclare("color", 2, relation.Input)
+	s.MustDeclare("isRed", 1, relation.Input)
+	s.MustDeclare("out", 2, relation.Output)
+	s.MustDeclare("target", 1, relation.Output)
+	return s, d
+}
+
+func TestRuleSimpleJoin(t *testing.T) {
+	s, d := fixture(t)
+	r := parser.MustParseRule("out(x, z) :- edge(x, y), edge(y, z).", s, d)
+	sql, err := Rule(r, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT DISTINCT t0.c0 AS c0, t1.c1 AS c1\n" +
+		"FROM edge AS t0, edge AS t1\n" +
+		"WHERE t0.c1 = t1.c0"
+	if sql != want {
+		t.Errorf("got:\n%s\nwant:\n%s", sql, want)
+	}
+}
+
+func TestRuleConstantsBecomeSelections(t *testing.T) {
+	s, d := fixture(t)
+	r := parser.MustParseRule("target(x) :- edge(x, y), color(y, Red).", s, d)
+	sql, err := Rule(r, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "t1.c1 = 'Red'") {
+		t.Errorf("selection missing:\n%s", sql)
+	}
+	if !strings.Contains(sql, "t0.c1 = t1.c0") {
+		t.Errorf("join condition missing:\n%s", sql)
+	}
+}
+
+func TestRuleRepeatedVariableInOneLiteral(t *testing.T) {
+	s, d := fixture(t)
+	r := parser.MustParseRule("target(x) :- edge(x, x).", s, d)
+	sql, err := Rule(r, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "t0.c0 = t0.c1") {
+		t.Errorf("self-join condition missing:\n%s", sql)
+	}
+}
+
+func TestRuleNoConditions(t *testing.T) {
+	s, d := fixture(t)
+	r := parser.MustParseRule("out(x, y) :- edge(x, y).", s, d)
+	sql, err := Rule(r, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sql, "WHERE") {
+		t.Errorf("unexpected WHERE clause:\n%s", sql)
+	}
+}
+
+func TestRuleConstHead(t *testing.T) {
+	s, d := fixture(t)
+	r := parser.MustParseRule("out(x, Red) :- edge(x, y).", s, d)
+	sql, err := Rule(r, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "'Red' AS c1") {
+		t.Errorf("constant head column missing:\n%s", sql)
+	}
+}
+
+func TestRuleErrors(t *testing.T) {
+	s, d := fixture(t)
+	// Bodiless.
+	fact := parser.MustParseRule("out(Red, Red).", s, d)
+	if _, err := Rule(fact, s, d); err == nil {
+		t.Error("bodiless rule rendered")
+	}
+	// Unsafe head (constructed directly; the parser rejects it).
+	edge, _ := s.Lookup("edge")
+	out, _ := s.Lookup("out")
+	unsafe := query.Rule{
+		Head: query.Literal{Rel: out, Args: []query.Term{query.V(0), query.V(9)}},
+		Body: []query.Literal{{Rel: edge, Args: []query.Term{query.V(0), query.V(1)}}},
+	}
+	if _, err := Rule(unsafe, s, d); err == nil {
+		t.Error("unsafe rule rendered")
+	}
+}
+
+func TestUCQUnion(t *testing.T) {
+	s, d := fixture(t)
+	q := parser.MustParseProgram(`
+		out(x, y) :- edge(x, y).
+		out(x, y) :- edge(y, x).
+	`, s, d)
+	sql, err := UCQ(q, s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sql, "SELECT DISTINCT") != 2 || strings.Count(sql, "\nUNION\n") != 1 {
+		t.Errorf("union structure wrong:\n%s", sql)
+	}
+	if _, err := UCQ(query.UCQ{}, s, d); err == nil {
+		t.Error("empty UCQ rendered")
+	}
+}
+
+func TestIdentQuoting(t *testing.T) {
+	if sqlIdent("edge") != "edge" || sqlIdent("not_edge") != "not_edge" {
+		t.Error("plain identifiers quoted")
+	}
+	if sqlIdent("weird name") != `"weird name"` {
+		t.Errorf("quoting = %q", sqlIdent("weird name"))
+	}
+	if sqlIdent(`has"quote`) != `"has""quote"` {
+		t.Errorf("escaping = %q", sqlIdent(`has"quote`))
+	}
+	if sqlIdent("9lives") != `"9lives"` {
+		t.Errorf("leading digit = %q", sqlIdent("9lives"))
+	}
+}
+
+func TestConstEscaping(t *testing.T) {
+	if sqlConst("Wall St") != "'Wall St'" {
+		t.Error("plain constant wrong")
+	}
+	if sqlConst("O'Hare") != "'O''Hare'" {
+		t.Errorf("escaping = %q", sqlConst("O'Hare"))
+	}
+}

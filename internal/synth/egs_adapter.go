@@ -1,0 +1,41 @@
+package synth
+
+import (
+	"context"
+
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// EGS adapts the core example-guided synthesizer to the Synthesizer
+// interface.
+type EGS struct {
+	// Label overrides the reported name (default "egs").
+	Label string
+	// Options forwards to the core algorithm.
+	Options egs.Options
+}
+
+// Name implements Synthesizer.
+func (e *EGS) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return "egs"
+}
+
+// Synthesize implements Synthesizer.
+func (e *EGS) Synthesize(ctx context.Context, t *task.Task) (Result, error) {
+	res, err := egs.Synthesize(ctx, t, e.Options)
+	if err != nil {
+		return Result{}, err
+	}
+	if res.Unsat {
+		out := Result{Status: Unsat}
+		if res.Witness != nil {
+			out.Detail = res.Witness.String(t.Schema, t.Domain)
+		}
+		return out, nil
+	}
+	return Result{Status: Sat, Query: res.Query}, nil
+}

@@ -1,0 +1,71 @@
+// Package synth defines the common interface implemented by every
+// synthesizer in the reproduction — EGS itself and the three baseline
+// re-implementations (Scythe-style enumerative search, ILASP-style
+// constraint solving, ProSynth-style hybrid search) — so that the
+// benchmark harness can drive them uniformly.
+package synth
+
+import (
+	"context"
+
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// Status classifies a synthesizer verdict.
+type Status uint8
+
+const (
+	// Sat: a consistent query was found.
+	Sat Status = iota
+	// Unsat: the synthesizer proved that no consistent query exists
+	// in the full language. Only EGS can return this (Theorem 4.3).
+	Unsat
+	// Exhausted: the synthesizer's bounded search space contains no
+	// consistent query. This does not prove unrealizability — the
+	// distinction the paper draws in Section 6.5 between EGS and the
+	// mode-bounded baselines.
+	Exhausted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	case Exhausted:
+		return "exhausted"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is a synthesizer verdict plus the synthesized query when
+// Status is Sat.
+type Result struct {
+	Status Status
+	Query  query.UCQ
+	// Detail carries synthesizer-specific diagnostics, e.g. the
+	// candidate-rule count for the mode-bounded baselines.
+	Detail string
+}
+
+// Synthesizer is one tool configuration runnable on a task.
+type Synthesizer interface {
+	// Name identifies the configuration, e.g. "egs" or "ilasp-L".
+	Name() string
+	// Synthesize attempts the task. Timeouts are delivered through
+	// ctx; implementations return ctx.Err() when interrupted.
+	Synthesize(ctx context.Context, t *task.Task) (Result, error)
+}
+
+// CheckSat verifies a Sat result against the task's example; every
+// synthesizer's output is re-checked by the harness and the
+// integration tests with this helper.
+func CheckSat(t *task.Task, r Result) (bool, string) {
+	if r.Status != Sat {
+		return false, "result is not sat"
+	}
+	return t.Example().Consistent(r.Query)
+}

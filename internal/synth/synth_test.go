@@ -1,0 +1,252 @@
+package synth_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/enumerative"
+	"github.com/egs-synthesis/egs/internal/ilasp"
+	"github.com/egs-synthesis/egs/internal/prosynth"
+	"github.com/egs-synthesis/egs/internal/scythe"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+const trafficSrc = `
+task traffic
+closed-world true
+expect sat
+modes maxv=2 GreenSignal=2 HasTraffic=2 Intersects=1
+input Intersects(2)
+input GreenSignal(1)
+input HasTraffic(1)
+output Crashes(1)
+Intersects(Broadway, LibertySt).
+Intersects(Broadway, WallSt).
+Intersects(Broadway, Whitehall).
+Intersects(LibertySt, Broadway).
+Intersects(LibertySt, WilliamSt).
+Intersects(WallSt, Broadway).
+Intersects(WallSt, WilliamSt).
+Intersects(Whitehall, Broadway).
+Intersects(WilliamSt, LibertySt).
+Intersects(WilliamSt, WallSt).
+GreenSignal(Broadway).
+GreenSignal(LibertySt).
+GreenSignal(WilliamSt).
+GreenSignal(Whitehall).
+HasTraffic(Broadway).
+HasTraffic(WallSt).
+HasTraffic(WilliamSt).
+HasTraffic(Whitehall).
++Crashes(Broadway).
++Crashes(Whitehall).
+`
+
+const predecessorSrc = `
+task predecessor
+closed-world false
+expect sat
+modes maxv=2 succ=1
+input succ(2)
+output pred(2)
+succ(one, two).
+succ(two, three).
+succ(three, four).
++pred(two, one).
++pred(three, two).
++pred(four, three).
+-pred(one, two).
+-pred(one, one).
+-pred(two, three).
+`
+
+const undirectedSrc = `
+task undirected-edge
+closed-world false
+expect sat
+features disjunction
+modes maxv=2 edge=1
+input edge(2)
+output sym(2)
+edge(a, b).
+edge(c, d).
++sym(a, b).
++sym(b, a).
++sym(c, d).
+-sym(a, c).
+-sym(a, d).
+-sym(b, c).
+`
+
+func load(t *testing.T, src string) *task.Task {
+	t.Helper()
+	tk, err := task.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tk
+}
+
+func allTools() []synth.Synthesizer {
+	return []synth.Synthesizer{
+		&synth.EGS{},
+		&scythe.Synthesizer{},
+		&ilasp.Synthesizer{Source: ilasp.TaskSpecific},
+		&prosynth.Synthesizer{Source: ilasp.TaskSpecific},
+		&enumerative.Synthesizer{Indistinguishability: true},
+	}
+}
+
+func TestAllToolsSolveTraffic(t *testing.T) {
+	for _, tool := range allTools() {
+		tool := tool
+		t.Run(tool.Name(), func(t *testing.T) {
+			tk := load(t, trafficSrc)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			res, err := tool.Synthesize(ctx, tk)
+			if err != nil {
+				t.Fatalf("error: %v", err)
+			}
+			if res.Status != synth.Sat {
+				t.Fatalf("status = %v (%s)", res.Status, res.Detail)
+			}
+			if ok, why := synth.CheckSat(tk, res); !ok {
+				t.Fatalf("inconsistent result: %s\n%s", why, res.Query.String(tk.Schema, tk.Domain))
+			}
+		})
+	}
+}
+
+func TestAllToolsSolvePredecessor(t *testing.T) {
+	for _, tool := range allTools() {
+		tool := tool
+		t.Run(tool.Name(), func(t *testing.T) {
+			tk := load(t, predecessorSrc)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			res, err := tool.Synthesize(ctx, tk)
+			if err != nil {
+				t.Fatalf("error: %v", err)
+			}
+			if res.Status != synth.Sat {
+				t.Fatalf("status = %v (%s)", res.Status, res.Detail)
+			}
+			if ok, why := synth.CheckSat(tk, res); !ok {
+				t.Fatalf("inconsistent result: %s", why)
+			}
+		})
+	}
+}
+
+func TestAllToolsSolveDisjunctiveTask(t *testing.T) {
+	for _, tool := range allTools() {
+		tool := tool
+		t.Run(tool.Name(), func(t *testing.T) {
+			tk := load(t, undirectedSrc)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			res, err := tool.Synthesize(ctx, tk)
+			if err != nil {
+				t.Fatalf("error: %v", err)
+			}
+			if res.Status != synth.Sat {
+				t.Fatalf("status = %v (%s)", res.Status, res.Detail)
+			}
+			if ok, why := synth.CheckSat(tk, res); !ok {
+				t.Fatalf("inconsistent result: %s\n%s", why, res.Query.String(tk.Schema, tk.Domain))
+			}
+			if len(res.Query.Rules) < 2 {
+				t.Errorf("%s: expected a union, got %d rule(s)", tool.Name(), len(res.Query.Rules))
+			}
+		})
+	}
+}
+
+const isomorphismSrc = `
+task isomorphism
+closed-world true
+expect unsat
+modes maxv=3 edge=2
+input edge(2)
+output target(1)
+edge(a, b).
+edge(b, a).
++target(a).
+`
+
+func TestUnrealizableVerdicts(t *testing.T) {
+	// EGS proves unsat; the mode-bounded tools report Exhausted —
+	// the Section 6.5 distinction.
+	tk := load(t, isomorphismSrc)
+	ctx := context.Background()
+
+	egsRes, err := (&synth.EGS{}).Synthesize(ctx, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if egsRes.Status != synth.Unsat {
+		t.Errorf("egs status = %v, want unsat", egsRes.Status)
+	}
+	for _, tool := range []synth.Synthesizer{
+		&ilasp.Synthesizer{Source: ilasp.TaskSpecific},
+		&prosynth.Synthesizer{Source: ilasp.TaskSpecific},
+	} {
+		tk2 := load(t, isomorphismSrc)
+		res, err := tool.Synthesize(ctx, tk2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != synth.Exhausted {
+			t.Errorf("%s status = %v, want exhausted", tool.Name(), res.Status)
+		}
+	}
+}
+
+func TestScytheTimeoutOnUnrealizable(t *testing.T) {
+	// Scythe keeps deepening joins and hits its deadline, as in
+	// Table 2 of the paper.
+	tk := load(t, isomorphismSrc)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res, err := (&scythe.Synthesizer{}).Synthesize(ctx, tk)
+	if err == nil && res.Status == synth.Sat {
+		t.Fatalf("scythe found a query on an unrealizable task:\n%s",
+			res.Query.String(tk.Schema, tk.Domain))
+	}
+	// Either a deadline error or Exhausted (if it ran out of join
+	// depth first) is acceptable; Sat is not.
+}
+
+func TestStatusString(t *testing.T) {
+	if synth.Sat.String() != "sat" || synth.Unsat.String() != "unsat" || synth.Exhausted.String() != "exhausted" {
+		t.Error("Status strings wrong")
+	}
+	if synth.Status(9).String() != "unknown" {
+		t.Error("unknown Status string wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, tool := range []synth.Synthesizer{
+		&synth.EGS{},
+		&synth.EGS{Label: "egs-p1"},
+		&scythe.Synthesizer{},
+		&ilasp.Synthesizer{Source: ilasp.TaskSpecific},
+		&ilasp.Synthesizer{Source: ilasp.TaskAgnostic},
+		&prosynth.Synthesizer{Source: ilasp.TaskSpecific},
+		&prosynth.Synthesizer{Source: ilasp.TaskAgnostic},
+		&enumerative.Synthesizer{},
+		&enumerative.Synthesizer{Indistinguishability: true},
+	} {
+		n := tool.Name()
+		if names[n] {
+			t.Errorf("duplicate tool name %q", n)
+		}
+		names[n] = true
+	}
+}

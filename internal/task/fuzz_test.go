@@ -1,0 +1,45 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the task-file loader never panics: every input
+// either yields a prepared task or an error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"task t\ninput p(1)\noutput q(1)\np(a).\n+q(a).\n",
+		"closed-world true\ninput edge(2)\noutput out(1)\nedge(a, b).\n+out(a).\n",
+		"neq true\nnegate p\ninput p(1)\noutput q(1)\np(a).\n+q(a).\n",
+		"modes maxv=2 p=1\ninput p(2)\noutput q(2)\np(a, b).\n+q(b, a).\nintended q(x, y) :- p(y, x).\n",
+		"typed-negation true\nnegate p\ninput p(2)\noutput q(1)\np(a, b).\n+q(a).\n",
+		"input p(1)\n# comment\nexpect unsat\n",
+		"garbage directive\n",
+		"+q(a).\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tk, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// A successfully parsed task must be internally coherent.
+		ex := tk.Example()
+		if ex == nil {
+			t.Fatal("prepared task has no example")
+		}
+		for _, p := range tk.Pos {
+			if ex.IsNegative(p) {
+				t.Fatalf("positive tuple classified negative: %s", p.String(tk.Schema, tk.Domain))
+			}
+		}
+		if tk.HasIntended() {
+			if got := len(tk.Intended().Rules); got != len(tk.IntendedSrc) {
+				t.Fatalf("intended rules: parsed %d of %d", got, len(tk.IntendedSrc))
+			}
+		}
+	})
+}

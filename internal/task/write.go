@@ -1,0 +1,166 @@
+package task
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// Write serializes the task in the .task file format, suitable for
+// re-loading with Parse. The task must be prepared. Materialized
+// complement and neq tuples are not written (the negate/neq
+// directives regenerate them on load), so a written-then-loaded task
+// is semantically identical to the original.
+func Write(w io.Writer, t *Task) error {
+	if !t.prepared {
+		return fmt.Errorf("task %s: Write before Prepare", t.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "task %s\n", t.Name)
+	if t.Category != "" {
+		fmt.Fprintf(&b, "domain %s\n", t.Category)
+	}
+	fmt.Fprintf(&b, "closed-world %v\n", t.ClosedWorld)
+	switch t.Expect {
+	case ExpectSat:
+		b.WriteString("expect sat\n")
+	case ExpectUnsat:
+		b.WriteString("expect unsat\n")
+	}
+	var feats []string
+	if t.FeatureDisj {
+		feats = append(feats, "disjunction")
+	}
+	if t.FeatureNeg {
+		feats = append(feats, "negation")
+	}
+	if len(feats) > 0 {
+		fmt.Fprintf(&b, "features %s\n", strings.Join(feats, " "))
+	}
+	if len(t.NegateRels) > 0 {
+		fmt.Fprintf(&b, "negate %s\n", strings.Join(t.NegateRels, " "))
+	}
+	if t.AddNeq {
+		b.WriteString("neq true\n")
+	}
+	if t.TypedNegation {
+		b.WriteString("typed-negation true\n")
+	}
+	if t.Modes != nil {
+		fmt.Fprintf(&b, "modes maxv=%d", t.Modes.MaxVars)
+		names := make([]string, 0, len(t.Modes.Occurrences))
+		for n := range t.Modes.Occurrences {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s=%d", n, t.Modes.Occurrences[n])
+		}
+		b.WriteByte('\n')
+	}
+
+	// Declarations: inputs first (skipping materialized relations),
+	// then outputs, in declaration order.
+	materialized := map[string]bool{"neq": t.AddNeq}
+	for _, n := range t.NegateRels {
+		materialized["not_"+n] = true
+	}
+	for _, rel := range t.Schema.All() {
+		info := t.Schema.Info(rel)
+		if info.Kind != relation.Input || materialized[info.Name] {
+			continue
+		}
+		fmt.Fprintf(&b, "input %s(%d)\n", info.Name, info.Arity)
+	}
+	for _, rel := range t.Schema.All() {
+		info := t.Schema.Info(rel)
+		if info.Kind != relation.Output {
+			continue
+		}
+		fmt.Fprintf(&b, "output %s(%d)\n", info.Name, info.Arity)
+	}
+	for _, src := range t.IntendedSrc {
+		fmt.Fprintf(&b, "intended %s\n", src)
+	}
+
+	// Facts: only the first RawInputCount tuples are original; the
+	// rest were materialized by Prepare.
+	for i, tu := range t.Input.All() {
+		if i >= t.RawInputCount {
+			break
+		}
+		b.WriteString(renderFact(t, tu, ""))
+	}
+	for _, tu := range t.Pos {
+		b.WriteString(renderFact(t, tu, "+"))
+	}
+	for _, tu := range t.Neg {
+		b.WriteString(renderFact(t, tu, "-"))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderFact renders one ground atom line, quoting constants that
+// the lexer would not re-read as a single identifier.
+func renderFact(t *Task, tu relation.Tuple, sign string) string {
+	var b strings.Builder
+	b.WriteString(sign)
+	b.WriteString(t.Schema.Name(tu.Rel))
+	b.WriteByte('(')
+	for i, c := range tu.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteConst(t.Domain.Name(c)))
+	}
+	b.WriteString(").\n")
+	return b.String()
+}
+
+// quoteConst quotes a constant spelling unless it parses as a single
+// identifier or number token.
+func quoteConst(name string) string {
+	if name == "" {
+		return `""`
+	}
+	plain := true
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r == '-' && i > 0, r == '\'' && i > 0:
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				// Leading digit: fine only if the whole token is a
+				// number, which the loop cannot decide locally; be
+				// conservative and quote unless all digits.
+				if !allDigits(name) {
+					plain = false
+				}
+			}
+		default:
+			plain = false
+		}
+		if !plain {
+			break
+		}
+	}
+	if plain {
+		return name
+	}
+	escaped := strings.ReplaceAll(name, `\`, `\\`)
+	escaped = strings.ReplaceAll(escaped, `"`, `\"`)
+	return `"` + escaped + `"`
+}
+
+func allDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}

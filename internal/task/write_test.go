@@ -1,0 +1,128 @@
+package task
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// TestWriteRoundTripSuite serializes every benchmark task and
+// re-parses it, checking semantic equality: same declarations, same
+// raw facts, same examples, same directives.
+func TestWriteRoundTripSuite(t *testing.T) {
+	paths, err := filepath.Glob("../../testdata/benchmarks/*/*.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 86 {
+		t.Fatalf("found %d task files, want 86", len(paths))
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			orig, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := Write(&sb, orig); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Parse(strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\n--- written ---\n%s", err, sb.String())
+			}
+			compareTasks(t, orig, back)
+		})
+	}
+}
+
+func compareTasks(t *testing.T, a, b *Task) {
+	t.Helper()
+	if a.Name != b.Name || a.Category != b.Category || a.ClosedWorld != b.ClosedWorld ||
+		a.AddNeq != b.AddNeq || a.TypedNegation != b.TypedNegation || a.Expect != b.Expect {
+		t.Error("metadata differs")
+	}
+	if a.RawInputCount != b.RawInputCount {
+		t.Errorf("raw input count: %d vs %d", a.RawInputCount, b.RawInputCount)
+	}
+	if a.Input.Size() != b.Input.Size() {
+		t.Errorf("prepared input size: %d vs %d", a.Input.Size(), b.Input.Size())
+	}
+	if len(a.Pos) != len(b.Pos) || len(a.Neg) != len(b.Neg) {
+		t.Errorf("example sizes differ: %d/%d vs %d/%d", len(a.Pos), len(a.Neg), len(b.Pos), len(b.Neg))
+	}
+	// Tuple sets must match by name (ids may be assigned differently).
+	aPos := renderSet(a, a.Pos)
+	bPos := renderSet(b, b.Pos)
+	for k := range aPos {
+		if !bPos[k] {
+			t.Errorf("positive %s lost in round trip", k)
+		}
+	}
+	aRaw := renderRaw(a)
+	bRaw := renderRaw(b)
+	for k := range aRaw {
+		if !bRaw[k] {
+			t.Errorf("fact %s lost in round trip", k)
+		}
+	}
+	if len(a.IntendedSrc) != len(b.IntendedSrc) {
+		t.Errorf("intended rules: %d vs %d", len(a.IntendedSrc), len(b.IntendedSrc))
+	}
+	if (a.Modes == nil) != (b.Modes == nil) {
+		t.Error("modes presence differs")
+	} else if a.Modes != nil && a.Modes.MaxVars != b.Modes.MaxVars {
+		t.Error("modes maxv differs")
+	}
+}
+
+func renderSet(tk *Task, ts []relation.Tuple) map[string]bool {
+	m := map[string]bool{}
+	for _, tu := range ts {
+		m[tu.String(tk.Schema, tk.Domain)] = true
+	}
+	return m
+}
+
+func renderRaw(tk *Task) map[string]bool {
+	m := map[string]bool{}
+	for i, tu := range tk.Input.All() {
+		if i >= tk.RawInputCount {
+			break
+		}
+		m[tu.String(tk.Schema, tk.Domain)] = true
+	}
+	return m
+}
+
+func TestQuoteConst(t *testing.T) {
+	cases := map[string]string{
+		"Broadway":  "Broadway",
+		"Wall St":   `"Wall St"`,
+		"n0":        "n0",
+		"12":        "12",
+		"3.5":       `"3.5"`,
+		"9lives":    `"9lives"`,
+		"":          `""`,
+		`say "hi"`:  `"say \"hi\""`,
+		"O'Hare":    "O'Hare",
+		"with-dash": "with-dash",
+		"-neg":      `"-neg"`,
+	}
+	for in, want := range cases {
+		if got := quoteConst(in); got != want {
+			t.Errorf("quoteConst(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteUnpreparedFails(t *testing.T) {
+	tk := &Task{Name: "x"}
+	var sb strings.Builder
+	if err := Write(&sb, tk); err == nil {
+		t.Error("Write on unprepared task succeeded")
+	}
+}

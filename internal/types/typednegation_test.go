@@ -1,0 +1,80 @@
+package types_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// TestTypedNegationShrinksComplement is the integration check: on a
+// downcast-like schema, the typed complement of subtype is the
+// type x type one, not the D^2 one.
+func TestTypedNegationShrinksComplement(t *testing.T) {
+	src := `
+task typed
+closed-world true
+typed-negation true
+negate subtype
+input subtype(2)
+input pointsto(2)
+output out(1)
+subtype(TA, TB).
+subtype(TB, TC).
+pointsto(v1, o1).
+pointsto(v2, o2).
+pointsto(v3, o1).
++out(v1).
+`
+	tk, err := task.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	notSub, ok := tk.Schema.Lookup("not_subtype")
+	if !ok {
+		t.Fatal("not_subtype missing")
+	}
+	// Types: {TA,TB,TC} for subtype columns; 3x3 - 2 = 7 complements.
+	if got := tk.Input.ExtentSize(notSub); got != 7 {
+		t.Errorf("typed complement = %d tuples, want 7", got)
+	}
+	// Untyped comparison: D = 8 constants -> 64 - 2 = 62.
+	src2 := strings.Replace(src, "typed-negation true", "typed-negation false", 1)
+	tk2, err := task.Parse(strings.NewReader(src2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	notSub2, _ := tk2.Schema.Lookup("not_subtype")
+	if got := tk2.Input.ExtentSize(notSub2); got != 62 {
+		t.Errorf("untyped complement = %d tuples, want 62", got)
+	}
+}
+
+// TestTypedNeq checks that neq pairs only same-type constants under
+// typed negation.
+func TestTypedNeq(t *testing.T) {
+	src := `
+task tneq
+closed-world true
+typed-negation true
+neq true
+input lives(2)
+output out(1)
+lives(Ann, Oslo).
+lives(Ben, Rome).
++out(Ann).
+`
+	tk, err := task.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	neq, ok := tk.Schema.Lookup("neq")
+	if !ok {
+		t.Fatal("neq missing")
+	}
+	// Two types of 2 constants each: 2 + 2 = 4 ordered unequal pairs,
+	// versus 12 untyped.
+	if got := tk.Input.ExtentSize(neq); got != 4 {
+		t.Errorf("typed neq = %d tuples, want 4", got)
+	}
+}

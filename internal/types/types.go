@@ -1,0 +1,187 @@
+// Package types infers column types for an extensional database, the
+// typed-domains extension sketched in Section 3.1 of the EGS paper
+// ("the synthesis framework and its theoretical guarantees can be
+// extended to support typed constants and typed relations").
+//
+// Two relation columns receive the same type when they share at
+// least one constant; the relation "shares a constant" is closed
+// under union (a union-find over columns seeded by each constant's
+// occurrence set). Each type's domain is the set of constants
+// occurring in its columns.
+//
+// The practical payoff is negation: Section 5.3 materializes the
+// complement of a k-ary relation over D^k, which swamps the
+// co-occurrence graph when D mixes, say, program variables with type
+// names. With inferred column types the complement ranges over the
+// product of the column domains instead, which is both smaller and
+// semantically right (the downcast benchmark's not_subtype relation
+// is the type x type complement, not the D^2 one).
+package types
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// TypeID identifies an inferred column type; ids are dense, 0-based.
+type TypeID int32
+
+// colKey identifies a relation column.
+type colKey struct {
+	rel relation.RelID
+	col int
+}
+
+// Assignment is the result of type inference over a database.
+type Assignment struct {
+	colType    map[colKey]TypeID
+	constType  map[relation.Const]TypeID
+	domains    [][]relation.Const
+	numColumns int
+}
+
+// Infer computes column types for db. Columns never populated by any
+// tuple get fresh singleton types with empty domains.
+func Infer(db *relation.Database) *Assignment {
+	// Union-find over columns.
+	var cols []colKey
+	colIndex := map[colKey]int{}
+	for _, rel := range db.Schema.All() {
+		info := db.Schema.Info(rel)
+		for c := 0; c < info.Arity; c++ {
+			k := colKey{rel, c}
+			colIndex[k] = len(cols)
+			cols = append(cols, k)
+		}
+	}
+	parent := make([]int, len(cols))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	// For each constant, union every column it occurs in.
+	occurs := map[relation.Const][]int{}
+	for _, id := range db.AllIDs() {
+		t := db.Tuple(id)
+		for c, cst := range t.Args {
+			occurs[cst] = append(occurs[cst], colIndex[colKey{t.Rel, c}])
+		}
+	}
+	for _, cs := range occurs {
+		for i := 1; i < len(cs); i++ {
+			union(cs[0], cs[i])
+		}
+	}
+	// Assign dense type ids per root, in first-column order.
+	a := &Assignment{
+		colType:    make(map[colKey]TypeID),
+		constType:  make(map[relation.Const]TypeID),
+		numColumns: len(cols),
+	}
+	rootType := map[int]TypeID{}
+	for i, k := range cols {
+		r := find(i)
+		tid, ok := rootType[r]
+		if !ok {
+			tid = TypeID(len(a.domains))
+			rootType[r] = tid
+			a.domains = append(a.domains, nil)
+		}
+		a.colType[k] = tid
+	}
+	// Populate domains and constant types.
+	seen := map[relation.Const]bool{}
+	for _, id := range db.AllIDs() {
+		t := db.Tuple(id)
+		for c, cst := range t.Args {
+			tid := a.colType[colKey{t.Rel, c}]
+			if !seen[cst] {
+				seen[cst] = true
+				a.constType[cst] = tid
+				a.domains[tid] = append(a.domains[tid], cst)
+			}
+		}
+	}
+	for _, dom := range a.domains {
+		sort.Slice(dom, func(i, j int) bool { return dom[i] < dom[j] })
+	}
+	return a
+}
+
+// NumTypes reports the number of inferred types.
+func (a *Assignment) NumTypes() int { return len(a.domains) }
+
+// ColumnType returns the type of relation rel's column col, and
+// whether the column was known to the inference.
+func (a *Assignment) ColumnType(rel relation.RelID, col int) (TypeID, bool) {
+	t, ok := a.colType[colKey{rel, col}]
+	return t, ok
+}
+
+// ConstType returns the type of a constant, and whether the constant
+// occurs in the database.
+func (a *Assignment) ConstType(c relation.Const) (TypeID, bool) {
+	t, ok := a.constType[c]
+	return t, ok
+}
+
+// DomainOf returns the constants of the given type, ascending. The
+// returned slice is shared; do not mutate.
+func (a *Assignment) DomainOf(t TypeID) []relation.Const {
+	if int(t) < 0 || int(t) >= len(a.domains) {
+		return nil
+	}
+	return a.domains[t]
+}
+
+// TypeName renders a stable display name for a type.
+func (a *Assignment) TypeName(t TypeID) string { return fmt.Sprintf("t%d", int32(t)) }
+
+// String summarizes the assignment for diagnostics: one line per
+// type with its domain size.
+func (a *Assignment) String() string {
+	s := fmt.Sprintf("%d types over %d columns\n", len(a.domains), a.numColumns)
+	for i, dom := range a.domains {
+		s += fmt.Sprintf("  %s: %d constants\n", a.TypeName(TypeID(i)), len(dom))
+	}
+	return s
+}
+
+// ComplementSize returns the number of tuples in the typed
+// complement of relation rel: the product of its column domain sizes
+// minus its extent. The bool result is false on overflow.
+func (a *Assignment) ComplementSize(db *relation.Database, rel relation.RelID) (uint64, bool) {
+	arity := db.Schema.Arity(rel)
+	total := uint64(1)
+	for c := 0; c < arity; c++ {
+		t, ok := a.ColumnType(rel, c)
+		if !ok {
+			return 0, false
+		}
+		n := uint64(len(a.DomainOf(t)))
+		if n != 0 && total > (1<<62)/n {
+			return 0, false
+		}
+		total *= n
+	}
+	ext := uint64(db.ExtentSize(rel))
+	if ext > total {
+		return 0, true
+	}
+	return total - ext, true
+}

@@ -1,0 +1,118 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// buildDB constructs a database with clearly separated column types:
+// people appear in person-columns, cities in city-columns.
+func buildDB(t *testing.T) (*relation.Database, relation.RelID, relation.RelID) {
+	t.Helper()
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	lives := s.MustDeclare("lives", 2, relation.Input) // person x city
+	knows := s.MustDeclare("knows", 2, relation.Input) // person x person
+	db := relation.NewDatabase(s, d)
+	ann, ben := d.Intern("Ann"), d.Intern("Ben")
+	oslo, rome := d.Intern("Oslo"), d.Intern("Rome")
+	db.Insert(relation.NewTuple(lives, ann, oslo))
+	db.Insert(relation.NewTuple(lives, ben, rome))
+	db.Insert(relation.NewTuple(knows, ann, ben))
+	return db, lives, knows
+}
+
+func TestInferSeparatesTypes(t *testing.T) {
+	db, lives, knows := buildDB(t)
+	a := Infer(db)
+	// People and cities must land in different types.
+	pCol, ok1 := a.ColumnType(lives, 0)
+	cCol, ok2 := a.ColumnType(lives, 1)
+	if !ok1 || !ok2 {
+		t.Fatal("columns unassigned")
+	}
+	if pCol == cCol {
+		t.Error("person and city columns share a type")
+	}
+	// knows columns join with lives column 0 through Ann/Ben.
+	k0, _ := a.ColumnType(knows, 0)
+	k1, _ := a.ColumnType(knows, 1)
+	if k0 != pCol || k1 != pCol {
+		t.Errorf("knows columns typed %v/%v, want %v", k0, k1, pCol)
+	}
+	if a.NumTypes() < 2 {
+		t.Errorf("NumTypes = %d, want >= 2", a.NumTypes())
+	}
+	// Domains partition the constants.
+	ann, _ := db.Domain.Lookup("Ann")
+	oslo, _ := db.Domain.Lookup("Oslo")
+	ta, _ := a.ConstType(ann)
+	to, _ := a.ConstType(oslo)
+	if ta != pCol || to != cCol {
+		t.Errorf("const types: Ann=%v Oslo=%v", ta, to)
+	}
+	if len(a.DomainOf(pCol)) != 2 || len(a.DomainOf(cCol)) != 2 {
+		t.Errorf("domain sizes: %d, %d", len(a.DomainOf(pCol)), len(a.DomainOf(cCol)))
+	}
+}
+
+func TestInferMergesSharedConstants(t *testing.T) {
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	r1 := s.MustDeclare("r1", 1, relation.Input)
+	r2 := s.MustDeclare("r2", 1, relation.Input)
+	db := relation.NewDatabase(s, d)
+	shared := d.Intern("x")
+	db.Insert(relation.NewTuple(r1, shared))
+	db.Insert(relation.NewTuple(r2, shared))
+	a := Infer(db)
+	t1, _ := a.ColumnType(r1, 0)
+	t2, _ := a.ColumnType(r2, 0)
+	if t1 != t2 {
+		t.Error("columns sharing a constant got different types")
+	}
+}
+
+func TestInferEmptyColumns(t *testing.T) {
+	s := relation.NewSchema()
+	d := relation.NewDomain()
+	empty := s.MustDeclare("empty", 2, relation.Input)
+	db := relation.NewDatabase(s, d)
+	a := Infer(db)
+	tid, ok := a.ColumnType(empty, 0)
+	if !ok {
+		t.Fatal("empty column unassigned")
+	}
+	if len(a.DomainOf(tid)) != 0 {
+		t.Error("empty column has a nonempty domain")
+	}
+	if _, ok := a.ConstType(relation.Const(99)); ok {
+		t.Error("unknown constant typed")
+	}
+	if a.DomainOf(TypeID(-1)) != nil {
+		t.Error("out-of-range type has a domain")
+	}
+}
+
+func TestComplementSize(t *testing.T) {
+	db, lives, _ := buildDB(t)
+	a := Infer(db)
+	// lives ranges over 2 people x 2 cities = 4 candidates, 2 present.
+	n, ok := a.ComplementSize(db, lives)
+	if !ok || n != 2 {
+		t.Errorf("ComplementSize = %d,%v want 2,true", n, ok)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	db, _, _ := buildDB(t)
+	a := Infer(db)
+	if !strings.Contains(a.String(), "types over") {
+		t.Error("summary format changed")
+	}
+	if a.TypeName(TypeID(0)) != "t0" {
+		t.Error("TypeName format changed")
+	}
+}
