@@ -1,0 +1,35 @@
+# Build/verify entry points. `make verify` is the tier-1 gate: vet
+# plus the full test suite under the race detector (the serving
+# layer's worker pool and result cache are exactly the code that
+# needs it).
+
+GO ?= go
+
+.PHONY: all build verify test vet race serve-smoke clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verification: build, vet, and race-test everything.
+verify: build vet race
+
+# serve-smoke boots egs-serve, POSTs the kinship benchmark through
+# the full HTTP path, checks the Datalog answer and the metrics
+# endpoint, and shuts the server down.
+serve-smoke:
+	$(GO) build -o bin/egs-serve ./cmd/egs-serve
+	BIN=bin/egs-serve ./scripts/serve-smoke.sh
+
+clean:
+	rm -rf bin

@@ -1,0 +1,133 @@
+// Command egs-serve runs the EGS synthesizer as a long-running HTTP
+// service: POST a synthesis task, receive the synthesized query as
+// Datalog and SQL. See internal/server for the serving architecture
+// (bounded admission queue → worker pool → canonical-hash result
+// cache → engine) and README.md for request examples.
+//
+// Usage:
+//
+//	egs-serve [flags]
+//
+// Endpoints:
+//
+//	POST /synthesize   JSON task (Content-Type: application/json) or
+//	                   .task surface syntax (any other content type);
+//	                   ?timeout_ms= bounds one request's synthesis
+//	GET  /healthz      200 while serving, 503 while draining
+//	GET  /metrics      Prometheus text format
+//
+// Flags:
+//
+//	-addr :8080        listen address
+//	-workers n         concurrent syntheses (default GOMAXPROCS)
+//	-queue n           admission queue depth; overflow answers 429 (default 64)
+//	-cache n           result-cache entries; 0 disables (default 256)
+//	-timeout d         default per-request synthesis budget (default 30s)
+//	-max-timeout d     ceiling on client-requested timeouts (default 5m)
+//	-max-contexts n    server-wide enumeration budget per request; 0 = unlimited
+//	-max-body bytes    request body limit (default 8 MiB)
+//	-log text|json     structured log format (default text)
+//	-grace d           shutdown drain budget (default 15s)
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
+// queued and in-flight syntheses drain (up to -grace), then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent syntheses (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth")
+	cache := flag.Int("cache", 256, "result-cache entries (0 disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request synthesis budget")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested timeouts")
+	maxContexts := flag.Int("max-contexts", 0, "enumeration budget per request (0 = unlimited)")
+	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "egs-serve: unknown log format %q\n", *logFormat)
+		return 2
+	}
+	log := slog.New(handler)
+
+	cacheSize := *cache
+	if cacheSize == 0 {
+		cacheSize = -1 // Config uses negative to disable, 0 for default
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxContexts:    *maxContexts,
+		MaxBodyBytes:   *maxBody,
+		Logger:         log,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("listening", "addr", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Error("listener failed", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behaviour: a second ^C kills immediately
+	log.Info("shutting down", "grace", *grace)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop the listener first so no request races the drain, then
+	// drain the synthesis pool.
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Warn("listener shutdown", "err", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Warn("pool drain incomplete", "err", err)
+		return 1
+	}
+	log.Info("bye")
+	return 0
+}

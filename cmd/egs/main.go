@@ -10,13 +10,23 @@
 // synthesized union of conjunctive queries is printed in Datalog
 // syntax; if the task is unrealizable, "unsat" is printed together
 // with the completeness argument's witness (the exhausted context
-// space). Exit status: 0 for sat, 1 for unsat, 2 for errors or
-// timeout.
+// space).
+//
+// Exit status distinguishes the possible verdicts:
+//
+//	0  sat: a consistent query was synthesized
+//	1  unsat (or search space exhausted for the bounded baselines)
+//	2  usage or internal errors
+//	3  budget exceeded: the -timeout deadline or the -max-contexts
+//	   enumeration budget ran out before the search completed — unlike
+//	   unsat, this is not a proof of unrealizability
 //
 // Flags:
 //
 //	-priority p1|p2   queue priority function (default p2, Section 4.3)
 //	-timeout d        synthesis budget (default 300s, the paper's limit)
+//	-max-contexts n   enumeration-context budget per output cell
+//	                  (default 0 = unlimited; exceeded -> exit 3)
 //	-quick-unsat      enable the Lemma 4.2 unsat fast path
 //	-best-effort      tolerate noise: skip unexplainable positive tuples
 //	-parallel n       wave-parallel per-tuple explanation (EGS only)
@@ -31,6 +41,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +66,7 @@ func main() {
 func run() int {
 	priority := flag.String("priority", "p2", "queue priority function: p1 or p2")
 	timeout := flag.Duration("timeout", 300*time.Second, "synthesis budget")
+	maxContexts := flag.Int("max-contexts", 0, "enumeration-context budget per output cell (0 = unlimited)")
 	quickUnsat := flag.Bool("quick-unsat", false, "enable the Lemma 4.2 unsat fast path")
 	bestEffort := flag.Bool("best-effort", false, "tolerate noise: skip unexplainable positive tuples")
 	explain := flag.Bool("explain", false, "print a why-provenance witness for each positive tuple")
@@ -89,7 +101,7 @@ func run() int {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	opts := egs.Options{QuickUnsat: *quickUnsat, BestEffort: *bestEffort}
+	opts := egs.Options{QuickUnsat: *quickUnsat, BestEffort: *bestEffort, MaxContexts: *maxContexts}
 	switch *priority {
 	case "p1":
 		opts.Priority = egs.P1
@@ -130,6 +142,14 @@ func run() int {
 	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "egs: %v (after %v)\n", err, elapsed.Round(time.Millisecond))
+		// Budget exhaustion — the -timeout deadline or the
+		// -max-contexts enumeration cap — is a distinct outcome from
+		// unsat (exit 1): the search was cut short, nothing was
+		// proved. Scripts draw the sat/unsat/budget distinction from
+		// the exit status alone.
+		if errors.Is(err, egs.ErrBudgetExceeded) || errors.Is(err, context.DeadlineExceeded) {
+			return 3
+		}
 		return 2
 	}
 	if *stats {

@@ -299,9 +299,21 @@ func LoadTask(path string) (*Task, error) {
 // Name returns the task's name.
 func (t *Task) Name() string { return t.t.Name }
 
+// CanonicalHash returns a stable hex-encoded digest of the task's
+// example semantics: two tasks hash equal exactly when they describe
+// the same synthesis problem, independent of declaration order, fact
+// order, or naming metadata. It is the result-cache key used by the
+// synthesis server and is cheap enough to compute per request.
+func (t *Task) CanonicalHash() string { return task.CanonicalHash(t.t) }
+
 // NumFacts returns the number of input facts (before negation
 // preprocessing).
 func (t *Task) NumFacts() int { return t.t.RawInputCount }
+
+// NumExamples returns the number of labelled output tuples: |O+| and
+// the explicit |O-| (0 under closed-world labelling, where negatives
+// are implicit).
+func (t *Task) NumExamples() (pos, neg int) { return len(t.t.Pos), len(t.t.Neg) }
 
 // Consistent checks a query against the task's example: it must
 // derive every positive tuple and no negative tuple. On failure the

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used cache mapping
+// canonical task keys to completed synthesis responses. It is safe
+// for concurrent use; Get promotes the entry to most-recently-used.
+//
+// Synthesis is deterministic for a given (task, options) pair, so
+// cached verdicts — sat programs and unsat proofs alike — never go
+// stale; eviction is purely a memory bound.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU returns a cache holding up to capacity entries; capacity <= 0
+// returns a nil cache, on which Get and Put are no-ops.
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for key, promoting it.
+func (c *lruCache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the least-recently-used
+// entry when over capacity.
+func (c *lruCache) Put(key string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *lruCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

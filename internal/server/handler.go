@@ -1,0 +1,221 @@
+// HTTP surface of the synthesis service: routing, the /synthesize
+// request lifecycle (parse → cache probe → admit → await), health and
+// metrics endpoints, and structured request logging.
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/egs-synthesis/egs"
+)
+
+// Handler returns the service's HTTP routes wrapped in request
+// logging and status accounting:
+//
+//	POST /synthesize   run (or cache-serve) a synthesis task
+//	GET  /healthz      liveness: 200 while serving, 503 while draining
+//	GET  /metrics      Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /synthesize", s.handleSynthesize)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return s.instrument(mux)
+}
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with structured access logging and the
+// requests-by-status counter.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.mRequests.With(strconv.Itoa(rec.code)).Inc()
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.code,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.closed
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"status":"draining"}` + "\n"))
+		return
+	}
+	_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+// handleSynthesize is the request path of the tentpole: parse either
+// request form, probe the result cache, admit onto the bounded queue,
+// and await the worker under the request deadline.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	t, reqOpts, timeoutMS, err := parseRequest(r.Header.Get("Content-Type"), r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if pos, neg := t.NumExamples(); pos+neg == 0 {
+		// A task with no labelled tuples is vacuously sat (the empty
+		// query); answering it would only pollute the cache and mask
+		// client bugs like an empty body.
+		s.writeError(w, http.StatusBadRequest, "task declares no labelled output tuples; nothing to synthesize")
+		return
+	}
+	opts, err := s.resolveOptions(reqOpts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if timeoutMS == 0 {
+		if q := r.URL.Query().Get("timeout_ms"); q != "" {
+			timeoutMS, err = strconv.ParseInt(q, 10, 64)
+			if err != nil || timeoutMS < 0 {
+				s.writeError(w, http.StatusBadRequest, "invalid timeout_ms query parameter")
+				return
+			}
+		}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = min(time.Duration(timeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+
+	key := cacheKey(t, opts)
+	hash := key[:64] // the canonical task digest prefix of the key
+	if v, ok := s.cache.Get(key); ok {
+		s.mCacheHits.Inc()
+		resp := *v.(*SynthesisResponse) // shallow copy; cached entry stays immutable
+		resp.Cached = true
+		resp.ElapsedMS = msSince(start)
+		s.log.Info("synthesis served from cache", "task", t.Name(), "hash", hash)
+		s.writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+	s.mCacheMisses.Inc()
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	j := &job{ctx: ctx, task: t, opts: opts, done: make(chan jobResult, 1)}
+	if err := s.enqueue(j); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, err.Error())
+		default:
+			s.writeError(w, http.StatusServiceUnavailable, err.Error())
+		}
+		return
+	}
+
+	var jr jobResult
+	select {
+	case jr = <-j.done:
+	case <-ctx.Done():
+		// The worker may still be running; it observes the same ctx
+		// and will stop at its next cancellation check.
+		s.writeError(w, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline")
+		return
+	}
+	if jr.err != nil {
+		switch {
+		case errors.Is(jr.err, egs.ErrBudgetExceeded):
+			s.writeError(w, http.StatusUnprocessableEntity,
+				"enumeration budget exceeded before the search completed (raise max_contexts or the server budget)")
+		case errors.Is(jr.err, context.DeadlineExceeded), errors.Is(jr.err, context.Canceled):
+			s.writeError(w, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline")
+		default:
+			s.log.Error("synthesis failed", "task", t.Name(), "hash", hash, "err", jr.err)
+			s.writeError(w, http.StatusInternalServerError, "synthesis failed: "+jr.err.Error())
+		}
+		return
+	}
+
+	resp := buildResponse(t, jr.res, hash)
+	// Cache the immutable part. Both verdicts are cacheable: sat
+	// programs and unsat proofs are deterministic for (task, options).
+	s.cache.Put(key, resp)
+	s.mCacheSize.Set(int64(s.cache.Len()))
+	s.log.Info("synthesis complete",
+		"task", t.Name(), "hash", hash, "status", resp.Status,
+		"synth_ms", float64(jr.dur.Microseconds())/1000,
+		"rules", respRules(jr.res))
+
+	out := *resp
+	out.ElapsedMS = msSince(start)
+	s.writeJSON(w, http.StatusOK, &out)
+}
+
+// buildResponse renders an engine result for the wire.
+func buildResponse(t *egs.Task, res egs.Result, hash string) *SynthesisResponse {
+	resp := &SynthesisResponse{
+		TaskHash:  hash,
+		Uncovered: res.Uncovered,
+		Stats: &Stats{
+			ContextsExplored:    res.Stats.ContextsExplored,
+			CandidatesEvaluated: res.Stats.CandidatesEvaluated,
+			RulesLearned:        res.Stats.RulesLearned,
+		},
+	}
+	if res.Unsat {
+		resp.Status = "unsat"
+		resp.UnsatReason = res.UnsatReason
+		return resp
+	}
+	resp.Status = "sat"
+	resp.Datalog = res.Query.Datalog()
+	if sql, err := res.Query.SQL(); err == nil {
+		resp.SQL = sql
+	}
+	return resp
+}
+
+func respRules(res egs.Result) int {
+	if res.Query == nil {
+		return 0
+	}
+	return res.Query.NumRules()
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, &SynthesisResponse{Status: "error", Error: msg})
+}

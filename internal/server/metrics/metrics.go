@@ -1,0 +1,250 @@
+// Package metrics is a minimal, dependency-free metrics library for
+// the synthesis server: counters, labelled counter families, gauges,
+// and histograms, rendered in the Prometheus text exposition format
+// (version 0.0.4). The repo is standard-library-only by design, so
+// the handful of metric kinds the server needs are hand-rolled here
+// rather than imported from a client library.
+//
+// All metric operations are safe for concurrent use. Counters and
+// gauges are lock-free (atomics); histograms and labelled families
+// take a small mutex.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// CounterVec is a family of counters partitioned by the values of one
+// label. Children are created on first use and live for the life of
+// the registry.
+type CounterVec struct {
+	label string
+
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// With returns the child counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.m[value]
+	if !ok {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+// Histogram is a cumulative histogram with fixed upper bounds, plus
+// the running sum and count, matching the Prometheus histogram type.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds; +Inf is implicit
+
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last bucket is +Inf
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// DefBuckets are latency buckets (seconds) spanning sub-millisecond
+// cache hits to the paper's 300 s synthesis budget.
+var DefBuckets = []float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Registry holds named metrics and renders them on demand. Metrics
+// must be registered before the registry is first rendered; reads
+// never allocate new families.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+}
+
+type family struct {
+	name, help, typ string
+	counter         *Counter
+	vec             *CounterVec
+	gauge           *Gauge
+	hist            *Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, existing := range r.fams {
+		if existing.name == f.name {
+			panic("metrics: duplicate registration of " + f.name)
+		}
+	}
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterVec registers and returns a labelled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{label: label, m: make(map[string]*Counter)}
+	r.add(&family{name: name, help: help, typ: "counter", vec: v})
+	return v
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&family{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// Histogram registers and returns a histogram with the given upper
+// bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	r.add(&family{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
+		case f.gauge != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.gauge.Value())
+		case f.vec != nil:
+			writeVec(bw, f)
+		case f.hist != nil:
+			writeHistogram(bw, f)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeVec(w io.Writer, f *family) {
+	f.vec.mu.Lock()
+	values := make([]string, 0, len(f.vec.m))
+	for v := range f.vec.m {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	lines := make([]string, len(values))
+	for i, v := range values {
+		lines[i] = fmt.Sprintf("%s{%s=\"%s\"} %d", f.name, f.vec.label, escapeLabel(v), f.vec.m[v].Value())
+	}
+	f.vec.mu.Unlock()
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+func writeHistogram(w io.Writer, f *family) {
+	h := f.hist
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, formatFloat(b), cum)
+	}
+	cum += counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", f.name, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", f.name, count)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// Handler returns an http.Handler serving the rendered registry,
+// suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRenderAllKinds(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	v := r.CounterVec("requests_total", "Requests by status.", "code")
+	g := r.Gauge("queue_depth", "Queued jobs.")
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+
+	c.Add(3)
+	v.With("200").Inc()
+	v.With("200").Inc()
+	v.With("429").Inc()
+	g.Set(7)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		`requests_total{code="200"} 2`,
+		`requests_total{code="429"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.5", // prefix: exact decimal repr of the float sum may carry ulps
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaryInclusive(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", "h", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive, per Prometheus semantics
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `h_bucket{le="1"} 1`) {
+		t.Errorf("observation at bound not counted in its bucket:\n%s", b.String())
+	}
+}
+
+func TestGaugeUpDown(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge = %d, want 1", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	c := r.Counter("c", "c")
+	v := r.CounterVec("v", "v", "l")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h", "h", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				v.With("x").Inc()
+				g.Inc()
+				h.Observe(float64(j) / 100)
+			}
+		}(i)
+	}
+	// Render concurrently with the writers.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := v.With("x").Value(); got != 8000 {
+		t.Errorf("vec counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r := New()
+	r.Counter("dup", "first")
+	r.Counter("dup", "second")
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("up", "Server up.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up 1") {
+		t.Errorf("body missing metric:\n%s", rec.Body.String())
+	}
+}

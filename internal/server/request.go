@@ -1,0 +1,201 @@
+// Wire types for the synthesis service: the JSON request/response
+// schema of POST /synthesize, plus translation into the egs public
+// API. Requests may alternatively carry a task in the declarative
+// .task surface syntax (Content-Type: text/plain); both forms funnel
+// into the same *egs.Task.
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"strings"
+
+	"github.com/egs-synthesis/egs"
+)
+
+// RelDecl declares one relation of a JSON task.
+type RelDecl struct {
+	Name  string `json:"name"`
+	Arity int    `json:"arity"`
+}
+
+// Atom is one ground tuple: a fact or a labelled example.
+type Atom struct {
+	Rel  string   `json:"rel"`
+	Args []string `json:"args"`
+}
+
+// RequestOptions selects synthesizer options per request. Absent
+// fields take the server's defaults; MaxContexts and Workers are
+// clamped to the server's configured ceilings.
+type RequestOptions struct {
+	// Priority is "p2" (explanatory power per literal, the default)
+	// or "p1" (syntactically smallest solution).
+	Priority string `json:"priority,omitempty"`
+	// QuickUnsat enables the Lemma 4.2 unsat fast path.
+	QuickUnsat bool `json:"quick_unsat,omitempty"`
+	// MaxContexts caps enumeration contexts per output cell.
+	MaxContexts int `json:"max_contexts,omitempty"`
+	// BestEffort tolerates noise by skipping unexplainable positives.
+	BestEffort bool `json:"best_effort,omitempty"`
+	// Workers enables wave-parallel per-tuple explanation.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SynthesisRequest is the JSON body of POST /synthesize.
+type SynthesisRequest struct {
+	Name          string          `json:"name,omitempty"`
+	Inputs        []RelDecl       `json:"inputs"`
+	Outputs       []RelDecl       `json:"outputs"`
+	Facts         []Atom          `json:"facts"`
+	Positive      []Atom          `json:"positive"`
+	Negative      []Atom          `json:"negative,omitempty"`
+	ClosedWorld   bool            `json:"closed_world,omitempty"`
+	Negate        []string        `json:"negate,omitempty"`
+	Neq           bool            `json:"neq,omitempty"`
+	TypedNegation bool            `json:"typed_negation,omitempty"`
+	Options       *RequestOptions `json:"options,omitempty"`
+	// TimeoutMS bounds this request's synthesis time; 0 selects the
+	// server default, and values above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Stats mirrors egs.Stats on the wire.
+type Stats struct {
+	ContextsExplored    int `json:"contexts_explored"`
+	CandidatesEvaluated int `json:"candidates_evaluated"`
+	RulesLearned        int `json:"rules_learned"`
+}
+
+// SynthesisResponse is the JSON body returned by POST /synthesize.
+type SynthesisResponse struct {
+	// Status is "sat", "unsat", or "error".
+	Status string `json:"status"`
+	// Datalog is the synthesized query, one rule per line (sat only).
+	Datalog string `json:"datalog,omitempty"`
+	// SQL is the same query as a SELECT ... UNION statement (sat only).
+	SQL string `json:"sql,omitempty"`
+	// UnsatReason explains an unsat verdict.
+	UnsatReason string `json:"unsat_reason,omitempty"`
+	// Uncovered lists skipped positives in best-effort mode.
+	Uncovered []string `json:"uncovered,omitempty"`
+	Stats     *Stats   `json:"stats,omitempty"`
+	// TaskHash is the canonical task digest — the cache key modulo
+	// options — echoed for client-side correlation.
+	TaskHash string `json:"task_hash,omitempty"`
+	// Cached reports that the response was served from the result
+	// cache without running the synthesizer.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the server-side handling time for this request.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Error carries a human-readable message when Status is "error".
+	Error string `json:"error,omitempty"`
+}
+
+// parseRequest decodes an HTTP body into a prepared task plus
+// per-request knobs. JSON bodies use SynthesisRequest; any other
+// content type is parsed as the .task surface syntax.
+func parseRequest(contentType string, body io.Reader) (*egs.Task, *RequestOptions, int64, error) {
+	mt, _, err := mime.ParseMediaType(contentType)
+	if err != nil && contentType != "" {
+		mt = contentType
+	}
+	if mt == "application/json" {
+		var req SynthesisRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, nil, 0, fmt.Errorf("invalid JSON request: %w", err)
+		}
+		t, err := buildTask(&req)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return t, req.Options, req.TimeoutMS, nil
+	}
+	t, err := egs.ParseTask(body)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("invalid task: %w", err)
+	}
+	return t, nil, 0, nil
+}
+
+// buildTask lowers a JSON request to a prepared task via the public
+// builder, so JSON tasks get exactly the library's validation.
+func buildTask(req *SynthesisRequest) (*egs.Task, error) {
+	b := egs.NewBuilder()
+	if req.Name != "" {
+		b.Name(req.Name)
+	}
+	for _, d := range req.Inputs {
+		b.Input(d.Name, d.Arity)
+	}
+	for _, d := range req.Outputs {
+		b.Output(d.Name, d.Arity)
+	}
+	for _, a := range req.Facts {
+		b.Fact(a.Rel, a.Args...)
+	}
+	for _, a := range req.Positive {
+		b.Positive(a.Rel, a.Args...)
+	}
+	for _, a := range req.Negative {
+		b.Negative(a.Rel, a.Args...)
+	}
+	b.ClosedWorld(req.ClosedWorld)
+	if len(req.Negate) > 0 {
+		b.Negate(req.Negate...)
+	}
+	if req.Neq {
+		b.AddNeq()
+	}
+	if req.TypedNegation {
+		b.TypedNegation()
+	}
+	return b.Task()
+}
+
+// resolveOptions merges per-request options over the server defaults,
+// clamping resource knobs to the configured ceilings.
+func (s *Server) resolveOptions(ro *RequestOptions) (egs.Options, error) {
+	opts := egs.Options{MaxContexts: s.cfg.MaxContexts}
+	if ro == nil {
+		return opts, nil
+	}
+	switch ro.Priority {
+	case "", "p2":
+		opts.Priority = egs.PriorityScore
+	case "p1":
+		opts.Priority = egs.PrioritySize
+	default:
+		return opts, fmt.Errorf("unknown priority %q (want p1 or p2)", ro.Priority)
+	}
+	opts.QuickUnsat = ro.QuickUnsat
+	opts.BestEffort = ro.BestEffort
+	if ro.MaxContexts > 0 && (s.cfg.MaxContexts == 0 || ro.MaxContexts < s.cfg.MaxContexts) {
+		opts.MaxContexts = ro.MaxContexts
+	}
+	if ro.Workers > 1 {
+		opts.Workers = min(ro.Workers, maxRequestWorkers)
+	}
+	return opts, nil
+}
+
+// maxRequestWorkers bounds per-request intra-task parallelism: the
+// serving pool is the primary source of concurrency, so a single
+// request may not fan out arbitrarily.
+const maxRequestWorkers = 8
+
+// cacheKey derives the result-cache key: the canonical task hash
+// extended with the options that influence the result. Timeouts are
+// excluded — timed-out syntheses are never cached.
+func cacheKey(t *egs.Task, opts egs.Options) string {
+	var b strings.Builder
+	b.WriteString(t.CanonicalHash())
+	fmt.Fprintf(&b, "|pri=%d;qu=%t;mc=%d;be=%t;w=%d",
+		opts.Priority, opts.QuickUnsat, opts.MaxContexts, opts.BestEffort, opts.Workers)
+	return b.String()
+}

@@ -1,0 +1,261 @@
+// Package server turns the EGS engine into a long-running synthesis
+// service: an HTTP/JSON front end over egs.Synthesize with admission
+// control, a canonical-hash result cache, and Prometheus-style
+// observability. The request path is
+//
+//	handler → admission (bounded queue, 429 on overflow)
+//	        → worker pool (cfg.Workers goroutines)
+//	        → result cache (LRU over task.CanonicalHash + options)
+//	        → egs.Synthesize (per-request context deadline)
+//
+// Cache hits bypass the queue entirely, so repeated tasks cost one
+// hash computation. Per-request deadlines propagate through context
+// into the engine, which also honours Options.MaxContexts budgets;
+// both kinds of exhaustion surface as distinct HTTP statuses.
+package server
+
+import (
+	"context"
+	"log/slog"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/egs-synthesis/egs"
+	"github.com/egs-synthesis/egs/internal/server/metrics"
+)
+
+// Config parameterizes a Server. The zero value serves with sensible
+// defaults (see New).
+type Config struct {
+	// Workers is the number of concurrent syntheses (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue answers 429
+	// (default 64).
+	QueueDepth int
+	// CacheSize is the result-cache capacity in entries; 0 keeps the
+	// default (256) and a negative value disables caching.
+	CacheSize int
+	// DefaultTimeout bounds synthesis time for requests that do not
+	// set timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms (default 5m).
+	MaxTimeout time.Duration
+	// MaxContexts is the server-wide enumeration budget per request;
+	// requests may lower but not raise it. 0 means unlimited.
+	MaxContexts int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request and lifecycle logs (default
+	// slog.Default).
+	Logger *slog.Logger
+
+	// synthesize substitutes the engine in tests; nil selects
+	// egs.Synthesize.
+	synthesize synthFunc
+}
+
+type synthFunc func(ctx context.Context, t *egs.Task, opts egs.Options) (egs.Result, error)
+
+// Server is a synthesis service instance. Create one with New, mount
+// Handler on an http.Server, and drain with Shutdown.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	synth synthFunc
+	cache *lruCache
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed against concurrent enqueues
+	closed bool
+
+	reg *metrics.Registry
+
+	mRequests    *metrics.CounterVec // HTTP responses by status code
+	mSyntheses   *metrics.CounterVec // engine runs by outcome
+	mQueueDepth  *metrics.Gauge
+	mInFlight    *metrics.Gauge
+	mRejected    *metrics.Counter
+	mCacheHits   *metrics.Counter
+	mCacheMisses *metrics.Counter
+	mCacheSize   *metrics.Gauge
+	mLatency     *metrics.Histogram
+}
+
+// job is one admitted synthesis request.
+type job struct {
+	ctx  context.Context
+	task *egs.Task
+	opts egs.Options
+	// done receives the outcome exactly once; buffered so a worker
+	// never blocks on a handler that gave up at its deadline.
+	done chan jobResult
+}
+
+type jobResult struct {
+	res egs.Result
+	dur time.Duration
+	err error
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	switch {
+	case cfg.CacheSize == 0:
+		cfg.CacheSize = 256
+	case cfg.CacheSize < 0:
+		cfg.CacheSize = 0
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 5 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.synthesize == nil {
+		cfg.synthesize = egs.Synthesize
+	}
+
+	reg := metrics.New()
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		synth: cfg.synthesize,
+		cache: newLRU(cfg.CacheSize),
+		queue: make(chan *job, cfg.QueueDepth),
+		reg:   reg,
+
+		mRequests: reg.CounterVec("egs_requests_total",
+			"HTTP responses served, by status code.", "code"),
+		mSyntheses: reg.CounterVec("egs_syntheses_total",
+			"Synthesis engine runs, by outcome (sat, unsat, error).", "outcome"),
+		mQueueDepth: reg.Gauge("egs_queue_depth",
+			"Admitted jobs waiting for a worker."),
+		mInFlight: reg.Gauge("egs_inflight_syntheses",
+			"Syntheses currently executing."),
+		mRejected: reg.Counter("egs_queue_rejections_total",
+			"Requests rejected with 429 because the queue was full."),
+		mCacheHits: reg.Counter("egs_cache_hits_total",
+			"Requests answered from the result cache."),
+		mCacheMisses: reg.Counter("egs_cache_misses_total",
+			"Requests that required a synthesis run."),
+		mCacheSize: reg.Gauge("egs_cache_entries",
+			"Entries resident in the result cache."),
+		mLatency: reg.Histogram("egs_synthesis_seconds",
+			"Wall-clock synthesis latency (engine runs only; cache hits excluded).", nil),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.log.Info("server ready",
+		"workers", cfg.Workers, "queue_depth", cfg.QueueDepth,
+		"cache_size", cfg.CacheSize, "default_timeout", cfg.DefaultTimeout)
+	return s
+}
+
+// worker drains the admission queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mQueueDepth.Dec()
+		s.run(j)
+	}
+}
+
+// run executes one admitted job and delivers its result.
+func (s *Server) run(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		// The client's deadline expired while the job was queued;
+		// don't burn a worker on an answer nobody is waiting for.
+		j.done <- jobResult{err: err}
+		return
+	}
+	s.mInFlight.Inc()
+	start := time.Now()
+	res, err := s.synth(j.ctx, j.task, j.opts)
+	dur := time.Since(start)
+	s.mInFlight.Dec()
+	s.mLatency.Observe(dur.Seconds())
+	switch {
+	case err != nil:
+		s.mSyntheses.With("error").Inc()
+	case res.Unsat:
+		s.mSyntheses.With("unsat").Inc()
+	default:
+		s.mSyntheses.With("sat").Inc()
+	}
+	j.done <- jobResult{res: res, dur: dur, err: err}
+}
+
+// errQueueFull reports an admission rejection.
+type admissionError string
+
+func (e admissionError) Error() string { return string(e) }
+
+const (
+	errQueueFull = admissionError("synthesis queue is full")
+	errDraining  = admissionError("server is draining")
+)
+
+// enqueue admits a job or reports why it cannot run. It never blocks:
+// backpressure is delivered to the client as 429, not latency.
+func (s *Server) enqueue(j *job) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		s.mQueueDepth.Inc()
+		return nil
+	default:
+		s.mRejected.Inc()
+		return errQueueFull
+	}
+}
+
+// Shutdown stops admitting work, drains queued and in-flight
+// syntheses, and waits for the workers to exit, or until ctx expires.
+// The HTTP listener should be shut down first so no new requests race
+// the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.log.Info("server drained")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Metrics exposes the server's registry (for embedding into a larger
+// process's metric surface).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }

@@ -1,0 +1,478 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs"
+)
+
+const benchDir = "../../testdata/benchmarks/knowledge-discovery"
+
+// discardLogger silences request logs in tests.
+func discardLogger() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// newTestServer starts a Server plus an httptest front end and
+// registers cleanup for both.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postTaskFile(t *testing.T, url, path string, query string) (*http.Response, *SynthesisResponse) {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return post(t, url+"/synthesize"+query, "text/plain", string(src))
+}
+
+func post(t *testing.T, url, contentType, body string) (*http.Response, *SynthesisResponse) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SynthesisResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, &sr
+}
+
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestEndToEndSurfaceSyntax runs the paper's kinship and traffic
+// benchmarks through the full HTTP path and checks the Datalog
+// answers.
+func TestEndToEndSurfaceSyntax(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, sr := postTaskFile(t, ts.URL, filepath.Join(benchDir, "kinship.task"), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kinship: status %d (%s)", resp.StatusCode, sr.Error)
+	}
+	if sr.Status != "sat" {
+		t.Fatalf("kinship: status %q, want sat (%s)", sr.Status, sr.Error)
+	}
+	for _, rule := range []string{"child(y, x) :- mother(x, y).", "child(y, x) :- father(x, y)."} {
+		if !strings.Contains(sr.Datalog, rule) {
+			t.Errorf("kinship datalog missing %q:\n%s", rule, sr.Datalog)
+		}
+	}
+	if !strings.Contains(sr.SQL, "SELECT DISTINCT") || !strings.Contains(sr.SQL, "UNION") {
+		t.Errorf("kinship SQL rendering suspicious:\n%s", sr.SQL)
+	}
+	if sr.Cached {
+		t.Error("first kinship request reported cached")
+	}
+	if len(sr.TaskHash) != 64 {
+		t.Errorf("task_hash = %q, want 64 hex chars", sr.TaskHash)
+	}
+	if sr.Stats == nil || sr.Stats.RulesLearned != 2 {
+		t.Errorf("kinship stats = %+v, want 2 rules learned", sr.Stats)
+	}
+
+	_, sr = postTaskFile(t, ts.URL, filepath.Join(benchDir, "traffic.task"), "")
+	if sr.Status != "sat" {
+		t.Fatalf("traffic: status %q, want sat (%s)", sr.Status, sr.Error)
+	}
+	wantTraffic := "Crashes(x) :- Intersects(x, y), GreenSignal(x), GreenSignal(y), HasTraffic(x), HasTraffic(y)."
+	if strings.TrimSpace(sr.Datalog) != wantTraffic {
+		t.Errorf("traffic datalog = %q, want %q", sr.Datalog, wantTraffic)
+	}
+}
+
+// TestCacheHit verifies that a second identical task is served from
+// the cache: the cached flag is set, no new synthesis runs, and the
+// hit counter is visible in /metrics.
+func TestCacheHit(t *testing.T) {
+	var runs atomic.Int64
+	cfg := Config{Workers: 1, synthesize: func(ctx context.Context, tk *egs.Task, o egs.Options) (egs.Result, error) {
+		runs.Add(1)
+		return egs.Synthesize(ctx, tk, o)
+	}}
+	_, ts := newTestServer(t, cfg)
+
+	path := filepath.Join(benchDir, "kinship.task")
+	_, first := postTaskFile(t, ts.URL, path, "")
+	if first.Status != "sat" || first.Cached {
+		t.Fatalf("first request: status=%q cached=%v", first.Status, first.Cached)
+	}
+	_, second := postTaskFile(t, ts.URL, path, "")
+	if !second.Cached {
+		t.Error("second identical request not served from cache")
+	}
+	if second.Datalog != first.Datalog {
+		t.Errorf("cached datalog differs:\n%s\nvs\n%s", second.Datalog, first.Datalog)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("synthesis ran %d times, want 1", got)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{"egs_cache_hits_total 1", "egs_cache_misses_total 1", "egs_cache_entries 1"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("/metrics missing %q\n%s", want, m)
+		}
+	}
+}
+
+// TestCacheKeyIncludesOptions: the same task under different options
+// must not share a cache entry.
+func TestCacheKeyIncludesOptions(t *testing.T) {
+	var runs atomic.Int64
+	cfg := Config{Workers: 1, synthesize: func(ctx context.Context, tk *egs.Task, o egs.Options) (egs.Result, error) {
+		runs.Add(1)
+		return egs.Synthesize(ctx, tk, o)
+	}}
+	_, ts := newTestServer(t, cfg)
+	body := kinshipJSON(t, nil)
+	post(t, ts.URL+"/synthesize", "application/json", body)
+	post(t, ts.URL+"/synthesize", "application/json", kinshipJSON(t, &RequestOptions{Priority: "p1"}))
+	if got := runs.Load(); got != 2 {
+		t.Errorf("synthesis ran %d times, want 2 (options must split the cache key)", got)
+	}
+}
+
+// kinshipJSON builds the kinship task as a JSON request body.
+func kinshipJSON(t *testing.T, opts *RequestOptions) string {
+	t.Helper()
+	req := SynthesisRequest{
+		Name:        "kinship-json",
+		Inputs:      []RelDecl{{Name: "mother", Arity: 2}, {Name: "father", Arity: 2}},
+		Outputs:     []RelDecl{{Name: "child", Arity: 2}},
+		ClosedWorld: true,
+		Facts: []Atom{
+			{Rel: "mother", Args: []string{"Sarabi", "Simba"}},
+			{Rel: "mother", Args: []string{"Nala", "Kiara"}},
+			{Rel: "father", Args: []string{"Mufasa", "Simba"}},
+			{Rel: "father", Args: []string{"Simba", "Kiara"}},
+		},
+		Positive: []Atom{
+			{Rel: "child", Args: []string{"Simba", "Sarabi"}},
+			{Rel: "child", Args: []string{"Simba", "Mufasa"}},
+			{Rel: "child", Args: []string{"Kiara", "Nala"}},
+			{Rel: "child", Args: []string{"Kiara", "Simba"}},
+		},
+		Options: opts,
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSynthesizeJSONBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, sr := post(t, ts.URL+"/synthesize", "application/json", kinshipJSON(t, nil))
+	if resp.StatusCode != http.StatusOK || sr.Status != "sat" {
+		t.Fatalf("status %d / %q (%s)", resp.StatusCode, sr.Status, sr.Error)
+	}
+	// The JSON task is a subset of the kinship benchmark, so the
+	// learned program may differ from the full task's; it must still
+	// be a child-rule over the declared inputs.
+	if !strings.Contains(sr.Datalog, "child(") || !strings.Contains(sr.Datalog, "mother(") {
+		t.Errorf("datalog does not look like a kinship program:\n%s", sr.Datalog)
+	}
+}
+
+// TestJSONAndSurfaceSyntaxShareCache: the same semantic task arriving
+// in either syntax must map to one canonical hash.
+func TestJSONAndSurfaceSyntaxShareCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	surface := `
+closed-world true
+input mother(2)
+input father(2)
+output child(2)
+mother(Sarabi, Simba).
+mother(Nala, Kiara).
+father(Mufasa, Simba).
+father(Simba, Kiara).
++child(Simba, Sarabi).
++child(Simba, Mufasa).
++child(Kiara, Nala).
++child(Kiara, Simba).
+`
+	_, a := post(t, ts.URL+"/synthesize", "text/plain", surface)
+	_, b := post(t, ts.URL+"/synthesize", "application/json", kinshipJSON(t, nil))
+	if a.TaskHash != b.TaskHash {
+		t.Errorf("surface and JSON forms of the same task hash differently:\n%s\n%s", a.TaskHash, b.TaskHash)
+	}
+	if !b.Cached {
+		t.Error("JSON form was not served from the cache primed by the surface form")
+	}
+}
+
+// TestQueueFullReturns429 drives the server into a queue-full state
+// with a gated synthesis function and checks admission control.
+func TestQueueFullReturns429(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	cfg := Config{
+		Workers:    1,
+		QueueDepth: 1,
+		CacheSize:  -1, // disable: identical tasks must not hit the cache
+		synthesize: func(ctx context.Context, tk *egs.Task, o egs.Options) (egs.Result, error) {
+			started <- struct{}{}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return egs.Result{}, ctx.Err()
+			}
+			return egs.Synthesize(ctx, tk, o)
+		},
+	}
+	s, ts := newTestServer(t, cfg)
+
+	src, err := os.ReadFile(filepath.Join(benchDir, "kinship.task"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	issue := func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(string(src)))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	// First request occupies the only worker...
+	wg.Add(1)
+	go issue()
+	<-started
+	// ...second fills the queue (poll the depth gauge: enqueue happens
+	// just before the handler blocks on the result)...
+	wg.Add(1)
+	go issue()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.mQueueDepth.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...third must be rejected, not blocked.
+	resp, sr := postTaskFile(t, ts.URL, filepath.Join(benchDir, "kinship.task"), "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if sr.Status != "error" {
+		t.Errorf("rejected response status %q, want error", sr.Status)
+	}
+	close(gate)
+	wg.Wait()
+
+	if !strings.Contains(scrapeMetrics(t, ts.URL), "egs_queue_rejections_total 1") {
+		t.Error("queue rejection not counted in /metrics")
+	}
+}
+
+// TestRequestDeadline verifies that a per-request timeout surfaces as
+// 504 and that the deadline propagates into the engine's context.
+func TestRequestDeadline(t *testing.T) {
+	cfg := Config{Workers: 1, synthesize: func(ctx context.Context, tk *egs.Task, o egs.Options) (egs.Result, error) {
+		<-ctx.Done() // simulate a pathological task: only the deadline stops it
+		return egs.Result{}, ctx.Err()
+	}}
+	_, ts := newTestServer(t, cfg)
+	resp, sr := postTaskFile(t, ts.URL, filepath.Join(benchDir, "kinship.task"), "?timeout_ms=50")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504 (%s)", resp.StatusCode, sr.Error)
+	}
+}
+
+// TestBudgetExceeded verifies the distinct status for MaxContexts
+// exhaustion.
+func TestBudgetExceeded(t *testing.T) {
+	cfg := Config{Workers: 1, synthesize: func(ctx context.Context, tk *egs.Task, o egs.Options) (egs.Result, error) {
+		return egs.Result{}, egs.ErrBudgetExceeded
+	}}
+	_, ts := newTestServer(t, cfg)
+	resp, _ := postTaskFile(t, ts.URL, filepath.Join(benchDir, "kinship.task"), "")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, contentType, body string
+	}{
+		{"malformed JSON", "application/json", "{"},
+		{"unknown JSON field", "application/json", `{"bogus": 1}`},
+		{"undeclared relation", "text/plain", "input p(1)\noutput q(1)\np(a).\n+r(a).\n"},
+		{"duplicate example", "text/plain", "input p(1)\noutput q(1)\np(a).\n+q(a).\n+q(a).\n"},
+		{"bad priority", "application/json", `{"inputs":[{"name":"p","arity":1}],"outputs":[{"name":"q","arity":1}],"facts":[{"rel":"p","args":["a"]}],"positive":[{"rel":"q","args":["a"]}],"options":{"priority":"p9"}}`},
+		{"empty body", "text/plain", ""},
+		{"no labelled tuples", "text/plain", "input p(1)\noutput q(1)\np(a).\n"},
+	}
+	for _, c := range cases {
+		resp, sr := post(t, ts.URL+"/synthesize", c.contentType, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+		if sr.Status != "error" || sr.Error == "" {
+			t.Errorf("%s: response %+v lacks an error message", c.name, sr)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/synthesize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /synthesize: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentClients exercises the pool and cache under the race
+// detector with the real engine.
+func TestConcurrentClients(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 256})
+	tasks := make(map[string]string)
+	for _, name := range []string{"kinship.task", "traffic.task"} {
+		src, err := os.ReadFile(filepath.Join(benchDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[name] = string(src)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				name := "kinship.task"
+				if (g+i)%2 == 0 {
+					name = "traffic.task"
+				}
+				resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(tasks[name]))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				var sr SynthesisResponse
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if resp.StatusCode != http.StatusOK || sr.Status != "sat" {
+					errs <- fmt.Errorf("%s: status %d/%q (%s)", name, resp.StatusCode, sr.Status, sr.Error)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestHealthzAndDrain: healthz flips to 503 after Shutdown and new
+// syntheses are refused while draining.
+func TestHealthzAndDrain(t *testing.T) {
+	s := New(Config{Workers: 1, Logger: discardLogger()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	r2, sr := postTaskFile(t, ts.URL, filepath.Join(benchDir, "kinship.task"), "")
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("synthesize while draining: %d, want 503 (%s)", r2.StatusCode, sr.Error)
+	}
+}
+
+// TestMetricsFamiliesPresent asserts the metric surface the runbooks
+// depend on.
+func TestMetricsFamiliesPresent(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	postTaskFile(t, ts.URL, filepath.Join(benchDir, "kinship.task"), "")
+	m := scrapeMetrics(t, ts.URL)
+	for _, fam := range []string{
+		"egs_requests_total", "egs_syntheses_total", "egs_queue_depth",
+		"egs_inflight_syntheses", "egs_queue_rejections_total",
+		"egs_cache_hits_total", "egs_cache_misses_total", "egs_cache_entries",
+		"egs_synthesis_seconds_bucket", "egs_synthesis_seconds_count",
+	} {
+		if !strings.Contains(m, fam) {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+	if !strings.Contains(m, `egs_syntheses_total{outcome="sat"} 1`) {
+		t.Errorf("/metrics missing sat outcome:\n%s", m)
+	}
+}

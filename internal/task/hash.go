@@ -1,0 +1,122 @@
+package task
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// CanonicalHash returns a stable hex-encoded SHA-256 digest of the
+// task's example semantics: relation declarations, input facts,
+// labelled output tuples, and the labelling/negation directives
+// (closed-world, negate, neq, typed-negation). Two tasks receive the
+// same hash exactly when they describe the same synthesis problem —
+// the digest is independent of declaration order, fact order,
+// constant interning order, duplicate facts, the task's name and
+// category metadata, and of whether Prepare has run (complement and
+// neq tuples materialized by Prepare are excluded; the directives
+// that regenerate them are hashed instead).
+//
+// The hash is the result-cache key of the synthesis server
+// (internal/server) and is usable anywhere a semantic task identity
+// is needed (deduplicating benchmark corpora, memoizing CLI runs).
+//
+// Mode declarations and the intended program are deliberately
+// excluded: they parameterize the baseline synthesizers and the
+// quality comparison, not the example itself.
+func CanonicalHash(t *Task) string {
+	h := sha256.New()
+	write := func(rec string) {
+		h.Write([]byte(rec))
+		h.Write([]byte{'\n'})
+	}
+
+	write(encodeRec("closed-world", strconv.FormatBool(t.ClosedWorld)))
+	write(encodeRec("neq", strconv.FormatBool(t.AddNeq)))
+	write(encodeRec("typed-negation", strconv.FormatBool(t.TypedNegation)))
+
+	negate := append([]string(nil), t.NegateRels...)
+	sort.Strings(negate)
+	write(encodeRec(append([]string{"negate"}, negate...)...))
+
+	synthetic := t.syntheticRels()
+	for _, kind := range []relation.Kind{relation.Input, relation.Output} {
+		tag := "input"
+		if kind == relation.Output {
+			tag = "output"
+		}
+		// Relations returns name-sorted ids, so declaration records
+		// are already canonical.
+		for _, id := range t.Schema.Relations(kind) {
+			if synthetic[id] {
+				continue
+			}
+			write(encodeRec(tag, t.Schema.Name(id), strconv.Itoa(t.Schema.Arity(id))))
+		}
+	}
+
+	writeSorted := func(tag string, tuples []relation.Tuple) {
+		recs := make([]string, 0, len(tuples))
+		for _, tu := range tuples {
+			if synthetic[tu.Rel] {
+				continue
+			}
+			fields := make([]string, 0, 2+len(tu.Args))
+			fields = append(fields, tag, t.Schema.Name(tu.Rel))
+			for _, a := range tu.Args {
+				fields = append(fields, t.Domain.Name(a))
+			}
+			recs = append(recs, encodeRec(fields...))
+		}
+		sort.Strings(recs)
+		prev := ""
+		for i, r := range recs {
+			if i > 0 && r == prev {
+				continue // duplicate facts are semantically idempotent
+			}
+			prev = r
+			write(r)
+		}
+	}
+	writeSorted("fact", t.Input.All())
+	writeSorted("+", t.Pos)
+	writeSorted("-", t.Neg)
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// syntheticRels identifies the relations materialized by Prepare
+// (not_R complements and neq), which must not contribute to the
+// canonical hash: the negate/neq directives that regenerate them are
+// hashed instead, so prepared and unprepared copies of a task agree.
+func (t *Task) syntheticRels() map[relation.RelID]bool {
+	synth := make(map[relation.RelID]bool)
+	for _, name := range t.NegateRels {
+		if id, ok := t.Schema.Lookup("not_" + name); ok {
+			synth[id] = true
+		}
+	}
+	if t.AddNeq {
+		if id, ok := t.Schema.Lookup("neq"); ok {
+			synth[id] = true
+		}
+	}
+	return synth
+}
+
+// encodeRec renders one canonical record: each field is
+// netstring-encoded (decimal length, ':', bytes) so the encoding is
+// injective even when constant names contain separators.
+func encodeRec(fields ...string) string {
+	var b strings.Builder
+	for _, f := range fields {
+		b.WriteString(strconv.Itoa(len(f)))
+		b.WriteByte(':')
+		b.WriteString(f)
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustParse parses an inline task file or fails the test.
+func mustParse(t *testing.T, src string) *Task {
+	t.Helper()
+	tk, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tk
+}
+
+const hashBase = `
+task kinship
+domain knowledge-discovery
+closed-world true
+input mother(2)
+input father(2)
+output child(2)
+mother(Sarabi, Simba).
+father(Mufasa, Simba).
++child(Simba, Sarabi).
++child(Simba, Mufasa).
+`
+
+func TestCanonicalHashInvariantToOrder(t *testing.T) {
+	a := mustParse(t, hashBase)
+	// Same task: declarations, facts, and examples in a different
+	// order, different name, extra whitespace and comments.
+	b := mustParse(t, `
+task kinship-renamed
+closed-world true
+input father(2)   # declared first this time
+input mother(2)
+output child(2)
+father(Mufasa, Simba).
+mother(Sarabi, Simba).
++child(Simba, Mufasa).
++child(Simba, Sarabi).
+`)
+	ha, hb := CanonicalHash(a), CanonicalHash(b)
+	if ha != hb {
+		t.Errorf("reordered task hashes differ:\n a=%s\n b=%s", ha, hb)
+	}
+	if len(ha) != 64 {
+		t.Errorf("hash length = %d, want 64 hex chars", len(ha))
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := CanonicalHash(mustParse(t, hashBase))
+	variants := map[string]string{
+		"extra fact":       hashBase + "mother(Nala, Kiara).\n",
+		"extra positive":   hashBase + "+child(Simba, Simba).\n",
+		"different domain": strings.Replace(hashBase, "closed-world true", "closed-world false", 1),
+		"extra relation":   strings.Replace(hashBase, "input mother(2)", "input mother(2)\ninput likes(2)", 1),
+	}
+	for name, src := range variants {
+		if got := CanonicalHash(mustParse(t, src)); got == base {
+			t.Errorf("%s: hash did not change", name)
+		}
+	}
+}
+
+func TestCanonicalHashUnaffectedByPrepare(t *testing.T) {
+	src := `
+task neg
+closed-world false
+negate edge
+neq true
+input edge(2)
+output path(2)
+edge(a, b).
+edge(b, c).
++path(a, c).
+-path(c, a).
+`
+	prepared := mustParse(t, src) // Parse runs Prepare: not_edge and neq are materialized
+	fresh := mustParse(t, src)
+	// The materialized relations must not leak into the hash: two
+	// prepared copies agree, and the count of hashed facts matches
+	// the raw input count, not the post-materialization database.
+	if CanonicalHash(prepared) != CanonicalHash(fresh) {
+		t.Errorf("two prepared copies of the same task hash differently")
+	}
+	if prepared.Input.Size() == prepared.RawInputCount {
+		t.Fatalf("test task should materialize complement tuples (size %d, raw %d)",
+			prepared.Input.Size(), prepared.RawInputCount)
+	}
+
+	// A task with the same declarations and facts but without the
+	// negate/neq directives must hash differently (the directives are
+	// part of the semantics).
+	plain := mustParse(t, strings.NewReplacer("negate edge\n", "", "neq true\n", "neq false\n").Replace(src))
+	if CanonicalHash(plain) == CanonicalHash(prepared) {
+		t.Errorf("negation directives did not affect the hash")
+	}
+}
+
+func TestCanonicalHashIgnoresMetadata(t *testing.T) {
+	a := mustParse(t, hashBase)
+	b := mustParse(t, strings.Replace(hashBase, "domain knowledge-discovery",
+		"domain database-queries\nexpect sat\nmodes maxv=2 mother=1 father=1", 1))
+	if CanonicalHash(a) != CanonicalHash(b) {
+		t.Errorf("category/expect/modes metadata changed the hash")
+	}
+}

@@ -255,14 +255,45 @@ func (t *Task) parseFact(line string) error {
 		if info.Kind != relation.Output {
 			return fmt.Errorf("positive example over input relation %q", relName)
 		}
+		if err := t.recordExample(tuple, '+'); err != nil {
+			return err
+		}
 		t.Pos = append(t.Pos, tuple)
 	case '-':
 		if info.Kind != relation.Output {
 			return fmt.Errorf("negative example over input relation %q", relName)
 		}
+		if err := t.recordExample(tuple, '-'); err != nil {
+			return err
+		}
 		t.Neg = append(t.Neg, tuple)
 	}
 	return nil
+}
+
+// recordExample tracks the labelled output tuples seen so far in this
+// parse and rejects repeats: a duplicate label is almost always a
+// task-authoring mistake (a mis-edited tuple), and silently
+// deduplicating would mask it. Conflicting labels are rejected here
+// too, with the same wording Prepare uses for programmatic tasks.
+func (t *Task) recordExample(tuple relation.Tuple, sign byte) error {
+	if t.seenExamples == nil {
+		t.seenExamples = make(map[string]byte)
+	}
+	key := tuple.Key()
+	prev, ok := t.seenExamples[key]
+	if !ok {
+		t.seenExamples[key] = sign
+		return nil
+	}
+	rendered := tuple.String(t.Schema, t.Domain)
+	if prev != sign {
+		return fmt.Errorf("tuple %s labelled both positive and negative", rendered)
+	}
+	if sign == '+' {
+		return fmt.Errorf("duplicate positive example %s", rendered)
+	}
+	return fmt.Errorf("duplicate negative example %s", rendered)
 }
 
 // LoadDir loads every .task file under dir (recursively), sorted by

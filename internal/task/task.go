@@ -111,6 +111,9 @@ type Task struct {
 
 	prepared bool
 	example  *Example
+	// seenExamples tracks labelled tuples during Parse so duplicate
+	// example lines are rejected; see recordExample.
+	seenExamples map[string]byte
 }
 
 // Example is the oracle view of a task used by the synthesizers: it

@@ -257,6 +257,39 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestDuplicateExamplesRejected(t *testing.T) {
+	cases := map[string]struct {
+		src, want string
+	}{
+		"duplicate positive": {
+			src:  "input p(1)\noutput q(1)\np(a).\n+q(a).\n+q(a).\n",
+			want: "duplicate positive example",
+		},
+		"duplicate negative": {
+			src:  "input p(2)\noutput q(1)\np(a, b).\n+q(a).\n-q(b).\n-q(b).\n",
+			want: "duplicate negative example",
+		},
+		"conflicting labels": {
+			src:  "input p(1)\noutput q(1)\np(a).\n+q(a).\n-q(a).\n",
+			want: "labelled both positive and negative",
+		},
+	}
+	for name, c := range cases {
+		_, err := Parse(strings.NewReader(c.src))
+		if err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.want)
+		}
+	}
+	// Duplicate input facts remain legal: the database is a set.
+	if _, err := Parse(strings.NewReader("input p(1)\noutput q(1)\np(a).\np(a).\n+q(a).\n")); err != nil {
+		t.Errorf("duplicate input fact rejected: %v", err)
+	}
+}
+
 // TestForbiddenSliceMatchesBruteForce cross-checks the slice oracle
 // against a direct materialization of Equation 7 on random explicit
 // examples.

@@ -1,0 +1,56 @@
+#!/bin/sh
+# serve-smoke: boot egs-serve, run one synthesis through the full
+# HTTP path, assert the answer and the metric surface, shut down.
+# Used by `make serve-smoke`; needs curl (falls back to wget).
+set -eu
+
+BIN=${BIN:-bin/egs-serve}
+PORT=${PORT:-8199}
+ADDR="127.0.0.1:$PORT"
+TASK=${TASK:-testdata/benchmarks/knowledge-discovery/kinship.task}
+
+fetch() { # fetch <url> [curl-args...]
+    url=$1; shift
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$@" "$url"
+    else
+        wget -qO- "$url"
+    fi
+}
+
+"$BIN" -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null; wait "$PID" 2>/dev/null || true' EXIT INT TERM
+
+# Wait for readiness (the server binds in milliseconds; allow 5s).
+i=0
+until fetch "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "serve-smoke: server did not become healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+RESP=$(fetch "http://$ADDR/synthesize" -X POST -H 'Content-Type: text/plain' --data-binary "@$TASK")
+echo "$RESP" | grep -q '"status": "sat"' || {
+    echo "serve-smoke: expected sat, got: $RESP" >&2
+    exit 1
+}
+echo "$RESP" | grep -q 'mother' || {
+    echo "serve-smoke: answer does not mention the input relations: $RESP" >&2
+    exit 1
+}
+
+METRICS=$(fetch "http://$ADDR/metrics")
+echo "$METRICS" | grep -q 'egs_requests_total' || {
+    echo "serve-smoke: /metrics missing egs_requests_total" >&2
+    exit 1
+}
+echo "$METRICS" | grep -q 'egs_syntheses_total{outcome="sat"} 1' || {
+    echo "serve-smoke: /metrics missing the sat synthesis count" >&2
+    exit 1
+}
+
+echo "serve-smoke: OK"
