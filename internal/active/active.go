@@ -146,34 +146,34 @@ func findDisputed(ctx context.Context, t *task.Task, cfg Config) (*relation.Tupl
 		if len(alts) < 2 {
 			continue
 		}
-		outs := make([]map[string]relation.Tuple, len(alts))
+		outs := make([]*relation.TupleSet, len(alts))
 		for i, r := range alts {
-			outs[i] = eval.RuleOutputs(r, ex.DB)
+			outs[i] = eval.RuleOutputIDs(r, ex.DB)
 		}
 		// A tuple derived by some alternative but not all of them,
 		// and not already labelled, is a useful membership query.
 		var candidates []relation.Tuple
-		seen := map[string]bool{}
+		seen := &relation.TupleSet{}
 		for i := range outs {
-			for k, tu := range outs[i] {
-				if seen[k] {
-					continue
+			outs[i].Iterate(func(id relation.TupleID) bool {
+				if !seen.Add(id) {
+					return true
 				}
-				seen[k] = true
-				if ex.IsPositive(tu) || ex.IsNegative(tu) {
-					continue
+				if ex.IsPositiveID(id) || ex.IsNegativeID(id) {
+					return true
 				}
 				inAll := true
 				for j := range outs {
-					if _, ok := outs[j][k]; !ok {
+					if !outs[j].Has(id) {
 						inAll = false
 						break
 					}
 				}
 				if !inAll {
-					candidates = append(candidates, tu)
+					candidates = append(candidates, ex.DB.TupleByID(id))
 				}
-			}
+				return true
+			})
 		}
 		if len(candidates) > 0 {
 			// Deterministic choice: smallest tuple.
@@ -191,11 +191,12 @@ func findDisputed(ctx context.Context, t *task.Task, cfg Config) (*relation.Tupl
 func findUnconfirmed(t *task.Task, q query.UCQ) *relation.Tuple {
 	ex := t.Example()
 	var candidates []relation.Tuple
-	for _, tu := range eval.UCQOutputs(q, ex.DB) {
-		if !ex.IsPositive(tu) && !ex.IsNegative(tu) {
-			candidates = append(candidates, tu)
+	eval.UCQOutputIDs(q, ex.DB).Iterate(func(id relation.TupleID) bool {
+		if !ex.IsPositiveID(id) && !ex.IsNegativeID(id) {
+			candidates = append(candidates, ex.DB.TupleByID(id))
 		}
-	}
+		return true
+	})
 	if len(candidates) == 0 {
 		return nil
 	}

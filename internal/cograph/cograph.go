@@ -122,6 +122,22 @@ func (g *Graph) Successors(contextConsts []relation.Const, inContext func(relati
 	return out
 }
 
+// SuccessorSet is Successors on the dense-id plane: the context is a
+// bitset over tuple ids and the result is the bitset of expansion
+// candidates (membership tests and dedup are both word operations, and
+// the result iterates in ascending id order for free).
+func (g *Graph) SuccessorSet(contextConsts []relation.Const, context *relation.TupleSet) *relation.TupleSet {
+	out := relation.NewTupleSet(g.db.Size())
+	for _, c := range contextConsts {
+		for _, id := range g.db.Mentioning(c) {
+			if !context.Has(id) {
+				out.Add(id)
+			}
+		}
+	}
+	return out
+}
+
 // String renders an adjacency summary resembling Figure 1c: one line
 // per vertex with its incident relations and neighbours.
 func (g *Graph) String() string {

@@ -112,6 +112,21 @@ func TestSuccessorsMatchDefinition(t *testing.T) {
 		for _, id := range g.Successors(ctxConsts, func(id relation.TupleID) bool { return inCtx[id] }) {
 			got[id] = true
 		}
+		// The bitset variant must agree exactly with the func-based one.
+		ctxSet := relation.NewTupleSet(db.Size())
+		for id := range inCtx {
+			ctxSet.Add(id)
+		}
+		set := g.SuccessorSet(ctxConsts, ctxSet)
+		if set.Len() != len(got) {
+			t.Fatalf("trial %d: SuccessorSet has %d ids, Successors has %d", trial, set.Len(), len(got))
+		}
+		set.Iterate(func(id relation.TupleID) bool {
+			if !got[id] {
+				t.Fatalf("trial %d: SuccessorSet contains %d, Successors does not", trial, id)
+			}
+			return true
+		})
 		for _, id := range db.AllIDs() {
 			shares := false
 			for _, c := range db.Tuple(id).Args {

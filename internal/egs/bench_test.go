@@ -1,0 +1,66 @@
+package egs_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/bench"
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// synthBenchTasks are representative sat tasks spanning the three
+// benchmark categories, small enough to synthesize in milliseconds
+// but large enough to exercise the context queue and the per-context
+// rule evaluations.
+var synthBenchTasks = []struct {
+	name, path string
+}{
+	{"traffic", "../../testdata/benchmarks/knowledge-discovery/traffic.task"},
+	{"kinship", "../../testdata/benchmarks/knowledge-discovery/kinship.task"},
+	{"grandparent", "../../testdata/benchmarks/knowledge-discovery/grandparent.task"},
+	{"sql01", "../../testdata/benchmarks/database-queries/sql01.task"},
+	{"reach", "../../testdata/benchmarks/program-analysis/reach.task"},
+}
+
+// BenchmarkSynthesize measures end-to-end EGS synthesis: the
+// ExplainCell worklist search with one candidate-rule evaluation per
+// popped context (Section 4.3), the hot loop the tuple-identity layer
+// exists to accelerate.
+func BenchmarkSynthesize(b *testing.B) {
+	ctx := context.Background()
+	for _, tc := range synthBenchTasks {
+		t, err := task.Load(tc.path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := egs.Synthesize(ctx, t, egs.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Unsat {
+					b.Fatalf("%s: unexpectedly unsat", tc.name)
+				}
+			}
+		})
+	}
+	st, err := bench.ScaledTraffic(60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("scaled-traffic-60", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := egs.Synthesize(ctx, st, egs.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Unsat {
+				b.Fatal("scaled traffic unexpectedly unsat")
+			}
+		}
+	})
+}

@@ -117,12 +117,25 @@ func assess(ex *task.Example, ids []relation.TupleID, target relation.Tuple, i i
 	}
 	k := len(target.Args)
 	derivedForbidden := 0
-	eval.EvalRule(rule, ex.DB, func(t relation.Tuple) bool {
-		if ex.ForbiddenSliceKey(t.Key(), i, k) {
-			derivedForbidden++
-		}
-		return true
-	})
+	if i == k {
+		// Full-arity heads are ground output tuples: stay on the
+		// dense-id plane and test forbiddenness as a bitset probe.
+		eval.EvalRuleIDs(rule, ex.DB, func(id relation.TupleID) bool {
+			if ex.IsNegativeID(id) {
+				derivedForbidden++
+			}
+			return true
+		})
+	} else {
+		// Proper slices are not ground tuples and have no TupleID;
+		// their forbidden sets stay keyed by slice prefix.
+		eval.EvalRule(rule, ex.DB, func(t relation.Tuple) bool {
+			if ex.ForbiddenPrefixKey(t.Key(), i) {
+				derivedForbidden++
+			}
+			return true
+		})
+	}
 	eliminated := totalForbidden - float64(derivedForbidden)
 	return derivedForbidden == 0, eliminated / float64(len(ids)), 1
 }

@@ -143,10 +143,10 @@ func Synthesize(ctx context.Context, t *task.Task, opts Options) (Result, error)
 			return Result{Stats: s.statsWith(start)}, fmt.Errorf("egs: internal error: inadmissible explaining context for %s",
 				target.String(t.Schema, t.Domain))
 		}
-		outs := eval.RuleOutputs(rule, s.ex.DB)
+		outs := eval.RuleOutputIDs(rule, s.ex.DB)
 		var still []relation.Tuple
 		for _, u := range unexplained {
-			if _, derived := outs[u.Key()]; !derived {
+			if !outs.Has(s.ex.DB.InternTuple(u)) {
 				still = append(still, u)
 			}
 		}

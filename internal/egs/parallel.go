@@ -69,7 +69,7 @@ func SynthesizeParallel(ctx context.Context, t *task.Task, opts Options, workers
 		}
 		wg.Wait()
 
-		covered := make(map[string]bool)
+		covered := &relation.TupleSet{}
 		var stillUncovered []relation.Tuple
 		for i := 0; i < n; i++ {
 			out := outcomes[i]
@@ -88,7 +88,7 @@ func SynthesizeParallel(ctx context.Context, t *task.Task, opts Options, workers
 				res.Unsat = true
 				return res, nil
 			}
-			if covered[batch[i].Key()] {
+			if covered.Has(ex.DB.InternTuple(batch[i])) {
 				continue
 			}
 			rule, admissible := generalize(ex.DB, out.ids, batch[i], len(batch[i].Args))
@@ -96,13 +96,11 @@ func SynthesizeParallel(ctx context.Context, t *task.Task, opts Options, workers
 				return Result{Stats: res.Stats}, fmt.Errorf("egs: internal error: inadmissible parallel context for %s",
 					batch[i].String(t.Schema, t.Domain))
 			}
-			for k := range eval.RuleOutputs(rule, ex.DB) {
-				covered[k] = true
-			}
+			covered.Union(eval.RuleOutputIDs(rule, ex.DB))
 			rules = append(rules, rule)
 		}
 		for _, p := range unexplained[n:] {
-			if !covered[p.Key()] {
+			if !covered.Has(ex.DB.InternTuple(p)) {
 				stillUncovered = append(stillUncovered, p)
 			}
 		}

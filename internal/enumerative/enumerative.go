@@ -22,8 +22,6 @@ package enumerative
 import (
 	"context"
 	"fmt"
-	"sort"
-	"strings"
 
 	"github.com/egs-synthesis/egs/internal/eval"
 	"github.com/egs-synthesis/egs/internal/query"
@@ -70,14 +68,15 @@ func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Resul
 	for len(unexplained) > 0 {
 		target := unexplained[0]
 		e := &enumerator{
-			ctx:     ctx,
-			t:       t,
-			ex:      ex,
-			target:  target,
-			maxVars: maxVars,
-			indist:  s.Indistinguishability,
-			sigSeen: make(map[string]bool),
-			canSeen: make(map[string]bool),
+			ctx:      ctx,
+			t:        t,
+			ex:       ex,
+			target:   target,
+			targetID: ex.DB.InternTuple(target),
+			maxVars:  maxVars,
+			indist:   s.Indistinguishability,
+			sigSeen:  make(map[string]bool),
+			canSeen:  make(map[string]bool),
 		}
 		var found *query.Rule
 		for size := 1; size <= maxSize && found == nil; size++ {
@@ -94,10 +93,10 @@ func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Resul
 			return synth.Result{Status: synth.Exhausted,
 				Detail: fmt.Sprintf("%d candidates enumerated", enumerated)}, nil
 		}
-		outs := eval.RuleOutputs(*found, ex.DB)
+		outs := eval.RuleOutputIDs(*found, ex.DB)
 		var still []relation.Tuple
 		for _, u := range unexplained {
-			if _, derived := outs[u.Key()]; !derived {
+			if !outs.Has(ex.DB.InternTuple(u)) {
 				still = append(still, u)
 			}
 		}
@@ -112,16 +111,17 @@ func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Resul
 }
 
 type enumerator struct {
-	ctx     context.Context
-	t       *task.Task
-	ex      *task.Example
-	target  relation.Tuple
-	maxVars int
-	indist  bool
-	sigSeen map[string]bool
-	canSeen map[string]bool
-	count   int
-	steps   int
+	ctx      context.Context
+	t        *task.Task
+	ex       *task.Example
+	target   relation.Tuple
+	targetID relation.TupleID
+	maxVars  int
+	indist   bool
+	sigSeen  map[string]bool
+	canSeen  map[string]bool
+	count    int
+	steps    int
 }
 
 // enumerate searches all rules with exactly size body literals for
@@ -208,33 +208,32 @@ func (e *enumerator) consider(head query.Literal, body []query.Literal, hit *que
 	e.canSeen[key] = true
 	e.count++
 
-	outs := eval.RuleOutputs(r, e.ex.DB)
+	outs := eval.RuleOutputIDs(r, e.ex.DB)
 	if e.indist {
-		sig := outputSignature(outs)
+		// TupleSet.Key is a canonical encoding of the id set, so it
+		// doubles as the indistinguishability signature — no sorting
+		// or string-joining of tuple keys required.
+		sig := outs.Key()
 		if e.sigSeen[sig] {
 			return nil
 		}
 		e.sigSeen[sig] = true
 	}
-	if _, ok := outs[e.target.Key()]; !ok {
+	if !outs.Has(e.targetID) {
 		return nil
 	}
-	for _, o := range outs {
-		if e.ex.IsNegative(o) {
-			return nil
+	bad := false
+	outs.Iterate(func(id relation.TupleID) bool {
+		if e.ex.IsNegativeID(id) {
+			bad = true
+			return false
 		}
+		return true
+	})
+	if bad {
+		return nil
 	}
 	*hit = r
 	*found = true
 	return nil
-}
-
-// outputSignature canonically encodes a rule's output set.
-func outputSignature(outs map[string]relation.Tuple) string {
-	keys := make([]string, 0, len(outs))
-	for k := range outs {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return strings.Join(keys, "|")
 }

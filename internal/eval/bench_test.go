@@ -1,0 +1,62 @@
+package eval_test
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/bench"
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// evalBenchTasks are representative tasks from the testdata suite,
+// one per category, each with an intended program to evaluate.
+var evalBenchTasks = []struct {
+	name, path string
+}{
+	{"traffic", "../../testdata/benchmarks/knowledge-discovery/traffic.task"},
+	{"kinship", "../../testdata/benchmarks/knowledge-discovery/kinship.task"},
+	{"sql01", "../../testdata/benchmarks/database-queries/sql01.task"},
+	{"reach", "../../testdata/benchmarks/program-analysis/reach.task"},
+}
+
+// BenchmarkRuleOutputs measures the evaluator's hot path as the
+// synthesizers drive it: materializing the output set of a candidate
+// rule over a task's input database — a TupleSet of dense ids since
+// the interning refactor (the string-map form survives only as the
+// RuleOutputs adapter). The scaled-traffic case stresses set sizes
+// far beyond the paper benchmarks.
+func BenchmarkRuleOutputs(b *testing.B) {
+	for _, tc := range evalBenchTasks {
+		t, err := task.Load(tc.path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules := t.Intended().Rules
+		if len(rules) == 0 {
+			b.Fatalf("%s: no intended program", tc.name)
+		}
+		db := t.Example().DB
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range rules {
+					eval.RuleOutputIDs(r, db)
+				}
+			}
+		})
+	}
+	st, err := bench.ScaledTraffic(120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules := st.Intended().Rules
+	db := st.Example().DB
+	b.Run("scaled-traffic-120", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rules {
+				eval.RuleOutputIDs(r, db)
+			}
+		}
+	})
+}

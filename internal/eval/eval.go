@@ -25,35 +25,83 @@ import (
 // yielded, so each distinct head tuple is reported exactly once.
 type Yield func(relation.Tuple) bool
 
+// YieldID receives one derived head tuple as a dense id from the
+// database's interning table. Returning false stops evaluation early;
+// each distinct head tuple is reported exactly once.
+type YieldID func(relation.TupleID) bool
+
 // EvalRule enumerates the distinct head tuples derivable from db by
 // rule r, invoking yield on each. Evaluation stops early if yield
 // returns false.
+//
+// This entry point does not touch the database's interning table, so
+// it remains usable on databases that are still being inserted into
+// (the fixpoint evaluator's working set).
 func EvalRule(r query.Rule, db *relation.Database, yield Yield) {
 	e := newEvaluator(r, db)
 	e.run(yield)
 }
 
-// RuleOutputs returns the set of head tuples derivable by r, keyed by
-// Tuple.Key.
-func RuleOutputs(r query.Rule, db *relation.Database) map[string]relation.Tuple {
-	out := make(map[string]relation.Tuple)
-	EvalRule(r, db, func(t relation.Tuple) bool {
-		out[t.Key()] = t
+// EvalRuleIDs is EvalRule on the dense-id plane: derived head tuples
+// are interned into db and yielded as TupleIDs. Deduplication is a
+// bitset test and the head-projection buffer is reused across
+// emissions, so the per-output allocation of the string-keyed path
+// disappears for already-interned tuples. This is the synthesizers'
+// hot path: one candidate rule is evaluated per enumeration context.
+func EvalRuleIDs(r query.Rule, db *relation.Database, yield YieldID) {
+	e := newEvaluator(r, db)
+	e.yieldID = yield
+	e.search(0, nil)
+}
+
+// RuleOutputIDs returns the set of head tuples derivable by r as a
+// bitset over db's tuple ids.
+func RuleOutputIDs(r query.Rule, db *relation.Database) *relation.TupleSet {
+	out := &relation.TupleSet{}
+	EvalRuleIDs(r, db, func(id relation.TupleID) bool {
+		out.Add(id)
 		return true
 	})
 	return out
 }
 
-// UCQOutputs returns the set of head tuples derivable by any rule of
-// q, keyed by Tuple.Key.
-func UCQOutputs(q query.UCQ, db *relation.Database) map[string]relation.Tuple {
-	out := make(map[string]relation.Tuple)
+// UCQOutputIDs returns the set of head tuples derivable by any rule
+// of q as a bitset over db's tuple ids.
+func UCQOutputIDs(q query.UCQ, db *relation.Database) *relation.TupleSet {
+	out := &relation.TupleSet{}
 	for _, r := range q.Rules {
-		EvalRule(r, db, func(t relation.Tuple) bool {
-			out[t.Key()] = t
+		EvalRuleIDs(r, db, func(id relation.TupleID) bool {
+			out.Add(id)
 			return true
 		})
 	}
+	return out
+}
+
+// RuleOutputs returns the set of head tuples derivable by r, keyed by
+// Tuple.Key.
+//
+// It is a thin adapter over RuleOutputIDs kept for differential tests
+// and external callers during the TupleID migration; new code should
+// use RuleOutputIDs.
+func RuleOutputs(r query.Rule, db *relation.Database) map[string]relation.Tuple {
+	return idsToMap(db, RuleOutputIDs(r, db))
+}
+
+// UCQOutputs returns the set of head tuples derivable by any rule of
+// q, keyed by Tuple.Key. Like RuleOutputs, it is a migration adapter
+// over UCQOutputIDs.
+func UCQOutputs(q query.UCQ, db *relation.Database) map[string]relation.Tuple {
+	return idsToMap(db, UCQOutputIDs(q, db))
+}
+
+func idsToMap(db *relation.Database, ids *relation.TupleSet) map[string]relation.Tuple {
+	out := make(map[string]relation.Tuple, ids.Len())
+	ids.Iterate(func(id relation.TupleID) bool {
+		t := db.TupleByID(id)
+		out[t.Key()] = t
+		return true
+	})
 	return out
 }
 
@@ -96,7 +144,14 @@ type evaluator struct {
 	order []int // body literal evaluation order
 	val   []relation.Const
 	bound []bool
-	seen  map[string]bool // dedup of emitted head tuples
+	seen  map[string]bool // dedup of emitted head tuples (string path)
+
+	// Id path: yieldID non-nil selects it. Dedup is a bitset over the
+	// interning table and the head-projection buffer is reused, since
+	// InternTuple copies when a tuple is new.
+	yieldID YieldID
+	seenIDs relation.TupleSet
+	scratch []relation.Const
 }
 
 func newEvaluator(r query.Rule, db *relation.Database) *evaluator {
@@ -106,7 +161,6 @@ func newEvaluator(r query.Rule, db *relation.Database) *evaluator {
 		db:    db,
 		val:   make([]relation.Const, n),
 		bound: make([]bool, n),
-		seen:  make(map[string]bool),
 	}
 	e.order = planOrder(r, db)
 	return e
@@ -248,8 +302,11 @@ func (e *evaluator) undo(vars []query.Var) {
 }
 
 // emit projects the current valuation onto the head and yields the
-// resulting tuple if it has not been produced before.
+// resulting tuple (or its id) if it has not been produced before.
 func (e *evaluator) emit(yield Yield) bool {
+	if e.yieldID != nil {
+		return e.emitID()
+	}
 	args := make([]relation.Const, len(e.rule.Head.Args))
 	for i, t := range e.rule.Head.Args {
 		if t.IsConst {
@@ -266,9 +323,36 @@ func (e *evaluator) emit(yield Yield) bool {
 	}
 	t := relation.Tuple{Rel: e.rule.Head.Rel, Args: args}
 	k := t.Key()
+	if e.seen == nil {
+		e.seen = make(map[string]bool)
+	}
 	if e.seen[k] {
 		return true
 	}
 	e.seen[k] = true
 	return yield(t)
+}
+
+// emitID is the id-path emit: intern the projected head tuple and
+// yield its dense id, deduplicating via bitset.
+func (e *evaluator) emitID() bool {
+	if e.scratch == nil {
+		e.scratch = make([]relation.Const, len(e.rule.Head.Args))
+	}
+	args := e.scratch
+	for i, t := range e.rule.Head.Args {
+		if t.IsConst {
+			args[i] = t.Const
+			continue
+		}
+		if !e.bound[t.Var] {
+			return true // defensive guard, as in emit
+		}
+		args[i] = e.val[t.Var]
+	}
+	id := e.db.InternTuple(relation.Tuple{Rel: e.rule.Head.Rel, Args: args})
+	if !e.seenIDs.Add(id) {
+		return true
+	}
+	return e.yieldID(id)
 }

@@ -230,7 +230,14 @@ func naiveFixpoint(q query.UCQ, db *relation.Database) map[string]relation.Tuple
 	for {
 		changed := false
 		for _, r := range q.Rules {
-			for k, t := range RuleOutputs(r, work) {
+			// EvalRule, not RuleOutputs: the interning entry points
+			// freeze the id space, and this loop keeps inserting.
+			outs := map[string]relation.Tuple{}
+			EvalRule(r, work, func(t relation.Tuple) bool {
+				outs[t.Key()] = t
+				return true
+			})
+			for k, t := range outs {
 				if _, ok := derived[k]; !ok && !db.Contains(t) {
 					derived[k] = t
 					work.Insert(t)

@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// fuzzDecoder turns an arbitrary byte string into a bounded stream of
+// small integers, defaulting to zero once exhausted.
+type fuzzDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *fuzzDecoder) next(bound int) int {
+	if bound <= 0 {
+		return 0
+	}
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return int(b) % bound
+}
+
+// fuzzCase decodes a database and a safe rule from fuzz input.
+func fuzzCase(data []byte) (*relation.Database, query.Rule, bool) {
+	d := &fuzzDecoder{data: data}
+	s := relation.NewSchema()
+	dom := relation.NewDomain()
+	inputs := []relation.RelID{
+		s.MustDeclare("attr", 1, relation.Input),
+		s.MustDeclare("edge", 2, relation.Input),
+		s.MustDeclare("tri", 3, relation.Input),
+	}
+	headArity := 1 + d.next(3)
+	out := s.MustDeclare("out", headArity, relation.Output)
+
+	nConst := 2 + d.next(5)
+	consts := make([]relation.Const, nConst)
+	for i := range consts {
+		consts[i] = dom.Intern(string(rune('a' + i)))
+	}
+	db := relation.NewDatabase(s, dom)
+	nTuples := d.next(13)
+	for i := 0; i < nTuples; i++ {
+		rel := inputs[d.next(len(inputs))]
+		args := make([]relation.Const, s.Arity(rel))
+		for j := range args {
+			args[j] = consts[d.next(nConst)]
+		}
+		db.Insert(relation.Tuple{Rel: rel, Args: args})
+	}
+
+	nBody := 1 + d.next(3)
+	maxVars := 1 + d.next(5)
+	r := query.Rule{Head: query.Literal{Rel: out}}
+	var bodyVars []query.Var
+	seenVar := make(map[query.Var]bool)
+	for i := 0; i < nBody; i++ {
+		rel := inputs[d.next(len(inputs))]
+		lit := query.Literal{Rel: rel, Args: make([]query.Term, s.Arity(rel))}
+		for j := range lit.Args {
+			if d.next(5) == 0 {
+				lit.Args[j] = query.C(consts[d.next(nConst)])
+				continue
+			}
+			v := query.Var(d.next(maxVars))
+			lit.Args[j] = query.V(v)
+			if !seenVar[v] {
+				seenVar[v] = true
+				bodyVars = append(bodyVars, v)
+			}
+		}
+		r.Body = append(r.Body, lit)
+	}
+	if len(bodyVars) == 0 {
+		return nil, query.Rule{}, false // all-constant body cannot build a safe head
+	}
+	r.Head.Args = make([]query.Term, headArity)
+	for j := range r.Head.Args {
+		r.Head.Args[j] = query.V(bodyVars[d.next(len(bodyVars))])
+	}
+	return db, r, true
+}
+
+func sortedKeys(m map[string]relation.Tuple) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FuzzEvalEquivalence differentially tests the three evaluation
+// paths: the indexed string-keyed evaluator (EvalRule via
+// RuleOutputs), the dense-id path (RuleOutputIDs), and the
+// unoptimized nested-loop oracle (EvalRuleNaive). All three must
+// derive exactly the same set of output tuples on every input.
+func FuzzEvalEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{2, 4, 9, 1, 0, 1, 2, 0, 1, 1, 2, 2, 0, 3, 1, 2, 0, 2, 1, 1, 0, 2})
+	f.Add([]byte{0, 3, 12, 2, 1, 0, 2, 1, 1, 2, 2, 1, 0, 0, 1, 2, 3, 4, 2, 2, 1, 1, 0, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, r, ok := fuzzCase(data)
+		if !ok {
+			return
+		}
+		naive := EvalRuleNaive(r, db)
+		indexed := RuleOutputs(r, db)
+		ids := RuleOutputIDs(r, db)
+
+		nk, ik := sortedKeys(naive), sortedKeys(indexed)
+		if len(nk) != len(ik) {
+			t.Fatalf("naive derives %d tuples, indexed derives %d\nrule: %s",
+				len(nk), len(ik), r.String(db.Schema, db.Domain))
+		}
+		for i := range nk {
+			if nk[i] != ik[i] {
+				t.Fatalf("naive and indexed outputs diverge\nrule: %s", r.String(db.Schema, db.Domain))
+			}
+		}
+		if ids.Len() != len(naive) {
+			t.Fatalf("id path derives %d tuples, naive derives %d\nrule: %s",
+				ids.Len(), len(naive), r.String(db.Schema, db.Domain))
+		}
+		ids.Iterate(func(id relation.TupleID) bool {
+			if _, present := naive[db.TupleByID(id).Key()]; !present {
+				t.Fatalf("id path derived tuple missing from naive output\nrule: %s",
+					r.String(db.Schema, db.Domain))
+			}
+			return true
+		})
+	})
+}

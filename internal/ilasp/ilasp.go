@@ -213,9 +213,15 @@ func greedyCover(pos []relation.Tuple, derivers [][]int) []int {
 
 // EvaluateCandidates evaluates every candidate rule once, returning
 // the indices of rules that derive no negative tuple (allowed) and,
-// for each positive tuple, the allowed rules deriving it.
+// for each positive tuple, the allowed rules deriving it. Outputs are
+// scored on the dense-id plane: negativity and per-positive coverage
+// are bitset probes against the example's interned tuple sets.
 func EvaluateCandidates(ctx context.Context, ex *task.Example, pos []relation.Tuple, candidates []query.Rule) (allowed []int, derivers [][]int, err error) {
 	derivers = make([][]int, len(pos))
+	posIDs := make([]relation.TupleID, len(pos))
+	for pi, p := range pos {
+		posIDs[pi] = ex.DB.InternTuple(p)
+	}
 	for ri, r := range candidates {
 		if ri%32 == 0 {
 			select {
@@ -224,20 +230,21 @@ func EvaluateCandidates(ctx context.Context, ex *task.Example, pos []relation.Tu
 			default:
 			}
 		}
-		outs := eval.RuleOutputs(r, ex.DB)
+		outs := eval.RuleOutputIDs(r, ex.DB)
 		bad := false
-		for _, o := range outs {
-			if ex.IsNegative(o) {
+		outs.Iterate(func(id relation.TupleID) bool {
+			if ex.IsNegativeID(id) {
 				bad = true
-				break
+				return false
 			}
-		}
+			return true
+		})
 		if bad {
 			continue
 		}
 		allowed = append(allowed, ri)
-		for pi, p := range pos {
-			if _, okd := outs[p.Key()]; okd {
+		for pi, pid := range posIDs {
+			if outs.Has(pid) {
 				derivers[pi] = append(derivers[pi], ri)
 			}
 		}

@@ -77,9 +77,12 @@ func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Resul
 	return synth.Result{Status: synth.Sat, Query: query.UCQ{Rules: rules}, Detail: detail}, nil
 }
 
-// cegis runs the provenance-guided loop.
+// cegis runs the provenance-guided loop. All candidate-scoring sets
+// live on the dense-id plane: rule outputs are TupleSets, so subset
+// and membership checks against the examples are bitset probes.
 func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.Rule, synth.Status, error) {
 	ex := t.Example()
+	db := ex.DB
 	n := len(candidates)
 
 	var solver sat.Solver
@@ -88,30 +91,34 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 		lits[i] = sat.Lit(solver.NewVar())
 	}
 
+	posIDs := make([]relation.TupleID, len(t.Pos))
+	for i, p := range t.Pos {
+		posIDs[i] = db.InternTuple(p)
+	}
+
 	// Rule evaluation memo: outputs of rule i, computed on demand.
-	outsMemo := make([]map[string]relation.Tuple, n)
-	outputsOf := func(i int) map[string]relation.Tuple {
+	outsMemo := make([]*relation.TupleSet, n)
+	outputsOf := func(i int) *relation.TupleSet {
 		if outsMemo[i] == nil {
-			outsMemo[i] = eval.RuleOutputs(candidates[i], ex.DB)
+			outsMemo[i] = eval.RuleOutputIDs(candidates[i], db)
 		}
 		return outsMemo[i]
 	}
-	// Why-not provenance memo: for each positive tuple key, the
+	// Why-not provenance memo: for each positive tuple id, the
 	// candidate rules able to derive it (computed lazily, since it
 	// requires evaluating the entire space once).
-	deriverMemo := make(map[string][]int)
-	deriversOf := func(p relation.Tuple) []int {
-		key := p.Key()
-		if d, ok := deriverMemo[key]; ok {
+	deriverMemo := make(map[relation.TupleID][]int)
+	deriversOf := func(id relation.TupleID) []int {
+		if d, ok := deriverMemo[id]; ok {
 			return d
 		}
 		var d []int
 		for i := 0; i < n; i++ {
-			if _, ok := outputsOf(i)[key]; ok {
+			if outputsOf(i).Has(id) {
 				d = append(d, i)
 			}
 		}
-		deriverMemo[key] = d
+		deriverMemo[id] = d
 		return d
 	}
 
@@ -128,13 +135,10 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 		default:
 		}
 		// Evaluate the current subset.
-		derived := make(map[string]relation.Tuple)
+		derived := &relation.TupleSet{}
 		for i := 0; i < n; i++ {
-			if !selected[i] {
-				continue
-			}
-			for k, tu := range outputsOf(i) {
-				derived[k] = tu
+			if selected[i] {
+				derived.Union(outputsOf(i))
 			}
 		}
 		consistent := true
@@ -144,22 +148,19 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 			if !selected[i] {
 				continue
 			}
-			for _, tu := range outputsOf(i) {
-				if ex.IsNegative(tu) {
-					solver.AddClause(lits[i].Neg())
-					consistent = false
-					break
-				}
+			if derivesNegative(ex, outputsOf(i)) {
+				solver.AddClause(lits[i].Neg())
+				consistent = false
 			}
 		}
 		// Why-not provenance: for each missing positive tuple,
 		// require one of its derivers.
-		for _, p := range t.Pos {
-			if _, ok := derived[p.Key()]; ok {
+		for _, pid := range posIDs {
+			if derived.Has(pid) {
 				continue
 			}
 			consistent = false
-			ds := deriversOf(p)
+			ds := deriversOf(pid)
 			clause := make([]sat.Lit, 0, len(ds))
 			for _, i := range ds {
 				clause = append(clause, lits[i])
@@ -171,11 +172,11 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 			// loop would have added why-not constraints).
 			var out []query.Rule
 			for i := 0; i < n; i++ {
-				if selected[i] && contributes(t.Pos, outputsOf(i)) {
+				if selected[i] && contributes(posIDs, outputsOf(i)) {
 					out = append(out, candidates[i])
 				}
 			}
-			out = pruneRedundant(ex, t.Pos, out)
+			out = pruneRedundant(ex, posIDs, out)
 			return out, synth.Sat, nil
 		}
 		model, ok, err := solver.Solve(ctx)
@@ -191,11 +192,25 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 	}
 }
 
+// derivesNegative reports whether the output set contains a negative
+// example.
+func derivesNegative(ex *task.Example, outs *relation.TupleSet) bool {
+	bad := false
+	outs.Iterate(func(id relation.TupleID) bool {
+		if ex.IsNegativeID(id) {
+			bad = true
+			return false
+		}
+		return true
+	})
+	return bad
+}
+
 // contributes reports whether a rule derives at least one positive
 // tuple; rules that do not are dropped from the final hypothesis.
-func contributes(pos []relation.Tuple, outs map[string]relation.Tuple) bool {
-	for _, p := range pos {
-		if _, ok := outs[p.Key()]; ok {
+func contributes(posIDs []relation.TupleID, outs *relation.TupleSet) bool {
+	for _, id := range posIDs {
+		if outs.Has(id) {
 			return true
 		}
 	}
@@ -204,7 +219,7 @@ func contributes(pos []relation.Tuple, outs map[string]relation.Tuple) bool {
 
 // pruneRedundant greedily removes rules whose positive coverage is
 // subsumed by the rest, mirroring ProSynth's final minimization pass.
-func pruneRedundant(ex *task.Example, pos []relation.Tuple, rules []query.Rule) []query.Rule {
+func pruneRedundant(ex *task.Example, posIDs []relation.TupleID, rules []query.Rule) []query.Rule {
 	kept := append([]query.Rule(nil), rules...)
 	for i := len(kept) - 1; i >= 0; i-- {
 		without := make([]query.Rule, 0, len(kept)-1)
@@ -213,10 +228,10 @@ func pruneRedundant(ex *task.Example, pos []relation.Tuple, rules []query.Rule) 
 		if len(without) == 0 {
 			continue
 		}
-		outs := eval.UCQOutputs(query.UCQ{Rules: without}, ex.DB)
+		outs := eval.UCQOutputIDs(query.UCQ{Rules: without}, ex.DB)
 		all := true
-		for _, p := range pos {
-			if _, ok := outs[p.Key()]; !ok {
+		for _, id := range posIDs {
+			if !outs.Has(id) {
 				all = false
 				break
 			}

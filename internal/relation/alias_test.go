@@ -1,0 +1,75 @@
+package relation
+
+import "testing"
+
+func aliasTestDB(t *testing.T) (*Database, RelID, []Const) {
+	t.Helper()
+	s := NewSchema()
+	d := NewDomain()
+	edge := s.MustDeclare("edge", 2, Input)
+	a, b := d.Intern("a"), d.Intern("b")
+	return NewDatabase(s, d), edge, []Const{a, b}
+}
+
+// TestInsertCopiesArgs is the regression test for the NewTuple
+// aliasing footgun: Insert must copy the argument slice at the
+// boundary, so callers mutating their slice afterwards (e.g. a reused
+// scratch buffer) cannot corrupt stored tuples or the index.
+func TestInsertCopiesArgs(t *testing.T) {
+	db, edge, args := aliasTestDB(t)
+	c := db.Domain.Intern("c")
+
+	db.Insert(NewTuple(edge, args...))
+	want := append([]Const(nil), args...)
+
+	// Mutate the source slice after construction + insertion.
+	args[0] = c
+	args[1] = c
+
+	got := db.Tuple(0)
+	if len(got.Args) != 2 || got.Args[0] != want[0] || got.Args[1] != want[1] {
+		t.Fatalf("stored tuple corrupted by caller mutation: got %v, want %v", got.Args, want)
+	}
+	// The index must still find the tuple under its original key.
+	if ids := db.AtColumn(edge, 0, want[0]); len(ids) != 1 {
+		t.Fatalf("index lost the tuple after caller mutation: AtColumn = %v", ids)
+	}
+}
+
+// TestInternTupleCopiesArgs: the intern table must be equally immune
+// to callers reusing their argument buffers.
+func TestInternTupleCopiesArgs(t *testing.T) {
+	db, edge, args := aliasTestDB(t)
+	c := db.Domain.Intern("c")
+
+	id := db.InternTuple(NewTuple(edge, args...))
+	want := append([]Const(nil), args...)
+
+	args[0] = c
+	args[1] = c
+
+	got := db.TupleByID(id)
+	if got.Args[0] != want[0] || got.Args[1] != want[1] {
+		t.Fatalf("interned tuple corrupted by caller mutation: got %v, want %v", got.Args, want)
+	}
+	// Re-interning the original value must hit the same id, and the
+	// mutated value must get a fresh one.
+	if again := db.InternTuple(Tuple{Rel: edge, Args: want}); again != id {
+		t.Fatalf("re-intern of original tuple = id %d, want %d", again, id)
+	}
+	if other := db.InternTuple(Tuple{Rel: edge, Args: []Const{c, c}}); other == id {
+		t.Fatalf("distinct tuple interned to same id %d", id)
+	}
+}
+
+// TestNewTupleCopy: the defensive constructor must detach from the
+// caller's slice even before any Database boundary is crossed.
+func TestNewTupleCopy(t *testing.T) {
+	_, edge, args := aliasTestDB(t)
+	tu := NewTupleCopy(edge, args)
+	orig := args[0]
+	args[0] = args[1]
+	if tu.Args[0] != orig {
+		t.Fatalf("NewTupleCopy aliased the caller's slice: got %v", tu.Args)
+	}
+}

@@ -2,11 +2,17 @@ package relation
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // TupleID identifies a tuple within a Database. Ids are dense and
 // assigned in insertion order; the EGS algorithm uses them to build
-// canonical keys for enumeration contexts.
+// canonical keys for enumeration contexts, and TupleSet represents
+// sets of them as bitsets. The id space covers both inserted
+// (extensional) tuples and tuples interned via InternTuple (derived
+// output tuples, example tuples): inserted tuples occupy the low ids,
+// interned-only tuples the ids from the freeze point upward.
 type TupleID int32
 
 // Database is an indexed set of ground tuples over a Schema and a
@@ -19,7 +25,10 @@ type TupleID int32
 //   - membership tests.
 //
 // A Database is append-only; it is safe for concurrent reads after all
-// Insert calls have completed.
+// Insert calls have completed. The interning table (InternTuple) is
+// additionally safe for concurrent use once inserts are done, so
+// parallel synthesis workers can intern derived tuples while others
+// read.
 type Database struct {
 	Schema *Schema
 	Domain *Domain
@@ -33,6 +42,32 @@ type Database struct {
 	byCol [][]map[Const][]TupleID
 	// byConst maps a constant to every tuple mentioning it (dedup'd).
 	byConst map[Const][]TupleID
+
+	intern internTable
+}
+
+// internChunkBits sizes the interning overlay's chunks; chunks are
+// fixed-size arrays so interned tuples are never moved once published
+// and readers need no lock to dereference an id they hold.
+const (
+	internChunkBits = 10
+	internChunkSize = 1 << internChunkBits
+)
+
+// internTable assigns dense ids, continuing the Database's id space,
+// to tuples that are not inserted facts: derived output tuples and
+// example tuples. The first InternTuple call freezes the insert
+// region (ids [0, base)); interned tuples take ids base, base+1, ...
+//
+// Lookups and appends are guarded by mu. Resolving an id a goroutine
+// already holds is lock-free: the chunk spine is published via an
+// atomic pointer and chunks are never reallocated.
+type internTable struct {
+	mu    sync.RWMutex
+	byKey map[string]TupleID
+	spine atomic.Pointer[[]*[internChunkSize]Tuple]
+	count int
+	base  int // len(db.tuples) at freeze time
 }
 
 // NewDatabase returns an empty database over the given schema and
@@ -47,12 +82,24 @@ func NewDatabase(s *Schema, d *Domain) *Database {
 }
 
 // Insert adds a tuple and returns its id. Inserting a duplicate tuple
-// returns the existing id without modifying the database.
+// returns the existing id without modifying the database. The args
+// slice is copied, so callers may reuse their buffers.
+//
+// Insert is a load-phase operation: it must not be called after the
+// first InternTuple call, which freezes the inserted-id region so
+// interned ids cannot collide with future inserts.
 func (db *Database) Insert(t Tuple) TupleID {
 	k := t.Key()
 	if id, ok := db.keys[k]; ok {
 		return id
 	}
+	db.intern.mu.RLock()
+	frozen := db.intern.byKey != nil
+	db.intern.mu.RUnlock()
+	if frozen {
+		panic("relation: Insert of a new tuple after InternTuple froze the id space")
+	}
+	t = Tuple{Rel: t.Rel, Args: append([]Const(nil), t.Args...)}
 	id := TupleID(len(db.tuples))
 	db.tuples = append(db.tuples, t)
 	db.keys[k] = id
@@ -79,11 +126,84 @@ func (db *Database) Insert(t Tuple) TupleID {
 	return id
 }
 
-// Size reports the number of tuples.
+// Size reports the number of inserted tuples (interned-only tuples
+// are not counted; they are not facts of the database).
 func (db *Database) Size() int { return len(db.tuples) }
 
-// Tuple returns the tuple with the given id.
+// Tuple returns the inserted tuple with the given id. It is the
+// evaluator's hot path and never takes a lock; for ids that may come
+// from the interning table, use TupleByID.
 func (db *Database) Tuple(id TupleID) Tuple { return db.tuples[id] }
+
+// InternTuple returns the dense id of t, assigning a fresh one on
+// first sight. Tuples already inserted keep their insert-time id;
+// other tuples (derived output tuples, example tuples) are added to
+// the interning overlay, which does not affect extents, indexes,
+// Contains, or Size. The args slice is copied when the tuple is new.
+//
+// The first call freezes the insert region; InternTuple is safe for
+// concurrent use from then on.
+func (db *Database) InternTuple(t Tuple) TupleID {
+	k := t.Key()
+	if id, ok := db.keys[k]; ok {
+		return id
+	}
+	it := &db.intern
+	it.mu.RLock()
+	id, ok := it.byKey[k]
+	it.mu.RUnlock()
+	if ok {
+		return id
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if id, ok := it.byKey[k]; ok {
+		return id
+	}
+	if it.byKey == nil {
+		it.byKey = make(map[string]TupleID)
+		it.base = len(db.tuples)
+	}
+	ci, off := it.count>>internChunkBits, it.count&(internChunkSize-1)
+	spine := it.spine.Load()
+	if off == 0 {
+		var old []*[internChunkSize]Tuple
+		if spine != nil {
+			old = *spine
+		}
+		grown := make([]*[internChunkSize]Tuple, len(old)+1)
+		copy(grown, old)
+		grown[len(old)] = new([internChunkSize]Tuple)
+		it.spine.Store(&grown)
+		spine = &grown
+	}
+	(*spine)[ci][off] = Tuple{Rel: t.Rel, Args: append([]Const(nil), t.Args...)}
+	id = TupleID(it.base + it.count)
+	it.count++
+	it.byKey[k] = id
+	return id
+}
+
+// TupleByID resolves any id in the database's id space — inserted or
+// interned. Resolving an id the caller legitimately holds is
+// lock-free.
+func (db *Database) TupleByID(id TupleID) Tuple {
+	i := int(id)
+	if i < len(db.tuples) {
+		return db.tuples[i]
+	}
+	off := i - db.intern.base
+	spine := db.intern.spine.Load()
+	return (*spine)[off>>internChunkBits][off&(internChunkSize-1)]
+}
+
+// NumIDs reports the total number of assigned ids (inserted plus
+// interned); TupleID values are always in [0, NumIDs).
+func (db *Database) NumIDs() int {
+	db.intern.mu.RLock()
+	defer db.intern.mu.RUnlock()
+	return len(db.tuples) + db.intern.count
+}
 
 // Contains reports whether the database holds the given tuple.
 func (db *Database) Contains(t Tuple) bool {

@@ -1,0 +1,174 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// setModel is the reference implementation a TupleSet must agree
+// with: a plain map from id to presence.
+type setModel map[TupleID]bool
+
+func (m setModel) ids() []TupleID {
+	out := make([]TupleID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkAgainstModel verifies every observation of s against m.
+func checkAgainstModel(t *testing.T, trial int, s *TupleSet, m setModel) {
+	t.Helper()
+	if s.Len() != len(m) {
+		t.Fatalf("trial %d: Len = %d, model has %d", trial, s.Len(), len(m))
+	}
+	if s.Empty() != (len(m) == 0) {
+		t.Fatalf("trial %d: Empty = %v with %d model elements", trial, s.Empty(), len(m))
+	}
+	want := m.ids()
+	got := s.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("trial %d: IDs returned %d ids, want %d", trial, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trial %d: IDs[%d] = %d, want %d (iteration must be ascending)", trial, i, got[i], want[i])
+		}
+	}
+	// Membership probes, including ids beyond the allocated words.
+	for probe := TupleID(0); probe < 200; probe += 7 {
+		if s.Has(probe) != m[probe] {
+			t.Fatalf("trial %d: Has(%d) = %v, model says %v", trial, probe, s.Has(probe), m[probe])
+		}
+	}
+}
+
+// TestTupleSetMatchesMapModel drives a TupleSet and a map model with
+// the same random operation sequence and checks they never disagree,
+// mirroring the cross-check style of internal/cograph/prop_test.go.
+func TestTupleSetMatchesMapModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 300; trial++ {
+		s := &TupleSet{}
+		m := setModel{}
+		ops := rng.Intn(120)
+		for op := 0; op < ops; op++ {
+			id := TupleID(rng.Intn(150)) // spans multiple 64-bit words
+			switch rng.Intn(3) {
+			case 0, 1: // Add, biased so sets are nonempty
+				added := s.Add(id)
+				if added == m[id] {
+					t.Fatalf("trial %d: Add(%d) = %v, model already had it: %v", trial, id, added, m[id])
+				}
+				m[id] = true
+			case 2: // pure probe
+				if s.Has(id) != m[id] {
+					t.Fatalf("trial %d: Has(%d) = %v, model says %v", trial, id, s.Has(id), m[id])
+				}
+			}
+		}
+		checkAgainstModel(t, trial, s, m)
+
+		clone := s.Clone()
+		checkAgainstModel(t, trial, clone, m)
+	}
+}
+
+// binaryOp pairs a TupleSet mutation with its model counterpart.
+type binaryOp struct {
+	name  string
+	apply func(a, b *TupleSet)
+	model func(ma, mb setModel) setModel
+}
+
+// TestTupleSetBinaryOpsMatchMapModel checks Union / Intersect /
+// Subtract and the pure predicates against set algebra on the model.
+func TestTupleSetBinaryOpsMatchMapModel(t *testing.T) {
+	ops := []binaryOp{
+		{"Union", func(a, b *TupleSet) { a.Union(b) }, func(ma, mb setModel) setModel {
+			out := setModel{}
+			for id := range ma {
+				out[id] = true
+			}
+			for id := range mb {
+				out[id] = true
+			}
+			return out
+		}},
+		{"Intersect", func(a, b *TupleSet) { a.Intersect(b) }, func(ma, mb setModel) setModel {
+			out := setModel{}
+			for id := range ma {
+				if mb[id] {
+					out[id] = true
+				}
+			}
+			return out
+		}},
+		{"Subtract", func(a, b *TupleSet) { a.Subtract(b) }, func(ma, mb setModel) setModel {
+			out := setModel{}
+			for id := range ma {
+				if !mb[id] {
+					out[id] = true
+				}
+			}
+			return out
+		}},
+	}
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 300; trial++ {
+		// Two random sets with deliberately different word counts so
+		// length-mismatch paths are exercised.
+		buildOne := func(max int) (*TupleSet, setModel) {
+			s, m := &TupleSet{}, setModel{}
+			for i := 0; i < rng.Intn(40); i++ {
+				id := TupleID(rng.Intn(max))
+				s.Add(id)
+				m[id] = true
+			}
+			return s, m
+		}
+		a, ma := buildOne(1 + rng.Intn(190))
+		b, mb := buildOne(1 + rng.Intn(190))
+
+		// Pure predicates first, before a is mutated.
+		wantSubset := true
+		for id := range ma {
+			if !mb[id] {
+				wantSubset = false
+				break
+			}
+		}
+		if a.SubsetOf(b) != wantSubset {
+			t.Fatalf("trial %d: SubsetOf = %v, model says %v", trial, a.SubsetOf(b), wantSubset)
+		}
+		wantIntersects := false
+		for id := range ma {
+			if mb[id] {
+				wantIntersects = true
+				break
+			}
+		}
+		if a.Intersects(b) != wantIntersects {
+			t.Fatalf("trial %d: Intersects = %v, model says %v", trial, a.Intersects(b), wantIntersects)
+		}
+		sameModel := len(ma) == len(mb) && wantSubset
+		if a.Equal(b) != sameModel {
+			t.Fatalf("trial %d: Equal = %v, model says %v", trial, a.Equal(b), sameModel)
+		}
+		if (a.Key() == b.Key()) != sameModel {
+			t.Fatalf("trial %d: Key collision disagreement: equal=%v keys equal=%v",
+				trial, sameModel, a.Key() == b.Key())
+		}
+
+		op := ops[trial%len(ops)]
+		t.Run(fmt.Sprintf("%s/%d", op.name, trial), func(t *testing.T) {
+			ac := a.Clone()
+			op.apply(ac, b)
+			checkAgainstModel(t, trial, ac, op.model(ma, mb))
+		})
+	}
+}

@@ -12,9 +12,18 @@ type Tuple struct {
 }
 
 // NewTuple builds a tuple. The args slice is used directly (not
-// copied); callers that reuse buffers must copy first.
+// copied); callers that reuse buffers must copy first or use
+// NewTupleCopy. Database.Insert and Database.InternTuple copy at
+// their boundary, so tuples handed to a Database are safe either way.
 func NewTuple(rel RelID, args ...Const) Tuple {
 	return Tuple{Rel: rel, Args: args}
+}
+
+// NewTupleCopy builds a tuple over a private copy of args. Use it
+// when the argument slice is a reused buffer (parser scratch space,
+// enumeration cursors) that may be overwritten after construction.
+func NewTupleCopy(rel RelID, args []Const) Tuple {
+	return Tuple{Rel: rel, Args: append([]Const(nil), args...)}
 }
 
 // Equal reports whether two tuples are identical.

@@ -1,0 +1,212 @@
+package relation
+
+import (
+	"math/bits"
+)
+
+// TupleSet is a set of TupleIDs, represented as a bitset. Because a
+// Database assigns dense ids, a TupleSet over a synthesis run's
+// ground facts costs one bit per known tuple, and the set algebra the
+// synthesizers run in their inner loops — coverage bookkeeping,
+// consistency checks, output signatures — becomes word-parallel
+// bit operations instead of string-keyed map traffic.
+//
+// The zero value is an empty set ready for use. A TupleSet is not
+// safe for concurrent mutation; concurrent reads are fine.
+type TupleSet struct {
+	words []uint64
+	count int
+}
+
+// NewTupleSet returns an empty set with capacity hint n (ids 0..n-1
+// will not trigger regrowth).
+func NewTupleSet(n int) *TupleSet {
+	if n <= 0 {
+		return &TupleSet{}
+	}
+	return &TupleSet{words: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts id, growing the bitset as needed. It reports whether
+// the id was newly added.
+func (s *TupleSet) Add(id TupleID) bool {
+	w, b := int(id)>>6, uint(id)&63
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	if s.words[w]&(1<<b) != 0 {
+		return false
+	}
+	s.words[w] |= 1 << b
+	s.count++
+	return true
+}
+
+// Has reports whether id is in the set.
+func (s *TupleSet) Has(id TupleID) bool {
+	w := int(id) >> 6
+	return w < len(s.words) && s.words[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Len reports the cardinality of the set.
+func (s *TupleSet) Len() int { return s.count }
+
+// Empty reports whether the set has no members.
+func (s *TupleSet) Empty() bool { return s.count == 0 }
+
+// Union adds every member of o to s.
+func (s *TupleSet) Union(o *TupleSet) {
+	if o == nil {
+		return
+	}
+	if len(o.words) > len(s.words) {
+		grown := make([]uint64, len(o.words))
+		copy(grown, s.words)
+		s.words = grown
+	}
+	n := 0
+	for i, w := range s.words {
+		if i < len(o.words) {
+			w |= o.words[i]
+			s.words[i] = w
+		}
+		n += bits.OnesCount64(w)
+	}
+	s.count = n
+}
+
+// Intersect removes every member of s not in o.
+func (s *TupleSet) Intersect(o *TupleSet) {
+	n := 0
+	for i := range s.words {
+		if o == nil || i >= len(o.words) {
+			s.words[i] = 0
+			continue
+		}
+		s.words[i] &= o.words[i]
+		n += bits.OnesCount64(s.words[i])
+	}
+	s.count = n
+}
+
+// Subtract removes every member of o from s.
+func (s *TupleSet) Subtract(o *TupleSet) {
+	if o == nil {
+		return
+	}
+	n := 0
+	for i, w := range s.words {
+		if i < len(o.words) {
+			w &^= o.words[i]
+			s.words[i] = w
+		}
+		n += bits.OnesCount64(w)
+	}
+	s.count = n
+}
+
+// SubsetOf reports whether every member of s is in o.
+func (s *TupleSet) SubsetOf(o *TupleSet) bool {
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if o == nil || i >= len(o.words) || w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share a member.
+func (s *TupleSet) Intersects(o *TupleSet) bool {
+	if o == nil {
+		return false
+	}
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o hold exactly the same ids.
+func (s *TupleSet) Equal(o *TupleSet) bool {
+	if o == nil {
+		return s.count == 0
+	}
+	if s.count != o.count {
+		return false
+	}
+	n := len(s.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(o.words) {
+			b = o.words[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *TupleSet) Clone() *TupleSet {
+	return &TupleSet{words: append([]uint64(nil), s.words...), count: s.count}
+}
+
+// Iterate calls f on each id in ascending order; returning false
+// stops the iteration early.
+func (s *TupleSet) Iterate(f func(TupleID) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(TupleID(i<<6 + b)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// IDs returns the members in ascending order.
+func (s *TupleSet) IDs() []TupleID {
+	out := make([]TupleID, 0, s.count)
+	s.Iterate(func(id TupleID) bool {
+		out = append(out, id)
+		return true
+	})
+	return out
+}
+
+// Key returns a canonical encoding of the set, usable as a map key:
+// equal sets yield equal keys regardless of insertion history or
+// bitset capacity. It replaces sorted per-tuple string joins as the
+// output-signature representation.
+func (s *TupleSet) Key() string {
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	buf := make([]byte, 0, n*8)
+	for _, w := range s.words[:n] {
+		buf = append(buf,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return string(buf)
+}

@@ -71,10 +71,10 @@ func (s *Synthesizer) Synthesize(ctx context.Context, t *task.Task) (synth.Resul
 			return synth.Result{Status: synth.Exhausted,
 				Detail: fmt.Sprintf("no consistent query with <= %d joins", maxJoins)}, nil
 		}
-		outs := eval.RuleOutputs(rule, e.ex.DB)
+		outs := eval.RuleOutputIDs(rule, e.ex.DB)
 		var still []relation.Tuple
 		for _, u := range unexplained {
-			if _, derived := outs[u.Key()]; !derived {
+			if !outs.Has(e.ex.DB.InternTuple(u)) {
 				still = append(still, u)
 			}
 		}

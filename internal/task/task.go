@@ -119,6 +119,12 @@ type Task struct {
 // Example is the oracle view of a task used by the synthesizers: it
 // answers membership and counting queries about the (possibly
 // implicit) negative example set and about forbidden slices.
+//
+// Full-arity example sets (O+ and the explicit O-) are TupleSets over
+// the database's dense ids, so the membership tests in the
+// synthesizers' inner loops are bitset probes. Slice (prefix) data
+// stays string-keyed: i-slices for i < k are not ground tuples and
+// have no TupleID.
 type Example struct {
 	DB          *relation.Database
 	DomainSize  int // |D|: constants occurring in input tuples
@@ -126,7 +132,8 @@ type Example struct {
 
 	Pos []relation.Tuple
 
-	posSet map[string]bool
+	// posIDs is O+ as a bitset over DB's interned ids.
+	posIDs *relation.TupleSet
 	// posPrefix holds SliceKey(i) for every positive tuple and every
 	// 1 <= i <= k. Under closed-world labelling an i-slice is
 	// forbidden iff it is absent from this set.
@@ -135,7 +142,9 @@ type Example struct {
 	// grouped per relation in the key, used to compute |F_i|.
 	posPrefixPerLen []map[string]bool
 
-	negSet map[string]bool
+	// negIDs is the explicit O- as a bitset (empty under closed
+	// world).
+	negIDs *relation.TupleSet
 	// negPrefixCount maps an i-slice key to the number of distinct
 	// negative tuples extending it (explicit labelling only).
 	negPrefixCount []map[string]int
@@ -166,9 +175,9 @@ func (t *Task) Prepare() error {
 		DomainSize:  len(domainConsts),
 		ClosedWorld: t.ClosedWorld,
 		Pos:         t.Pos,
-		posSet:      make(map[string]bool),
+		posIDs:      &relation.TupleSet{},
 		posPrefix:   make(map[string]bool),
-		negSet:      make(map[string]bool),
+		negIDs:      &relation.TupleSet{},
 	}
 	for _, p := range t.Pos {
 		if len(p.Args) > ex.maxArity {
@@ -189,7 +198,7 @@ func (t *Task) Prepare() error {
 		ex.negForbidden[i] = make(map[string]bool)
 	}
 	for _, p := range t.Pos {
-		ex.posSet[p.Key()] = true
+		ex.posIDs.Add(t.Input.InternTuple(p))
 		for i := 1; i <= len(p.Args); i++ {
 			k := p.SliceKey(i)
 			ex.posPrefix[k] = true
@@ -197,11 +206,9 @@ func (t *Task) Prepare() error {
 		}
 	}
 	for _, n := range t.Neg {
-		k := n.Key()
-		if ex.negSet[k] {
+		if !ex.negIDs.Add(t.Input.InternTuple(n)) {
 			continue
 		}
-		ex.negSet[k] = true
 		for i := 1; i <= len(n.Args); i++ {
 			ex.negPrefixCount[i][n.SliceKey(i)]++
 		}
@@ -273,7 +280,7 @@ func (t *Task) validate() error {
 			return fmt.Errorf("task %s: negative tuple over non-output relation %s",
 				t.Name, t.Schema.Name(n.Rel))
 		}
-		if t.example.posSet[n.Key()] {
+		if t.example.IsPositive(n) {
 			return fmt.Errorf("task %s: tuple %s labelled both positive and negative",
 				t.Name, n.String(t.Schema, t.Domain))
 		}
@@ -420,17 +427,33 @@ func powUint(base uint64, exp int) (uint64, bool) {
 	return result, true
 }
 
+// PosIDs returns O+ as a bitset over the database's ids. The returned
+// set is shared; callers must not mutate it.
+func (e *Example) PosIDs() *relation.TupleSet { return e.posIDs }
+
 // IsPositive reports whether tuple t is in O+.
-func (e *Example) IsPositive(t relation.Tuple) bool { return e.posSet[t.Key()] }
+func (e *Example) IsPositive(t relation.Tuple) bool {
+	return e.posIDs.Has(e.DB.InternTuple(t))
+}
+
+// IsPositiveID is IsPositive for an already-interned tuple id.
+func (e *Example) IsPositiveID(id relation.TupleID) bool { return e.posIDs.Has(id) }
 
 // IsNegative reports whether tuple t is a negative example: under
 // closed-world labelling, any output tuple not in O+; otherwise,
 // membership in the explicit O-.
 func (e *Example) IsNegative(t relation.Tuple) bool {
+	return e.IsNegativeID(e.DB.InternTuple(t))
+}
+
+// IsNegativeID is IsNegative for an already-interned tuple id. Like
+// IsNegative, it assumes the tuple is over an output relation (input
+// facts are neither positive nor negative examples).
+func (e *Example) IsNegativeID(id relation.TupleID) bool {
 	if e.ClosedWorld {
-		return !e.posSet[t.Key()]
+		return !e.posIDs.Has(id)
 	}
-	return e.negSet[t.Key()]
+	return e.negIDs.Has(id)
 }
 
 // ForbiddenSlice reports whether the i-slice (t.Rel, t.Args[:i]) lies
@@ -440,27 +463,15 @@ func (e *Example) ForbiddenSlice(t relation.Tuple, i int) bool {
 	if i >= len(t.Args) {
 		return e.IsNegative(t)
 	}
-	key := t.SliceKey(i)
-	if e.ClosedWorld {
-		return !e.posPrefix[key]
-	}
-	if i < len(e.negForbidden) {
-		return e.negForbidden[i][key]
-	}
-	return false
+	return e.ForbiddenPrefixKey(t.SliceKey(i), i)
 }
 
-// ForbiddenSliceKey is ForbiddenSlice for an already-computed slice
-// key of length i over relation arity k.
-func (e *Example) ForbiddenSliceKey(key string, i, k int) bool {
+// ForbiddenPrefixKey is ForbiddenSlice for a proper slice (i < k)
+// whose SliceKey(i) has already been computed. Full-arity slices are
+// ground tuples; test those with IsNegativeID.
+func (e *Example) ForbiddenPrefixKey(key string, i int) bool {
 	if e.ClosedWorld {
-		if i >= k {
-			return !e.posSet[key]
-		}
 		return !e.posPrefix[key]
-	}
-	if i >= k {
-		return e.negSet[key]
 	}
 	if i < len(e.negForbidden) {
 		return e.negForbidden[i][key]
@@ -517,16 +528,22 @@ func sliceKeyRel(key string) relation.RelID {
 // it derives every positive tuple and no negative tuple. When it
 // returns false, the second result explains why.
 func (e *Example) Consistent(q query.UCQ) (bool, string) {
-	outs := eval.UCQOutputs(q, e.DB)
+	outs := eval.UCQOutputIDs(q, e.DB)
 	for _, p := range e.Pos {
-		if _, ok := outs[p.Key()]; !ok {
+		if !outs.Has(e.DB.InternTuple(p)) {
 			return false, fmt.Sprintf("does not derive positive tuple %s", p.String(e.DB.Schema, e.DB.Domain))
 		}
 	}
-	for _, o := range outs {
-		if e.IsNegative(o) {
-			return false, fmt.Sprintf("derives negative tuple %s", o.String(e.DB.Schema, e.DB.Domain))
+	bad := relation.TupleID(-1)
+	outs.Iterate(func(id relation.TupleID) bool {
+		if e.IsNegativeID(id) {
+			bad = id
+			return false
 		}
+		return true
+	})
+	if bad >= 0 {
+		return false, fmt.Sprintf("derives negative tuple %s", e.DB.TupleByID(bad).String(e.DB.Schema, e.DB.Domain))
 	}
 	return true, ""
 }
@@ -535,8 +552,8 @@ func (e *Example) Consistent(q query.UCQ) (bool, string) {
 // no negative tuples (its positive coverage is checked separately).
 func (e *Example) RuleConsistentWithNegatives(r query.Rule) bool {
 	ok := true
-	eval.EvalRule(r, e.DB, func(t relation.Tuple) bool {
-		if e.IsNegative(t) {
+	eval.EvalRuleIDs(r, e.DB, func(id relation.TupleID) bool {
+		if e.IsNegativeID(id) {
 			ok = false
 			return false
 		}

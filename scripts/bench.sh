@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench: run the evaluator and synthesizer benchmarks with -benchmem
+# and record the results in BENCH_eval.json under a named run.
+#
+#   scripts/bench.sh [run-name]
+#
+# The run name defaults to "post-tuple-interning". BENCH_eval.json
+# accumulates runs keyed by name (re-running a name replaces it), so a
+# before/after pair — e.g. the checked-in "pre-tuple-interning"
+# baseline plus a fresh run — can be compared directly. Requires the
+# Go toolchain and jq.
+set -eu
+
+RUN=${1:-post-tuple-interning}
+OUT=${OUT:-BENCH_eval.json}
+GO=${GO:-go}
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "bench: BenchmarkRuleOutputs (internal/eval)" >&2
+$GO test -run '^$' -bench BenchmarkRuleOutputs -benchmem ./internal/eval/ | tee "$TMP/eval.txt" >&2
+echo "bench: BenchmarkSynthesize (internal/egs)" >&2
+$GO test -run '^$' -bench BenchmarkSynthesize -benchmem ./internal/egs/ | tee "$TMP/egs.txt" >&2
+
+# Convert `go test -bench` output lines into a JSON benchmark array:
+#   BenchmarkX/case-8   1219   1053847 ns/op   232384 B/op   13049 allocs/op
+grep -h '^Benchmark' "$TMP/eval.txt" "$TMP/egs.txt" | awk -v procs="$($GO env GOMAXPROCS 2>/dev/null || echo "")" '{
+    name = $1; sub(/^Benchmark/, "", name)
+    # Strip only the GOMAXPROCS suffix go test appends (e.g. "-8"),
+    # never a meaningful trailing number in the sub-benchmark name.
+    if (procs != "" && procs != "1") sub("-" procs "$", "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    printf "{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}\n", name, $2, ns, bytes, allocs
+}' | jq -s '.' > "$TMP/benches.json"
+
+jq -n \
+    --arg run "$RUN" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg go "$($GO env GOVERSION)" \
+    --slurpfile benches "$TMP/benches.json" \
+    '{name: $run, date: $date, go: $go, benchmarks: $benches[0]}' > "$TMP/run.json"
+
+if [ -f "$OUT" ]; then
+    jq --slurpfile new "$TMP/run.json" \
+        '.runs = [.runs[] | select(.name != $new[0].name)] + $new' \
+        "$OUT" > "$OUT.tmp"
+    mv "$OUT.tmp" "$OUT"
+else
+    jq -n --slurpfile new "$TMP/run.json" '{runs: $new}' > "$OUT"
+fi
+
+echo "bench: wrote run \"$RUN\" to $OUT" >&2
