@@ -30,6 +30,9 @@
 //	-quick-unsat      enable the Lemma 4.2 unsat fast path
 //	-best-effort      tolerate noise: skip unexplainable positive tuples
 //	-parallel n       wave-parallel per-tuple explanation (EGS only)
+//	-assess-parallel n  worker pool for candidate-rule assessment (EGS
+//	                  only; deterministic — results are bit-identical
+//	                  to the sequential search)
 //	-explain          print a why-provenance witness per positive tuple
 //	-sql              additionally print the synthesized query as SQL
 //	-tool name        run a baseline instead of EGS: scythe, ilasp-L,
@@ -72,6 +75,7 @@ func run() int {
 	explain := flag.Bool("explain", false, "print a why-provenance witness for each positive tuple")
 	sql := flag.Bool("sql", false, "additionally print the synthesized query as SQL")
 	parallel := flag.Int("parallel", 1, "worker goroutines for per-tuple explanation (EGS only)")
+	assessParallel := flag.Int("assess-parallel", 1, "worker goroutines for candidate-rule assessment (EGS only; deterministic)")
 	tool := flag.String("tool", "egs", "synthesizer: egs, scythe, ilasp-L, ilasp-F, prosynth-L, prosynth-F, enumerative")
 	stats := flag.Bool("stats", false, "print search statistics to stderr")
 	graph := flag.Bool("graph", false, "print the constant co-occurrence graph and exit")
@@ -101,7 +105,12 @@ func run() int {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	opts := egs.Options{QuickUnsat: *quickUnsat, BestEffort: *bestEffort, MaxContexts: *maxContexts}
+	opts := egs.Options{
+		QuickUnsat:        *quickUnsat,
+		BestEffort:        *bestEffort,
+		MaxContexts:       *maxContexts,
+		AssessParallelism: *assessParallel,
+	}
 	switch *priority {
 	case "p1":
 		opts.Priority = egs.P1

@@ -103,14 +103,22 @@ type Options struct {
 	// its union may decompose differently; 0 or 1 keeps the paper's
 	// sequential behaviour.
 	Workers int
+	// AssessParallelism > 1 evaluates the candidate rules of each
+	// worklist expansion on a bounded worker pool. Unlike Workers,
+	// this parallelism is invisible in the result: the learned rules
+	// and unsat verdicts are bit-identical to the sequential search.
+	// It composes with Workers (each tuple-explaining worker gets its
+	// own assessment pool).
+	AssessParallelism int
 }
 
 // coreOptions lowers Options to the internal representation.
 func (o Options) coreOptions() coreegs.Options {
 	c := coreegs.Options{
-		QuickUnsat:  o.QuickUnsat,
-		MaxContexts: o.MaxContexts,
-		BestEffort:  o.BestEffort,
+		QuickUnsat:        o.QuickUnsat,
+		MaxContexts:       o.MaxContexts,
+		BestEffort:        o.BestEffort,
+		AssessParallelism: o.AssessParallelism,
 	}
 	if o.Priority == PrioritySize {
 		c.Priority = coreegs.P1
@@ -127,8 +135,13 @@ type Stats struct {
 	// ContextsExplored counts enumeration contexts popped from the
 	// worklist.
 	ContextsExplored int
-	// CandidatesEvaluated counts candidate-rule evaluations.
+	// CandidatesEvaluated counts candidate-rule evaluations actually
+	// executed.
 	CandidatesEvaluated int
+	// CandidatesCached counts candidate assessments answered from the
+	// canonical-rule memo instead of re-evaluating. The cache-hit
+	// rate is CandidatesCached / (CandidatesEvaluated + CandidatesCached).
+	CandidatesCached int
 	// RulesLearned is the number of rules in the result.
 	RulesLearned int
 }
@@ -405,7 +418,11 @@ func ExplainTuple(ctx context.Context, t *Task, rel string, args []string, opts 
 		}
 		consts[i] = c
 	}
-	coreOpts := coreegs.Options{QuickUnsat: opts.QuickUnsat, MaxContexts: opts.MaxContexts}
+	coreOpts := coreegs.Options{
+		QuickUnsat:        opts.QuickUnsat,
+		MaxContexts:       opts.MaxContexts,
+		AssessParallelism: opts.AssessParallelism,
+	}
 	if opts.Priority == PrioritySize {
 		coreOpts.Priority = coreegs.P1
 	}
@@ -439,6 +456,7 @@ func Synthesize(ctx context.Context, t *Task, opts Options) (Result, error) {
 		Stats: Stats{
 			ContextsExplored:    res.Stats.ContextsPopped,
 			CandidatesEvaluated: res.Stats.RuleEvals,
+			CandidatesCached:    res.Stats.MemoHits,
 			RulesLearned:        res.Stats.RulesLearned,
 		},
 	}

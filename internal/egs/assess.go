@@ -1,0 +1,123 @@
+package egs
+
+import (
+	"math"
+	"sync"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// cellParams freezes the per-cell inputs of context assessment: the
+// target tuple, the slice index, and |F_i|. CountForbidden can
+// overflow uint64 on astronomically large closed-world domains;
+// countKnown records that explicitly instead of smuggling a sentinel
+// value into the score arithmetic.
+type cellParams struct {
+	target relation.Tuple
+	i      int
+	// totalForbidden is |F_i| when countKnown; meaningless otherwise.
+	totalForbidden uint64
+	countKnown     bool
+}
+
+// score computes the p2 priority of a context with |C| = size whose
+// rule derives derivedForbidden forbidden i-slices. With |F_i| known
+// this is the paper's |F_i \ [[r]]| / |C|. When |F_i| overflows, every
+// context eliminates "astronomically many" slices and the comparison
+// that actually matters is how many forbidden slices the rule still
+// derives, normalized per literal — so we order by -derived/|C|
+// without ever mixing a real numerator with a magic constant.
+func (p *cellParams) score(derivedForbidden, size int) float64 {
+	if p.countKnown {
+		return (float64(p.totalForbidden) - float64(derivedForbidden)) / float64(size)
+	}
+	return -float64(derivedForbidden) / float64(size)
+}
+
+// assessor evaluates candidate contexts, memoizing rule evaluations
+// by canonical rule key.
+//
+// Soundness of the memo: generalize maps a context C to the rule
+// r_{C -> t[1..i]}; two contexts whose generalizations share a
+// CanonicalKey are alpha-equivalent, and alpha-equivalent rules have
+// identical output sets on the shared (frozen) database — evaluation
+// is invariant under variable renaming and body reordering. The number
+// of derived forbidden i-slices depends only on that output set and on
+// F_i, which is fixed per (relation, i) — both encoded in the rule
+// head — so the cached count is exact, never heuristic. Equal keys
+// also imply equal body length |C|, hence equal score denominators.
+//
+// The memo is shared across cells and targets of one searcher: rules
+// learned while explaining different positive tuples of the same
+// output relation frequently re-derive the same candidate bodies.
+type assessor struct {
+	ex *task.Example
+
+	// mu guards memo; assessments run concurrently when
+	// Options.AssessParallelism > 1. Two workers racing on the same
+	// key both evaluate and store identical values (see soundness
+	// argument), so the race costs at most one redundant evaluation.
+	mu   sync.Mutex
+	memo map[string]int // CanonicalKey -> derived forbidden i-slices
+}
+
+// assess evaluates r_{C -> t[1..i]} against the example and fills the
+// context's consistent/score fields (Step 3b of Algorithm 1 plus the
+// Section 4.3 priority). A context whose head constants are missing
+// from C is inadmissible: never consistent and of minimal priority.
+// assess is safe for concurrent use; the only shared mutations are the
+// memo (locked) and Database.InternTuple (lock-free once frozen).
+func (a *assessor) assess(c *ectx, p *cellParams) {
+	rule, ok := generalize(a.ex.DB, c.ids, p.target, p.i)
+	if !ok {
+		c.consistent, c.score = false, math.Inf(-1)
+		return
+	}
+	key := rule.CanonicalKey()
+	a.mu.Lock()
+	derived, hit := a.memo[key]
+	a.mu.Unlock()
+	if hit {
+		c.memoHit = true
+	} else {
+		derived = forbiddenDerived(a.ex, rule, p.i, len(p.target.Args))
+		c.evals = 1
+		a.mu.Lock()
+		if a.memo == nil {
+			a.memo = make(map[string]int)
+		}
+		a.memo[key] = derived
+		a.mu.Unlock()
+	}
+	c.consistent = derived == 0
+	c.score = p.score(derived, len(c.ids))
+}
+
+// forbiddenDerived counts the i-slices derived by rule that lie in
+// the forbidden set F_i — one full evaluation of the candidate rule.
+func forbiddenDerived(ex *task.Example, rule query.Rule, i, k int) int {
+	derived := 0
+	if i == k {
+		// Full-arity heads are ground output tuples: stay on the
+		// dense-id plane and test forbiddenness as a bitset probe.
+		eval.EvalRuleIDs(rule, ex.DB, func(id relation.TupleID) bool {
+			if ex.IsNegativeID(id) {
+				derived++
+			}
+			return true
+		})
+	} else {
+		// Proper slices are not ground tuples and have no TupleID;
+		// their forbidden sets stay keyed by slice prefix.
+		eval.EvalRule(rule, ex.DB, func(t relation.Tuple) bool {
+			if ex.ForbiddenPrefixKey(t.Key(), i) {
+				derived++
+			}
+			return true
+		})
+	}
+	return derived
+}

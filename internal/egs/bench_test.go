@@ -36,6 +36,7 @@ func BenchmarkSynthesize(b *testing.B) {
 		}
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()
+			var stats egs.Stats
 			for i := 0; i < b.N; i++ {
 				res, err := egs.Synthesize(ctx, t, egs.Options{})
 				if err != nil {
@@ -44,7 +45,12 @@ func BenchmarkSynthesize(b *testing.B) {
 				if res.Unsat {
 					b.Fatalf("%s: unexpectedly unsat", tc.name)
 				}
+				stats = res.Stats
 			}
+			// The search is deterministic, so the last run's counters
+			// are every run's counters.
+			b.ReportMetric(float64(stats.RuleEvals), "ruleevals/op")
+			b.ReportMetric(float64(stats.MemoHits), "memohits/op")
 		})
 	}
 	st, err := bench.ScaledTraffic(60)
@@ -53,6 +59,7 @@ func BenchmarkSynthesize(b *testing.B) {
 	}
 	b.Run("scaled-traffic-60", func(b *testing.B) {
 		b.ReportAllocs()
+		var stats egs.Stats
 		for i := 0; i < b.N; i++ {
 			res, err := egs.Synthesize(ctx, st, egs.Options{})
 			if err != nil {
@@ -61,6 +68,55 @@ func BenchmarkSynthesize(b *testing.B) {
 			if res.Unsat {
 				b.Fatal("scaled traffic unexpectedly unsat")
 			}
+			stats = res.Stats
 		}
+		b.ReportMetric(float64(stats.RuleEvals), "ruleevals/op")
+		b.ReportMetric(float64(stats.MemoHits), "memohits/op")
 	})
+}
+
+// BenchmarkExplainCell isolates the worklist search of Algorithm 1:
+// one ExplainTuple call (no union loop, no coverage subtraction) on a
+// single positive target. This is the loop the assessment memo, the
+// fingerprint visited set, and the arena allocator rebuilt; its
+// allocs/op is the figure to watch.
+func BenchmarkExplainCell(b *testing.B) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		t    *task.Task
+	}{}
+	for _, tc := range synthBenchTasks {
+		t, err := task.Load(tc.path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases = append(cases, struct {
+			name string
+			t    *task.Task
+		}{tc.name, t})
+	}
+	st, err := bench.ScaledTraffic(60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases = append(cases, struct {
+		name string
+		t    *task.Task
+	}{"scaled-traffic-60", st})
+
+	for _, tc := range cases {
+		if err := tc.t.Prepare(); err != nil {
+			b.Fatal(err)
+		}
+		target := tc.t.Pos[0]
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok, err := egs.ExplainOne(ctx, tc.t, target, egs.Options{}); err != nil || !ok {
+					b.Fatalf("ExplainOne: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
 }

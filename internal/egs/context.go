@@ -8,12 +8,9 @@ package egs
 
 import (
 	"sort"
-	"strings"
 
-	"github.com/egs-synthesis/egs/internal/eval"
 	"github.com/egs-synthesis/egs/internal/query"
 	"github.com/egs-synthesis/egs/internal/relation"
-	"github.com/egs-synthesis/egs/internal/task"
 )
 
 // ectx is an enumeration context: a set of input tuples C ⊆ I
@@ -25,26 +22,109 @@ type ectx struct {
 	// consistent records whether r_{C -> t[1..i]} derives no
 	// forbidden i-slice (Step 3b of Algorithm 1).
 	consistent bool
-	// score is the paper's p2 numerator: forbidden slices eliminated
-	// per body literal.
+	// score is the paper's p2 priority: forbidden slices eliminated
+	// per body literal (see cellParams for the unknown-|F_i| case).
 	score float64
-	// seq is a FIFO tie-breaker for deterministic exploration.
+	// seq is a FIFO tie-breaker for deterministic exploration,
+	// assigned in generation order by the (sequential) staging pass.
 	seq int
+
+	// evals (0 or 1) counts the rule evaluations performed while
+	// assessing this context; memoHit records that the assessment was
+	// answered from the canonical-rule cache instead.
+	evals   uint8
+	memoHit bool
 }
 
 func (c *ectx) size() int { return len(c.ids) }
 
-// ctxKey canonically encodes a sorted id set.
-func ctxKey(ids []relation.TupleID) string {
-	var b strings.Builder
-	b.Grow(4 * len(ids))
-	for _, id := range ids {
-		b.WriteByte(byte(id))
-		b.WriteByte(byte(id >> 8))
-		b.WriteByte(byte(id >> 16))
-		b.WriteByte(byte(id >> 24))
+// idArena bump-allocates the id slices of enumeration contexts. One
+// searcher allocates tens of thousands of short-lived contexts; the
+// arena turns one heap allocation per context into one per chunk.
+// Slices are never individually freed — contexts that outlive a cell
+// (the explaining contexts) keep their chunks alive, everything else
+// is reclaimed when the searcher is dropped.
+type idArena struct {
+	chunk []relation.TupleID
+	// next is the capacity of the next chunk. Chunks double from
+	// arenaMinChunkIDs to arenaMaxChunkIDs, so a search that explores
+	// five contexts pays for five contexts, not for 8192 ids.
+	next int
+}
+
+const (
+	arenaMinChunkIDs = 256
+	arenaChunkIDs    = 8192 // max chunk size; also the steady-state stride
+)
+
+// alloc carves an n-id slice out of the current chunk. The result has
+// capacity exactly n, so a later append cannot bleed into a
+// neighbouring context's ids.
+func (a *idArena) alloc(n int) []relation.TupleID {
+	if len(a.chunk)+n > cap(a.chunk) {
+		if a.next == 0 {
+			a.next = arenaMinChunkIDs
+		}
+		size := a.next
+		if n > size {
+			size = n
+		}
+		if a.next < arenaChunkIDs {
+			a.next *= 2
+		}
+		a.chunk = make([]relation.TupleID, 0, size)
 	}
-	return b.String()
+	start := len(a.chunk)
+	a.chunk = a.chunk[:start+n]
+	return a.chunk[start : start+n : start+n]
+}
+
+// copy clones a sorted id set into the arena.
+func (a *idArena) copy(ids []relation.TupleID) []relation.TupleID {
+	out := a.alloc(len(ids))
+	copy(out, ids)
+	return out
+}
+
+// extend returns the sorted set ids ∪ {id}, allocated in the arena.
+// The caller must have checked id ∉ ids (containsID).
+func (a *idArena) extend(ids []relation.TupleID, id relation.TupleID) []relation.TupleID {
+	out := a.alloc(len(ids) + 1)
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	copy(out, ids[:i])
+	out[i] = id
+	copy(out[i+1:], ids[i:])
+	return out
+}
+
+// ectxSlab batch-allocates ectx structs. Contexts are allocated once
+// per staging and never recycled (popped contexts may still be
+// referenced as explanations), so the slab only amortizes allocation.
+// Chunks double from slabMinChunkCtxs to slabMaxChunkCtxs, matching
+// the arena's growth policy. Fresh slots come zeroed from make.
+type ectxSlab struct {
+	chunk []ectx
+	next  int
+}
+
+const (
+	slabMinChunkCtxs = 32
+	slabMaxChunkCtxs = 1024
+)
+
+func (s *ectxSlab) alloc() *ectx {
+	if len(s.chunk) == cap(s.chunk) {
+		if s.next == 0 {
+			s.next = slabMinChunkCtxs
+		}
+		size := s.next
+		if s.next < slabMaxChunkCtxs {
+			s.next *= 2
+		}
+		s.chunk = make([]ectx, 0, size)
+	}
+	s.chunk = s.chunk[:len(s.chunk)+1]
+	return &s.chunk[len(s.chunk)-1]
 }
 
 // extend returns a new sorted id set ids ∪ {id}; ok is false when id
@@ -105,37 +185,3 @@ func generalize(db *relation.Database, ids []relation.TupleID, target relation.T
 	return query.Rule{Head: head, Body: body}, true
 }
 
-// assess evaluates r_{C -> t[1..i]} against the example: it counts
-// the derived i-slices lying in the forbidden set F_i and computes
-// the paper's score |F_i \ [[r]]| / |C|. A context whose head
-// constants are missing from C is inadmissible: never consistent and
-// of minimal score.
-func assess(ex *task.Example, ids []relation.TupleID, target relation.Tuple, i int, totalForbidden float64) (consistent bool, score float64, evals int) {
-	rule, ok := generalize(ex.DB, ids, target, i)
-	if !ok {
-		return false, -1, 0
-	}
-	k := len(target.Args)
-	derivedForbidden := 0
-	if i == k {
-		// Full-arity heads are ground output tuples: stay on the
-		// dense-id plane and test forbiddenness as a bitset probe.
-		eval.EvalRuleIDs(rule, ex.DB, func(id relation.TupleID) bool {
-			if ex.IsNegativeID(id) {
-				derivedForbidden++
-			}
-			return true
-		})
-	} else {
-		// Proper slices are not ground tuples and have no TupleID;
-		// their forbidden sets stay keyed by slice prefix.
-		eval.EvalRule(rule, ex.DB, func(t relation.Tuple) bool {
-			if ex.ForbiddenPrefixKey(t.Key(), i) {
-				derivedForbidden++
-			}
-			return true
-		})
-	}
-	eliminated := totalForbidden - float64(derivedForbidden)
-	return derivedForbidden == 0, eliminated / float64(len(ids)), 1
-}

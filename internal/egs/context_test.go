@@ -1,6 +1,7 @@
 package egs
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -78,19 +79,38 @@ func TestExtendQuick(t *testing.T) {
 	}
 }
 
-func TestCtxKeyInjective(t *testing.T) {
-	a := ctxKey([]relation.TupleID{1, 2})
-	b := ctxKey([]relation.TupleID{1, 3})
-	c := ctxKey([]relation.TupleID{1, 2, 3})
-	d := ctxKey([]relation.TupleID{258}) // 258 = 1 + 2<<8? exercise byte packing
-	if a == b || a == c || b == c {
-		t.Error("ctxKey collision on distinct sets")
+func TestArenaExtendIsolation(t *testing.T) {
+	var a idArena
+	base := a.copy([]relation.TupleID{2, 5, 9})
+	out := a.extend(base, 7)
+	want := []relation.TupleID{2, 5, 7, 9}
+	if len(out) != len(want) {
+		t.Fatalf("extend = %v, want %v", out, want)
 	}
-	if d == ctxKey([]relation.TupleID{1, 1}) {
-		t.Error("multi-byte id collides with byte pair")
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("extend = %v, want %v", out, want)
+		}
 	}
-	if ctxKey(nil) != "" {
-		t.Error("empty context key not empty")
+	// The source context must not be mutated by the sorted insert.
+	if base[0] != 2 || base[1] != 5 || base[2] != 9 {
+		t.Errorf("base mutated: %v", base)
+	}
+	// Arena slices are capacity-capped: appending to one context must
+	// not overwrite its arena neighbour.
+	prepend := a.extend(base, 1)
+	_ = append(base, 999)
+	if prepend[0] != 1 || prepend[1] != 2 || prepend[3] != 9 {
+		t.Errorf("append to neighbour bled into arena slice: %v", prepend)
+	}
+	// Allocations larger than a chunk still work.
+	big := make([]relation.TupleID, arenaChunkIDs+5)
+	for i := range big {
+		big[i] = relation.TupleID(i)
+	}
+	got := a.copy(big)
+	if len(got) != len(big) || got[arenaChunkIDs+4] != relation.TupleID(arenaChunkIDs+4) {
+		t.Error("oversized arena copy corrupt")
 	}
 }
 
@@ -239,22 +259,51 @@ func TestAssessScoreMatchesDefinition(t *testing.T) {
 	id, _ := db.ID(relation.NewTuple(green, whitehall))
 	target := relation.NewTuple(crashes, whitehall)
 
-	total, ok := ex.CountForbidden(crashes, 1, 1)
-	if !ok {
+	a := assessor{ex: ex}
+	p := cellParams{target: target, i: 1}
+	p.totalForbidden, p.countKnown = ex.CountForbidden(crashes, 1, 1)
+	if !p.countKnown {
 		t.Fatal("CountForbidden overflow")
 	}
-	consistent, score, evals := assess(ex, []relation.TupleID{id}, target, 1, float64(total))
-	if evals != 1 {
-		t.Errorf("evals = %d", evals)
+	c := &ectx{ids: []relation.TupleID{id}}
+	a.assess(c, &p)
+	if c.evals != 1 || c.memoHit {
+		t.Errorf("first assessment: evals = %d, memoHit = %v", c.evals, c.memoHit)
 	}
 	// q1: Crashes(x) :- GreenSignal(x) derives 4 streets; Broadway
 	// and Whitehall are positive, LibertySt and WilliamSt forbidden.
 	// |F_1| = 3 (Liberty, Wall, William); eliminated = 3 - 2 = 1;
 	// score = 1 / 1 literal = 1.0. And the context is inconsistent.
-	if consistent {
+	if c.consistent {
 		t.Error("over-general context reported consistent")
 	}
-	if score != 1.0 {
-		t.Errorf("score = %v, want 1.0 (Section 4.3's worked example)", score)
+	if c.score != 1.0 {
+		t.Errorf("score = %v, want 1.0 (Section 4.3's worked example)", c.score)
+	}
+
+	// The alpha-equivalent context {GreenSignal(Broadway)} for target
+	// Crashes(Broadway) generalizes to the same canonical rule, so it
+	// must hit the memo and land on identical verdicts.
+	broadway, _ := tk.Domain.Lookup("Broadway")
+	id2, _ := db.ID(relation.NewTuple(green, broadway))
+	p2 := cellParams{target: relation.NewTuple(crashes, broadway), i: 1}
+	p2.totalForbidden, p2.countKnown = p.totalForbidden, p.countKnown
+	c2 := &ectx{ids: []relation.TupleID{id2}}
+	a.assess(c2, &p2)
+	if !c2.memoHit || c2.evals != 0 {
+		t.Errorf("alpha-equivalent context missed memo: evals = %d, memoHit = %v", c2.evals, c2.memoHit)
+	}
+	if c2.consistent != c.consistent || c2.score != c.score {
+		t.Errorf("memoized verdict diverged: consistent %v/%v, score %v/%v",
+			c2.consistent, c.consistent, c2.score, c.score)
+	}
+
+	// An inadmissible context (head constant absent from the body) is
+	// never consistent and sorts below every admissible context.
+	libertySt, _ := tk.Domain.Lookup("LibertySt")
+	c3 := &ectx{ids: []relation.TupleID{id}}
+	a.assess(c3, &cellParams{target: relation.NewTuple(crashes, libertySt), i: 1})
+	if c3.consistent || !math.IsInf(c3.score, -1) {
+		t.Errorf("inadmissible context: consistent = %v, score = %v", c3.consistent, c3.score)
 	}
 }

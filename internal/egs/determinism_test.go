@@ -1,0 +1,182 @@
+package egs
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// determinismTasks spans realizable tasks of several shapes (single
+// rule, union, multi-column, negation-heavy) plus unrealizable ones,
+// so the differential covers both verdicts and the Alternatives-style
+// multi-cell searches.
+var determinismTasks = []string{
+	"../../testdata/benchmarks/knowledge-discovery/traffic.task",
+	"../../testdata/benchmarks/knowledge-discovery/grandparent.task",
+	"../../testdata/benchmarks/knowledge-discovery/kinship.task",
+	"../../testdata/benchmarks/knowledge-discovery/predecessor.task",
+	"../../testdata/benchmarks/knowledge-discovery/undirected-edge.task",
+	"../../testdata/benchmarks/database-queries/sql01.task",
+	"../../testdata/benchmarks/database-queries/sql05.task",
+	"../../testdata/benchmarks/program-analysis/reach.task",
+	"../../testdata/benchmarks/program-analysis/block-succ.task",
+	"../../testdata/benchmarks/unrealizable/isomorphism.task",
+	"../../testdata/benchmarks/unrealizable/traffic-partial.task",
+}
+
+// fingerprint reduces a synthesis outcome to what the determinism
+// contract promises: the Unsat verdict and the exact sequence of
+// learned rules, identified by canonical key. Stats are deliberately
+// excluded — under parallel assessment two copies of one canonical
+// rule can land in the same batch and both miss the memo, perturbing
+// RuleEvals/MemoHits without affecting any result.
+func fingerprint(res Result) []string {
+	fp := []string{}
+	if res.Unsat {
+		fp = append(fp, "UNSAT")
+		if res.Witness != nil && res.Witness.ViaLemma42 {
+			fp = append(fp, "lemma4.2")
+		}
+		return fp
+	}
+	for _, r := range res.Query.Rules {
+		fp = append(fp, r.CanonicalKey())
+	}
+	return fp
+}
+
+// TestAssessParallelismDeterministic is the differential test for the
+// parallel assessment pool: for every task and both priority
+// functions, AssessParallelism ∈ {2, 8} must learn the identical rule
+// list (by canonical key, in order) and reach the identical Unsat
+// verdict as the sequential search.
+func TestAssessParallelismDeterministic(t *testing.T) {
+	for _, path := range determinismTasks {
+		tk, err := task.Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, pri := range []Priority{P2, P1} {
+			seqRes, err := Synthesize(context.Background(), tk, Options{Priority: pri})
+			if err != nil {
+				t.Fatalf("%s (%v) sequential: %v", path, pri, err)
+			}
+			want := fingerprint(seqRes)
+			for _, par := range []int{2, 8} {
+				// Reload: Synthesize freezes and mutates the task's
+				// database (interned output tuples), so runs must not
+				// share task state.
+				tk2, err := task.Load(path)
+				if err != nil {
+					t.Fatalf("%s: %v", path, err)
+				}
+				parRes, err := Synthesize(context.Background(), tk2,
+					Options{Priority: pri, AssessParallelism: par})
+				if err != nil {
+					t.Fatalf("%s (%v) parallel=%d: %v", path, pri, par, err)
+				}
+				got := fingerprint(parRes)
+				if len(got) != len(want) {
+					t.Fatalf("%s (%v) parallel=%d: %d rules, sequential %d",
+						path, pri, par, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s (%v) parallel=%d: rule %d diverges from sequential",
+							path, pri, par, i)
+					}
+				}
+				// Exploration effort must match too: the pool may not
+				// change what gets pushed or popped, only who assesses.
+				if parRes.Stats.ContextsPopped != seqRes.Stats.ContextsPopped ||
+					parRes.Stats.ContextsPushed != seqRes.Stats.ContextsPushed {
+					t.Errorf("%s (%v) parallel=%d: popped/pushed %d/%d, sequential %d/%d",
+						path, pri, par,
+						parRes.Stats.ContextsPopped, parRes.Stats.ContextsPushed,
+						seqRes.Stats.ContextsPopped, seqRes.Stats.ContextsPushed)
+				}
+			}
+		}
+	}
+}
+
+// TestMemoReducesRuleEvals pins the tentpole's accounting: on traffic
+// (whose cells repeatedly regenerate alpha-equivalent candidates from
+// different anchor constants) the memo must convert a nonzero share
+// of assessments into hits; RuleEvals counts only evaluations
+// actually executed, and the two counters together cannot exceed the
+// contexts pushed.
+func TestMemoReducesRuleEvals(t *testing.T) {
+	tk, err := task.Load("../../testdata/benchmarks/knowledge-discovery/traffic.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(context.Background(), tk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MemoHits == 0 {
+		t.Error("memo recorded no hits on traffic")
+	}
+	if res.Stats.RuleEvals == 0 {
+		t.Error("no rule evaluations recorded")
+	}
+	if res.Stats.MemoHits+res.Stats.RuleEvals > res.Stats.ContextsPushed {
+		t.Errorf("evals %d + hits %d exceed contexts pushed %d",
+			res.Stats.RuleEvals, res.Stats.MemoHits, res.Stats.ContextsPushed)
+	}
+}
+
+// TestConcurrentAssessRace drives many assessors concurrently against
+// one shared example — concurrent generalize/EvalRule traffic through
+// Database.InternTuple and the shared memo — so `go test -race`
+// exercises the lock-free read path and the memo lock. The assertions
+// are secondary; the race detector is the point.
+func TestConcurrentAssessRace(t *testing.T) {
+	tk, err := task.Load("../../testdata/benchmarks/knowledge-discovery/kinship.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	ex := tk.Example()
+	db := ex.DB
+	target := tk.Pos[0]
+	asr := &assessor{ex: ex}
+	p := &cellParams{target: target, i: len(target.Args)}
+	p.totalForbidden, p.countKnown = ex.CountForbidden(target.Rel, p.i, len(target.Args))
+
+	seeds := db.Mentioning(target.Args[p.i-1])
+	if len(seeds) == 0 {
+		t.Fatal("no seed contexts")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				id := seeds[(w+rep)%len(seeds)]
+				c := &ectx{ids: []relation.TupleID{id}}
+				asr.assess(c, p)
+				// Grow one two-tuple context too, to intern fresh
+				// derived tuples from several goroutines at once.
+				for _, other := range db.Mentioning(target.Args[0]) {
+					if other != id {
+						c2 := &ectx{}
+						var fresh bool
+						if c2.ids, fresh = extend([]relation.TupleID{id}, other); fresh {
+							asr.assess(c2, p)
+						}
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/egs-synthesis/egs/internal/eval"
@@ -33,17 +34,33 @@ type Options struct {
 	// instead of failing the whole task. The returned program still
 	// derives no negative tuple.
 	BestEffort bool
+	// AssessParallelism bounds the worker pool that assesses the
+	// successors of each popped context concurrently; values <= 1 run
+	// sequentially. Learned rules, unsat verdicts, and exploration
+	// order are bit-identical across settings: deduplication and seq
+	// assignment stay sequential in generation order, assessment
+	// results are pure functions of the context, and results enter
+	// the queue in generation order, so the worklist's total order
+	// (score, size, seq) is unchanged. Only Stats.RuleEvals/MemoHits
+	// may differ, when two copies of one canonical rule land in the
+	// same batch and both miss the memo.
+	AssessParallelism int
 }
 
 // Stats summarizes the work performed by one synthesis run.
 type Stats struct {
 	ContextsPushed int
 	ContextsPopped int
-	RuleEvals      int
-	MaxQueue       int
-	CellsSolved    int
-	RulesLearned   int
-	Duration       time.Duration
+	// RuleEvals counts candidate-rule evaluations actually executed;
+	// MemoHits counts assessments answered from the canonical-rule
+	// cache instead. Their sum is the number of admissible contexts
+	// assessed.
+	RuleEvals    int
+	MemoHits     int
+	MaxQueue     int
+	CellsSolved  int
+	RulesLearned int
+	Duration     time.Duration
 }
 
 // Result is the outcome of a synthesis run: either a consistent UCQ,
@@ -111,11 +128,8 @@ func Synthesize(ctx context.Context, t *task.Task, opts Options) (Result, error)
 		return Result{}, err
 	}
 	start := time.Now()
-	s := &searcher{
-		ctx:  ctx,
-		ex:   t.Example(),
-		opts: opts,
-	}
+	s := newSearcher(ctx, t.Example(), opts)
+	defer s.close()
 
 	// Algorithm 3: explain each still-unexplained positive tuple with
 	// a conjunctive query, removing everything the new rule derives.
@@ -174,6 +188,37 @@ type searcher struct {
 	// failure records why the most recent explainCell exhausted,
 	// for unsat witnesses.
 	failure *UnsatWitness
+
+	// asr memoizes rule evaluations by canonical key across the whole
+	// run; pool (nil when AssessParallelism <= 1) fans batches of
+	// assessments out to workers.
+	asr  assessor
+	pool *assessPool
+	// arena and slab own the memory of every context generated by
+	// this searcher; visited and pending are per-cell scratch reused
+	// across cells.
+	arena   idArena
+	slab    ectxSlab
+	visited relation.HashSet64
+	pending []*ectx
+}
+
+func newSearcher(ctx context.Context, ex *task.Example, opts Options) *searcher {
+	s := &searcher{ctx: ctx, ex: ex, opts: opts}
+	s.asr.ex = ex
+	if opts.AssessParallelism > 1 {
+		s.pool = newAssessPool(opts.AssessParallelism)
+	}
+	return s
+}
+
+// close releases the searcher's worker pool, if any. The searcher
+// must not be used afterwards.
+func (s *searcher) close() {
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+	}
 }
 
 func (s *searcher) statsWith(start time.Time) Stats {
@@ -221,45 +266,82 @@ func (s *searcher) explainCell(base []relation.TupleID, target relation.Tuple, i
 // distinct consistent contexts, in priority order. It powers the
 // Alternatives API: the search simply keeps popping after the first
 // success instead of returning.
+//
+// The inner loop is organized as stage/flush: candidate successors
+// are deduplicated (by 64-bit id-set fingerprint, computed without
+// materializing the candidate) and seq-stamped sequentially in
+// generation order, then the batch is assessed — in parallel when the
+// searcher has a pool — and pushed in staging order. Assessment is a
+// pure function of the context, so the queue's contents and total
+// order (score, size, seq) are identical to a fully sequential run.
 func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tuple, i, k int) ([][]relation.TupleID, error) {
 	ex := s.ex
 	db := ex.DB
 	arity := len(target.Args)
 	anchor := target.Args[i-1]
 
-	totalForbiddenU, okCount := ex.CountForbidden(target.Rel, i, arity)
-	totalForbidden := float64(totalForbiddenU)
-	if !okCount {
-		totalForbidden = float64(1 << 62)
-	}
+	p := cellParams{target: target, i: i}
+	p.totalForbidden, p.countKnown = ex.CountForbidden(target.Rel, i, arity)
 
 	if s.opts.QuickUnsat {
 		// Lemma 4.2 fast path: the maximal context base ∪ I. Since
 		// base ⊆ I this is just all of I.
-		all := db.AllIDs()
-		if consistent, _, _ := assess(ex, all, target, i, totalForbidden); !consistent {
+		probe := &ectx{ids: db.AllIDs()}
+		s.asr.assess(probe, &p)
+		if !probe.consistent {
 			s.failure = &UnsatWitness{ViaLemma42: true}
 			return nil, nil
 		}
 	}
 
-	visited := make(map[string]bool)
+	// visited holds fingerprints of every id set generated for this
+	// cell (distinct cells may legitimately regenerate the same set,
+	// so it resets here). A fingerprint collision would silently drop
+	// a context; at 2^-64 per pair that is negligible against the
+	// ~2^17 contexts of the largest benchmarks, and it lets duplicate
+	// candidates be rejected without allocating their id sets.
+	s.visited.Reset()
 	queue := newCtxQueue(s.opts.Priority)
+	pending := s.pending[:0]
 
-	push := func(ids []relation.TupleID) {
-		key := ctxKey(ids)
-		if visited[key] {
+	// stage admits a deduplicated candidate (already arena-allocated)
+	// into the current batch, stamping its seq in generation order.
+	stage := func(ids []relation.TupleID) {
+		s.seq++
+		c := s.slab.alloc()
+		c.ids, c.seq = ids, s.seq
+		pending = append(pending, c)
+	}
+	// flush assesses the staged batch and pushes results in staging
+	// order. Stats are merged here, on the searcher's goroutine.
+	flush := func() {
+		if len(pending) == 0 {
 			return
 		}
-		visited[key] = true
-		consistent, score, evals := assess(ex, ids, target, i, totalForbidden)
-		s.stats.RuleEvals += evals
-		s.seq++
-		queue.push(&ectx{ids: ids, consistent: consistent, score: score, seq: s.seq})
-		s.stats.ContextsPushed++
+		if s.pool != nil && len(pending) > 1 {
+			var wg sync.WaitGroup
+			wg.Add(len(pending))
+			for _, c := range pending {
+				s.pool.submit(assessJob{c: c, p: &p, a: &s.asr, wg: &wg})
+			}
+			wg.Wait()
+		} else {
+			for _, c := range pending {
+				s.asr.assess(c, &p)
+			}
+		}
+		for _, c := range pending {
+			s.stats.RuleEvals += int(c.evals)
+			if c.memoHit {
+				s.stats.MemoHits++
+			}
+			queue.push(c)
+		}
+		s.stats.ContextsPushed += len(pending)
 		if queue.Len() > s.stats.MaxQueue {
 			s.stats.MaxQueue = queue.Len()
 		}
+		pending = pending[:0]
 	}
 
 	// Initialization (Equation 6 for i = 1, Equation 8 for i > 1):
@@ -269,19 +351,24 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 	// seeded too (this covers targets with repeated constants such
 	// as sibling(Kopa, Kopa)).
 	if len(base) > 0 {
-		baseConsts := db.ConstantsOf(base)
-		for _, c := range baseConsts {
+		for _, c := range db.ConstantsOf(base) {
 			if c == anchor {
-				push(append([]relation.TupleID(nil), base...))
+				if s.visited.Add(relation.IDSetHash(base)) {
+					stage(s.arena.copy(base))
+				}
 				break
 			}
 		}
 	}
 	for _, id := range db.Mentioning(anchor) {
-		if ids, fresh := extend(base, id); fresh {
-			push(ids)
+		if containsID(base, id) {
+			continue
+		}
+		if s.visited.Add(relation.IDSetHashExtend(base, id)) {
+			stage(s.arena.extend(base, id))
 		}
 	}
+	flush()
 
 	var found [][]relation.TupleID
 	popped := 0
@@ -305,24 +392,28 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 			}
 			found = append(found, cur.ids)
 			if len(found) >= k {
+				s.pending = pending[:0]
 				return found, nil
 			}
 			continue
 		}
 		// Step 3(c): successors are the input tuples adjacent to the
 		// context in the co-occurrence graph — those sharing at
-		// least one constant with C.
+		// least one constant with C. The whole batch is staged before
+		// flushing, so one pop costs at most one pool round-trip.
 		for _, c := range db.ConstantsOf(cur.ids) {
 			for _, id := range db.Mentioning(c) {
 				if containsID(cur.ids, id) {
 					continue
 				}
-				if ids, fresh := extend(cur.ids, id); fresh {
-					push(ids)
+				if s.visited.Add(relation.IDSetHashExtend(cur.ids, id)) {
+					stage(s.arena.extend(cur.ids, id))
 				}
 			}
 		}
+		flush()
 	}
+	s.pending = pending[:0]
 	// Queue exhausted: by Theorem 4.3 / Lemma 5.1, fewer than k
 	// explaining contexts exist; in particular an empty result proves
 	// the cell unrealizable.
@@ -346,7 +437,8 @@ func Alternatives(ctx context.Context, t *task.Task, target relation.Tuple, k in
 	if k < 1 {
 		return nil, nil
 	}
-	s := &searcher{ctx: ctx, ex: t.Example(), opts: opts}
+	s := newSearcher(ctx, t.Example(), opts)
+	defer s.close()
 	var base []relation.TupleID
 	arity := len(target.Args)
 	for i := 1; i < arity; i++ {
@@ -384,7 +476,8 @@ func ExplainOne(ctx context.Context, t *task.Task, target relation.Tuple, opts O
 	if err := t.Prepare(); err != nil {
 		return query.Rule{}, false, err
 	}
-	s := &searcher{ctx: ctx, ex: t.Example(), opts: opts}
+	s := newSearcher(ctx, t.Example(), opts)
+	defer s.close()
 	ids, ok, err := s.explainTuple(target)
 	if err != nil || !ok {
 		return query.Rule{}, false, err

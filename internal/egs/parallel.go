@@ -62,7 +62,8 @@ func SynthesizeParallel(ctx context.Context, t *task.Task, opts Options, workers
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				s := &searcher{ctx: ctx, ex: ex, opts: opts}
+				s := newSearcher(ctx, ex, opts)
+				defer s.close()
 				ids, ok, err := s.explainTuple(batch[i])
 				outcomes[i] = outcome{ids: ids, ok: ok, err: err, stat: s.stats}
 			}(i)
@@ -76,7 +77,14 @@ func SynthesizeParallel(ctx context.Context, t *task.Task, opts Options, workers
 			res.Stats.ContextsPopped += out.stat.ContextsPopped
 			res.Stats.ContextsPushed += out.stat.ContextsPushed
 			res.Stats.RuleEvals += out.stat.RuleEvals
+			res.Stats.MemoHits += out.stat.MemoHits
 			res.Stats.CellsSolved += out.stat.CellsSolved
+			// MaxQueue is a high-water mark, not a flow count: the
+			// workers' queues exist side by side, so the run's peak is
+			// the max over workers, not their sum.
+			if out.stat.MaxQueue > res.Stats.MaxQueue {
+				res.Stats.MaxQueue = out.stat.MaxQueue
+			}
 			if out.err != nil {
 				return Result{Stats: res.Stats}, out.err
 			}

@@ -16,6 +16,8 @@
 package eval
 
 import (
+	"sync"
+
 	"github.com/egs-synthesis/egs/internal/query"
 	"github.com/egs-synthesis/egs/internal/relation"
 )
@@ -40,6 +42,7 @@ type YieldID func(relation.TupleID) bool
 func EvalRule(r query.Rule, db *relation.Database, yield Yield) {
 	e := newEvaluator(r, db)
 	e.run(yield)
+	e.release()
 }
 
 // EvalRuleIDs is EvalRule on the dense-id plane: derived head tuples
@@ -52,6 +55,7 @@ func EvalRuleIDs(r query.Rule, db *relation.Database, yield YieldID) {
 	e := newEvaluator(r, db)
 	e.yieldID = yield
 	e.search(0, nil)
+	e.release()
 }
 
 // RuleOutputIDs returns the set of head tuples derivable by r as a
@@ -118,12 +122,14 @@ func Derives(r query.Rule, db *relation.Database, t relation.Tuple) bool {
 	for i, arg := range r.Head.Args {
 		if arg.IsConst {
 			if arg.Const != t.Args[i] {
+				e.release()
 				return false
 			}
 			continue
 		}
 		v := int(arg.Var)
 		if e.bound[v] && e.val[v] != t.Args[i] {
+			e.release()
 			return false
 		}
 		e.bound[v] = true
@@ -134,10 +140,15 @@ func Derives(r query.Rule, db *relation.Database, t relation.Tuple) bool {
 		found = true
 		return false
 	})
+	e.release()
 	return found
 }
 
 // evaluator holds the mutable state of one backtracking join.
+// Evaluators are pooled: the synthesizers run one evaluation per
+// candidate rule in their inner loops, and recycling the valuation,
+// plan, and dedup buffers keeps those evaluations allocation-free
+// (see evaluatorPool).
 type evaluator struct {
 	rule  query.Rule
 	db    *relation.Database
@@ -145,6 +156,16 @@ type evaluator struct {
 	val   []relation.Const
 	bound []bool
 	seen  map[string]bool // dedup of emitted head tuples (string path)
+
+	// newlyAt[d] is the scratch list of variables bound while matching
+	// the literal at search depth d; only one match per depth is live
+	// at a time, so one buffer per depth makes match allocation-free.
+	newlyAt [][]query.Var
+
+	// planUsed/planBound are planOrder scratch (slices, not maps, so
+	// planning does not allocate on the assess hot path).
+	planUsed  []bool
+	planBound []bool
 
 	// Id path: yieldID non-nil selects it. Dedup is a bitset over the
 	// interning table and the head-projection buffer is reused, since
@@ -154,32 +175,87 @@ type evaluator struct {
 	scratch []relation.Const
 }
 
+// evaluatorPool recycles evaluators across evaluations. The literal
+// order is (re)planned per evaluation session — it depends on the rule
+// and on extent sizes — but its backing array, the valuation, and the
+// dedup structures are reused, so one assess costs zero steady-state
+// heap allocations beyond tuples it interns.
+var evaluatorPool = sync.Pool{New: func() any { return new(evaluator) }}
+
 func newEvaluator(r query.Rule, db *relation.Database) *evaluator {
+	e := evaluatorPool.Get().(*evaluator)
+	e.rule, e.db = r, db
 	n := r.NumVars()
-	e := &evaluator{
-		rule:  r,
-		db:    db,
-		val:   make([]relation.Const, n),
-		bound: make([]bool, n),
+	e.val = growConsts(e.val, n)
+	e.bound = resetBools(e.bound, n)
+	if cap(e.newlyAt) < len(r.Body) {
+		e.newlyAt = make([][]query.Var, len(r.Body))
 	}
-	e.order = planOrder(r, db)
+	e.newlyAt = e.newlyAt[:len(r.Body)]
+	e.planOrder()
 	return e
+}
+
+// release returns the evaluator to the pool. Callers must not touch
+// the evaluator afterwards; reference-typed fields that could pin
+// caller memory are cleared here.
+func (e *evaluator) release() {
+	e.rule = query.Rule{}
+	e.db = nil
+	e.yieldID = nil
+	if e.seen != nil {
+		clear(e.seen)
+	}
+	e.seenIDs.Reset()
+	evaluatorPool.Put(e)
+}
+
+// planLiteralOrder returns the greedy join order for r's body as a
+// fresh slice, for callers (provenance search) outside the pooled
+// evaluator hot path.
+func planLiteralOrder(r query.Rule, db *relation.Database) []int {
+	e := newEvaluator(r, db)
+	order := append([]int(nil), e.order...)
+	e.release()
+	return order
+}
+
+// growConsts returns a buffer of length n, reusing capacity.
+func growConsts(b []relation.Const, n int) []relation.Const {
+	if cap(b) < n {
+		return make([]relation.Const, n)
+	}
+	return b[:n]
+}
+
+// resetBools returns an all-false buffer of length n, reusing capacity.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
 }
 
 // planOrder greedily orders body literals: at each step pick the
 // literal with the most already-bound argument positions, breaking
 // ties by smaller relation extent. This keeps index lookups selective
-// without a full cost model.
-func planOrder(r query.Rule, db *relation.Database) []int {
+// without a full cost model. The order is written into e.order.
+func (e *evaluator) planOrder() {
+	r, db := e.rule, e.db
 	n := len(r.Body)
-	order := make([]int, 0, n)
-	used := make([]bool, n)
-	boundVars := make(map[query.Var]bool)
+	e.order = e.order[:0]
+	used := resetBools(e.planUsed, n)
+	boundVars := resetBools(e.planBound, r.NumVars())
+	e.planUsed, e.planBound = used, boundVars
 	// Head constants do not bind variables; head variables are bound
 	// only in Derives, which re-plans implicitly via the same greedy
 	// rule (the order is computed without that knowledge, which is
 	// acceptable: selectivity still comes from the index lookups).
-	for len(order) < n {
+	for len(e.order) < n {
 		best, bestBound, bestExtent := -1, -1, 0
 		for i, lit := range r.Body {
 			if used[i] {
@@ -197,14 +273,13 @@ func planOrder(r query.Rule, db *relation.Database) []int {
 			}
 		}
 		used[best] = true
-		order = append(order, best)
+		e.order = append(e.order, best)
 		for _, t := range r.Body[best].Args {
 			if !t.IsConst {
 				boundVars[t.Var] = true
 			}
 		}
 	}
-	return order
 }
 
 func (e *evaluator) run(yield Yield) {
@@ -220,7 +295,7 @@ func (e *evaluator) search(i int, yield Yield) bool {
 	lit := e.rule.Body[e.order[i]]
 	for _, id := range e.candidates(lit) {
 		tup := e.db.Tuple(id)
-		newly, ok := e.match(lit, tup)
+		newly, ok := e.match(lit, tup, i)
 		if !ok {
 			continue
 		}
@@ -265,12 +340,14 @@ func (e *evaluator) candidates(lit query.Literal) []relation.TupleID {
 // match unifies the literal's arguments with the tuple under the
 // current valuation. On success it returns the variables newly bound
 // (so the caller can undo them) and true; on failure it undoes its own
-// bindings and returns false.
-func (e *evaluator) match(lit query.Literal, tup relation.Tuple) ([]query.Var, bool) {
+// bindings and returns false. depth selects the per-depth scratch
+// buffer for the newly-bound list, so matching never allocates.
+func (e *evaluator) match(lit query.Literal, tup relation.Tuple, depth int) ([]query.Var, bool) {
 	if len(lit.Args) != len(tup.Args) {
 		return nil, false
 	}
-	var newly []query.Var
+	newly := e.newlyAt[depth][:0]
+	defer func() { e.newlyAt[depth] = newly[:0] }()
 	for i, t := range lit.Args {
 		c := tup.Args[i]
 		if t.IsConst {
@@ -336,9 +413,7 @@ func (e *evaluator) emit(yield Yield) bool {
 // emitID is the id-path emit: intern the projected head tuple and
 // yield its dense id, deduplicating via bitset.
 func (e *evaluator) emitID() bool {
-	if e.scratch == nil {
-		e.scratch = make([]relation.Const, len(e.rule.Head.Args))
-	}
+	e.scratch = growConsts(e.scratch, len(e.rule.Head.Args))
 	args := e.scratch
 	for i, t := range e.rule.Head.Args {
 		if t.IsConst {

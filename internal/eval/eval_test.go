@@ -312,7 +312,7 @@ func TestPlanOrderCoversAllLiterals(t *testing.T) {
 			{Rel: edge, Args: []query.Term{query.V(2), query.V(1)}},
 		},
 	}
-	order := planOrder(r, db)
+	order := planLiteralOrder(r, db)
 	if len(order) != 3 {
 		t.Fatalf("plan covers %d literals, want 3", len(order))
 	}

@@ -33,7 +33,7 @@ func Why(r query.Rule, db *relation.Database, t relation.Tuple) (Derivation, boo
 		val:   make([]relation.Const, r.NumVars()),
 		bound: make([]bool, r.NumVars()),
 		chose: make([]relation.Tuple, len(r.Body)),
-		order: planOrder(r, db),
+		order: planLiteralOrder(r, db),
 	}
 	// Pre-bind the head to the target tuple.
 	for i, arg := range r.Head.Args {

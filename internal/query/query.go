@@ -13,6 +13,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/egs-synthesis/egs/internal/relation"
@@ -316,18 +317,56 @@ func (r Rule) Canonicalize() Rule {
 // CanonicalKey is a sound, slightly conservative deduplication key:
 // a duplicate that survives costs a redundant evaluation, never a
 // lost rule. Use EquivalentTo for exact alpha-equivalence.
+//
+// The key sits on the synthesizer's per-context hot path (it is the
+// assessment-memo key), so the fixpoint works on a single mutable
+// clone with a slice-backed renaming table and renders through
+// strconv rather than fmt; the produced string is unchanged.
 func (r Rule) CanonicalKey() string {
-	cur := r.Canonicalize()
-	for i := 0; i < cur.NumVars()+1; i++ {
-		next := cur.Clone()
-		next.SortBody()
-		next = next.Canonicalize()
-		if ruleKey(next) == ruleKey(cur) {
+	cur := r.Clone()
+	ren := make([]Var, r.NumVars())
+	canonicalizeInPlace(&cur, ren)
+	key := appendRuleKey(make([]byte, 0, 96), cur)
+	var alt []byte
+	for i := 0; i < len(ren)+1; i++ {
+		cur.SortBody()
+		canonicalizeInPlace(&cur, ren)
+		alt = appendRuleKey(alt[:0], cur)
+		if string(alt) == string(key) {
 			break
 		}
-		cur = next
+		key, alt = alt, key
 	}
-	return ruleKey(cur)
+	return string(key)
+}
+
+// canonicalizeInPlace renames cur's variables to 0,1,2,... in order of
+// first occurrence (head first, then body), mutating the rule. ren is
+// scratch indexed by the current (dense) variable names; it must have
+// at least NumVars entries.
+func canonicalizeInPlace(cur *Rule, ren []Var) {
+	for i := range ren {
+		ren[i] = -1
+	}
+	next := Var(0)
+	visit := func(l Literal) {
+		for i, t := range l.Args {
+			if t.IsConst {
+				continue
+			}
+			v := ren[t.Var]
+			if v < 0 {
+				v = next
+				next++
+				ren[t.Var] = v
+			}
+			l.Args[i].Var = v
+		}
+	}
+	visit(cur.Head)
+	for _, l := range cur.Body {
+		visit(l)
+	}
 }
 
 // EquivalentTo reports exact alpha-equivalence: whether some
@@ -425,22 +464,30 @@ func (r Rule) EquivalentTo(other Rule) bool {
 }
 
 func ruleKey(r Rule) string {
-	var b strings.Builder
-	litKey := func(l Literal) {
-		fmt.Fprintf(&b, "%d(", l.Rel)
-		for _, t := range l.Args {
-			if t.IsConst {
-				fmt.Fprintf(&b, "c%d,", t.Const)
-			} else {
-				fmt.Fprintf(&b, "v%d,", t.Var)
-			}
-		}
-		b.WriteByte(')')
-	}
-	litKey(r.Head)
-	b.WriteString(":-")
+	return string(appendRuleKey(nil, r))
+}
+
+func appendRuleKey(b []byte, r Rule) []byte {
+	b = appendLitKey(b, r.Head)
+	b = append(b, ':', '-')
 	for _, l := range r.Body {
-		litKey(l)
+		b = appendLitKey(b, l)
 	}
-	return b.String()
+	return b
+}
+
+func appendLitKey(b []byte, l Literal) []byte {
+	b = strconv.AppendInt(b, int64(l.Rel), 10)
+	b = append(b, '(')
+	for _, t := range l.Args {
+		if t.IsConst {
+			b = append(b, 'c')
+			b = strconv.AppendInt(b, int64(t.Const), 10)
+		} else {
+			b = append(b, 'v')
+			b = strconv.AppendInt(b, int64(t.Var), 10)
+		}
+		b = append(b, ',')
+	}
+	return append(b, ')')
 }

@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIDSetHashExtendMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(12)
+		seen := map[TupleID]bool{}
+		ids := make([]TupleID, 0, n)
+		for len(ids) < n {
+			id := TupleID(rng.Intn(1 << 20))
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		sortIDs(ids)
+		var extra TupleID
+		for {
+			extra = TupleID(rng.Intn(1 << 20))
+			if !seen[extra] {
+				break
+			}
+		}
+		got := IDSetHashExtend(ids, extra)
+		merged := make([]TupleID, 0, len(ids)+1)
+		merged = append(merged, ids...)
+		merged = append(merged, extra)
+		sortIDs(merged)
+		if want := IDSetHash(merged); got != want {
+			t.Fatalf("incremental hash %x != materialized %x for %v + %d", got, want, ids, extra)
+		}
+	}
+}
+
+func sortIDs(ids []TupleID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func TestIDSetHashDistinguishes(t *testing.T) {
+	// Pairwise-distinct small sets must not collide (a collision here
+	// would be a catastrophic hash bug, not bad luck: 2^-64 per pair).
+	sets := [][]TupleID{
+		nil,
+		{0},
+		{1},
+		{258},
+		{1, 2},
+		{1, 3},
+		{2, 1<<20 - 1},
+		{1, 2, 3},
+	}
+	hashes := map[uint64][]TupleID{}
+	for _, s := range sets {
+		h := IDSetHash(s)
+		if prev, dup := hashes[h]; dup {
+			t.Fatalf("collision: %v and %v both hash to %x", prev, s, h)
+		}
+		hashes[h] = s
+	}
+}
+
+func TestHashSet64(t *testing.T) {
+	var s HashSet64
+	if s.Has(42) {
+		t.Error("empty set reports membership")
+	}
+	if !s.Add(42) {
+		t.Error("first Add reported duplicate")
+	}
+	if s.Add(42) {
+		t.Error("second Add reported fresh")
+	}
+	if !s.Has(42) || s.Len() != 1 {
+		t.Errorf("membership/len wrong after insert: len=%d", s.Len())
+	}
+	// The zero fingerprint is remapped, not lost.
+	if !s.Add(0) || s.Add(0) || !s.Has(0) {
+		t.Error("zero fingerprint mishandled")
+	}
+}
+
+func TestHashSet64GrowAndReset(t *testing.T) {
+	var s HashSet64
+	const n = 10_000
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if !s.Add(keys[i]) {
+			t.Fatalf("Add(%x) reported duplicate on first insert", keys[i])
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for _, k := range keys {
+		if !s.Has(k) {
+			t.Fatalf("lost key %x after growth", k)
+		}
+		if s.Add(k) {
+			t.Fatalf("re-Add(%x) reported fresh", k)
+		}
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	for _, k := range keys[:100] {
+		if s.Has(k) {
+			t.Fatalf("key %x survived Reset", k)
+		}
+	}
+	if !s.Add(keys[0]) {
+		t.Error("Add after Reset reported duplicate")
+	}
+}

@@ -164,6 +164,15 @@ func (s *TupleSet) Equal(o *TupleSet) bool {
 	return true
 }
 
+// Reset empties the set, retaining capacity so a reused set does not
+// reallocate its word array.
+func (s *TupleSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
 // Clone returns an independent copy of the set.
 func (s *TupleSet) Clone() *TupleSet {
 	return &TupleSet{words: append([]uint64(nil), s.words...), count: s.count}

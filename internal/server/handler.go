@@ -181,6 +181,7 @@ func buildResponse(t *egs.Task, res egs.Result, hash string) *SynthesisResponse 
 		Stats: &Stats{
 			ContextsExplored:    res.Stats.ContextsExplored,
 			CandidatesEvaluated: res.Stats.CandidatesEvaluated,
+			CandidatesCached:    res.Stats.CandidatesCached,
 			RulesLearned:        res.Stats.RulesLearned,
 		},
 	}

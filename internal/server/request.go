@@ -43,6 +43,9 @@ type RequestOptions struct {
 	BestEffort bool `json:"best_effort,omitempty"`
 	// Workers enables wave-parallel per-tuple explanation.
 	Workers int `json:"workers,omitempty"`
+	// AssessParallelism enables the deterministic candidate-assessment
+	// worker pool; results are bit-identical to sequential search.
+	AssessParallelism int `json:"assess_parallelism,omitempty"`
 }
 
 // SynthesisRequest is the JSON body of POST /synthesize.
@@ -67,7 +70,10 @@ type SynthesisRequest struct {
 type Stats struct {
 	ContextsExplored    int `json:"contexts_explored"`
 	CandidatesEvaluated int `json:"candidates_evaluated"`
-	RulesLearned        int `json:"rules_learned"`
+	// CandidatesCached counts assessments served by the synthesizer's
+	// canonical-rule memo instead of re-evaluation.
+	CandidatesCached int `json:"candidates_cached"`
+	RulesLearned     int `json:"rules_learned"`
 }
 
 // SynthesisResponse is the JSON body returned by POST /synthesize.
@@ -181,6 +187,9 @@ func (s *Server) resolveOptions(ro *RequestOptions) (egs.Options, error) {
 	if ro.Workers > 1 {
 		opts.Workers = min(ro.Workers, maxRequestWorkers)
 	}
+	if ro.AssessParallelism > 1 {
+		opts.AssessParallelism = min(ro.AssessParallelism, maxRequestWorkers)
+	}
 	return opts, nil
 }
 
@@ -195,6 +204,9 @@ const maxRequestWorkers = 8
 func cacheKey(t *egs.Task, opts egs.Options) string {
 	var b strings.Builder
 	b.WriteString(t.CanonicalHash())
+	// AssessParallelism is deliberately absent: it cannot change the
+	// result (the assessment pool is deterministic), so requests that
+	// differ only in it share a cache entry.
 	fmt.Fprintf(&b, "|pri=%d;qu=%t;mc=%d;be=%t;w=%d",
 		opts.Priority, opts.QuickUnsat, opts.MaxContexts, opts.BestEffort, opts.Workers)
 	return b.String()

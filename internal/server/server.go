@@ -83,6 +83,10 @@ type Server struct {
 	mCacheMisses *metrics.Counter
 	mCacheSize   *metrics.Gauge
 	mLatency     *metrics.Histogram
+	// Assessment-cache counters: the engine's canonical-rule memo.
+	// hit rate = memo_hits / (memo_hits + evals).
+	mAssessEvals    *metrics.Counter
+	mAssessMemoHits *metrics.Counter
 }
 
 // job is one admitted synthesis request.
@@ -158,6 +162,10 @@ func New(cfg Config) *Server {
 			"Entries resident in the result cache."),
 		mLatency: reg.Histogram("egs_synthesis_seconds",
 			"Wall-clock synthesis latency (engine runs only; cache hits excluded).", nil),
+		mAssessEvals: reg.Counter("egs_assess_evals_total",
+			"Candidate-rule evaluations executed by the engine."),
+		mAssessMemoHits: reg.Counter("egs_assess_memo_hits_total",
+			"Candidate assessments answered from the engine's canonical-rule memo."),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -199,6 +207,10 @@ func (s *Server) run(j *job) {
 		s.mSyntheses.With("unsat").Inc()
 	default:
 		s.mSyntheses.With("sat").Inc()
+	}
+	if err == nil {
+		s.mAssessEvals.Add(uint64(res.Stats.CandidatesEvaluated))
+		s.mAssessMemoHits.Add(uint64(res.Stats.CandidatesCached))
 	}
 	j.done <- jobResult{res: res, dur: dur, err: err}
 }

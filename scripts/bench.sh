@@ -4,14 +4,16 @@
 #
 #   scripts/bench.sh [run-name]
 #
-# The run name defaults to "post-tuple-interning". BENCH_eval.json
+# The run name defaults to "post-assess-memo". BENCH_eval.json
 # accumulates runs keyed by name (re-running a name replaces it), so a
-# before/after pair — e.g. the checked-in "pre-tuple-interning"
-# baseline plus a fresh run — can be compared directly. Requires the
-# Go toolchain and jq.
+# before/after pair — e.g. the checked-in "post-tuple-interning"
+# baseline plus a fresh run — can be compared directly. Synthesis
+# benchmarks also record the engine's assessment-cache counters
+# (ruleevals_per_op / memohits_per_op). Requires the Go toolchain and
+# jq.
 set -eu
 
-RUN=${1:-post-tuple-interning}
+RUN=${1:-post-assess-memo}
 OUT=${OUT:-BENCH_eval.json}
 GO=${GO:-go}
 
@@ -22,8 +24,8 @@ trap 'rm -rf "$TMP"' EXIT INT TERM
 
 echo "bench: BenchmarkRuleOutputs (internal/eval)" >&2
 $GO test -run '^$' -bench BenchmarkRuleOutputs -benchmem ./internal/eval/ | tee "$TMP/eval.txt" >&2
-echo "bench: BenchmarkSynthesize (internal/egs)" >&2
-$GO test -run '^$' -bench BenchmarkSynthesize -benchmem ./internal/egs/ | tee "$TMP/egs.txt" >&2
+echo "bench: BenchmarkSynthesize + BenchmarkExplainCell (internal/egs)" >&2
+$GO test -run '^$' -bench 'BenchmarkSynthesize|BenchmarkExplainCell' -benchmem ./internal/egs/ | tee "$TMP/egs.txt" >&2
 
 # Convert `go test -bench` output lines into a JSON benchmark array:
 #   BenchmarkX/case-8   1219   1053847 ns/op   232384 B/op   13049 allocs/op
@@ -32,13 +34,16 @@ grep -h '^Benchmark' "$TMP/eval.txt" "$TMP/egs.txt" | awk -v procs="$($GO env GO
     # Strip only the GOMAXPROCS suffix go test appends (e.g. "-8"),
     # never a meaningful trailing number in the sub-benchmark name.
     if (procs != "" && procs != "1") sub("-" procs "$", "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; extra = ""
     for (i = 2; i < NF; i++) {
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "B/op") bytes = $i
         if ($(i + 1) == "allocs/op") allocs = $i
+        # Custom b.ReportMetric counters (assessment-cache accounting).
+        if ($(i + 1) == "ruleevals/op") extra = extra sprintf(", \"ruleevals_per_op\": %s", $i)
+        if ($(i + 1) == "memohits/op") extra = extra sprintf(", \"memohits_per_op\": %s", $i)
     }
-    printf "{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}\n", name, $2, ns, bytes, allocs
+    printf "{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}\n", name, $2, ns, bytes, allocs, extra
 }' | jq -s '.' > "$TMP/benches.json"
 
 jq -n \
