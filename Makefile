@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet race serve-smoke clean
+.PHONY: all build verify test vet lint lint-json race serve-smoke clean
 
 all: build
 
@@ -21,8 +21,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 verification: build, vet, and race-test everything.
-verify: build vet race
+# lint runs egslint (the custom analyzer suite in internal/lint that
+# enforces the determinism, aliasing, and pooling invariants), plus
+# staticcheck/govulncheck when installed at the versions pinned in
+# tools/tools.go. See DESIGN.md §10 for the analyzer catalogue and
+# the //lint:ignore suppression convention.
+lint:
+	./scripts/lint.sh
+
+lint-json:
+	./scripts/lint.sh -json
+
+# Tier-1 verification: build, vet, lint, and race-test everything.
+verify: build vet lint race
 
 # serve-smoke boots egs-serve, POSTs the kinship benchmark through
 # the full HTTP path, checks the Datalog answer and the metrics

@@ -1,0 +1,109 @@
+// Command egslint runs the repo's custom analyzer suite
+// (internal/lint): detorder, tuplealias, poolrelease, nodetsource.
+//
+// Standalone:
+//
+//	egslint [-json] [-show-suppressed] [packages...]
+//
+// loads the named package patterns (default ./...) from the enclosing
+// module, runs every analyzer in its configured scope
+// (internal/lint/suite.go), and prints findings. Suppressed findings
+// (//lint:ignore egslint/<name> reason) never fail the run but are
+// listed with -show-suppressed and always included in -json output.
+// Exit status: 0 clean, 1 unsuppressed findings, 2 operational error.
+//
+// As a vet tool:
+//
+//	go vet -vettool=$(which egslint) ./...
+//
+// egslint speaks the cmd/vet unitchecker protocol (-V=full, -flags,
+// and a single *.cfg argument), so it also covers test files and
+// composes with go vet's build cache.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	lint "github.com/egs-synthesis/egs/internal/lint"
+	"github.com/egs-synthesis/egs/internal/lint/checker"
+	"github.com/egs-synthesis/egs/internal/lint/loader"
+)
+
+const version = "0.1.0"
+
+func main() {
+	args := os.Args[1:]
+	// The cmd/vet unitchecker protocol probes the tool before use.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			fmt.Printf("egslint version %s\n", version)
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitCheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("egslint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (suppressed included)")
+	showSuppressed := fs.Bool("show-suppressed", false, "also list suppressed findings with their reasons")
+	fs.Parse(args)
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egslint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egslint:", err)
+		return 2
+	}
+	findings, err := checker.Run(pkgs, lint.Suite(), lint.Applies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egslint:", err)
+		return 2
+	}
+
+	unsuppressed := checker.Unsuppressed(findings)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []checker.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "egslint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range unsuppressed {
+			fmt.Println(f)
+		}
+		if *showSuppressed {
+			for _, f := range checker.Suppressed(findings) {
+				fmt.Printf("%s [suppressed: %s]\n", f, f.Reason)
+			}
+		}
+	}
+	if len(unsuppressed) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,144 @@
+// The cmd/vet unitchecker protocol: `go vet -vettool=egslint` invokes
+// the tool once per package with a single JSON .cfg argument
+// describing the unit — source files, the import map, and the
+// compiled export data of every dependency. This file implements that
+// half of egslint without golang.org/x/tools (offline build): parse
+// the unit's sources, type-check against the supplied export data,
+// run the scoped suite, and report in vet's plain diagnostic format.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	lint "github.com/egs-synthesis/egs/internal/lint"
+	"github.com/egs-synthesis/egs/internal/lint/checker"
+	"github.com/egs-synthesis/egs/internal/lint/loader"
+)
+
+// vetConfig mirrors the subset of cmd/vet's unitchecker Config that
+// egslint consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one vet unit and returns the process exit code:
+// 0 clean, 2 findings (vet's convention for diagnostics), 1 error.
+func unitCheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egslint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "egslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// go vet requires the .vetx facts file to exist even though
+	// egslint's analyzers export no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "egslint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailed(cfg, err)
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the unit's own map: source import path →
+	// canonical path → export data file.
+	lookup := func(path string) (io.ReadCloser, error) {
+		canonical, ok := cfg.ImportMap[path]
+		if !ok {
+			canonical = path
+		}
+		file, ok := cfg.PackageFile[canonical]
+		if !ok {
+			return nil, fmt.Errorf("egslint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{Importer: newLookupImporter(fset, lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailed(cfg, err)
+	}
+
+	pkg := &loader.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	findings, err := checker.Run([]*loader.Package{pkg}, lint.Suite(), func(name, importPath string) bool {
+		return lint.Applies(name, vetUnitPath(importPath))
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egslint:", err)
+		return 1
+	}
+	unsuppressed := checker.Unsuppressed(findings)
+	for _, f := range unsuppressed {
+		// vet's plain diagnostic format: file:line:col: message.
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s\n", f.File, f.Line, f.Column, f.Message)
+	}
+	if len(unsuppressed) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func typecheckFailed(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "egslint: type-checking %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+// vetUnitPath strips vet's test-variant suffix so scope matching sees
+// the plain import path: "pkg [pkg.test]" → "pkg".
+func vetUnitPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// newLookupImporter adapts a lookup function to types.Importer via
+// the loader's gc-export-data importer.
+func newLookupImporter(fset *token.FileSet, lookup func(string) (io.ReadCloser, error)) types.Importer {
+	return loader.ImporterWithLookup(fset, lookup)
+}

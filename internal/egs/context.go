@@ -184,4 +184,3 @@ func generalize(db *relation.Database, ids []relation.TupleID, target relation.T
 	}
 	return query.Rule{Head: head, Body: body}, true
 }
-

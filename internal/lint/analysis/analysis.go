@@ -1,0 +1,96 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer is a
+// named check, a Pass presents one type-checked package to it, and
+// diagnostics are reported through the pass.
+//
+// The container this repo builds in has no module proxy access, so
+// the real x/tools framework cannot be vendored; this package keeps
+// the same shape (Analyzer/Pass/Diagnostic, a Run function returning
+// (any, error)) so the egslint analyzers can migrate to x/tools by
+// swapping an import path once the dependency is available. Facts,
+// SSA, and the inspector are deliberately out of scope: the egslint
+// suite is syntactic + type-directed and needs none of them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in suppression
+	// directives (//lint:ignore egslint/<Name> reason).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Several egslint invariants bind only production code: tests
+// may use wall clocks, randomness, and raw map iteration freely.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// Funcs yields every function or method body in the package, paired
+// with its declaration (nil for function literals). Analyzers that
+// reason lexically about "all paths through this function" iterate
+// per-body rather than per-node. Bodies of functions nested inside
+// other functions are yielded separately as well, since a FuncLit has
+// its own paths.
+func (p *Pass) Funcs(visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					visit(nil, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}

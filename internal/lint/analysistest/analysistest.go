@@ -1,0 +1,237 @@
+// Package analysistest runs one analyzer over an annotated testdata
+// package and compares its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which is
+// unavailable in this offline build environment).
+//
+// A testdata package lives in testdata/src/<name>/ beside the
+// analyzer's test. Expectations are written on the offending line:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each string literal after "want" is a regular expression that must
+// match exactly one diagnostic reported on that line; diagnostics
+// with no matching expectation, and expectations with no matching
+// diagnostic, fail the test. Testdata may import standard library
+// packages and the repo's own packages — imports are resolved through
+// the enclosing module's build cache via `go list -export`.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+	"github.com/egs-synthesis/egs/internal/lint/loader"
+)
+
+// Run analyzes testdata/src/<pkg> (relative to the caller's working
+// directory, i.e. the analyzer package) with a and checks the
+// diagnostics against the package's // want annotations.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	pass, err := loadTestdata(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass.Analyzer = a
+
+	type key struct {
+		file string
+		line int
+	}
+	var got []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { got = append(got, d) }
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pass.Fset, pass.Files)
+	matched := make([]bool, len(got))
+	for _, w := range wants {
+		found := false
+		for i, d := range got {
+			if matched[i] {
+				continue
+			}
+			pos := pass.Fset.Position(d.Pos)
+			if (key{pos.Filename, pos.Line}) != (key{w.file, w.line}) {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range got {
+		if !matched[i] {
+			pos := pass.Fset.Position(d.Pos)
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+}
+
+// loadTestdata parses and type-checks the single package in dir.
+func loadTestdata(dir string) (*analysis.Pass, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysistest: no .go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p != "C" {
+				importSet[p] = true
+			}
+		}
+	}
+
+	// Resolve the testdata package's imports through the module's
+	// build cache; transitive dependencies ride along via -deps.
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		root, err := loader.FindModuleRoot(".")
+		if err != nil {
+			return nil, err
+		}
+		var patterns []string
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := loader.GoList(root, patterns...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	info := loader.NewInfo()
+	conf := types.Config{Importer: loader.ExportImporter(fset, exports)}
+	pkgPath := "egslint.test/" + filepath.Base(dir)
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: type-checking %s: %v", dir, err)
+	}
+	return &analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants extracts // want annotations from the files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var out []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, pos, text[idx+len("want "):]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns splits the tail of a want comment into its string
+// literals (double-quoted or backquoted).
+func parsePatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern: %s", pos.Filename, pos.Line, s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, s[:end+1], err)
+			}
+			pats = append(pats, pat)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s:%d: unterminated want pattern: %s", pos.Filename, pos.Line, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = s[end+2:]
+		default:
+			t.Fatalf("%s:%d: want patterns must be quoted or backquoted strings, got %q", pos.Filename, pos.Line, s)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package checker drives a suite of analyzers over loaded packages,
+// applies the repo's suppression convention, and renders findings.
+//
+// Suppression: a comment of the form
+//
+//	//lint:ignore egslint/<name>[,egslint/<name>...] reason
+//
+// on the offending line, or on the line directly above it, marks a
+// finding as acknowledged. Suppressed findings are retained (with
+// their reasons) rather than dropped, so `egslint -show-suppressed`
+// and scripts/lint.sh can trend accepted lint debt the same way
+// BENCH_eval.json trends performance.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+	"github.com/egs-synthesis/egs/internal/lint/loader"
+)
+
+// Finding is one diagnostic, resolved to a position and suppression
+// status.
+type Finding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	// Reason is the justification given in the //lint:ignore
+	// directive; empty for unsuppressed findings.
+	Reason string `json:"reason,omitempty"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzers map[string]bool // "egslint/<name>" keys
+	reason    string
+}
+
+// Run applies every analyzer to every package and returns the merged,
+// deterministically ordered findings. applies filters analyzers per
+// package import path (nil means all analyzers run everywhere).
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer, applies func(analyzer, importPath string) bool) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		supp := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if applies != nil && !applies(a.Name, pkg.ImportPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{
+					Analyzer: name,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Message:  d.Message,
+				}
+				if s := supp.lookup(pos.Filename, pos.Line, "egslint/"+name); s != nil {
+					f.Suppressed = true
+					f.Reason = s.reason
+				}
+				findings = append(findings, f)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("checker: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Unsuppressed returns the findings that are not acknowledged by a
+// suppression directive.
+func Unsuppressed(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the acknowledged findings.
+func Suppressed(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppressionIndex maps (file, line) to the directive covering it. A
+// directive on line L covers findings on L and L+1, matching the
+// staticcheck convention of ignoring either the annotated line or the
+// statement beneath the comment.
+type suppressionIndex map[string]map[int]*suppression
+
+func (idx suppressionIndex) lookup(file string, line int, key string) *suppression {
+	byLine := idx[file]
+	if byLine == nil {
+		return nil
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if s := byLine[l]; s != nil && s.analyzers[key] {
+			return s
+		}
+	}
+	return nil
+}
+
+// collectSuppressions scans the package's comments for //lint:ignore
+// directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := make(suppressionIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]*suppression)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = s
+			}
+		}
+	}
+	return idx
+}
+
+// parseDirective parses one //lint:ignore comment. It returns ok
+// false for comments that are not directives. The directive grammar is
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// where each check is the full "egslint/<name>" spelling; a reason is
+// mandatory (an unexplained suppression is itself lint debt).
+func parseDirective(text string) (*suppression, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	checks, reason, ok := strings.Cut(rest, " ")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return nil, false
+	}
+	s := &suppression{analyzers: make(map[string]bool), reason: strings.TrimSpace(reason)}
+	for _, c := range strings.Split(checks, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			s.analyzers[c] = true
+		}
+	}
+	return s, true
+}

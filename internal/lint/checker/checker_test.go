@@ -1,0 +1,97 @@
+package checker
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text   string
+		ok     bool
+		checks []string
+		reason string
+	}{
+		{"//lint:ignore egslint/nodetsource timing stats only", true, []string{"egslint/nodetsource"}, "timing stats only"},
+		{"//lint:ignore egslint/detorder,egslint/tuplealias both are fine here", true, []string{"egslint/detorder", "egslint/tuplealias"}, "both are fine here"},
+		// A reason is mandatory: an unexplained suppression is lint debt.
+		{"//lint:ignore egslint/detorder", false, nil, ""},
+		{"//lint:ignore egslint/detorder    ", false, nil, ""},
+		{"// ordinary comment", false, nil, ""},
+		{"//lint:ignoreegslint/detorder x", false, nil, ""},
+	}
+	for _, c := range cases {
+		s, ok := parseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if s.reason != c.reason {
+			t.Errorf("parseDirective(%q) reason = %q, want %q", c.text, s.reason, c.reason)
+		}
+		for _, check := range c.checks {
+			if !s.analyzers[check] {
+				t.Errorf("parseDirective(%q) missing check %q", c.text, check)
+			}
+		}
+		if len(s.analyzers) != len(c.checks) {
+			t.Errorf("parseDirective(%q) parsed %d checks, want %d", c.text, len(s.analyzers), len(c.checks))
+		}
+	}
+}
+
+func TestSuppressionCoversLineAndNext(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore egslint/demo directive above the statement
+	_ = 1
+	_ = 2
+	_ = 3 //lint:ignore egslint/demo directive on the line itself
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := collectSuppressions(fset, []*ast.File{f})
+
+	if s := idx.lookup("p.go", 5, "egslint/demo"); s == nil {
+		t.Error("line below a directive should be covered")
+	}
+	if s := idx.lookup("p.go", 6, "egslint/demo"); s != nil {
+		t.Error("a directive must not reach two lines down")
+	}
+	if s := idx.lookup("p.go", 8, "egslint/demo"); s == nil {
+		t.Error("the directive's own line should be covered")
+	}
+	if s := idx.lookup("p.go", 5, "egslint/other"); s != nil {
+		t.Error("a directive only suppresses the named checks")
+	}
+	if s := idx.lookup("q.go", 5, "egslint/demo"); s != nil {
+		t.Error("suppressions are per file")
+	}
+}
+
+func TestFindingFilters(t *testing.T) {
+	fs := []Finding{
+		{Analyzer: "a", File: "x.go", Line: 1, Suppressed: true, Reason: "why"},
+		{Analyzer: "b", File: "x.go", Line: 2},
+	}
+	if got := Unsuppressed(fs); len(got) != 1 || got[0].Analyzer != "b" {
+		t.Errorf("Unsuppressed = %v", got)
+	}
+	if got := Suppressed(fs); len(got) != 1 || got[0].Analyzer != "a" {
+		t.Errorf("Suppressed = %v", got)
+	}
+	f := Finding{Analyzer: "detorder", File: "x.go", Line: 3, Column: 7, Message: "m"}
+	if got, want := f.String(), "x.go:3:7: detorder: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,247 @@
+// Package detorder flags Go map iteration whose order can leak into
+// synthesizer-visible state: the priority queue, emitted tuples,
+// canonical keys, or returned slices.
+//
+// The EGS search promises bit-identical results regardless of
+// AssessParallelism (DESIGN.md §9); that guarantee dies the moment a
+// `range` over a map feeds the worklist or any rendered output
+// without an intervening sort. detorder encodes the rule "map order
+// never escapes": inside a map-range body it flags
+//
+//   - calls to Push/push methods and to container/heap.Push (queue
+//     feeds),
+//   - channel sends (downstream ordering),
+//   - direct writes into strings.Builder/bytes.Buffer or fmt.Fprint*
+//     (canonical keys and printed output),
+//   - appends to a slice declared outside the loop that is not
+//     subsequently passed to a sort.* / slices.* call in the same
+//     function (returned or retained slices).
+//
+// Known false negatives (see DESIGN.md §10): the "sorted afterwards"
+// check is lexical within one function — a slice sorted by a callee,
+// or sorted on one path only, is accepted; sinks reached through
+// helper calls inside the loop body are not traced.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+)
+
+// Analyzer flags map iteration that feeds order-sensitive sinks.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc: "flag range-over-map whose iteration order can reach the priority queue, " +
+		"emitted tuples, canonical keys, or returned slices without a sort",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Funcs(func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		if pass.IsTestFile(body.Pos()) {
+			return
+		}
+		checkFunc(pass, body)
+	})
+	return nil, nil
+}
+
+// checkFunc examines one function body. Range statements belonging to
+// nested function literals are skipped here; Funcs visits those
+// bodies separately.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt) {
+	// appended maps slice variables (declared outside the loop) that
+	// receive map-ordered elements, to the position of the append.
+	appended := map[types.Object]token.Pos{}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside range over map: iteration order is nondeterministic; collect and sort keys first")
+		case *ast.CallExpr:
+			checkCallSink(pass, n)
+		case *ast.AssignStmt:
+			recordAppend(pass, rng, n, appended)
+		}
+		return true
+	})
+
+	for obj, pos := range appended {
+		if !sortedAfter(pass, fn, obj, pos) {
+			pass.Reportf(pos, "map iteration order leaks into slice %q, which is never sorted in this function; sort it (or iterate sorted keys) before it feeds the queue, output, or a return value", obj.Name())
+		}
+	}
+}
+
+// checkCallSink reports calls inside a map-range body that consume
+// values in iteration order.
+func checkCallSink(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	// Queue feeds: any Push/push method, including container/heap.Push
+	// and this repo's ctxQueue.push.
+	if name == "Push" || name == "push" {
+		pass.Reportf(call.Pos(), "%s called inside range over map: queue order becomes nondeterministic; stage candidates and sort (or sort the keys) first", name)
+		return
+	}
+	// Rendered output: strings.Builder / bytes.Buffer writes and
+	// fmt.Fprint* produce strings in iteration order — the canonical-key
+	// and printed-output hazard.
+	if recv := pass.TypeOf(sel.X); recv != nil && isWriteMethod(name) {
+		if named := namedOrPtr(recv); named != nil {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				pkg, typ := obj.Pkg().Path(), obj.Name()
+				if (pkg == "strings" && typ == "Builder") || (pkg == "bytes" && typ == "Buffer") {
+					pass.Reportf(call.Pos(), "write to %s.%s inside range over map renders in nondeterministic order; sort the keys first", typ, name)
+					return
+				}
+			}
+		}
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" && isFprint(name) {
+		if obj := pass.ObjectOf(id); obj == nil || isPkg(obj, "fmt") {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map renders in nondeterministic order; sort the keys first", name)
+		}
+	}
+}
+
+func isWriteMethod(name string) bool {
+	switch name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+		return true
+	}
+	return false
+}
+
+func isFprint(name string) bool {
+	switch name {
+	case "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// recordAppend notes `x = append(x, ...)` inside the loop where x is
+// declared outside the loop (an escaping accumulation).
+func recordAppend(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, appended map[types.Object]token.Pos) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		// Declared inside the loop body: the slice cannot outlive one
+		// iteration, so its internal order is single-element noise.
+		if obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+			continue
+		}
+		if _, seen := appended[obj]; !seen {
+			appended[obj] = as.Pos()
+		}
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedAfter reports whether obj appears as an argument to a sort.*
+// or slices.* call positioned after pos in the function body — the
+// idiom `for k := range m { keys = append(keys, k) }; sort.Strings(keys)`.
+func sortedAfter(pass *analysis.Pass, fn *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if o := pass.ObjectOf(pkgID); !isPkg(o, "sort") && !isPkg(o, "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsObject(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isPkg(o types.Object, path string) bool {
+	pn, ok := o.(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+func namedOrPtr(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

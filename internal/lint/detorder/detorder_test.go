@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysistest"
+	"github.com/egs-synthesis/egs/internal/lint/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	analysistest.Run(t, detorder.Analyzer, "detorder")
+}

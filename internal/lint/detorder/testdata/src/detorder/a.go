@@ -1,0 +1,103 @@
+// Package detorder exercises the detorder analyzer: map iteration
+// order must not reach the queue, rendered output, or returned slices
+// without a sort.
+package detorder
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+type item struct{ key string }
+
+type queue struct{ items []item }
+
+func (q *queue) push(it item) { q.items = append(q.items, it) }
+
+type Heap struct{ items []item }
+
+func (h *Heap) Push(it item) { h.items = append(h.items, it) }
+
+// pushUnsorted feeds the worklist straight from a map range — the
+// canonical determinism bug.
+func pushUnsorted(q *queue, m map[string]item) {
+	for _, it := range m {
+		q.push(it) // want `push called inside range over map`
+	}
+}
+
+func pushExported(h *Heap, m map[string]item) {
+	for _, it := range m {
+		h.Push(it) // want `Push called inside range over map`
+	}
+}
+
+func sendUnsorted(ch chan<- item, m map[string]item) {
+	for _, it := range m {
+		ch <- it // want `channel send inside range over map`
+	}
+}
+
+func renderBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `write to Builder.WriteString inside range over map`
+	}
+	return b.String()
+}
+
+func renderBuffer(m map[string]int) string {
+	var b bytes.Buffer
+	for k := range m {
+		b.WriteString(k) // want `write to Buffer.WriteString inside range over map`
+	}
+	return b.String()
+}
+
+func renderFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map`
+	}
+}
+
+// leakUnsorted accumulates map keys and returns them without sorting.
+func leakUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order leaks into slice "keys"`
+	}
+	return keys
+}
+
+// sortedKeys is the blessed idiom: accumulate, then sort. No finding.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// pushFromSlice ranges over a slice, not a map: order is already
+// deterministic. No finding.
+func pushFromSlice(q *queue, items []item) {
+	for _, it := range items {
+		q.push(it)
+	}
+}
+
+// innerScoped appends to a slice declared inside the loop body; it
+// cannot accumulate across iterations. No finding.
+func innerScoped(m map[string][]int, sink func([]int)) {
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		sink(doubled)
+	}
+}

@@ -1,0 +1,199 @@
+// Package loader loads and type-checks packages of the enclosing
+// module for static analysis, using only the standard library and the
+// go toolchain.
+//
+// The x/tools go/packages loader is unavailable in this build
+// environment (no module proxy), so this loader reconstructs the part
+// egslint needs: it shells out to `go list -export -json -deps` to
+// obtain, for every dependency, the path of its compiled export data
+// in the build cache, then type-checks the target packages' sources
+// with go/types, resolving imports through
+// importer.ForCompiler(fset, "gc", lookup). Dependencies are never
+// re-parsed — they are imported from export data exactly as the
+// compiler would — so loading the whole module takes well under a
+// second warm.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// ListedPackage mirrors the subset of `go list -json` output the
+// loader consumes.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("loader: no go.mod found above " + dir)
+		}
+		dir = parent
+	}
+}
+
+// GoList runs `go list -export -json -deps` on the given patterns in
+// moduleDir and returns every listed package. Export data is forced
+// for all dependencies, so the result doubles as an import resolver.
+func GoList(moduleDir string, patterns ...string) ([]*ListedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list: %v: %s", err, stderr.String())
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(ListedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching patterns (relative to
+// moduleDir, e.g. "./...") and returns them with full syntax and type
+// information. Test files are not included: the egslint invariants
+// bind production code, and `go vet -vettool` covers test variants
+// separately.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	listed, err := GoList(moduleDir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*ListedPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("loader: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ExportImporter returns a go/types importer that resolves import
+// paths through a map from import path to compiled export data file
+// (as produced by `go list -export`).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return ImporterWithLookup(fset, func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// ImporterWithLookup returns a gc-export-data importer driven by an
+// arbitrary lookup function (used by the vettool protocol, where the
+// export file map comes from go vet's .cfg unit description).
+func ImporterWithLookup(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

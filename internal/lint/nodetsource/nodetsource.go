@@ -1,0 +1,94 @@
+// Package nodetsource forbids sources of nondeterminism in the core
+// synthesis packages.
+//
+// The EGS search result must be a pure function of the task and the
+// configuration (DESIGN.md §9): wall-clock time, random numbers, and
+// Go's randomized map formatting all break replayability and the
+// bit-identical-across-parallelism guarantee. Three rules:
+//
+//   - no calls to time.Now, time.Since, or time.Until,
+//   - no use of math/rand or math/rand/v2 (any call through either),
+//   - no fmt print/append call given a map-typed argument (fmt sorts
+//     map keys since Go 1.12, but only for printed maps at the top
+//     level — and a map fed to %v inside a struct renders addresses
+//     of reference types nondeterministically; keep maps out of
+//     rendered output entirely).
+//
+// Scoping to the core packages (internal/egs, internal/eval, ...)
+// and the exemption for cmd/, internal/server, and tests lives in the
+// egslint suite (internal/lint/suite.go), not here: run unscoped,
+// the analyzer flags every occurrence.
+package nodetsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+)
+
+// Analyzer forbids nondeterminism sources in core synthesis code.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodetsource",
+	Doc: "forbid time.Now/Since/Until, math/rand, and map-typed fmt arguments " +
+		"in deterministic synthesis packages",
+	Run: run,
+}
+
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var fmtRenderFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Funcs(func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		if pass.IsTestFile(body.Pos()) {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	})
+	return nil, nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch path := obj.Pkg().Path(); path {
+	case "time":
+		if timeFuncs[obj.Name()] {
+			pass.Reportf(call.Pos(), "time.%s in a deterministic synthesis package: results must be a pure function of the task; plumb timing through the caller or suppress with a reason", obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(call.Pos(), "%s.%s in a deterministic synthesis package: randomness breaks replayable search; derive choices from task content instead", path, obj.Name())
+	case "fmt":
+		if !fmtRenderFuncs[obj.Name()] {
+			return
+		}
+		for _, arg := range call.Args {
+			t := pass.TypeOf(arg)
+			if t == nil {
+				continue
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(arg.Pos(), "map passed to fmt.%s: rendered key order is a nondeterminism hazard; print sorted keys explicitly", obj.Name())
+			}
+		}
+	}
+}

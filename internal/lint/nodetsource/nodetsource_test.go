@@ -1,0 +1,12 @@
+package nodetsource_test
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysistest"
+	"github.com/egs-synthesis/egs/internal/lint/nodetsource"
+)
+
+func TestNoDetSource(t *testing.T) {
+	analysistest.Run(t, nodetsource.Analyzer, "nodetsource")
+}

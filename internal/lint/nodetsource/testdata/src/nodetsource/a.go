@@ -1,0 +1,62 @@
+// Package nodetsource exercises the nodetsource analyzer: no
+// wall-clock reads, no math/rand, no map-typed fmt arguments.
+package nodetsource
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// stampNow reads the wall clock, making results depend on when the
+// search ran.
+func stampNow() time.Time {
+	return time.Now() // want `time.Now in a deterministic synthesis package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in a deterministic synthesis package`
+}
+
+func deadlineIn(t time.Time) time.Duration {
+	return time.Until(t) // want `time.Until in a deterministic synthesis package`
+}
+
+func pickRandom(n int) int {
+	return rand.Intn(n) // want `math/rand.Intn in a deterministic synthesis package`
+}
+
+func printMap(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want `map passed to fmt.Sprintf`
+}
+
+func logMap(m map[string]int) {
+	fmt.Println(m) // want `map passed to fmt.Println`
+}
+
+// durationMath uses time only for arithmetic on values the caller
+// supplies: pure. No finding.
+func durationMath(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// printSorted renders map content through sorted keys, the blessed
+// idiom. No finding.
+func printSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d;", k, m[k])
+	}
+	return out
+}
+
+// formatScalar prints plain values. No finding.
+func formatScalar(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}

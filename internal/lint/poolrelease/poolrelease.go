@@ -1,0 +1,523 @@
+// Package poolrelease enforces the lifecycle invariants of pooled and
+// arena-allocated objects — the bug class behind PR 3's emitID
+// stale-arity aliasing fix.
+//
+// Pool structure is discovered, not configured: a package-level
+// sync.Pool variable defines a pooled element type (from its New
+// function), the element's method that calls pool.Put is its
+// releaser, and a function that calls pool.Get and returns the
+// element is an acquirer. Three rules follow:
+//
+//  1. Release on all paths. A value obtained from an acquirer must be
+//     released before every return that follows the acquisition,
+//     either via `defer v.release()` or by an explicit release call
+//     preceding each return. The check is lexical, not control-flow
+//     exact: a release on a sibling branch satisfies it (documented
+//     false negative), but the common bug — an early return inserted
+//     without a release — is caught.
+//
+//  2. No stale scratch. Inside the pooled type's methods, a
+//     slice-typed field used as a bare value (bound to a local,
+//     placed in a composite literal, or returned) must be preceded in
+//     the same function by an assignment that re-establishes its
+//     length (`e.scratch = growConsts(e.scratch, n)`, `e.f = e.f[:n]`).
+//     Deleting that resize is exactly the PR 3 emitID bug: the buffer
+//     keeps the arity of the previous rule.
+//
+//  3. No arena escapes. Results of idArena.alloc/copy/extend and
+//     ectxSlab.alloc (internal/egs's bump allocators) must not be
+//     assigned directly into struct fields of types other than ectx,
+//     nor returned from exported functions: arena chunks are recycled
+//     wholesale when the searcher is dropped, so a stored slice
+//     outlives its memory's meaning.
+package poolrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+)
+
+// Analyzer enforces pooled-object and arena lifecycle rules.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolrelease",
+	Doc: "require pool-acquired values to be released on all paths, pooled scratch slices " +
+		"to be re-lengthed before use, and arena allocations not to escape",
+	Run: run,
+}
+
+// arenaTypes are the bump allocators of internal/egs; their
+// allocations must not outlive the owning searcher. The method sets
+// are the allocation entry points.
+var arenaTypes = map[string]map[string]bool{
+	"idArena":  {"alloc": true, "copy": true, "extend": true},
+	"ectxSlab": {"alloc": true},
+}
+
+// arenaExemptOwners are struct types whose fields may hold arena
+// slices: ectx structs are slab-allocated and share the arena's
+// lifetime.
+var arenaExemptOwners = map[string]bool{"ectx": true}
+
+// pool describes one discovered sync.Pool and its protocol.
+type pool struct {
+	poolVar  types.Object // the sync.Pool variable
+	elem     *types.Named // pooled element type T (pool.New returns *T)
+	releaser string       // method of T calling poolVar.Put
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pools := discoverPools(pass)
+	acquirers := discoverAcquirers(pass, pools)
+
+	pass.Funcs(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if pass.IsTestFile(body.Pos()) {
+			return
+		}
+		if len(pools) > 0 {
+			checkReleasePaths(pass, body, acquirers)
+		}
+		if decl != nil {
+			if p := receiverPool(pass, decl, pools); p != nil {
+				checkScratchFields(pass, decl, body, p)
+			}
+			checkArenaEscapes(pass, decl, body)
+		}
+	})
+	return nil, nil
+}
+
+// discoverPools finds package-level sync.Pool variables, their element
+// types, and their releaser methods.
+func discoverPools(pass *analysis.Pass) []*pool {
+	var pools []*pool
+	// Pass 1: pool variables and element types from their New funcs.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					obj := pass.ObjectOf(name)
+					if obj == nil || !isSyncPool(obj.Type()) {
+						continue
+					}
+					if elem := poolElemType(pass, vs.Values[i]); elem != nil {
+						pools = append(pools, &pool{poolVar: obj, elem: elem})
+					}
+				}
+			}
+		}
+	}
+	if len(pools) == 0 {
+		return nil
+	}
+	// Pass 2: releaser = the element's method containing poolVar.Put.
+	pass.Funcs(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if decl == nil || decl.Recv == nil {
+			return
+		}
+		for _, p := range pools {
+			if receiverNamed(pass, decl) != p.elem {
+				continue
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" {
+					if id, ok := sel.X.(*ast.Ident); ok && pass.ObjectOf(id) == p.poolVar {
+						p.releaser = decl.Name.Name
+					}
+				}
+				return true
+			})
+		}
+	})
+	return pools
+}
+
+func isSyncPool(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// poolElemType extracts T from `sync.Pool{New: func() any { return new(T) }}`.
+func poolElemType(pass *analysis.Pass, v ast.Expr) *types.Named {
+	cl, ok := v.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "New" {
+			continue
+		}
+		fl, ok := kv.Value.(*ast.FuncLit)
+		if !ok {
+			return nil
+		}
+		var elem *types.Named
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			t := pass.TypeOf(ret.Results[0])
+			if ptr, ok := t.(*types.Pointer); ok {
+				if named, ok := ptr.Elem().(*types.Named); ok {
+					elem = named
+				}
+			}
+			return elem == nil
+		})
+		return elem
+	}
+	return nil
+}
+
+// discoverAcquirers maps function objects that call poolVar.Get and
+// return the pooled element to their pool.
+func discoverAcquirers(pass *analysis.Pass, pools []*pool) map[types.Object]*pool {
+	acquirers := make(map[types.Object]*pool)
+	if len(pools) == 0 {
+		return acquirers
+	}
+	pass.Funcs(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if decl == nil {
+			return
+		}
+		obj := pass.ObjectOf(decl.Name)
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		for _, p := range pools {
+			if p.releaser == "" || !returnsElem(sig, p.elem) {
+				continue
+			}
+			callsGet := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+					if id, ok := sel.X.(*ast.Ident); ok && pass.ObjectOf(id) == p.poolVar {
+						callsGet = true
+					}
+				}
+				return !callsGet
+			})
+			if callsGet {
+				acquirers[obj] = p
+			}
+		}
+	})
+	return acquirers
+}
+
+func returnsElem(sig *types.Signature, elem *types.Named) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok && named == elem {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkReleasePaths enforces rule 1 in one function body.
+func checkReleasePaths(pass *analysis.Pass, body *ast.BlockStmt, acquirers map[types.Object]*pool) {
+	type acquisition struct {
+		obj  types.Object
+		pos  token.Pos
+		pool *pool
+	}
+	var acqs []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fnObj types.Object
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			fnObj = pass.ObjectOf(f)
+		case *ast.SelectorExpr:
+			fnObj = pass.ObjectOf(f.Sel)
+		}
+		p, ok := acquirers[fnObj]
+		if !ok {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				acqs = append(acqs, acquisition{obj: obj, pos: as.Pos(), pool: p})
+			}
+		}
+		return true
+	})
+
+	for _, acq := range acqs {
+		if functionReleases(pass, body, acq.obj, acq.pos, acq.pool.releaser) {
+			continue
+		}
+		pass.Reportf(acq.pos, "%q acquired from %s pool is not released on every path; add `defer %s.%s()` or release before each return",
+			acq.obj.Name(), acq.pool.elem.Obj().Name(), acq.obj.Name(), acq.pool.releaser)
+	}
+}
+
+// functionReleases reports whether the acquired object is released on
+// every (lexical) path after pos: either a defer of the releaser, or a
+// release call before each subsequent return — and at least one
+// release overall.
+func functionReleases(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos, releaser string) bool {
+	var releasePositions []token.Pos
+	deferred := false
+	var returns []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if isReleaseCall(pass, n.Call, obj, releaser) && n.Pos() > pos {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if isReleaseCall(pass, n, obj, releaser) && n.Pos() > pos {
+				releasePositions = append(releasePositions, n.Pos())
+			}
+		case *ast.ReturnStmt:
+			if n.Pos() > pos {
+				returns = append(returns, n.Pos())
+			}
+		}
+		return true
+	})
+	if deferred {
+		return true
+	}
+	if len(releasePositions) == 0 {
+		return false
+	}
+	for _, ret := range returns {
+		ok := false
+		for _, rel := range releasePositions {
+			if rel < ret {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func isReleaseCall(pass *analysis.Pass, call *ast.CallExpr, obj types.Object, releaser string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != releaser {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.ObjectOf(id) == obj
+}
+
+// receiverPool returns the pool whose element type is decl's receiver.
+func receiverPool(pass *analysis.Pass, decl *ast.FuncDecl, pools []*pool) *pool {
+	named := receiverNamed(pass, decl)
+	if named == nil {
+		return nil
+	}
+	for _, p := range pools {
+		if p.elem == named {
+			return p
+		}
+	}
+	return nil
+}
+
+func receiverNamed(pass *analysis.Pass, decl *ast.FuncDecl) *types.Named {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.TypeOf(decl.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// checkScratchFields enforces rule 2 in one method of a pooled type.
+func checkScratchFields(pass *analysis.Pass, decl *ast.FuncDecl, body *ast.BlockStmt, p *pool) {
+	if len(decl.Recv.List[0].Names) != 1 {
+		return
+	}
+	recv := pass.ObjectOf(decl.Recv.List[0].Names[0])
+	if recv == nil {
+		return
+	}
+
+	// resizedAt collects positions of assignments TO recv.<field>.
+	resizedAt := map[string][]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if f := bareSliceField(pass, lhs, recv); f != "" {
+				resizedAt[f] = append(resizedAt[f], as.Pos())
+			}
+		}
+		return true
+	})
+	resized := func(field string, before token.Pos) bool {
+		for _, p := range resizedAt[field] {
+			if p < before {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos token.Pos, field, how string) {
+		pass.Reportf(pos, "pooled scratch field %q %s without re-establishing its length in this function; stale-arity aliasing (the emitID bug class) — resize it first", field, how)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if f := bareSliceField(pass, rhs, recv); f != "" && !resized(f, n.Pos()) {
+					report(n.Pos(), f, "bound to a local")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if f := bareSliceField(pass, kv.Value, recv); f != "" && !resized(f, kv.Pos()) {
+					report(kv.Pos(), f, "placed in a composite literal")
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if f := bareSliceField(pass, res, recv); f != "" {
+					pass.Reportf(res.Pos(), "pooled scratch field %q returned from a method of the pooled type: it escapes release and will be overwritten by the next acquire; return a copy", f)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// bareSliceField returns the field name if e is exactly `recv.f` with
+// f a slice-typed field (no call, index, or slice wrapping).
+func bareSliceField(pass *analysis.Pass, e ast.Expr, recv types.Object) string {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || pass.ObjectOf(id) != recv {
+		return ""
+	}
+	t := pass.TypeOf(sel)
+	if t == nil {
+		return ""
+	}
+	if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// checkArenaEscapes enforces rule 3 in one function.
+func checkArenaEscapes(pass *analysis.Pass, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	exported := decl.Name.IsExported()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isArenaAlloc(pass, rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				sel, ok := n.Lhs[i].(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if owner := namedOf(pass.TypeOf(sel.X)); owner != nil && !arenaExemptOwners[owner.Obj().Name()] {
+					pass.Reportf(n.Pos(), "arena-allocated slice stored into field %s.%s: arena memory is recycled with the searcher; copy it if the holder outlives the search", owner.Obj().Name(), sel.Sel.Name)
+				}
+			}
+		case *ast.ReturnStmt:
+			if !exported {
+				return true
+			}
+			for _, res := range n.Results {
+				if isArenaAlloc(pass, res) {
+					pass.Reportf(res.Pos(), "arena-allocated slice returned from exported %s: callers outlive the arena; return a copy", decl.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isArenaAlloc matches calls to the allocation methods of the known
+// arena types (idArena.alloc/copy/extend, ectxSlab.alloc).
+func isArenaAlloc(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := namedOf(pass.TypeOf(sel.X))
+	if recv == nil {
+		return false
+	}
+	methods, ok := arenaTypes[recv.Obj().Name()]
+	return ok && methods[sel.Sel.Name]
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

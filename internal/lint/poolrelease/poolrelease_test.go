@@ -1,0 +1,12 @@
+package poolrelease_test
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysistest"
+	"github.com/egs-synthesis/egs/internal/lint/poolrelease"
+)
+
+func TestPoolRelease(t *testing.T) {
+	analysistest.Run(t, poolrelease.Analyzer, "poolrelease")
+}

@@ -1,0 +1,118 @@
+// Package poolrelease exercises the poolrelease analyzer: release on
+// all paths, no stale pooled scratch (the emitID bug class), and no
+// arena escapes.
+package poolrelease
+
+import "sync"
+
+type evaluator struct {
+	scratch []int
+	order   []int
+	n       int
+}
+
+var evaluatorPool = sync.Pool{New: func() any { return new(evaluator) }}
+
+func newEvaluator(n int) *evaluator {
+	e := evaluatorPool.Get().(*evaluator)
+	e.n = n
+	return e
+}
+
+func (e *evaluator) release() {
+	e.n = 0
+	evaluatorPool.Put(e)
+}
+
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// leakOnEarlyReturn forgets the release on the error path — the
+// classic pool leak.
+func leakOnEarlyReturn(n int) int {
+	e := newEvaluator(n) // want `"e" acquired from evaluator pool is not released on every path`
+	if n < 0 {
+		return 0
+	}
+	out := e.n
+	e.release()
+	return out
+}
+
+// neverReleased acquires and drops the value entirely.
+func neverReleased(n int) {
+	e := newEvaluator(n) // want `"e" acquired from evaluator pool is not released on every path`
+	_ = e
+}
+
+// deferredRelease is the blessed shape. No finding.
+func deferredRelease(n int) int {
+	e := newEvaluator(n)
+	defer e.release()
+	if n < 0 {
+		return 0
+	}
+	return e.n
+}
+
+// releaseOnEachPath releases explicitly before every return. No
+// finding.
+func releaseOnEachPath(n int) int {
+	e := newEvaluator(n)
+	if n < 0 {
+		e.release()
+		return 0
+	}
+	out := e.n
+	e.release()
+	return out
+}
+
+// staleScratch reproduces the emitID bug: binding the pooled scratch
+// slice without re-establishing its length first, so it keeps the
+// arity of the previous rule.
+func (e *evaluator) staleScratch(vals []int) []int {
+	args := e.scratch // want `pooled scratch field "scratch" bound to a local without re-establishing its length`
+	copy(args, vals)
+	out := make([]int, len(args))
+	copy(out, args)
+	return out
+}
+
+// freshScratch is the fixed emitID shape: resize, then bind. No
+// finding.
+func (e *evaluator) freshScratch(vals []int) []int {
+	e.scratch = grow(e.scratch, len(vals))
+	args := e.scratch
+	copy(args, vals)
+	out := make([]int, len(args))
+	copy(out, args)
+	return out
+}
+
+// escapeScratch returns the pooled buffer itself; it will be
+// overwritten by the next acquire.
+func (e *evaluator) escapeScratch() []int {
+	return e.scratch // want `pooled scratch field "scratch" returned from a method of the pooled type`
+}
+
+// structScratch smuggles the unresized buffer out through a composite
+// literal.
+type result struct{ args []int }
+
+func (e *evaluator) structScratch() result {
+	return result{args: e.scratch} // want `pooled scratch field "scratch" placed in a composite literal`
+}
+
+// sliceElem reads an element; element reads are not a stale-arity
+// hazard by themselves. No finding.
+func (e *evaluator) sliceElem(i int) int {
+	if i < len(e.order) {
+		return e.order[i]
+	}
+	return -1
+}

@@ -1,0 +1,64 @@
+package poolrelease
+
+// idArena mirrors internal/egs's bump allocator; poolrelease matches
+// it by type name and allocation method names.
+type idArena struct {
+	chunk []int32
+	off   int
+}
+
+func (a *idArena) alloc(n int) []int32 {
+	if a.off+n > len(a.chunk) {
+		a.chunk = make([]int32, 4096)
+		a.off = 0
+	}
+	s := a.chunk[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+func (a *idArena) copy(src []int32) []int32 {
+	dst := a.alloc(len(src))
+	copy(dst, src)
+	return dst
+}
+
+// ectx shares the arena's lifetime; its fields may hold arena slices.
+type ectx struct {
+	ids []int32
+}
+
+// holder is an ordinary struct that outlives the search.
+type holder struct {
+	ids []int32
+}
+
+// storeInEctx is the blessed pattern: arena memory into an
+// arena-lifetime struct. No finding.
+func storeInEctx(a *idArena, c *ectx, src []int32) {
+	c.ids = a.copy(src)
+}
+
+// storeInHolder leaks arena memory into a long-lived struct.
+func storeInHolder(a *idArena, h *holder, src []int32) {
+	h.ids = a.copy(src) // want `arena-allocated slice stored into field holder.ids`
+}
+
+// CopyIDs returns arena memory from an exported function: callers
+// outlive the arena.
+func CopyIDs(a *idArena, src []int32) []int32 {
+	return a.copy(src) // want `arena-allocated slice returned from exported CopyIDs`
+}
+
+// internalCopy is unexported; intra-package callers are assumed to
+// respect the arena lifetime. No finding.
+func internalCopy(a *idArena, src []int32) []int32 {
+	return a.copy(src)
+}
+
+// storeLocal binds the allocation to a local, the normal working
+// pattern. No finding.
+func storeLocal(a *idArena, n int) int {
+	s := a.alloc(n)
+	return len(s)
+}

@@ -1,0 +1,92 @@
+// Package lint defines the egslint suite: which analyzers exist and
+// which packages each one polices. Scoping lives here, in the driver,
+// rather than in the analyzers themselves, so analysistest can run
+// each analyzer unscoped over its annotated fixtures.
+package lint
+
+import (
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+	"github.com/egs-synthesis/egs/internal/lint/detorder"
+	"github.com/egs-synthesis/egs/internal/lint/nodetsource"
+	"github.com/egs-synthesis/egs/internal/lint/poolrelease"
+	"github.com/egs-synthesis/egs/internal/lint/tuplealias"
+)
+
+// Suite returns the egslint analyzers in deterministic order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detorder.Analyzer,
+		nodetsource.Analyzer,
+		poolrelease.Analyzer,
+		tuplealias.Analyzer,
+	}
+}
+
+// scopes maps each analyzer to the package path suffixes it polices.
+// Suffix matching keeps the table valid if the module is ever
+// vendored or renamed. A nil entry means the analyzer runs everywhere
+// except its exemptions.
+var scopes = map[string][]string{
+	// Determinism of iteration order matters where map order could
+	// reach the queue, canonical keys, or rendered queries.
+	"detorder": {
+		"internal/egs", "internal/eval", "internal/query", "internal/cograph",
+	},
+	// Wall-clock and randomness are banned from the synthesis core and
+	// the data structures it renders. cmd/, internal/server, and
+	// benches legitimately report timings, so they are out of scope.
+	"nodetsource": {
+		"internal/egs", "internal/eval", "internal/query", "internal/cograph",
+		"internal/relation", "internal/task",
+	},
+	// Everywhere except internal/relation itself (the analyzer skips
+	// the owning package) and the lint tree (fixtures deliberately
+	// violate the rules).
+	"tuplealias":  nil,
+	"poolrelease": nil,
+}
+
+// exemptEverywhere are package path fragments no analyzer polices:
+// the lint implementation itself (its testdata deliberately violates
+// every rule it checks).
+var exemptEverywhere = []string{"internal/lint"}
+
+// Applies reports whether analyzer name runs on the package with the
+// given import path. It is the `applies` callback for checker.Run.
+func Applies(name, importPath string) bool {
+	for _, frag := range exemptEverywhere {
+		if pathHasFragment(importPath, frag) {
+			return false
+		}
+	}
+	suffixes, known := scopes[name]
+	if !known {
+		return false
+	}
+	if suffixes == nil {
+		return true
+	}
+	for _, s := range suffixes {
+		if strings.HasSuffix(importPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathHasFragment reports whether frag occurs in importPath on path
+// element boundaries ("internal/lint" matches ".../internal/lint" and
+// ".../internal/lint/checker" but not ".../internal/linting").
+func pathHasFragment(importPath, frag string) bool {
+	idx := strings.Index(importPath, frag)
+	if idx < 0 {
+		return false
+	}
+	if idx > 0 && importPath[idx-1] != '/' {
+		return false
+	}
+	end := idx + len(frag)
+	return end == len(importPath) || importPath[end] == '/'
+}

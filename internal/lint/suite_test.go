@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/checker"
+	"github.com/egs-synthesis/egs/internal/lint/loader"
+)
+
+// TestRepoIsLintClean runs the full egslint suite over the repository
+// exactly as cmd/egslint does and requires zero unsuppressed
+// findings. Any suppressed findings must carry a reason (guaranteed
+// by the directive grammar), and are listed for visibility.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := checker.Run(pkgs, Suite(), Applies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range checker.Unsuppressed(findings) {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+	for _, f := range checker.Suppressed(findings) {
+		t.Logf("suppressed (%s): %s", f.Reason, f)
+	}
+}
+
+func TestApplies(t *testing.T) {
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"detorder", "github.com/egs-synthesis/egs/internal/egs", true},
+		{"detorder", "github.com/egs-synthesis/egs/internal/cograph", true},
+		{"detorder", "github.com/egs-synthesis/egs/internal/server", false},
+		{"nodetsource", "github.com/egs-synthesis/egs/internal/eval", true},
+		{"nodetsource", "github.com/egs-synthesis/egs/internal/server", false},
+		{"nodetsource", "github.com/egs-synthesis/egs/cmd/egs", false},
+		{"tuplealias", "github.com/egs-synthesis/egs/internal/server", true},
+		{"poolrelease", "github.com/egs-synthesis/egs/cmd/egs", true},
+		// The lint tree itself is exempt: fixtures violate the rules on
+		// purpose.
+		{"detorder", "github.com/egs-synthesis/egs/internal/lint/detorder", false},
+		{"poolrelease", "github.com/egs-synthesis/egs/internal/lint", false},
+		// No analyzer matches path fragments inside identifiers.
+		{"poolrelease", "example.com/internal/linting", true},
+		{"unknown", "github.com/egs-synthesis/egs/internal/egs", false},
+	}
+	for _, c := range cases {
+		if got := Applies(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("Applies(%q, %q) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestSuiteNamesMatchScopes(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Name, Doc, or Run", a.Name)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if _, ok := scopes[a.Name]; !ok {
+			t.Errorf("analyzer %q has no scope entry", a.Name)
+		}
+		if strings.ContainsAny(a.Name, " /") {
+			t.Errorf("analyzer name %q must be a bare identifier (used in egslint/<name> directives)", a.Name)
+		}
+	}
+	for name := range scopes {
+		if !names[name] {
+			t.Errorf("scope entry %q has no analyzer", name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package tuplealias exercises the tuplealias analyzer: Tuple.Args
+// writes outside internal/relation and mutation of NewTuple buffers.
+package tuplealias
+
+import (
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// rewriteArgs writes through an interned tuple's argument slice.
+func rewriteArgs(t relation.Tuple) {
+	t.Args[0] = 7 // want `write through Tuple.Args outside internal/relation`
+}
+
+func replaceArgs(t *relation.Tuple, args []relation.Const) {
+	t.Args = args // want `write through Tuple.Args outside internal/relation`
+}
+
+func growArgs(t relation.Tuple, c relation.Const) relation.Tuple {
+	t.Args = append(t.Args, c) // want `write through Tuple.Args outside internal/relation` `append to Tuple.Args outside internal/relation`
+	return t
+}
+
+func aliasArgs(t relation.Tuple) *relation.Const {
+	return &t.Args[0] // want `taking the address of Tuple.Args`
+}
+
+// mutateAfterNewTuple reuses a buffer handed to NewTuple, which does
+// not copy: the tuple changes underfoot.
+func mutateAfterNewTuple(rel relation.RelID, buf []relation.Const) relation.Tuple {
+	t := relation.NewTuple(rel, buf...)
+	buf[0] = 9 // want `was passed to relation.NewTuple, which does not copy`
+	return t
+}
+
+func appendAfterNewTuple(rel relation.RelID, buf []relation.Const) relation.Tuple {
+	t := relation.NewTuple(rel, buf...)
+	buf = append(buf, 3) // want `was passed to relation.NewTuple, which does not copy`
+	_ = buf
+	return t
+}
+
+// mutateAfterCopy uses NewTupleCopy, which snapshots the buffer:
+// reuse is safe. No finding.
+func mutateAfterCopy(rel relation.RelID, buf []relation.Const) relation.Tuple {
+	t := relation.NewTupleCopy(rel, buf)
+	buf[0] = 9
+	return t
+}
+
+// mutateAfterInsert reuses a buffer across Insert calls. Insert copies
+// args at its boundary (the PR 2 contract), so this is the blessed
+// batch-load idiom. No finding.
+func mutateAfterInsert(db *relation.Database, rel relation.RelID, rows [][]relation.Const) {
+	buf := make([]relation.Const, 2)
+	for _, row := range rows {
+		copy(buf, row)
+		db.Insert(relation.NewTupleCopy(rel, buf))
+		buf[0] = 0
+	}
+}
+
+// readArgs only reads; reads never corrupt interned storage. No
+// finding.
+func readArgs(t relation.Tuple) relation.Const {
+	if len(t.Args) == 0 {
+		return 0
+	}
+	return t.Args[0]
+}
+
+// freshReassign rebinds the variable to a new slice rather than
+// writing in place; the tuple keeps the original backing array. No
+// finding.
+func freshReassign(rel relation.RelID, buf []relation.Const) relation.Tuple {
+	t := relation.NewTuple(rel, buf...)
+	buf = []relation.Const{1, 2}
+	_ = buf
+	return t
+}

@@ -1,0 +1,222 @@
+// Package tuplealias enforces the PR 2 copy-at-boundary rule for
+// relation.Tuple argument slices.
+//
+// Database.Insert and Database.InternTuple copy Args at their
+// boundary, so callers may reuse buffers across those calls. Two
+// things remain unsafe and are flagged:
+//
+//   - Writing through Tuple.Args outside internal/relation. A tuple
+//     obtained from a Database aliases interned storage
+//     (Database.Tuple returns the indexed backing tuple); writing
+//     through Args corrupts the database and every bitset keyed by
+//     its ids.
+//   - Passing a slice to relation.NewTuple (which documents that it
+//     does NOT copy) and mutating that slice afterwards in the same
+//     function: the tuple silently changes underfoot. Use
+//     relation.NewTupleCopy for reused buffers.
+//
+// Known false negatives (DESIGN.md §10): mutation tracking is lexical
+// and function-local — a buffer stored and mutated by a helper, or
+// mutated on a later loop iteration of a caller, is not traced.
+// _test.go files are exempt; tests deliberately alias tuples to prove
+// the boundary copies.
+package tuplealias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+)
+
+// Analyzer enforces the tuple copy-at-boundary rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "tuplealias",
+	Doc: "flag writes through relation.Tuple.Args outside internal/relation, and slices " +
+		"passed to relation.NewTuple that are mutated afterwards",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// The relation package itself owns tuple storage and may write it.
+	if isRelationPath(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Funcs(func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		if pass.IsTestFile(body.Pos()) {
+			return
+		}
+		checkArgsWrites(pass, body)
+		checkNewTupleAliasing(pass, body)
+	})
+	return nil, nil
+}
+
+func isRelationPath(path string) bool {
+	return path == "relation" || strings.HasSuffix(path, "/relation")
+}
+
+// checkArgsWrites flags assignments whose destination reaches through
+// a relation.Tuple's Args field, and append calls that grow one.
+func checkArgsWrites(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel := tupleArgsSelector(pass, lhs); sel != nil {
+					pass.Reportf(lhs.Pos(), "write through Tuple.Args outside internal/relation: tuples alias interned database storage; build a fresh tuple (NewTupleCopy) instead")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, ok := pass.ObjectOf(id).(*types.Builtin); ok && len(n.Args) > 0 {
+					if sel := tupleArgsSelector(pass, n.Args[0]); sel != nil {
+						pass.Reportf(n.Pos(), "append to Tuple.Args outside internal/relation: may write through interned storage; copy the args first")
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if sel := tupleArgsSelector(pass, n.X); sel != nil {
+					pass.Reportf(n.Pos(), "taking the address of Tuple.Args (or an element) outside internal/relation: the pointer aliases interned storage")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// tupleArgsSelector returns the `x.Args` selector if e is x.Args or
+// x.Args[i] with x of type relation.Tuple or *relation.Tuple.
+func tupleArgsSelector(pass *analysis.Pass, e ast.Expr) *ast.SelectorExpr {
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		e = idx.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Args" {
+		return nil
+	}
+	if isRelationTuple(pass.TypeOf(sel.X)) {
+		return sel
+	}
+	return nil
+}
+
+// isRelationTuple reports whether t is relation.Tuple or a pointer to
+// it, matching by package path suffix so the check works both on the
+// real module path and on analysistest packages.
+func isRelationTuple(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tuple" && obj.Pkg() != nil && isRelationPath(obj.Pkg().Path())
+}
+
+// checkNewTupleAliasing flags `relation.NewTuple(rel, buf...)`
+// followed by a mutation of buf in the same function.
+func checkNewTupleAliasing(pass *analysis.Pass, body *ast.BlockStmt) {
+	// handed maps a slice variable to the position of the NewTuple
+	// call it was spread into.
+	handed := map[types.Object]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Ellipsis == token.NoPos || len(call.Args) == 0 {
+			return true
+		}
+		if !isNewTupleCall(pass, call) {
+			return true
+		}
+		if id, ok := call.Args[len(call.Args)-1].(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				if _, seen := handed[obj]; !seen {
+					handed[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(handed) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			var id *ast.Ident
+			switch l := lhs.(type) {
+			case *ast.IndexExpr:
+				id, _ = l.X.(*ast.Ident)
+			case *ast.Ident:
+				// Reassignment only aliases when it can write in place:
+				// `buf = append(buf, ...)`.
+				if !isSelfAppend(pass, as, l) {
+					continue
+				}
+				id = l
+			}
+			if id == nil {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			callPos, ok := handed[obj]
+			if !ok || as.Pos() <= callPos {
+				continue
+			}
+			pass.Reportf(as.Pos(), "%q was passed to relation.NewTuple, which does not copy; mutating it afterwards changes the tuple underfoot — use NewTupleCopy or copy before mutating", id.Name)
+		}
+		return true
+	})
+}
+
+// isNewTupleCall matches relation.NewTuple (but not NewTupleCopy).
+func isNewTupleCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	var fn types.Object
+	if ok {
+		fn = pass.ObjectOf(sel.Sel)
+	} else if id, ok := call.Fun.(*ast.Ident); ok {
+		fn = pass.ObjectOf(id)
+	}
+	if fn == nil || fn.Name() != "NewTuple" || fn.Pkg() == nil {
+		return false
+	}
+	return isRelationPath(fn.Pkg().Path())
+}
+
+// isSelfAppend reports whether the assignment to id is
+// `id = append(id, ...)`.
+func isSelfAppend(pass *analysis.Pass, as *ast.AssignStmt, id *ast.Ident) bool {
+	for _, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fid, ok := call.Fun.(*ast.Ident)
+		if !ok || fid.Name != "append" {
+			continue
+		}
+		if _, ok := pass.ObjectOf(fid).(*types.Builtin); !ok {
+			continue
+		}
+		if len(call.Args) > 0 {
+			if aid, ok := call.Args[0].(*ast.Ident); ok && pass.ObjectOf(aid) == pass.ObjectOf(id) {
+				return true
+			}
+		}
+	}
+	return false
+}

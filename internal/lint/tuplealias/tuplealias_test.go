@@ -1,0 +1,12 @@
+package tuplealias_test
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysistest"
+	"github.com/egs-synthesis/egs/internal/lint/tuplealias"
+)
+
+func TestTupleAlias(t *testing.T) {
+	analysistest.Run(t, tuplealias.Analyzer, "tuplealias")
+}

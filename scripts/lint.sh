@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# scripts/lint.sh — the repo's lint entry point (`make lint`).
+#
+# Always runs egslint, the custom analyzer suite (internal/lint) that
+# enforces the determinism, aliasing, and pooling invariants. When
+# staticcheck or govulncheck are installed at the versions pinned in
+# tools/tools.go they run too; otherwise they are skipped with a
+# notice (the CI container is offline and cannot install them).
+#
+# Usage:
+#   scripts/lint.sh          human-readable; also lists suppressed
+#                            findings with their reasons
+#   scripts/lint.sh -json    machine-readable egslint findings on
+#                            stdout (suppressed included)
+#
+# Exit status: non-zero iff any tool reports an unsuppressed finding.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+JSON=0
+for arg in "$@"; do
+	case "$arg" in
+	-json) JSON=1 ;;
+	*)
+		echo "usage: scripts/lint.sh [-json]" >&2
+		exit 2
+		;;
+	esac
+done
+
+"$GO" build -o bin/egslint ./cmd/egslint
+
+status=0
+if [ "$JSON" = 1 ]; then
+	./bin/egslint -json ./... || status=$?
+else
+	echo "== egslint =="
+	./bin/egslint -show-suppressed ./... || status=$?
+fi
+
+# pinned <ConstName> extracts a version pin from tools/tools.go.
+pinned() {
+	sed -n "s/.*${1} = \"\(.*\)\"/\1/p" tools/tools.go
+}
+
+run_pinned() {
+	local tool=$1 pin_const=$2 version_cmd=$3
+	shift 3
+	if ! command -v "$tool" >/dev/null 2>&1; then
+		[ "$JSON" = 1 ] || echo "== $tool == skipped (not installed; pin $(pinned "$pin_const"))"
+		return 0
+	fi
+	local pin have
+	pin=$(pinned "$pin_const")
+	have=$($version_cmd 2>/dev/null | head -n1 || true)
+	case "$have" in
+	*"$pin"*)
+		[ "$JSON" = 1 ] || echo "== $tool $pin =="
+		"$tool" "$@" || status=$?
+		;;
+	*)
+		echo "== $tool == skipped (installed version \"$have\" != pinned $pin; see tools/tools.go)" >&2
+		;;
+	esac
+}
+
+run_pinned staticcheck StaticcheckVersion "staticcheck -version" ./...
+run_pinned govulncheck GovulncheckVersion "govulncheck -version" ./...
+
+exit "$status"

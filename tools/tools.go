@@ -1,0 +1,19 @@
+//go:build tools
+
+// Package tools pins the versions of external lint tools without
+// importing them (the build environment is offline, so the usual
+// blank-import tools.go idiom cannot resolve module dependencies).
+// scripts/lint.sh greps these constants and refuses to run a tool
+// whose installed version disagrees with its pin, so CI and every
+// laptop lint with the same rule set.
+//
+// The tag keeps this file out of ordinary builds; `go build -tags
+// tools ./tools` still type-checks it.
+package tools
+
+const (
+	// StaticcheckVersion pins honnef.co/go/tools/cmd/staticcheck.
+	StaticcheckVersion = "2025.1"
+	// GovulncheckVersion pins golang.org/x/vuln/cmd/govulncheck.
+	GovulncheckVersion = "v1.1.4"
+)
