@@ -14,10 +14,13 @@
 //	-ablation       run this reproduction's ablation tool set instead
 //	-timeout d      per-(tool, task) budget (default 300s, the paper's)
 //	-tools csv      restrict to a comma-separated subset of tools
+//	-traces dir     run EGS over the suite with the structured trace
+//	                recorder attached, writing one Chrome trace-event
+//	                file per task into dir (exclusive with tables)
 //	-v              stream per-run progress to stderr
 //
-// Without -table/-figure/-quality, everything is regenerated in
-// paper order. Expect a full run with the paper's 300s timeout to
+// Without -table/-figure/-quality/-traces, everything is regenerated
+// in paper order. Expect a full run with the paper's 300s timeout to
 // take a while: the task-agnostic baselines time out by design on
 // most tasks, exactly as in the paper.
 package main
@@ -42,6 +45,7 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the ablation tool set")
 	timeout := flag.Duration("timeout", 300*time.Second, "per-(tool, task) budget")
 	toolsCSV := flag.String("tools", "", "comma-separated tool subset (e.g. egs,scythe)")
+	traces := flag.String("traces", "", "capture per-task EGS Chrome traces into this directory")
 	verbose := flag.Bool("v", false, "stream per-run progress to stderr")
 	flag.Parse()
 
@@ -69,6 +73,10 @@ func main() {
 	}
 
 	any := false
+	if *traces != "" {
+		any = true
+		h.runTraces(*traces)
+	}
 	if *table != 0 {
 		any = true
 		h.runTable(*table)
@@ -151,6 +159,15 @@ func (h *harness) runFigure(n int) {
 	if err := bench.WriteFigure4(os.Stdout, recs); err != nil {
 		fatal(err)
 	}
+}
+
+func (h *harness) runTraces(dir string) {
+	h.banner("EGS per-task traces (Chrome trace-event format)")
+	recs, err := bench.CaptureTraces(context.Background(), h.suite.All, h.timeout, dir, h.progress())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d traces to %s\n", len(recs), dir)
 }
 
 func (h *harness) runQuality() {

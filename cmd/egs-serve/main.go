@@ -10,11 +10,17 @@
 //
 // Endpoints:
 //
-//	POST /synthesize   JSON task (Content-Type: application/json) or
-//	                   .task surface syntax (any other content type);
-//	                   ?timeout_ms= bounds one request's synthesis
-//	GET  /healthz      200 while serving, 503 while draining
-//	GET  /metrics      Prometheus text format
+//	POST /synthesize        JSON task (Content-Type: application/json)
+//	                        or .task surface syntax (any other content
+//	                        type); ?timeout_ms= bounds one request's
+//	                        synthesis. The JSON options object accepts
+//	                        "trace": "inline" | "store" to record a
+//	                        Chrome trace of the search.
+//	GET  /healthz           200 while serving, 503 while draining
+//	GET  /metrics           Prometheus text format
+//	GET  /debug/traces/{id} fetch a trace stored by "trace": "store"
+//	                        (capped FIFO store; fetch promptly)
+//	GET  /debug/pprof/...   Go runtime profiling (CPU, heap, goroutine)
 //
 // Flags:
 //

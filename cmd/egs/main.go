@@ -40,6 +40,12 @@
 //	-stats            print search statistics to stderr
 //	-graph            print the constant co-occurrence graph and exit
 //	-dot              print the graph in Graphviz DOT syntax and exit
+//	-trace file       record a structured trace of the search (EGS
+//	                  only) and write it to file; written even when the
+//	                  search errors or runs out of budget
+//	-trace-format f   trace format: chrome (about://tracing, Perfetto)
+//	                  or ndjson; default inferred from the file
+//	                  extension (.ndjson -> ndjson, otherwise chrome)
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/egs-synthesis/egs/internal/cograph"
@@ -60,6 +67,7 @@ import (
 	"github.com/egs-synthesis/egs/internal/sqlgen"
 	"github.com/egs-synthesis/egs/internal/synth"
 	"github.com/egs-synthesis/egs/internal/task"
+	"github.com/egs-synthesis/egs/internal/trace"
 )
 
 func main() {
@@ -80,6 +88,8 @@ func run() int {
 	stats := flag.Bool("stats", false, "print search statistics to stderr")
 	graph := flag.Bool("graph", false, "print the constant co-occurrence graph and exit")
 	dot := flag.Bool("dot", false, "print the co-occurrence graph in Graphviz DOT syntax and exit")
+	traceFile := flag.String("trace", "", "record a structured search trace to this file (EGS only)")
+	traceFormat := flag.String("trace-format", "", "trace format: chrome or ndjson (default: by file extension)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -110,6 +120,48 @@ func run() int {
 		BestEffort:        *bestEffort,
 		MaxContexts:       *maxContexts,
 		AssessParallelism: *assessParallel,
+	}
+	// Tracing instruments the EGS search only; the baselines have no
+	// recorder hooks. The trace is flushed on every outcome — sat,
+	// unsat, timeout, budget — because slow or failing searches are
+	// exactly the ones worth profiling.
+	var collector *trace.Collector
+	writeTrace := func() {}
+	if *traceFile != "" {
+		if *tool != "egs" {
+			fmt.Fprintf(os.Stderr, "egs: -trace is only supported with -tool egs (got %q)\n", *tool)
+			return 2
+		}
+		format := *traceFormat
+		if format == "" {
+			if strings.HasSuffix(*traceFile, ".ndjson") {
+				format = "ndjson"
+			} else {
+				format = "chrome"
+			}
+		}
+		if format != "chrome" && format != "ndjson" {
+			fmt.Fprintf(os.Stderr, "egs: unknown trace format %q (want chrome or ndjson)\n", format)
+			return 2
+		}
+		collector = trace.NewCollector()
+		opts.Trace = collector
+		writeTrace = func() {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "egs: trace:", err)
+				return
+			}
+			defer f.Close()
+			if format == "ndjson" {
+				err = trace.WriteNDJSON(f, collector.Events())
+			} else {
+				err = trace.WriteChrome(f, collector.Events())
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "egs: trace:", err)
+			}
+		}
 	}
 	switch *priority {
 	case "p1":
@@ -149,6 +201,7 @@ func run() int {
 	start := time.Now()
 	res, err := tl.Synthesize(ctx, t)
 	elapsed := time.Since(start)
+	writeTrace()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "egs: %v (after %v)\n", err, elapsed.Round(time.Millisecond))
 		// Budget exhaustion — the -timeout deadline or the

@@ -65,6 +65,7 @@ import (
 	"github.com/egs-synthesis/egs/internal/relation"
 	"github.com/egs-synthesis/egs/internal/sqlgen"
 	"github.com/egs-synthesis/egs/internal/task"
+	"github.com/egs-synthesis/egs/internal/trace"
 )
 
 // Priority selects the worklist ordering of the search (Section 4.3
@@ -110,7 +111,45 @@ type Options struct {
 	// It composes with Workers (each tuple-explaining worker gets its
 	// own assessment pool).
 	AssessParallelism int
+	// Trace, when non-nil, collects structured search events (cell
+	// spans, context pops, assessment batches, memo hits, worker-pool
+	// round-trips, worklist high-water marks) into the given Trace for
+	// later export. Tracing never alters the search: results are
+	// identical with Trace set or nil. A Trace may be reused across
+	// runs; events accumulate until Reset.
+	Trace *Trace
 }
+
+// Trace accumulates structured events from traced synthesis runs (see
+// Options.Trace). Create one with NewTrace, run one or more syntheses
+// with it, then export with WriteChrome (about://tracing / Perfetto)
+// or WriteNDJSON (one compact JSON object per event). A Trace is safe
+// for concurrent use by the searchers of a single traced run; the
+// export order is deterministic (by searcher, then record order).
+type Trace struct {
+	c *trace.Collector
+}
+
+// NewTrace returns an empty trace ready to pass in Options.Trace.
+func NewTrace() *Trace { return &Trace{c: trace.NewCollector()} }
+
+// WriteChrome renders the collected events in the Chrome trace-event
+// JSON format, loadable in about://tracing or https://ui.perfetto.dev.
+func (tr *Trace) WriteChrome(w io.Writer) error {
+	return trace.WriteChrome(w, tr.c.Events())
+}
+
+// WriteNDJSON renders the collected events as newline-delimited JSON,
+// one compact object per event.
+func (tr *Trace) WriteNDJSON(w io.Writer) error {
+	return trace.WriteNDJSON(w, tr.c.Events())
+}
+
+// NumEvents returns the number of events collected so far.
+func (tr *Trace) NumEvents() int { return tr.c.Len() }
+
+// Reset discards all collected events, keeping the trace reusable.
+func (tr *Trace) Reset() { tr.c.Reset() }
 
 // coreOptions lowers Options to the internal representation.
 func (o Options) coreOptions() coreegs.Options {
@@ -122,6 +161,9 @@ func (o Options) coreOptions() coreegs.Options {
 	}
 	if o.Priority == PrioritySize {
 		c.Priority = coreegs.P1
+	}
+	if o.Trace != nil {
+		c.Trace = o.Trace.c
 	}
 	return c
 }
@@ -425,6 +467,9 @@ func ExplainTuple(ctx context.Context, t *Task, rel string, args []string, opts 
 	}
 	if opts.Priority == PrioritySize {
 		coreOpts.Priority = coreegs.P1
+	}
+	if opts.Trace != nil {
+		coreOpts.Trace = opts.Trace.c
 	}
 	rule, ok, err := coreegs.ExplainOne(ctx, t.t, relation.Tuple{Rel: id, Args: consts}, coreOpts)
 	if err != nil || !ok {

@@ -1,0 +1,59 @@
+// Per-task trace capture: runs the EGS engine with a structured trace
+// recorder attached and writes one Chrome trace-event file per task.
+// EXPERIMENTS.md uses these traces to break a task's wall-clock time
+// into cell search, candidate assessment, and memo traffic, which the
+// aggregate Records cannot show.
+
+package bench
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/synth"
+	"github.com/egs-synthesis/egs/internal/task"
+	"github.com/egs-synthesis/egs/internal/trace"
+)
+
+// CaptureTraces runs the EGS engine over the given tasks, recording a
+// structured trace per task, and writes <dir>/<task>.trace.json in the
+// Chrome trace-event format (loadable in about://tracing or Perfetto).
+// The returned Records are the same as Run's; traces are written even
+// for timed-out or failed runs, since slow searches are the ones worth
+// profiling. Tracing does not alter results (the recorder is outside
+// the search's decision path), but it does add measurement overhead,
+// so captured durations are not comparable with untraced Records.
+func CaptureTraces(ctx context.Context, tasks []*task.Task, timeout time.Duration, dir string, progress func(Record)) ([]Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for _, t := range tasks {
+		col := trace.NewCollector()
+		tool := &synth.EGS{Label: "egs-traced", Options: egs.Options{Trace: col}}
+		rec := Run(ctx, tool, t, timeout)
+		recs = append(recs, rec)
+		if progress != nil {
+			progress(rec)
+		}
+		if err := writeChromeFile(filepath.Join(dir, t.Name+".trace.json"), col.Events()); err != nil {
+			return recs, err
+		}
+	}
+	return recs, nil
+}
+
+func writeChromeFile(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/task"
+	"github.com/egs-synthesis/egs/internal/trace"
+)
+
+// TestScaledTrafficChromeTrace pins the acceptance shape of a traced
+// synthesis: on scaled-traffic-60 the Chrome export must parse, carry
+// cell, assess, and memo-hit events, and stamp every event with the
+// fields the chrome://tracing loader requires.
+func TestScaledTrafficChromeTrace(t *testing.T) {
+	tk, err := ScaledTraffic(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	res, err := egs.Synthesize(context.Background(), tk, egs.Options{Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("scaled-traffic-60 unexpectedly unsat")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, col.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  *int            `json:"pid"`
+			Tid  *int            `json:"tid"`
+			Ts   *float64        `json:"ts"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("displayTimeUnit missing")
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	kinds := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %d missing a required field: %+v", i, e)
+		}
+		// Metadata records ("M") name processes/threads and carry no
+		// timestamp; every span and instant must have one.
+		if e.Ph != "M" && e.Ts == nil {
+			t.Fatalf("event %d (%s %q) has no timestamp", i, e.Ph, e.Name)
+		}
+		kinds[e.Name]++
+	}
+	for _, want := range []string{"cell", "assess", "memo-hit"} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+}
+
+// TestCaptureTracesWritesFiles runs the capture harness over one small
+// generated task and checks a loadable trace file lands on disk.
+func TestCaptureTracesWritesFiles(t *testing.T) {
+	tk, err := ScaledTraffic(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	recs, err := CaptureTraces(context.Background(), []*task.Task{tk}, 30*time.Second, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, tk.Name+".trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
+	}
+}

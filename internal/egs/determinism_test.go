@@ -8,6 +8,7 @@ import (
 
 	"github.com/egs-synthesis/egs/internal/relation"
 	"github.com/egs-synthesis/egs/internal/task"
+	"github.com/egs-synthesis/egs/internal/trace"
 )
 
 // determinismTasks spans realizable tasks of several shapes (single
@@ -134,62 +135,108 @@ func statsSched(st Stats) string {
 
 // TestSynthesisByteGolden strengthens the differential above from
 // canonical-key equality to byte equality: for every task, the
-// printed query (or witness) must be bit-identical across repeat runs
-// AND across AssessParallelism ∈ {1, 8}, and the Stats counters must
-// be identical across repeats at fixed parallelism and — minus the
-// documented memo counters — across parallelism. Any map-ordered
-// rendering or scheduling leak shows up here as a byte diff.
+// printed query (or witness) must be bit-identical across repeat runs,
+// across AssessParallelism ∈ {1, 8}, AND across tracing on vs off; the
+// Stats counters must be identical across repeats at fixed parallelism
+// (traced runs included — the recorder sits outside the search's
+// decision path by contract) and — minus the documented memo counters
+// — across parallelism. Any map-ordered rendering, scheduling, or
+// instrumentation leak shows up here as a byte diff.
 func TestSynthesisByteGolden(t *testing.T) {
-	const repeats = 2
 	for _, path := range determinismTasks {
 		type run struct {
-			par   int
-			text  string
-			full  string
-			sched string
+			par    int
+			traced bool
+			text   string
+			full   string
+			sched  string
 		}
 		var runs []run
 		for _, par := range []int{1, 8} {
-			for rep := 0; rep < repeats; rep++ {
+			// Two untraced repeats, then one traced run at each level.
+			for _, traced := range []bool{false, false, true} {
 				// Reload per run: Synthesize freezes and mutates the
 				// task's database.
 				tk, err := task.Load(path)
 				if err != nil {
 					t.Fatalf("%s: %v", path, err)
 				}
-				res, err := Synthesize(context.Background(), tk, Options{AssessParallelism: par})
+				opts := Options{AssessParallelism: par}
+				var col *trace.Collector
+				if traced {
+					col = trace.NewCollector()
+					opts.Trace = col
+				}
+				res, err := Synthesize(context.Background(), tk, opts)
 				if err != nil {
-					t.Fatalf("%s parallel=%d: %v", path, par, err)
+					t.Fatalf("%s parallel=%d traced=%v: %v", path, par, traced, err)
+				}
+				if traced && col.Len() == 0 {
+					t.Errorf("%s parallel=%d: traced run recorded no events", path, par)
 				}
 				runs = append(runs, run{
-					par:   par,
-					text:  renderOutcome(tk, res),
-					full:  statsFull(res.Stats),
-					sched: statsSched(res.Stats),
+					par:    par,
+					traced: traced,
+					text:   renderOutcome(tk, res),
+					full:   statsFull(res.Stats),
+					sched:  statsSched(res.Stats),
 				})
 			}
 		}
 		golden := runs[0]
 		for _, r := range runs[1:] {
 			if r.text != golden.text {
-				t.Errorf("%s: rendered output diverges between parallel=%d and parallel=%d:\n--- golden\n%s\n--- got\n%s",
-					path, golden.par, r.par, golden.text, r.text)
+				t.Errorf("%s: rendered output diverges between parallel=%d/traced=%v and parallel=%d/traced=%v:\n--- golden\n%s\n--- got\n%s",
+					path, golden.par, golden.traced, r.par, r.traced, golden.text, r.text)
 			}
 			if r.sched != golden.sched {
-				t.Errorf("%s: scheduling-independent stats diverge between parallel=%d and parallel=%d: %s vs %s",
-					path, golden.par, r.par, golden.sched, r.sched)
+				t.Errorf("%s: scheduling-independent stats diverge between parallel=%d/traced=%v and parallel=%d/traced=%v: %s vs %s",
+					path, golden.par, golden.traced, r.par, r.traced, golden.sched, r.sched)
 			}
 			if r.par == golden.par && r.full != golden.full {
-				t.Errorf("%s: repeat run at parallel=%d changed stats: %s vs %s",
-					path, r.par, golden.full, r.full)
+				t.Errorf("%s: run at parallel=%d (traced=%v) changed stats: %s vs %s",
+					path, r.par, r.traced, golden.full, r.full)
 			}
 		}
-		// Repeat runs at parallelism 8 must also agree on the full
-		// counters (golden is a parallelism-1 run, so compare the two
-		// parallel runs directly).
-		if runs[2].full != runs[3].full {
-			t.Errorf("%s: repeat runs at parallel=8 changed stats: %s vs %s",
-				path, runs[2].full, runs[3].full)
+		// Runs at parallelism 8 — two untraced repeats and the traced
+		// run — must also agree on the full counters among themselves
+		// (golden is a parallelism-1 run, so compare them directly).
+		for _, r := range runs[4:] {
+			if r.full != runs[3].full {
+				t.Errorf("%s: runs at parallel=8 disagree on stats: %s vs %s (traced=%v)",
+					path, runs[3].full, r.full, r.traced)
+			}
+		}
+	}
+}
+
+// TestTraceRecorderRace shares one Collector between parallel
+// searchers, each running parallel assessment, so `go test -race`
+// exercises every Record call site concurrently. It also pins the
+// merge order: Events must group shards by ascending searcher id
+// regardless of goroutine interleaving.
+func TestTraceRecorderRace(t *testing.T) {
+	tk, err := task.Load("../../testdata/benchmarks/knowledge-discovery/kinship.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	res, err := SynthesizeParallel(context.Background(), tk,
+		Options{AssessParallelism: 8, Trace: col}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("kinship unexpectedly unsat")
+	}
+	evs := col.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Searcher < evs[i-1].Searcher {
+			t.Fatalf("event %d: searcher %d after searcher %d — merge not ordered",
+				i, evs[i].Searcher, evs[i-1].Searcher)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/egs-synthesis/egs/internal/query"
 	"github.com/egs-synthesis/egs/internal/relation"
 	"github.com/egs-synthesis/egs/internal/task"
+	"github.com/egs-synthesis/egs/internal/trace"
 )
 
 // Options configures the synthesizer.
@@ -45,6 +46,15 @@ type Options struct {
 	// may differ, when two copies of one canonical rule land in the
 	// same batch and both miss the memo.
 	AssessParallelism int
+	// Trace receives structured search events: cell spans, context
+	// pops, assessment batches, memo hits, pool round-trips, pooled-
+	// evaluator traffic, and worklist high-water marks. nil disables
+	// tracing; the hot path then pays one pointer comparison per event
+	// site and never reads a clock (timestamps are taken by the
+	// recorder, in internal/trace). Tracing cannot alter the search:
+	// learned rules, unsat verdicts, and Stats are identical with
+	// tracing on or off.
+	Trace trace.Recorder
 }
 
 // Stats summarizes the work performed by one synthesis run.
@@ -186,6 +196,17 @@ type searcher struct {
 	opts  Options
 	stats Stats
 	seq   int
+	// id names this searcher in traces; SynthesizeParallel assigns
+	// distinct ids so per-searcher trace shards merge
+	// deterministically.
+	id int32
+	// tr is the trace sink (nil = tracing off). Cells re-read it into
+	// a local once, so untraced searches pay one pointer comparison
+	// per event site.
+	tr trace.Recorder
+	// evalTraced records that this searcher enabled the pooled-
+	// evaluator counters and must disable them on close.
+	evalTraced bool
 	// failure records why the most recent explainCell exhausted,
 	// for unsat witnesses.
 	failure *UnsatWitness
@@ -205,17 +226,25 @@ type searcher struct {
 }
 
 func newSearcher(ctx context.Context, ex *task.Example, opts Options) *searcher {
-	s := &searcher{ctx: ctx, ex: ex, opts: opts}
+	s := &searcher{ctx: ctx, ex: ex, opts: opts, tr: opts.Trace}
 	s.asr.ex = ex
 	if opts.AssessParallelism > 1 {
 		s.pool = newAssessPool(opts.AssessParallelism)
 	}
+	if s.tr != nil {
+		eval.EnablePoolTracing()
+		s.evalTraced = true
+	}
 	return s
 }
 
-// close releases the searcher's worker pool, if any. The searcher
-// must not be used afterwards.
+// close releases the searcher's worker pool, if any, and retires its
+// tracing hooks. The searcher must not be used afterwards.
 func (s *searcher) close() {
+	if s.evalTraced {
+		eval.DisablePoolTracing()
+		s.evalTraced = false
+	}
 	if s.pool != nil {
 		s.pool.close()
 		s.pool = nil
@@ -305,22 +334,57 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 	s.visited.Reset()
 	queue := newCtxQueue(s.opts.Priority)
 	pending := s.pending[:0]
+	// Every exit below — success, queue exhaustion, cancellation,
+	// budget errors — must hand the staged-batch buffer back to the
+	// searcher, or the next cell on a reused searcher re-slices a
+	// buffer whose grown capacity was lost (and whose tail still pins
+	// stale contexts). Centralized here so new exit paths cannot
+	// reintroduce the leak.
+	defer func() { s.pending = pending[:0] }()
+
+	// Tracing is resolved once per cell; with tr == nil every event
+	// site below is a single pointer comparison and no clock is read.
+	tr := s.tr
+	popped := 0
+	staged := 0
+	if tr != nil {
+		cellStart := tr.Now()
+		rt0, fresh0 := eval.PoolCounters()
+		tr.Record(trace.Event{Kind: trace.KindCellStart, Searcher: s.id, Slice: int32(i), TS: cellStart, Target: target.String(db.Schema, db.Domain)})
+		defer func() {
+			end := tr.Now()
+			rt, fresh := eval.PoolCounters()
+			tr.Record(trace.Event{Kind: trace.KindEvalPool, Searcher: s.id, Slice: int32(i), TS: end, N: int64(rt - rt0), M: int64(fresh - fresh0)})
+			tr.Record(trace.Event{Kind: trace.KindCellEnd, Searcher: s.id, Slice: int32(i), TS: cellStart, Dur: end - cellStart, N: int64(popped), M: int64(staged), Target: target.String(db.Schema, db.Domain)})
+		}()
+	}
 
 	// stage admits a deduplicated candidate (already arena-allocated)
 	// into the current batch, stamping its seq in generation order.
 	stage := func(ids []relation.TupleID) {
 		s.seq++
+		staged++
 		c := s.slab.alloc()
 		c.ids, c.seq = ids, s.seq
 		pending = append(pending, c)
 	}
 	// flush assesses the staged batch and pushes results in staging
-	// order. Stats are merged here, on the searcher's goroutine.
+	// order. Stats are merged here, on the searcher's goroutine —
+	// which also makes the trace events below deterministic: evals
+	// and memo verdicts are read after the pool barrier, so the shard
+	// records the same events in the same order at any parallelism.
 	flush := func() {
 		if len(pending) == 0 {
 			return
 		}
-		if s.pool != nil && len(pending) > 1 {
+		var batchStart int64
+		var preEvals, preHits int
+		if tr != nil {
+			batchStart = tr.Now()
+			preEvals, preHits = s.stats.RuleEvals, s.stats.MemoHits
+		}
+		pooled := s.pool != nil && len(pending) > 1
+		if pooled {
 			var wg sync.WaitGroup
 			wg.Add(len(pending))
 			for _, c := range pending {
@@ -332,6 +396,10 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 				s.asr.assess(c, &p)
 			}
 		}
+		var assessed int64
+		if tr != nil {
+			assessed = tr.Now()
+		}
 		for _, c := range pending {
 			s.stats.RuleEvals += int(c.evals)
 			if c.memoHit {
@@ -342,6 +410,18 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 		s.stats.ContextsPushed += len(pending)
 		if queue.Len() > s.stats.MaxQueue {
 			s.stats.MaxQueue = queue.Len()
+			if tr != nil {
+				tr.Record(trace.Event{Kind: trace.KindQueueHighWater, Searcher: s.id, Slice: int32(i), TS: assessed, N: int64(queue.Len())})
+			}
+		}
+		if tr != nil {
+			if pooled {
+				tr.Record(trace.Event{Kind: trace.KindPoolRoundTrip, Searcher: s.id, Slice: int32(i), TS: batchStart, Dur: assessed - batchStart, N: int64(len(pending))})
+			}
+			tr.Record(trace.Event{Kind: trace.KindAssessBatch, Searcher: s.id, Slice: int32(i), TS: batchStart, Dur: assessed - batchStart, N: int64(s.stats.RuleEvals - preEvals), M: int64(len(pending))})
+			if hits := s.stats.MemoHits - preHits; hits > 0 {
+				tr.Record(trace.Event{Kind: trace.KindMemoHit, Searcher: s.id, Slice: int32(i), TS: assessed, N: int64(hits)})
+			}
 		}
 		pending = pending[:0]
 	}
@@ -373,7 +453,6 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 	flush()
 
 	var found [][]relation.TupleID
-	popped := 0
 	for queue.Len() > 0 {
 		if popped%64 == 0 {
 			select {
@@ -385,6 +464,9 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 		cur := queue.pop()
 		popped++
 		s.stats.ContextsPopped++
+		if tr != nil {
+			tr.Record(trace.Event{Kind: trace.KindPop, Searcher: s.id, Slice: int32(i), TS: tr.Now(), N: int64(cur.size()), M: int64(queue.Len())})
+		}
 		if s.opts.MaxContexts > 0 && popped > s.opts.MaxContexts {
 			return nil, ErrBudgetExceeded
 		}
@@ -394,7 +476,6 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 			}
 			found = append(found, cur.ids)
 			if len(found) >= k {
-				s.pending = pending[:0]
 				return found, nil
 			}
 			continue
@@ -415,7 +496,6 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 		}
 		flush()
 	}
-	s.pending = pending[:0]
 	// Queue exhausted: by Theorem 4.3 / Lemma 5.1, fewer than k
 	// explaining contexts exist; in particular an empty result proves
 	// the cell unrealizable.

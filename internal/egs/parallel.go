@@ -40,6 +40,11 @@ func SynthesizeParallel(ctx context.Context, t *task.Task, opts Options, workers
 	unexplained := append([]relation.Tuple(nil), t.Pos...)
 	var rules []query.Rule
 
+	// Searcher ids are assigned wave-major in spawn order, so each
+	// searcher's trace shard lands under a stable identity no matter
+	// how the goroutines interleave.
+	nextSearcherID := int32(0)
+
 	for len(unexplained) > 0 {
 		if err := ctx.Err(); err != nil {
 			return Result{Stats: res.Stats}, err
@@ -60,13 +65,15 @@ func SynthesizeParallel(ctx context.Context, t *task.Task, opts Options, workers
 		var wg sync.WaitGroup
 		for i := 0; i < n; i++ {
 			wg.Add(1)
-			go func(i int) {
+			go func(i int, id int32) {
 				defer wg.Done()
 				s := newSearcher(ctx, ex, opts)
+				s.id = id
 				defer s.close()
 				ids, ok, err := s.explainTuple(batch[i])
 				outcomes[i] = outcome{ids: ids, ok: ok, err: err, stat: s.stats}
-			}(i)
+			}(i, nextSearcherID)
+			nextSearcherID++
 		}
 		wg.Wait()
 

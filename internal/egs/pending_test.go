@@ -1,0 +1,95 @@
+package egs
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// These tests pin the explainCell cleanup contract: every exit path —
+// success, queue exhaustion, cancellation, and budget errors — must
+// hand the staged-batch buffer back to the searcher. Before the
+// cleanup was centralized in a defer, the two error paths returned
+// without the writeback, so a reused searcher lost the buffer's grown
+// capacity and the abandoned backing array kept stale context
+// pointers alive.
+
+func TestPendingResetAfterBudgetExceeded(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	if err := tk.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	s := newSearcher(context.Background(), tk.Example(), Options{MaxContexts: 1})
+	defer s.close()
+	if _, err := s.explainCellMulti(nil, tk.Pos[0], 1, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("explainCellMulti err = %v, want ErrBudgetExceeded", err)
+	}
+	if len(s.pending) != 0 {
+		t.Fatalf("%d stale pending contexts survive the budget-exceeded return", len(s.pending))
+	}
+	if cap(s.pending) == 0 {
+		t.Fatal("staged-batch buffer was not returned to the searcher on the budget-exceeded path")
+	}
+}
+
+func TestPendingResetAfterCancellation(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	if err := tk.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := newSearcher(ctx, tk.Example(), Options{})
+	defer s.close()
+	if _, err := s.explainCellMulti(nil, tk.Pos[0], 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("explainCellMulti err = %v, want context.Canceled", err)
+	}
+	if len(s.pending) != 0 {
+		t.Fatalf("%d stale pending contexts survive the cancelled return", len(s.pending))
+	}
+	if cap(s.pending) == 0 {
+		t.Fatal("staged-batch buffer was not returned to the searcher on the cancelled path")
+	}
+}
+
+// TestSearcherReuseAfterBudgetMatchesFresh reuses a searcher whose
+// previous cell died on the context budget and checks the next cell
+// behaves exactly like a fresh searcher's — no residue from the
+// abandoned batch leaks into staging, assessment, or the queue. The
+// burned searcher runs with a worker pool, so its clean close() also
+// checks that the budget-exceeded exit left no assessment jobs in
+// flight.
+func TestSearcherReuseAfterBudgetMatchesFresh(t *testing.T) {
+	tk := mustTask(t, trafficSrc)
+	if err := tk.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	ex := tk.Example()
+	target := tk.Pos[0]
+
+	burned := newSearcher(context.Background(), ex, Options{MaxContexts: 1, AssessParallelism: 8})
+	defer burned.close()
+	if _, err := burned.explainCellMulti(nil, target, 1, 1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("burn cell err = %v, want ErrBudgetExceeded", err)
+	}
+	burned.opts.MaxContexts = 0
+	got, err := burned.explainCellMulti(nil, target, 1, 1)
+	if err != nil {
+		t.Fatalf("reused searcher: %v", err)
+	}
+
+	fresh := newSearcher(context.Background(), ex, Options{})
+	defer fresh.close()
+	want, err := fresh.explainCellMulti(nil, target, 1, 1)
+	if err != nil {
+		t.Fatalf("fresh searcher: %v", err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reused searcher found %v, fresh searcher found %v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("cell unexpectedly unexplained")
+	}
+}

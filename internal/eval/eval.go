@@ -173,6 +173,10 @@ type evaluator struct {
 	yieldID YieldID
 	seenIDs relation.TupleSet
 	scratch []relation.Const
+
+	// fresh marks an evaluator straight from the pool's New (a pool
+	// miss); pooltrace.go counts those. Cleared on first use.
+	fresh bool
 }
 
 // evaluatorPool recycles evaluators across evaluations. The literal
@@ -180,10 +184,12 @@ type evaluator struct {
 // and on extent sizes — but its backing array, the valuation, and the
 // dedup structures are reused, so one assess costs zero steady-state
 // heap allocations beyond tuples it interns.
-var evaluatorPool = sync.Pool{New: func() any { return new(evaluator) }}
+var evaluatorPool = sync.Pool{New: func() any { return &evaluator{fresh: true} }}
 
 func newEvaluator(r query.Rule, db *relation.Database) *evaluator {
 	e := evaluatorPool.Get().(*evaluator)
+	notePoolGet(e.fresh)
+	e.fresh = false
 	e.rule, e.db = r, db
 	n := r.NumVars()
 	e.val = growConsts(e.val, n)
@@ -207,6 +213,7 @@ func (e *evaluator) release() {
 		clear(e.seen)
 	}
 	e.seenIDs.Reset()
+	notePoolRelease()
 	evaluatorPool.Put(e)
 }
 

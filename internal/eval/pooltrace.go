@@ -1,0 +1,62 @@
+// Pooled-evaluator round-trip accounting for the trace layer.
+//
+// The evaluator pool (evaluatorPool in eval.go) is package-global, so
+// per-call hooks would have to synchronize on the assess hot path.
+// Instead, tracing consumers enable two process-wide atomic counters
+// — round-trips (newEvaluator → release sessions) and fresh
+// allocations (pool misses) — and read deltas at span boundaries. The
+// counters live behind an enablement count: with tracing off the hot
+// path pays one atomic load per evaluation session (not per tuple),
+// which is noise against the join it brackets.
+//
+// Deltas are process-wide: when several searchers run concurrently
+// (egs.SynthesizeParallel), a cell's delta includes its siblings'
+// evaluations. Single-searcher runs — the common tracing setup —
+// attribute exactly.
+
+package eval
+
+import "sync/atomic"
+
+var (
+	// poolTraceOn counts active enablers; counters tick while > 0.
+	poolTraceOn atomic.Int64
+	// poolRoundTrips counts evaluator sessions (get → release).
+	poolRoundTrips atomic.Uint64
+	// poolFresh counts evaluators allocated because the pool was empty.
+	poolFresh atomic.Uint64
+)
+
+// EnablePoolTracing starts counting pooled-evaluator round-trips.
+// Each call must be paired with DisablePoolTracing; enablement nests.
+func EnablePoolTracing() { poolTraceOn.Add(1) }
+
+// DisablePoolTracing undoes one EnablePoolTracing.
+func DisablePoolTracing() { poolTraceOn.Add(-1) }
+
+// PoolCounters returns the cumulative pooled-evaluator round-trips
+// and fresh allocations counted while tracing was enabled. Callers
+// take deltas; absolute values are meaningless across enablement
+// windows.
+func PoolCounters() (roundTrips, fresh uint64) {
+	return poolRoundTrips.Load(), poolFresh.Load()
+}
+
+// notePoolGet is called from newEvaluator with whether the pool
+// missed (a fresh evaluator was allocated).
+func notePoolGet(freshAlloc bool) {
+	if poolTraceOn.Load() <= 0 {
+		return
+	}
+	if freshAlloc {
+		poolFresh.Add(1)
+	}
+}
+
+// notePoolRelease is called from release.
+func notePoolRelease() {
+	if poolTraceOn.Load() <= 0 {
+		return
+	}
+	poolRoundTrips.Add(1)
+}

@@ -100,7 +100,22 @@ type Lexer struct {
 
 // NewLexer returns a lexer over src.
 func NewLexer(src string) *Lexer {
-	return &Lexer{src: src, line: 1, col: 1}
+	return NewLexerAt(src, Pos{Line: 1, Col: 1})
+}
+
+// NewLexerAt returns a lexer over src whose reported positions start
+// at `at`, for callers that embed src at a known position of a larger
+// document — e.g. the line-oriented task loader, which hands each fact
+// sub-line to the parser but wants errors in whole-file coordinates.
+// After the first newline in src, columns restart at 1 as usual.
+func NewLexerAt(src string, at Pos) *Lexer {
+	if at.Line < 1 {
+		at.Line = 1
+	}
+	if at.Col < 1 {
+		at.Col = 1
+	}
+	return &Lexer{src: src, line: at.Line, col: at.Col}
 }
 
 func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }

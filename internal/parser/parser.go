@@ -37,7 +37,11 @@ type parser struct {
 }
 
 func newParser(src string) (*parser, error) {
-	p := &parser{lex: NewLexer(src)}
+	return newParserAt(src, Pos{Line: 1, Col: 1})
+}
+
+func newParserAt(src string, at Pos) (*parser, error) {
+	p := &parser{lex: NewLexerAt(src, at)}
 	return p, p.next()
 }
 
@@ -132,7 +136,14 @@ func (p *parser) clause() (head Atom, body []Atom, err error) {
 // an optional trailing period, returning the relation name and
 // constant spellings.
 func ParseGroundAtom(src string) (string, []string, error) {
-	p, err := newParser(src)
+	return ParseGroundAtomAt(src, Pos{Line: 1, Col: 1})
+}
+
+// ParseGroundAtomAt is ParseGroundAtom for src embedded at a known
+// position of a larger document: every position in a returned
+// *SyntaxError is reported in the enclosing document's coordinates.
+func ParseGroundAtomAt(src string, at Pos) (string, []string, error) {
+	p, err := newParserAt(src, at)
 	if err != nil {
 		return "", nil, err
 	}
@@ -187,7 +198,13 @@ func resolveAtom(a Atom, s *relation.Schema, d *relation.Domain, vars map[string
 // domain. Every relation mentioned must already be declared. The rule
 // is checked for safety.
 func ParseRule(src string, s *relation.Schema, d *relation.Domain) (query.Rule, error) {
-	p, err := newParser(src)
+	return ParseRuleAt(src, Pos{Line: 1, Col: 1}, s, d)
+}
+
+// ParseRuleAt is ParseRule for src embedded at a known position of a
+// larger document; error positions are in the document's coordinates.
+func ParseRuleAt(src string, at Pos, s *relation.Schema, d *relation.Domain) (query.Rule, error) {
+	p, err := newParserAt(src, at)
 	if err != nil {
 		return query.Rule{}, err
 	}
@@ -228,7 +245,14 @@ func (p *parser) rule(s *relation.Schema, d *relation.Domain) (query.Rule, error
 
 // ParseProgram parses a sequence of rules into a UCQ.
 func ParseProgram(src string, s *relation.Schema, d *relation.Domain) (query.UCQ, error) {
-	p, err := newParser(src)
+	return ParseProgramAt(src, Pos{Line: 1, Col: 1}, s, d)
+}
+
+// ParseProgramAt is ParseProgram for src embedded at a known position
+// of a larger document; error positions are in the document's
+// coordinates.
+func ParseProgramAt(src string, at Pos, s *relation.Schema, d *relation.Domain) (query.UCQ, error) {
+	p, err := newParserAt(src, at)
 	if err != nil {
 		return query.UCQ{}, err
 	}

@@ -1,0 +1,143 @@
+package parser
+
+import (
+	"errors"
+	"testing"
+)
+
+// wantSyntaxErrorAt asserts err is a *SyntaxError positioned exactly
+// at (line, col).
+func wantSyntaxErrorAt(t *testing.T, err error, line, col int) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("got nil error, want *SyntaxError")
+	}
+	var serr *SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error %v (%T) is not a *SyntaxError", err, err)
+	}
+	if serr.Pos.Line != line || serr.Pos.Col != col {
+		t.Errorf("error position = %v, want %d:%d (%v)", serr.Pos, line, col, err)
+	}
+}
+
+func TestParseRuleErrorPositions(t *testing.T) {
+	s, d := freshSchema(t)
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+	}{
+		{"bad turnstile", "path(x, y) : edge(x, y).", 1, 12},
+		{"missing comma between args", "path(x y) :- edge(x, y).", 1, 8},
+		{"missing argument", "path(x, y) :- edge(x, ).", 1, 23},
+		{"undeclared body relation", "path(x, y) :- nosuch(x, y).", 1, 15},
+		{"undeclared head relation", "nosuch(x) :- edge(x, y).", 1, 1},
+		{"head arity mismatch", "path(x) :- edge(x, y).", 1, 1},
+		{"body arity mismatch", "path(x, y) :- edge(x).", 1, 15},
+		{"unsafe rule", "path(x, y) :- edge(x, x).", 1, 1},
+		{"missing period", "path(x, y) :- edge(x, y)", 1, 25},
+		{"trailing garbage", "path(x, y) :- edge(x, y). zzz", 1, 27},
+		{"unexpected character", "path(x, y) :- edge(x, @).", 1, 23},
+		{"unterminated string", `path(x, y) :- edge(x, "Wall`, 1, 23},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseRule(tc.src, s, d)
+			wantSyntaxErrorAt(t, err, tc.line, tc.col)
+		})
+	}
+}
+
+func TestParseProgramErrorPositions(t *testing.T) {
+	s, d := freshSchema(t)
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+	}{
+		{
+			"error on second rule",
+			"path(x, y) :- edge(x, y).\npath(x y) :- edge(x, y).",
+			2, 8,
+		},
+		{
+			"error after comment lines",
+			"# summary\n// more\npath(x, y) :- nosuch(x, y).",
+			3, 15,
+		},
+		{
+			"error under indentation",
+			"path(x, y) :- edge(x, y).\n\t\tpath(x, ) :- edge(x, y).",
+			2, 11,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseProgram(tc.src, s, d)
+			wantSyntaxErrorAt(t, err, tc.line, tc.col)
+		})
+	}
+}
+
+func TestParseGroundAtomErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+	}{
+		{"missing comma", "edge(a b)", 1, 8},
+		{"empty argument", "edge(,)", 1, 6},
+		{"trailing input", "edge(a, b) extra", 1, 12},
+		{"not an atom", "(a, b)", 1, 1},
+		{"empty input", "", 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ParseGroundAtom(tc.src)
+			wantSyntaxErrorAt(t, err, tc.line, tc.col)
+		})
+	}
+}
+
+// TestParseAtErrorPositions pins the document-coordinate translation
+// of the At variants: a sub-line handed to the parser with an anchor
+// position reports errors in the enclosing document's coordinates.
+func TestParseAtErrorPositions(t *testing.T) {
+	s, d := freshSchema(t)
+
+	_, _, err := ParseGroundAtomAt("edge(a b)", Pos{Line: 7, Col: 5})
+	wantSyntaxErrorAt(t, err, 7, 12)
+
+	_, err = ParseRuleAt("path(x y) :- edge(x, y).", Pos{Line: 3, Col: 9}, s, d)
+	wantSyntaxErrorAt(t, err, 3, 16)
+
+	_, err = ParseProgramAt("path(x, y) :- edge(x, y).\npath(x y) :- edge(x, y).", Pos{Line: 40, Col: 1}, s, d)
+	// Columns after the first newline of the source are src-relative.
+	wantSyntaxErrorAt(t, err, 41, 8)
+
+	// A zero anchor normalizes to 1:1 rather than producing 0-based
+	// positions.
+	_, _, err = ParseGroundAtomAt("edge(a b)", Pos{})
+	wantSyntaxErrorAt(t, err, 1, 8)
+}
+
+// TestLexerAtTokenPositions checks NewLexerAt offsets token positions,
+// not just error positions.
+func TestLexerAtTokenPositions(t *testing.T) {
+	l := NewLexerAt("edge(a, b).", Pos{Line: 9, Col: 3})
+	tok, err := l.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Kind != TokIdent || tok.Pos != (Pos{Line: 9, Col: 3}) {
+		t.Errorf("first token %+v, want identifier at 9:3", tok)
+	}
+	tok, err = l.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Kind != TokLParen || tok.Pos != (Pos{Line: 9, Col: 7}) {
+		t.Errorf("second token %+v, want '(' at 9:7", tok)
+	}
+}

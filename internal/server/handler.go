@@ -5,10 +5,13 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -18,15 +21,40 @@ import (
 // Handler returns the service's HTTP routes wrapped in request
 // logging and status accounting:
 //
-//	POST /synthesize   run (or cache-serve) a synthesis task
-//	GET  /healthz      liveness: 200 while serving, 503 while draining
-//	GET  /metrics      Prometheus text exposition
+//	POST /synthesize        run (or cache-serve) a synthesis task
+//	GET  /healthz           liveness: 200 serving, 503 draining
+//	GET  /metrics           Prometheus text exposition
+//	GET  /debug/traces/{id} fetch a stored request trace
+//	GET  /debug/pprof/...   stdlib runtime profiling
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /synthesize", s.handleSynthesize)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
+	// Runtime profiling rides on the same mux so one listener serves
+	// both the synthesis traces and the Go profiles that contextualize
+	// them. Registered explicitly: importing net/http/pprof only for
+	// its DefaultServeMux side effect would leak the endpoints onto
+	// any process that links this package.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s.instrument(mux)
+}
+
+// handleTrace serves a stored request trace as Chrome trace-event
+// JSON, directly loadable in about://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.traces.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no such trace (evicted or never stored)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
 }
 
 // statusRecorder captures the response code for logging and metrics.
@@ -94,6 +122,21 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	traceMode := ""
+	if reqOpts != nil {
+		traceMode = reqOpts.Trace
+	}
+	var tr *egs.Trace
+	switch traceMode {
+	case "":
+	case "inline", "store":
+		tr = egs.NewTrace()
+		opts.Trace = tr
+	default:
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown trace mode %q (want inline or store)", traceMode))
+		return
+	}
 	if timeoutMS == 0 {
 		if q := r.URL.Query().Get("timeout_ms"); q != "" {
 			timeoutMS, err = strconv.ParseInt(q, 10, 64)
@@ -110,7 +153,10 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 
 	key := cacheKey(t, opts)
 	hash := key[:64] // the canonical task digest prefix of the key
-	if v, ok := s.cache.Get(key); ok {
+	// Traced requests bypass the cache in both directions: a cached
+	// answer has no trace to return, and a response carrying a trace
+	// must not be replayed to untraced clients.
+	if v, ok := s.cache.Get(key); ok && tr == nil {
 		s.mCacheHits.Inc()
 		resp := *v.(*SynthesisResponse) // shallow copy; cached entry stays immutable
 		resp.Cached = true
@@ -127,7 +173,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if err := s.enqueue(j); err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			s.writeError(w, http.StatusTooManyRequests, err.Error())
 		default:
 			s.writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -159,16 +205,30 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := buildResponse(t, jr.res, hash)
-	// Cache the immutable part. Both verdicts are cacheable: sat
-	// programs and unsat proofs are deterministic for (task, options).
-	s.cache.Put(key, resp)
-	s.mCacheSize.Set(int64(s.cache.Len()))
+	if tr == nil {
+		// Cache the immutable part. Both verdicts are cacheable: sat
+		// programs and unsat proofs are deterministic for (task,
+		// options). Traced responses stay out: their trace payload is
+		// per-run, not part of the deterministic result.
+		s.cache.Put(key, resp)
+		s.mCacheSize.Set(int64(s.cache.Len()))
+	}
 	s.log.Info("synthesis complete",
 		"task", t.Name(), "hash", hash, "status", resp.Status,
 		"synth_ms", float64(jr.dur.Microseconds())/1000,
 		"rules", respRules(jr.res))
 
 	out := *resp
+	if tr != nil {
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			s.log.Error("trace rendering failed", "task", t.Name(), "err", err)
+		} else if traceMode == "inline" {
+			out.Trace = json.RawMessage(buf.Bytes())
+		} else {
+			out.TraceID = s.traces.put(buf.Bytes())
+		}
+	}
 	out.ElapsedMS = msSince(start)
 	s.writeJSON(w, http.StatusOK, &out)
 }

@@ -46,6 +46,13 @@ type RequestOptions struct {
 	// AssessParallelism enables the deterministic candidate-assessment
 	// worker pool; results are bit-identical to sequential search.
 	AssessParallelism int `json:"assess_parallelism,omitempty"`
+	// Trace requests a structured search trace: "inline" returns the
+	// Chrome trace-event JSON in the response's trace field, "store"
+	// retains it server-side and returns a trace_id resolvable at
+	// GET /debug/traces/{id} (capped FIFO store — fetch promptly).
+	// Traced requests bypass the result cache in both directions, so
+	// the trace always describes a real synthesis run.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SynthesisRequest is the JSON body of POST /synthesize.
@@ -92,6 +99,12 @@ type SynthesisResponse struct {
 	// TaskHash is the canonical task digest — the cache key modulo
 	// options — echoed for client-side correlation.
 	TaskHash string `json:"task_hash,omitempty"`
+	// TraceID names a server-retained trace (options.trace: "store"),
+	// resolvable at GET /debug/traces/{id} until evicted.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace carries the Chrome trace-event JSON of this run inline
+	// (options.trace: "inline").
+	Trace json.RawMessage `json:"trace,omitempty"`
 	// Cached reports that the response was served from the result
 	// cache without running the synthesizer.
 	Cached bool `json:"cached"`

@@ -72,6 +72,16 @@ type Server struct {
 	mu     sync.RWMutex // guards closed against concurrent enqueues
 	closed bool
 
+	// drain tracks recent queue-drain timestamps so 429 responses can
+	// derive Retry-After from the observed service rate instead of a
+	// hard-coded constant.
+	drainMu    sync.Mutex
+	drainTimes [drainWindow]time.Time
+	drainCount int
+
+	// traces retains recent request traces for GET /debug/traces/{id}.
+	traces *traceStore
+
 	reg *metrics.Registry
 
 	mRequests    *metrics.CounterVec // HTTP responses by status code
@@ -137,12 +147,13 @@ func New(cfg Config) *Server {
 
 	reg := metrics.New()
 	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		synth: cfg.synthesize,
-		cache: newLRU(cfg.CacheSize),
-		queue: make(chan *job, cfg.QueueDepth),
-		reg:   reg,
+		cfg:    cfg,
+		log:    cfg.Logger,
+		synth:  cfg.synthesize,
+		cache:  newLRU(cfg.CacheSize),
+		queue:  make(chan *job, cfg.QueueDepth),
+		traces: newTraceStore(traceStoreCap),
+		reg:    reg,
 
 		mRequests: reg.CounterVec("egs_requests_total",
 			"HTTP responses served, by status code.", "code"),
@@ -188,6 +199,9 @@ func (s *Server) worker() {
 
 // run executes one admitted job and delivers its result.
 func (s *Server) run(j *job) {
+	// Every dequeued job frees a queue slot, so both outcomes below
+	// count as a drain event for the Retry-After estimate.
+	defer s.noteDrain()
 	if err := j.ctx.Err(); err != nil {
 		// The client's deadline expired while the job was queued;
 		// don't burn a worker on an answer nobody is waiting for.
@@ -271,3 +285,53 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Metrics exposes the server's registry (for embedding into a larger
 // process's metric surface).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// drainWindow is how many recent drain events feed the Retry-After
+// rate estimate. Small enough to track regime changes, large enough
+// to smooth per-task variance.
+const drainWindow = 32
+
+// noteDrain records that one queued job left the queue.
+func (s *Server) noteDrain() {
+	s.drainMu.Lock()
+	s.drainTimes[s.drainCount%drainWindow] = time.Now()
+	s.drainCount++
+	s.drainMu.Unlock()
+}
+
+// retryAfterSeconds estimates how long a rejected client should wait
+// before the queue has likely drained: current depth divided by the
+// observed drain rate over the last drainWindow completions, clamped
+// to [1, MaxTimeout]. With fewer than two drain observations there is
+// no rate to extrapolate and the floor applies.
+func (s *Server) retryAfterSeconds() int {
+	maxRetry := int(s.cfg.MaxTimeout / time.Second)
+	if maxRetry < 1 {
+		maxRetry = 1
+	}
+	depth := len(s.queue)
+	s.drainMu.Lock()
+	n := min(s.drainCount, drainWindow)
+	var oldest, newest time.Time
+	if n > 0 {
+		newest = s.drainTimes[(s.drainCount-1)%drainWindow]
+		oldest = s.drainTimes[(s.drainCount-n)%drainWindow]
+	}
+	s.drainMu.Unlock()
+	if n < 2 || depth == 0 {
+		return 1
+	}
+	span := newest.Sub(oldest)
+	if span <= 0 {
+		return 1
+	}
+	perJob := span / time.Duration(n-1)
+	retry := int((time.Duration(depth)*perJob + time.Second - 1) / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	if retry > maxRetry {
+		retry = maxRetry
+	}
+	return retry
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs"
+)
+
+// TestRetryAfterDerivation pins the Retry-After computation: queue
+// depth over observed drain rate, floored at 1s and capped at the
+// server's MaxTimeout.
+func TestRetryAfterDerivation(t *testing.T) {
+	s := &Server{cfg: Config{MaxTimeout: 10 * time.Second}, queue: make(chan *job, 64)}
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("no drain history: retry = %d, want 1", got)
+	}
+	for i := 0; i < 8; i++ {
+		s.queue <- &job{}
+	}
+	// Synthesize a drain history of one completion every 500ms.
+	base := time.Now().Add(-time.Minute)
+	for i := 0; i < drainWindow; i++ {
+		s.drainTimes[i] = base.Add(time.Duration(i) * 500 * time.Millisecond)
+	}
+	s.drainCount = drainWindow
+	if got := s.retryAfterSeconds(); got != 4 {
+		t.Errorf("8 deep draining 2 jobs/s: retry = %d, want 4", got)
+	}
+	// Slow drain: 5s per job and 8 jobs deep extrapolates to 40s,
+	// which must clamp to MaxTimeout.
+	for i := 0; i < drainWindow; i++ {
+		s.drainTimes[i] = base.Add(time.Duration(i) * 5 * time.Second)
+	}
+	if got := s.retryAfterSeconds(); got != 10 {
+		t.Errorf("slow drain: retry = %d, want 10 (clamped to MaxTimeout)", got)
+	}
+	// A single observation gives no rate to extrapolate.
+	s.drainCount = 1
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Errorf("one observation: retry = %d, want 1", got)
+	}
+}
+
+// TestAbandonedQueueDoesNotStarveLiveRequest fills the queue with jobs
+// whose clients already gave up and checks that a live request queued
+// behind them is answered promptly: the worker skips cancelled jobs
+// instead of executing each to its deadline.
+func TestAbandonedQueueDoesNotStarveLiveRequest(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var runs atomic.Int64
+	cfg := Config{
+		Workers:    1,
+		QueueDepth: 8,
+		CacheSize:  -1,
+		Logger:     discardLogger(),
+		synthesize: func(ctx context.Context, tk *egs.Task, o egs.Options) (egs.Result, error) {
+			if runs.Add(1) == 1 {
+				close(started)
+				<-gate
+			}
+			return egs.Result{}, nil
+		},
+	}
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	// Occupy the only worker.
+	blocker := &job{ctx: context.Background(), done: make(chan jobResult, 1)}
+	if err := s.enqueue(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Queue seven abandoned jobs ahead of one live request.
+	cancelledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var abandoned []*job
+	for i := 0; i < 7; i++ {
+		j := &job{ctx: cancelledCtx, done: make(chan jobResult, 1)}
+		if err := s.enqueue(j); err != nil {
+			t.Fatalf("abandoned job %d: %v", i, err)
+		}
+		abandoned = append(abandoned, j)
+	}
+	live := &job{ctx: context.Background(), done: make(chan jobResult, 1)}
+	if err := s.enqueue(live); err != nil {
+		t.Fatal(err)
+	}
+
+	close(gate)
+	select {
+	case jr := <-live.done:
+		if jr.err != nil {
+			t.Fatalf("live job failed: %v", jr.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live request starved behind abandoned jobs")
+	}
+	for i, j := range abandoned {
+		select {
+		case jr := <-j.done:
+			if !errors.Is(jr.err, context.Canceled) {
+				t.Errorf("abandoned job %d: err = %v, want context.Canceled", i, jr.err)
+			}
+		case <-time.After(time.Second):
+			t.Errorf("abandoned job %d never answered", i)
+		}
+	}
+	if got := runs.Load(); got != 2 {
+		t.Errorf("synthesis ran %d times, want 2 (blocker + live; abandoned jobs must be skipped)", got)
+	}
+}
+
+// chromeTraceShape is the subset of the Chrome trace-event format the
+// server tests validate.
+type chromeTraceShape struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	} `json:"traceEvents"`
+}
+
+func checkChromeTrace(t *testing.T, raw []byte) {
+	t.Helper()
+	var tr chromeTraceShape
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	kinds := make(map[string]bool)
+	for _, e := range tr.TraceEvents {
+		kinds[e.Name] = true
+	}
+	for _, want := range []string{"cell", "pop", "assess"} {
+		if !kinds[want] {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+}
+
+// TestTraceInline requests an inline trace and validates its shape and
+// that traced requests bypass the result cache in both directions.
+func TestTraceInline(t *testing.T) {
+	var runs atomic.Int64
+	cfg := Config{Workers: 1, synthesize: func(ctx context.Context, tk *egs.Task, o egs.Options) (egs.Result, error) {
+		runs.Add(1)
+		return egs.Synthesize(ctx, tk, o)
+	}}
+	_, ts := newTestServer(t, cfg)
+
+	// Prime the cache with an untraced run.
+	resp, sr := post(t, ts.URL+"/synthesize", "application/json", kinshipJSON(t, nil))
+	if resp.StatusCode != http.StatusOK || sr.Status != "sat" {
+		t.Fatalf("untraced: status %d/%q (%s)", resp.StatusCode, sr.Status, sr.Error)
+	}
+
+	// The traced request must run a fresh synthesis despite the cache.
+	resp, sr = post(t, ts.URL+"/synthesize", "application/json", kinshipJSON(t, &RequestOptions{Trace: "inline"}))
+	if resp.StatusCode != http.StatusOK || sr.Status != "sat" {
+		t.Fatalf("traced: status %d/%q (%s)", resp.StatusCode, sr.Status, sr.Error)
+	}
+	if sr.Cached {
+		t.Error("traced request reported cached")
+	}
+	if len(sr.Trace) == 0 {
+		t.Fatal("inline trace missing from response")
+	}
+	checkChromeTrace(t, sr.Trace)
+	if got := runs.Load(); got != 2 {
+		t.Errorf("synthesis ran %d times, want 2 (traced request must bypass the cache)", got)
+	}
+
+	// The traced run must not have poisoned the cache: an untraced
+	// request is still served from the original entry, without a trace.
+	_, sr = post(t, ts.URL+"/synthesize", "application/json", kinshipJSON(t, nil))
+	if !sr.Cached {
+		t.Error("untraced request after traced run not served from cache")
+	}
+	if len(sr.Trace) != 0 || sr.TraceID != "" {
+		t.Error("cached untraced response carries trace data")
+	}
+}
+
+// TestTraceStoreAndFetch requests a stored trace and fetches it back
+// from /debug/traces/{id}.
+func TestTraceStoreAndFetch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, sr := post(t, ts.URL+"/synthesize", "application/json", kinshipJSON(t, &RequestOptions{Trace: "store"}))
+	if resp.StatusCode != http.StatusOK || sr.Status != "sat" {
+		t.Fatalf("status %d/%q (%s)", resp.StatusCode, sr.Status, sr.Error)
+	}
+	if sr.TraceID == "" {
+		t.Fatal("store mode returned no trace_id")
+	}
+	if len(sr.Trace) != 0 {
+		t.Error("store mode also returned an inline trace")
+	}
+	r, err := http.Get(ts.URL + "/debug/traces/" + sr.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s: status %d", sr.TraceID, r.StatusCode)
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkChromeTrace(t, raw)
+
+	// Unknown ids are 404, not 500.
+	r2, err := http.Get(ts.URL + "/debug/traces/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace id: status %d, want 404", r2.StatusCode)
+	}
+}
+
+// TestTraceBadMode rejects unknown trace modes up front.
+func TestTraceBadMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, sr := post(t, ts.URL+"/synthesize", "application/json", kinshipJSON(t, &RequestOptions{Trace: "bogus"}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(sr.Error, "trace mode") {
+		t.Errorf("error %q does not mention the trace mode", sr.Error)
+	}
+}
+
+// TestTraceStoreEviction pins the FIFO cap of the trace store.
+func TestTraceStoreEviction(t *testing.T) {
+	ts := newTraceStore(2)
+	a := ts.put([]byte("a"))
+	b := ts.put([]byte("b"))
+	c := ts.put([]byte("c"))
+	if _, ok := ts.get(a); ok {
+		t.Error("oldest trace not evicted at capacity")
+	}
+	for _, id := range []string{b, c} {
+		if _, ok := ts.get(id); !ok {
+			t.Errorf("trace %s missing", id)
+		}
+	}
+	if ts.len() != 2 {
+		t.Errorf("store holds %d traces, want 2", ts.len())
+	}
+}
+
+// TestPprofMounted checks the profiling endpoints ride on the service
+// mux.
+func TestPprofMounted(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: status %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}

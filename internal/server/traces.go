@@ -1,0 +1,59 @@
+// traceStore retains the most recent request traces for retrieval via
+// GET /debug/traces/{id}. It is a debugging aid, not an archive: the
+// store is capped, old traces are evicted FIFO, and nothing survives a
+// restart. Traces can be large (a Chrome trace of a hard task runs to
+// megabytes), which is why requests opt in per call and the cap is
+// small.
+
+package server
+
+import (
+	"strconv"
+	"sync"
+)
+
+// traceStoreCap bounds the number of traces retained server-wide.
+const traceStoreCap = 16
+
+type traceStore struct {
+	mu      sync.Mutex
+	cap     int
+	seq     int
+	entries map[string][]byte
+	order   []string // insertion order, oldest first
+}
+
+func newTraceStore(capacity int) *traceStore {
+	return &traceStore{cap: capacity, entries: make(map[string][]byte)}
+}
+
+// put stores a rendered trace and returns its retrieval id, evicting
+// the oldest entry when the store is full.
+func (ts *traceStore) put(b []byte) string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.seq++
+	id := "t" + strconv.Itoa(ts.seq)
+	for len(ts.order) >= ts.cap {
+		delete(ts.entries, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+	ts.entries[id] = b
+	ts.order = append(ts.order, id)
+	return id
+}
+
+// get returns the trace stored under id, if it has not been evicted.
+func (ts *traceStore) get(id string) ([]byte, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	b, ok := ts.entries[id]
+	return b, ok
+}
+
+// len reports the number of resident traces.
+func (ts *traceStore) len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.entries)
+}

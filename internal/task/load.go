@@ -2,6 +2,7 @@ package task
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"github.com/egs-synthesis/egs/internal/parser"
 	"github.com/egs-synthesis/egs/internal/relation"
@@ -50,11 +53,22 @@ func Parse(r io.Reader) (*Task, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(stripComment(sc.Text()))
+		stripped := stripComment(sc.Text())
+		line := strings.TrimSpace(stripped)
 		if line == "" {
 			continue
 		}
-		if err := t.parseLine(line); err != nil {
+		// The column where the trimmed content starts in the raw line,
+		// so parser errors report whole-file coordinates.
+		start := strings.IndexFunc(stripped, func(r rune) bool { return !unicode.IsSpace(r) })
+		pos := parser.Pos{Line: lineNo, Col: utf8.RuneCountInString(stripped[:start]) + 1}
+		if err := t.parseLine(line, pos); err != nil {
+			var serr *parser.SyntaxError
+			if errors.As(err, &serr) {
+				// Already carries a file-absolute position; a "line N:"
+				// prefix would duplicate (or contradict) it.
+				return nil, err
+			}
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 	}
@@ -76,7 +90,7 @@ func stripComment(line string) string {
 	return line
 }
 
-func (t *Task) parseLine(line string) error {
+func (t *Task) parseLine(line string, pos parser.Pos) error {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "task":
@@ -156,7 +170,7 @@ func (t *Task) parseLine(line string) error {
 		return nil
 	}
 	// Otherwise: a fact line, possibly prefixed with + or -.
-	return t.parseFact(line)
+	return t.parseFact(line, pos)
 }
 
 func parseBool(fields []string) (bool, error) {
@@ -221,23 +235,32 @@ func (t *Task) parseModes(fields []string) error {
 	return nil
 }
 
-// parseFact handles input facts and +/- output example tuples.
-func (t *Task) parseFact(line string) error {
+// parseFact handles input facts and +/- output example tuples. pos is
+// the file position of the first character of line; positions in the
+// returned errors are file-absolute.
+func (t *Task) parseFact(line string, pos parser.Pos) error {
 	sign := byte(0)
 	if line[0] == '+' || line[0] == '-' {
 		sign = line[0]
-		line = strings.TrimSpace(line[1:])
+		rest := line[1:]
+		// Advance pos past the sign and any whitespace before the atom.
+		lead := strings.IndexFunc(rest, func(r rune) bool { return !unicode.IsSpace(r) })
+		if lead < 0 {
+			lead = len(rest)
+		}
+		pos.Col += 1 + utf8.RuneCountInString(rest[:lead])
+		line = strings.TrimSpace(rest)
 	}
-	relName, args, err := parser.ParseGroundAtom(line)
+	relName, args, err := parser.ParseGroundAtomAt(line, pos)
 	if err != nil {
 		return err
 	}
 	rel, ok := t.Schema.Lookup(relName)
 	if !ok {
-		return fmt.Errorf("undeclared relation %q", relName)
+		return &parser.SyntaxError{Pos: pos, Msg: fmt.Sprintf("undeclared relation %q", relName)}
 	}
 	if got, want := len(args), t.Schema.Arity(rel); got != want {
-		return fmt.Errorf("relation %q has arity %d, fact has %d arguments", relName, want, got)
+		return &parser.SyntaxError{Pos: pos, Msg: fmt.Sprintf("relation %q has arity %d, fact has %d arguments", relName, want, got)}
 	}
 	consts := make([]relation.Const, len(args))
 	for i, a := range args {

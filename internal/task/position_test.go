@@ -1,0 +1,115 @@
+package task
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/parser"
+)
+
+// TestTaskFileErrorPositions pins the file coordinates reported for
+// malformed task files: the loader hands each fact sub-line to the
+// parser anchored at its real position, so errors point into the file,
+// not at column 1 of a stripped sub-line.
+func TestTaskFileErrorPositions(t *testing.T) {
+	const header = "task t\ninput edge(2)\noutput path(2)\n"
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+		contains  string
+	}{
+		{
+			"malformed fact",
+			header + "edge(a, b).\nedge(a b).\n",
+			5, 8,
+			"expected ')'",
+		},
+		{
+			"indented fact",
+			header + "   edge(a b).\n",
+			4, 11,
+			"expected ')'",
+		},
+		{
+			"signed example",
+			header + "  + path(a b).\n",
+			4, 12,
+			"expected ')'",
+		},
+		{
+			"sign with no atom",
+			header + "+\n",
+			4, 2,
+			"expected identifier",
+		},
+		{
+			"undeclared relation",
+			header + "edge(a, b).\n+ nosuch(a, b).\n",
+			5, 3,
+			`undeclared relation "nosuch"`,
+		},
+		{
+			"fact arity mismatch",
+			header + "edge(a).\n",
+			4, 1,
+			`relation "edge" has arity 2, fact has 1 arguments`,
+		},
+		{
+			"error after comment",
+			header + "edge(a, b).  # ok\nedge(, b).\n",
+			5, 6,
+			"expected an argument",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error at %d:%d", tc.line, tc.col)
+			}
+			var serr *parser.SyntaxError
+			if !errors.As(err, &serr) {
+				t.Fatalf("error %v (%T) is not a *parser.SyntaxError", err, err)
+			}
+			if serr.Pos.Line != tc.line || serr.Pos.Col != tc.col {
+				t.Errorf("error position = %v, want %d:%d (%v)", serr.Pos, tc.line, tc.col, err)
+			}
+			if !strings.Contains(err.Error(), tc.contains) {
+				t.Errorf("error %q does not contain %q", err.Error(), tc.contains)
+			}
+			// Positioned errors must not also carry the loader's
+			// "line N:" prefix; that would double-report the line.
+			if strings.Contains(err.Error(), "line ") {
+				t.Errorf("positioned error still has a line prefix: %q", err.Error())
+			}
+		})
+	}
+}
+
+// TestTaskFileDirectiveErrorsKeepLinePrefix checks that directive
+// errors, which have no sub-line parser position, still identify
+// their line the old way.
+func TestTaskFileDirectiveErrorsKeepLinePrefix(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		prefix string
+	}{
+		{"bad directive arity", "task\n", "line 1:"},
+		{"bad expect", "task t\nexpect maybe\n", "line 2:"},
+		{"unsigned output fact", "task t\noutput path(1)\npath(a).\n", "line 3:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			if !strings.HasPrefix(err.Error(), tc.prefix) {
+				t.Errorf("error %q does not start with %q", err.Error(), tc.prefix)
+			}
+		})
+	}
+}

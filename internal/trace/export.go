@@ -1,0 +1,151 @@
+// Exporters for recorded traces: the Chrome trace-event format
+// (loadable in about://tracing and Perfetto) and a compact NDJSON
+// stream for programmatic consumers. Both render events in the
+// collector's deterministic merge order and never format a map, so
+// output bytes are stable modulo timestamps.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one record of the Chrome trace-event format. Only
+// the fields the format defines are emitted; Args carries the
+// kind-specific counters.
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Phase string      `json:"ph"`
+	TS    float64     `json:"ts"` // microseconds
+	Dur   float64     `json:"dur,omitempty"`
+	PID   int         `json:"pid"`
+	TID   int         `json:"tid"`
+	Scope string      `json:"s,omitempty"` // instant-event scope
+	Args  *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Slice  int32  `json:"slice,omitempty"`
+	N      int64  `json:"n,omitempty"`
+	M      int64  `json:"m,omitempty"`
+	Target string `json:"target,omitempty"`
+}
+
+// chromeMeta is a metadata record (process/thread naming).
+type chromeMeta struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args"`
+}
+
+// chromeFile is the object form of the trace-event format.
+type chromeFile struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// WriteChrome renders events as a Chrome trace-event JSON object
+// ({"traceEvents": [...]}), loadable in about://tracing or Perfetto.
+// Spans (Dur > 0 or span-shaped kinds) become complete ("X") events;
+// everything else becomes a thread-scoped instant ("i") event.
+func WriteChrome(w io.Writer, events []Event) error {
+	records := make([]json.RawMessage, 0, len(events)+2)
+	appendRec := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		records = append(records, b)
+		return nil
+	}
+	if err := appendRec(chromeMeta{
+		Name: "process_name", Phase: "M", PID: chromePID, TID: 0,
+		Args: map[string]string{"name": "egs"},
+	}); err != nil {
+		return err
+	}
+	named := make(map[int32]bool)
+	for _, e := range events {
+		if !named[e.Searcher] {
+			named[e.Searcher] = true
+			if err := appendRec(chromeMeta{
+				Name: "thread_name", Phase: "M", PID: chromePID, TID: int(e.Searcher) + 1,
+				Args: map[string]string{"name": fmt.Sprintf("searcher-%d", e.Searcher)},
+			}); err != nil {
+				return err
+			}
+		}
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			TS:   float64(e.TS) / 1e3,
+			PID:  chromePID,
+			TID:  int(e.Searcher) + 1,
+		}
+		if e.Dur > 0 || spanKind(e.Kind) {
+			ce.Phase = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		if e.Slice != 0 || e.N != 0 || e.M != 0 || e.Target != "" {
+			ce.Args = &chromeArgs{Slice: e.Slice, N: e.N, M: e.M, Target: e.Target}
+		}
+		if err := appendRec(ce); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: records, DisplayTimeUnit: "ms"})
+}
+
+// spanKind reports whether the kind renders as a complete span even
+// when its measured duration rounds to zero.
+func spanKind(k Kind) bool {
+	switch k {
+	case KindCellEnd, KindAssessBatch, KindPoolRoundTrip:
+		return true
+	}
+	return false
+}
+
+// ndjsonEvent is the compact NDJSON wire form of one event.
+type ndjsonEvent struct {
+	Kind     string `json:"kind"`
+	Searcher int32  `json:"searcher"`
+	Slice    int32  `json:"slice,omitempty"`
+	TS       int64  `json:"ts_ns"`
+	Dur      int64  `json:"dur_ns,omitempty"`
+	N        int64  `json:"n,omitempty"`
+	M        int64  `json:"m,omitempty"`
+	Target   string `json:"target,omitempty"`
+}
+
+// WriteNDJSON renders events as newline-delimited JSON, one compact
+// object per event, in the deterministic merge order.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(ndjsonEvent{
+			Kind:     e.Kind.String(),
+			Searcher: e.Searcher,
+			Slice:    e.Slice,
+			TS:       e.TS,
+			Dur:      e.Dur,
+			N:        e.N,
+			M:        e.M,
+			Target:   e.Target,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

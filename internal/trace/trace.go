@@ -1,0 +1,177 @@
+// Package trace records structured traces of the EGS search: spans
+// and events for cell searches, context pops, candidate-assessment
+// batches, memo hits, assessment-pool round-trips, pooled-evaluator
+// round-trips, and worklist high-water marks.
+//
+// The synthesis core (internal/egs, internal/eval) must stay a pure
+// function of the task — wall-clock reads are banned there by the
+// egslint nodetsource analyzer — so every timestamp is taken here,
+// behind the Recorder interface: the engine asks the recorder for
+// "now" and hands the value back with the event. A nil Recorder means
+// tracing is off; the engine checks that once per cell and the hot
+// path pays a single pointer comparison per event site, no interface
+// calls and no clock reads.
+//
+// Events are buffered per searcher (one shard per searcher id; the
+// engine guarantees each searcher records from a single goroutine at
+// a time) and merged deterministically: shards in ascending searcher
+// id, append order within a shard. Under Options.AssessParallelism
+// the engine records assessment results after its flush barrier, on
+// the searcher's own goroutine, so the event sequence — everything
+// except the timestamps — is identical run to run and identical to a
+// sequential search.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind enumerates trace event kinds.
+type Kind uint8
+
+const (
+	// KindCellStart marks the beginning of one ExplainCell search
+	// (Algorithm 1): Target and Slice identify the cell.
+	KindCellStart Kind = iota
+	// KindCellEnd closes a cell as a span: TS is the cell's start,
+	// Dur its wall time, N the contexts popped, M the contexts pushed
+	// while the cell ran.
+	KindCellEnd
+	// KindPop records one worklist pop: N is the popped context's
+	// size |C|, M the queue length after the pop.
+	KindPop
+	// KindAssessBatch is the span of one staged-batch assessment
+	// (flush): N counts rule evaluations actually executed, M the
+	// batch size.
+	KindAssessBatch
+	// KindMemoHit reports assessments answered from the canonical-rule
+	// memo in one batch: N is the hit count.
+	KindMemoHit
+	// KindPoolRoundTrip is the span of one assessment-pool fan-out
+	// (submit → barrier): N is the number of jobs. Emitted only when
+	// the batch actually went to the pool.
+	KindPoolRoundTrip
+	// KindEvalPool reports pooled-evaluator traffic for one cell: N is
+	// the evaluator round-trips (get → release), M the evaluators
+	// freshly allocated because the pool was empty.
+	KindEvalPool
+	// KindQueueHighWater records a new worklist length maximum: N is
+	// the new high-water mark.
+	KindQueueHighWater
+)
+
+// String returns the stable wire name of the kind. These names are
+// part of the exported trace schema (DESIGN.md §11); renaming one is
+// a breaking change for trace consumers.
+func (k Kind) String() string {
+	switch k {
+	case KindCellStart:
+		return "cell-start"
+	case KindCellEnd:
+		return "cell"
+	case KindPop:
+		return "pop"
+	case KindAssessBatch:
+		return "assess"
+	case KindMemoHit:
+		return "memo-hit"
+	case KindPoolRoundTrip:
+		return "pool-round-trip"
+	case KindEvalPool:
+		return "eval-pool"
+	case KindQueueHighWater:
+		return "queue-high-water"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one trace record. TS and Dur are nanoseconds relative to
+// the recorder's epoch; N and M carry kind-specific counters (see the
+// Kind constants).
+type Event struct {
+	Kind     Kind
+	Searcher int32 // searcher id; the trace's "thread"
+	Slice    int32 // 1-based cell slice index; 0 when not cell-scoped
+	TS       int64 // ns since the recorder epoch
+	Dur      int64 // ns; 0 for instantaneous events
+	N        int64
+	M        int64
+	Target   string // rendered cell target tuple; cell events only
+}
+
+// Recorder receives engine events. A nil Recorder disables tracing.
+// Record must be safe for concurrent use by multiple searchers; the
+// engine guarantees that all events of one searcher id arrive from
+// one goroutine at a time. Now returns nanoseconds since the
+// recorder's epoch, so the deterministic engine never reads a clock
+// itself.
+type Recorder interface {
+	Now() int64
+	Record(Event)
+}
+
+// Collector is the standard Recorder: it buffers events per searcher
+// and merges them deterministically on demand.
+type Collector struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	shards map[int32][]Event
+}
+
+// NewCollector returns an empty collector whose epoch is "now".
+func NewCollector() *Collector {
+	return &Collector{epoch: time.Now(), shards: make(map[int32][]Event)}
+}
+
+// Now implements Recorder.
+func (c *Collector) Now() int64 { return time.Since(c.epoch).Nanoseconds() }
+
+// Record implements Recorder.
+func (c *Collector) Record(e Event) {
+	c.mu.Lock()
+	c.shards[e.Searcher] = append(c.shards[e.Searcher], e)
+	c.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.shards {
+		n += len(s)
+	}
+	return n
+}
+
+// Events returns the merged trace: shards in ascending searcher id,
+// events in append order within each shard. The order is a pure
+// function of the search (timestamps aside), so two runs of the same
+// task produce the same event sequence. The returned slice is a copy.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int32, 0, len(c.shards))
+	n := 0
+	for id, s := range c.shards {
+		ids = append(ids, id)
+		n += len(s)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]Event, 0, n)
+	for _, id := range ids {
+		out = append(out, c.shards[id]...)
+	}
+	return out
+}
+
+// Reset drops all buffered events, keeping the epoch.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.shards = make(map[int32][]Event)
+	c.mu.Unlock()
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindCellStart, Searcher: 0, Slice: 1, TS: 1000, Target: "path(a, b)"},
+		{Kind: KindPop, Searcher: 0, Slice: 1, TS: 2000, N: 2, M: 7},
+		{Kind: KindAssessBatch, Searcher: 0, Slice: 1, TS: 2500, Dur: 1500, N: 3, M: 4},
+		{Kind: KindMemoHit, Searcher: 0, Slice: 1, TS: 4000, N: 1},
+		{Kind: KindQueueHighWater, Searcher: 0, TS: 4100, N: 9},
+		{Kind: KindEvalPool, Searcher: 0, Slice: 1, TS: 4500, N: 3, M: 1},
+		{Kind: KindCellEnd, Searcher: 0, Slice: 1, TS: 1000, Dur: 4000, N: 5, M: 11, Target: "path(a, b)"},
+		{Kind: KindPoolRoundTrip, Searcher: 1, TS: 3000, Dur: 700, N: 4},
+	}
+}
+
+// TestCollectorDeterministicMerge checks the merge contract: shards
+// in ascending searcher id, append order within a shard — regardless
+// of the interleaving Record saw.
+func TestCollectorDeterministicMerge(t *testing.T) {
+	c := NewCollector()
+	c.Record(Event{Kind: KindPop, Searcher: 2, N: 1})
+	c.Record(Event{Kind: KindPop, Searcher: 0, N: 2})
+	c.Record(Event{Kind: KindPop, Searcher: 2, N: 3})
+	c.Record(Event{Kind: KindPop, Searcher: 1, N: 4})
+	c.Record(Event{Kind: KindPop, Searcher: 0, N: 5})
+	got := c.Events()
+	want := []struct {
+		searcher int32
+		n        int64
+	}{{0, 2}, {0, 5}, {1, 4}, {2, 1}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Searcher != w.searcher || got[i].N != w.n {
+			t.Errorf("event %d: searcher=%d n=%d, want searcher=%d n=%d",
+				i, got[i].Searcher, got[i].N, w.searcher, w.n)
+		}
+	}
+	if c.Len() != 5 {
+		t.Errorf("Len() = %d, want 5", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 || len(c.Events()) != 0 {
+		t.Error("Reset left events behind")
+	}
+}
+
+// TestCollectorConcurrentRecord drives Record from many goroutines so
+// `go test -race` exercises the shard lock.
+func TestCollectorConcurrentRecord(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for s := int32(0); s < 8; s++ {
+		wg.Add(1)
+		go func(s int32) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Record(Event{Kind: KindPop, Searcher: s, TS: c.Now(), N: int64(i)})
+			}
+		}(s)
+	}
+	wg.Wait()
+	events := c.Events()
+	if len(events) != 800 {
+		t.Fatalf("got %d events, want 800", len(events))
+	}
+	// Within each shard, append order must be preserved.
+	next := make(map[int32]int64)
+	for _, e := range events {
+		if e.N != next[e.Searcher] {
+			t.Fatalf("searcher %d: event out of order: n=%d, want %d", e.Searcher, e.N, next[e.Searcher])
+		}
+		next[e.Searcher]++
+	}
+}
+
+// TestWriteChromeShape validates the exported Chrome trace against
+// the schema contract (DESIGN.md §11): an object with a traceEvents
+// array whose records carry name/ph/ts/pid/tid, spans carry dur, and
+// instants carry a scope.
+func TestWriteChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("exported chrome trace is not valid JSON: %v", err)
+	}
+	if file.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.Unit)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	kinds := make(map[string]int)
+	for _, ev := range file.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		if name == "" || ph == "" {
+			t.Fatalf("event missing name/ph: %v", ev)
+		}
+		if ph == "M" {
+			continue // metadata record
+		}
+		kinds[name]++
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("event %q: ts missing or not a number", name)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Errorf("event %q: pid missing", name)
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			t.Errorf("event %q: tid missing", name)
+		}
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok && name != "pool-round-trip" && name != "assess" && name != "cell" {
+				t.Errorf("span %q: dur missing", name)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s != "t" {
+				t.Errorf("instant %q: scope = %q, want t", name, s)
+			}
+		default:
+			t.Errorf("event %q: unexpected phase %q", name, ph)
+		}
+	}
+	for _, want := range []string{"cell", "cell-start", "pop", "assess", "memo-hit"} {
+		if kinds[want] == 0 {
+			t.Errorf("exported trace contains no %q events", want)
+		}
+	}
+	// Spans must render as complete events.
+	for _, ev := range file.TraceEvents {
+		if name, _ := ev["name"].(string); name == "cell" || name == "assess" || name == "pool-round-trip" {
+			if ph, _ := ev["ph"].(string); ph != "X" {
+				t.Errorf("%q rendered with phase %q, want X", name, ph)
+			}
+		}
+	}
+}
+
+// TestWriteNDJSON validates the NDJSON stream: one valid JSON object
+// per line, kinds spelled with their wire names, zero fields elided.
+func TestWriteNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	events := sampleEvents()
+	if err := WriteNDJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		line := sc.Text()
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines+1, err, line)
+		}
+		if _, ok := obj["kind"].(string); !ok {
+			t.Fatalf("line %d: kind missing", lines+1)
+		}
+		if _, ok := obj["ts_ns"].(float64); !ok {
+			t.Fatalf("line %d: ts_ns missing", lines+1)
+		}
+		lines++
+	}
+	if lines != len(events) {
+		t.Fatalf("got %d lines, want %d", lines, len(events))
+	}
+	// Re-render and check the wire spelling of a representative line.
+	var again bytes.Buffer
+	if err := WriteNDJSON(&again, events[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(again.String(), `"kind":"cell-start"`) {
+		t.Errorf("NDJSON line does not carry the wire kind name: %s", again.String())
+	}
+}
+
+// TestKindNamesStable pins the wire names of every kind: they are the
+// exported schema and must not drift.
+func TestKindNamesStable(t *testing.T) {
+	want := map[Kind]string{
+		KindCellStart:      "cell-start",
+		KindCellEnd:        "cell",
+		KindPop:            "pop",
+		KindAssessBatch:    "assess",
+		KindMemoHit:        "memo-hit",
+		KindPoolRoundTrip:  "pool-round-trip",
+		KindEvalPool:       "eval-pool",
+		KindQueueHighWater: "queue-high-water",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if Kind(250).String() != "unknown" {
+		t.Errorf("unknown kind should render as unknown")
+	}
+}
