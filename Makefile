@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet lint lint-json race serve-smoke clean
+.PHONY: all build verify test vet lint lint-json race serve-smoke session-smoke clean
 
 all: build
 
@@ -41,6 +41,13 @@ verify: build vet lint race
 serve-smoke:
 	$(GO) build -o bin/egs-serve ./cmd/egs-serve
 	BIN=bin/egs-serve ./scripts/serve-smoke.sh
+
+# session-smoke drives an incremental session end to end (create ->
+# staged delta -> warm re-solve -> delete) and asserts the warm
+# revision evaluates fewer candidates than the creation solve.
+session-smoke:
+	$(GO) build -o bin/egs-serve ./cmd/egs-serve
+	BIN=bin/egs-serve ./scripts/session-smoke.sh
 
 clean:
 	rm -rf bin

@@ -16,6 +16,16 @@
 //	                        synthesis. The JSON options object accepts
 //	                        "trace": "inline" | "store" to record a
 //	                        Chrome trace of the search.
+//	POST /sessions          create an incremental session from a task
+//	                        (same body forms as /synthesize); solves
+//	                        revision 0 and returns a session_id
+//	POST /sessions/{id}/delta
+//	                        apply deltas ({"deltas": [{"op": "add_fact"
+//	                        | "add_example" | "remove_example" |
+//	                        "relabel", ...}]}) and re-solve warm;
+//	                        "solve": false stages without solving
+//	GET  /sessions/{id}     session status (never solves)
+//	DELETE /sessions/{id}   drop a session
 //	GET  /healthz           200 while serving, 503 while draining
 //	GET  /metrics           Prometheus text format
 //	GET  /debug/traces/{id} fetch a trace stored by "trace": "store"
@@ -32,6 +42,8 @@
 //	-max-timeout d     ceiling on client-requested timeouts (default 5m)
 //	-max-contexts n    server-wide enumeration budget per request; 0 = unlimited
 //	-max-body bytes    request body limit (default 8 MiB)
+//	-session-cap n     concurrently live sessions; overflow answers 429 (default 64)
+//	-session-ttl d     idle-session eviction deadline (default 15m)
 //	-log text|json     structured log format (default text)
 //	-grace d           shutdown drain budget (default 15s)
 //
@@ -68,6 +80,8 @@ func run() int {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested timeouts")
 	maxContexts := flag.Int("max-contexts", 0, "enumeration budget per request (0 = unlimited)")
 	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
+	sessionCap := flag.Int("session-cap", 64, "concurrently live incremental sessions")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle-session eviction deadline")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain budget")
 	flag.Parse()
@@ -96,6 +110,8 @@ func run() int {
 		MaxTimeout:     *maxTimeout,
 		MaxContexts:    *maxContexts,
 		MaxBodyBytes:   *maxBody,
+		SessionCap:     *sessionCap,
+		SessionTTL:     *sessionTTL,
 		Logger:         log,
 	})
 

@@ -496,6 +496,13 @@ func Synthesize(ctx context.Context, t *Task, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return convertResult(t.t, res), nil
+}
+
+// convertResult lowers an internal synthesis result to the public
+// form, rendering witnesses and uncovered tuples against the given
+// task's schema and domain. Shared by Synthesize and Session.Solve.
+func convertResult(tk *task.Task, res coreegs.Result) Result {
 	out := Result{
 		Unsat: res.Unsat,
 		Stats: Stats{
@@ -506,15 +513,15 @@ func Synthesize(ctx context.Context, t *Task, opts Options) (Result, error) {
 		},
 	}
 	for _, u := range res.Uncovered {
-		out.Uncovered = append(out.Uncovered, u.String(t.t.Schema, t.t.Domain))
+		out.Uncovered = append(out.Uncovered, u.String(tk.Schema, tk.Domain))
 	}
 	if res.Witness != nil {
-		out.UnsatReason = res.Witness.String(t.t.Schema, t.t.Domain)
+		out.UnsatReason = res.Witness.String(tk.Schema, tk.Domain)
 	}
 	if !res.Unsat {
-		out.Query = &Query{ucq: res.Query, schema: t.t.Schema, domain: t.t.Domain}
+		out.Query = &Query{ucq: res.Query, schema: tk.Schema, domain: tk.Domain}
 	}
-	return out, nil
+	return out
 }
 
 // Alternatives synthesizes up to k distinct single-rule queries,

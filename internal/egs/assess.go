@@ -2,7 +2,6 @@ package egs
 
 import (
 	"math"
-	"sync"
 
 	"github.com/egs-synthesis/egs/internal/eval"
 	"github.com/egs-synthesis/egs/internal/query"
@@ -38,30 +37,28 @@ func (p *cellParams) score(derivedForbidden, size int) float64 {
 }
 
 // assessor evaluates candidate contexts, memoizing rule evaluations
-// by canonical rule key.
+// by canonical rule key in a Memo.
 //
 // Soundness of the memo: generalize maps a context C to the rule
 // r_{C -> t[1..i]}; two contexts whose generalizations share a
 // CanonicalKey are alpha-equivalent, and alpha-equivalent rules have
-// identical output sets on the shared (frozen) database — evaluation
-// is invariant under variable renaming and body reordering. The number
-// of derived forbidden i-slices depends only on that output set and on
-// F_i, which is fixed per (relation, i) — both encoded in the rule
-// head — so the cached count is exact, never heuristic. Equal keys
-// also imply equal body length |C|, hence equal score denominators.
+// identical output sets on a database with identical body extents —
+// evaluation is invariant under variable renaming and body
+// reordering. The number of derived forbidden i-slices depends only
+// on that output set and on F_i, which is fixed per (relation, i) —
+// both encoded in the rule head — so the cached count is exact, never
+// heuristic, for as long as the Memo's validity stamps attest that
+// those inputs are unchanged. Equal keys also imply equal body length
+// |C|, hence equal score denominators.
 //
-// The memo is shared across cells and targets of one searcher: rules
-// learned while explaining different positive tuples of the same
-// output relation frequently re-derive the same candidate bodies.
+// The memo is shared at least across cells and targets of one
+// searcher: rules learned while explaining different positive tuples
+// of the same output relation frequently re-derive the same candidate
+// bodies. Sessions (Options.Memo) widen the sharing across whole
+// revisions.
 type assessor struct {
-	ex *task.Example
-
-	// mu guards memo; assessments run concurrently when
-	// Options.AssessParallelism > 1. Two workers racing on the same
-	// key both evaluate and store identical values (see soundness
-	// argument), so the race costs at most one redundant evaluation.
-	mu   sync.Mutex
-	memo map[string]int // CanonicalKey -> derived forbidden i-slices
+	ex   *task.Example
+	memo *Memo
 }
 
 // assess evaluates r_{C -> t[1..i]} against the example and fills the
@@ -77,20 +74,14 @@ func (a *assessor) assess(c *ectx, p *cellParams) {
 		return
 	}
 	key := rule.CanonicalKey()
-	a.mu.Lock()
-	derived, hit := a.memo[key]
-	a.mu.Unlock()
+	derived, hit := a.memo.lookup(key, &rule, a.ex)
 	if hit {
 		c.memoHit = true
 	} else {
-		derived = forbiddenDerived(a.ex, rule, p.i, len(p.target.Args))
+		var outs []relation.TupleID
+		derived, outs = forbiddenDerived(a.ex, rule, p.i, len(p.target.Args))
 		c.evals = 1
-		a.mu.Lock()
-		if a.memo == nil {
-			a.memo = make(map[string]int)
-		}
-		a.memo[key] = derived
-		a.mu.Unlock()
+		a.memo.store(key, &rule, derived, outs)
 	}
 	c.consistent = derived == 0
 	c.score = p.score(derived, len(c.ids))
@@ -98,26 +89,38 @@ func (a *assessor) assess(c *ectx, p *cellParams) {
 
 // forbiddenDerived counts the i-slices derived by rule that lie in
 // the forbidden set F_i — one full evaluation of the candidate rule.
-func forbiddenDerived(ex *task.Example, rule query.Rule, i, k int) int {
+// For full-arity rules it also returns the derived output ids (in
+// emission order, with multiplicity, capped at memoOutsCap) so the
+// memo can revalidate the count after an example-only delta; proper
+// slices have no ids and return nil.
+func forbiddenDerived(ex *task.Example, rule query.Rule, i, k int) (int, []relation.TupleID) {
 	derived := 0
 	if i == k {
 		// Full-arity heads are ground output tuples: stay on the
 		// dense-id plane and test forbiddenness as a bitset probe.
+		outs := make([]relation.TupleID, 0, 16)
 		eval.EvalRuleIDs(rule, ex.DB, func(id relation.TupleID) bool {
 			if ex.IsNegativeID(id) {
 				derived++
 			}
-			return true
-		})
-	} else {
-		// Proper slices are not ground tuples and have no TupleID;
-		// their forbidden sets stay keyed by slice prefix.
-		eval.EvalRule(rule, ex.DB, func(t relation.Tuple) bool {
-			if ex.ForbiddenPrefixKey(t.Key(), i) {
-				derived++
+			if outs != nil {
+				if len(outs) < memoOutsCap {
+					outs = append(outs, id)
+				} else {
+					outs = nil
+				}
 			}
 			return true
 		})
+		return derived, outs
 	}
-	return derived
+	// Proper slices are not ground tuples and have no TupleID;
+	// their forbidden sets stay keyed by slice prefix.
+	eval.EvalRule(rule, ex.DB, func(t relation.Tuple) bool {
+		if ex.ForbiddenPrefixKey(t.Key(), i) {
+			derived++
+		}
+		return true
+	})
+	return derived, nil
 }

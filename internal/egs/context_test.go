@@ -259,7 +259,7 @@ func TestAssessScoreMatchesDefinition(t *testing.T) {
 	id, _ := db.ID(relation.NewTuple(green, whitehall))
 	target := relation.NewTuple(crashes, whitehall)
 
-	a := assessor{ex: ex}
+	a := assessor{ex: ex, memo: NewMemo()}
 	p := cellParams{target: target, i: 1}
 	p.totalForbidden, p.countKnown = ex.CountForbidden(crashes, 1, 1)
 	if !p.countKnown {

@@ -284,7 +284,7 @@ func TestConcurrentAssessRace(t *testing.T) {
 	ex := tk.Example()
 	db := ex.DB
 	target := tk.Pos[0]
-	asr := &assessor{ex: ex}
+	asr := &assessor{ex: ex, memo: NewMemo()}
 	p := &cellParams{target: target, i: len(target.Args)}
 	p.totalForbidden, p.countKnown = ex.CountForbidden(target.Rel, p.i, len(target.Args))
 

@@ -46,6 +46,14 @@ type Options struct {
 	// may differ, when two copies of one canonical rule land in the
 	// same batch and both miss the memo.
 	AssessParallelism int
+	// Memo, when non-nil, is the shared assessment cache the run reads
+	// and fills instead of a fresh per-searcher one. Incremental
+	// sessions pass the same Memo across revisions (with validity
+	// stamps bumped per delta) so a warm revision skips most rule
+	// evaluations. Sharing a Memo never changes learned rules or unsat
+	// verdicts — cached counts equal recomputed ones — but
+	// Stats.RuleEvals/MemoHits shift toward hits.
+	Memo *Memo
 	// Trace receives structured search events: cell spans, context
 	// pops, assessment batches, memo hits, pool round-trips, pooled-
 	// evaluator traffic, and worklist high-water marks. nil disables
@@ -228,6 +236,11 @@ type searcher struct {
 func newSearcher(ctx context.Context, ex *task.Example, opts Options) *searcher {
 	s := &searcher{ctx: ctx, ex: ex, opts: opts, tr: opts.Trace}
 	s.asr.ex = ex
+	if opts.Memo != nil {
+		s.asr.memo = opts.Memo
+	} else {
+		s.asr.memo = NewMemo()
+	}
 	if opts.AssessParallelism > 1 {
 		s.pool = newAssessPool(opts.AssessParallelism)
 	}

@@ -13,7 +13,8 @@
 //   - channel sends (downstream ordering),
 //   - direct writes into strings.Builder/bytes.Buffer or fmt.Fprint*
 //     (canonical keys and printed output),
-//   - appends to a slice declared outside the loop that is not
+//   - appends to a slice — a variable declared outside the loop, or a
+//     field of one (s.pos = append(s.pos, ...)) — that is not
 //     subsequently passed to a sort.* / slices.* call in the same
 //     function (returned or retained slices).
 //
@@ -73,10 +74,17 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 	})
 }
 
+// appendSite remembers one escaping accumulation: where the append
+// happened and how the target reads in source ("keys", "s.pos").
+type appendSite struct {
+	pos  token.Pos
+	name string
+}
+
 func checkMapRange(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt) {
-	// appended maps slice variables (declared outside the loop) that
-	// receive map-ordered elements, to the position of the append.
-	appended := map[types.Object]token.Pos{}
+	// appended maps slice variables and fields (rooted outside the
+	// loop) that receive map-ordered elements, to their first append.
+	appended := map[types.Object]appendSite{}
 
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -92,9 +100,9 @@ func checkMapRange(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt) {
 		return true
 	})
 
-	for obj, pos := range appended {
-		if !sortedAfter(pass, fn, obj, pos) {
-			pass.Reportf(pos, "map iteration order leaks into slice %q, which is never sorted in this function; sort it (or iterate sorted keys) before it feeds the queue, output, or a return value", obj.Name())
+	for obj, site := range appended {
+		if !sortedAfter(pass, fn, obj, site.pos) {
+			pass.Reportf(site.pos, "map iteration order leaks into slice %q, which is never sorted in this function; sort it (or iterate sorted keys) before it feeds the queue, output, or a return value", site.name)
 		}
 	}
 }
@@ -151,19 +159,39 @@ func isFprint(name string) bool {
 	return false
 }
 
-// recordAppend notes `x = append(x, ...)` inside the loop where x is
-// declared outside the loop (an escaping accumulation).
-func recordAppend(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, appended map[types.Object]token.Pos) {
+// recordAppend notes `x = append(x, ...)` and `r.f = append(r.f, ...)`
+// inside the loop where the accumulation target is rooted outside the
+// loop (an escaping accumulation).
+func recordAppend(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, appended map[types.Object]appendSite) {
 	for i, rhs := range as.Rhs {
 		call, ok := rhs.(*ast.CallExpr)
 		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
 			continue
 		}
-		id, ok := as.Lhs[i].(*ast.Ident)
-		if !ok {
+		var obj types.Object
+		var name string
+		switch lhs := as.Lhs[i].(type) {
+		case *ast.Ident:
+			obj = pass.ObjectOf(lhs)
+			name = lhs.Name
+		case *ast.SelectorExpr:
+			// Field accumulation (s.pos = append(s.pos, ...)): track the
+			// field object, but only when the base is a plain identifier
+			// rooted outside the loop — a struct built per iteration
+			// cannot accumulate across iterations.
+			base, ok := lhs.X.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			baseObj := pass.ObjectOf(base)
+			if baseObj == nil || (baseObj.Pos() >= rng.Body.Pos() && baseObj.Pos() <= rng.Body.End()) {
+				continue
+			}
+			obj = pass.ObjectOf(lhs.Sel)
+			name = base.Name + "." + lhs.Sel.Name
+		default:
 			continue
 		}
-		obj := pass.ObjectOf(id)
 		if obj == nil {
 			continue
 		}
@@ -173,7 +201,7 @@ func recordAppend(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, a
 			continue
 		}
 		if _, seen := appended[obj]; !seen {
-			appended[obj] = as.Pos()
+			appended[obj] = appendSite{pos: as.Pos(), name: name}
 		}
 	}
 }

@@ -101,3 +101,32 @@ func innerScoped(m map[string][]int, sink func([]int)) {
 		sink(doubled)
 	}
 }
+
+// session mirrors an incremental-session store: labelled examples
+// keyed by tuple. Replaying deltas straight from the map would make
+// the rebuilt label order depend on map iteration.
+type session struct {
+	labels map[string]item
+	pos    []item
+}
+
+// replayLabels is the session-shaped determinism bug: label order
+// drives rule learning, so it must never come from a map range.
+func (s *session) replayLabels() {
+	for _, it := range s.labels {
+		s.pos = append(s.pos, it) // want `map iteration order leaks into slice "s.pos"`
+	}
+}
+
+// replaySorted is the blessed session idiom: collect, sort by key,
+// then replay. No finding.
+func (s *session) replaySorted() {
+	var keys []string
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.pos = append(s.pos, s.labels[k])
+	}
+}

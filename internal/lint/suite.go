@@ -31,15 +31,21 @@ func Suite() []*analysis.Analyzer {
 var scopes = map[string][]string{
 	// Determinism of iteration order matters where map order could
 	// reach the queue, canonical keys, or rendered queries.
+	// internal/session revises tasks and owns the cross-revision memo,
+	// so a ranged map there could reorder labels or deltas.
 	"detorder": {
 		"internal/egs", "internal/eval", "internal/query", "internal/cograph",
+		"internal/session",
 	},
 	// Wall-clock and randomness are banned from the synthesis core and
-	// the data structures it renders. cmd/, internal/server, and
-	// benches legitimately report timings, so they are out of scope.
+	// the data structures it renders. internal/session is in: session
+	// TTLs belong to the HTTP layer, and revisions must re-synthesize
+	// identically regardless of when a delta arrived. cmd/,
+	// internal/server, and benches legitimately report timings, so
+	// they are out of scope.
 	"nodetsource": {
 		"internal/egs", "internal/eval", "internal/query", "internal/cograph",
-		"internal/relation", "internal/task",
+		"internal/relation", "internal/task", "internal/session",
 	},
 	// Everywhere except internal/relation itself (the analyzer skips
 	// the owning package) and the lint tree (fixtures deliberately

@@ -29,6 +29,20 @@ type TupleID int32
 // additionally safe for concurrent use once inserts are done, so
 // parallel synthesis workers can intern derived tuples while others
 // read.
+//
+// # Generations
+//
+// The first InternTuple call closes the load phase: base facts keep
+// the dense low ids and interned tuples take ids from the overlay
+// spine. Facts inserted after that point land in an overlay
+// *generation* (see Insert and BeginGeneration): they draw their ids
+// from the same spine — so every previously issued TupleID stays
+// stable forever — and are additionally indexed as facts. Extents and
+// indexes are append-only in ascending id order, which makes a
+// Snapshot (an id watermark) a consistent view of any past
+// generation. Overlay mutation is a between-runs operation: Insert
+// and BeginGeneration must not race with readers; incremental
+// sessions serialize deltas against synthesis runs.
 type Database struct {
 	Schema *Schema
 	Domain *Domain
@@ -44,7 +58,21 @@ type Database struct {
 	byConst map[Const][]TupleID
 
 	intern internTable
+
+	// gen is the current overlay generation; 0 is the base (load
+	// phase) generation. overlay maps each post-freeze fact id to the
+	// generation it landed in, and overlayIDs lists those ids in
+	// insertion order (ascending, since the spine allocates ids
+	// monotonically).
+	gen        Gen
+	overlay    map[TupleID]Gen
+	overlayIDs []TupleID
 }
+
+// Gen numbers overlay generations of a Database. Generation 0 is the
+// base extensional database; each BeginGeneration (or the first
+// post-freeze Insert) opens the next one.
+type Gen int32
 
 // internChunkBits sizes the interning overlay's chunks; chunks are
 // fixed-size arrays so interned tuples are never moved once published
@@ -81,13 +109,18 @@ func NewDatabase(s *Schema, d *Domain) *Database {
 	}
 }
 
-// Insert adds a tuple and returns its id. Inserting a duplicate tuple
-// returns the existing id without modifying the database. The args
-// slice is copied, so callers may reuse their buffers.
+// Insert adds a fact tuple and returns its id. Inserting a duplicate
+// fact returns the existing id without modifying the database. The
+// args slice is copied, so callers may reuse their buffers.
 //
-// Insert is a load-phase operation: it must not be called after the
-// first InternTuple call, which freezes the inserted-id region so
-// interned ids cannot collide with future inserts.
+// During the load phase (before the first InternTuple call) facts
+// take the dense low ids. After the first intern, Insert routes
+// through the overlay: the fact draws its id from the interning spine
+// — so it can never collide with an id already issued — and is
+// stamped with the current overlay generation (opening generation 1
+// implicitly if none has been opened yet). Overlay inserts must not
+// race with concurrent readers or interns; they are a between-runs
+// operation.
 func (db *Database) Insert(t Tuple) TupleID {
 	k := t.Key()
 	if id, ok := db.keys[k]; ok {
@@ -97,13 +130,21 @@ func (db *Database) Insert(t Tuple) TupleID {
 	frozen := db.intern.byKey != nil
 	db.intern.mu.RUnlock()
 	if frozen {
-		panic("relation: Insert of a new tuple after InternTuple froze the id space")
+		return db.insertOverlay(t)
 	}
 	t = Tuple{Rel: t.Rel, Args: append([]Const(nil), t.Args...)}
 	id := TupleID(len(db.tuples))
 	db.tuples = append(db.tuples, t)
 	db.keys[k] = id
+	db.index(t, id)
+	return id
+}
 
+// index registers a fact tuple in the extent, column, and constant
+// indexes. Ids arrive in ascending order (base inserts count up from
+// 0; overlay inserts draw monotonically from the spine), so every
+// index list stays sorted — the invariant Snapshot relies on.
+func (db *Database) index(t Tuple, id TupleID) {
 	for int(t.Rel) >= len(db.byRel) {
 		db.byRel = append(db.byRel, nil)
 		db.byCol = append(db.byCol, nil)
@@ -123,17 +164,105 @@ func (db *Database) Insert(t Tuple) TupleID {
 			db.byConst[c] = append(db.byConst[c], id)
 		}
 	}
+}
+
+// insertOverlay adds a post-freeze fact: the tuple is interned (a
+// no-op if some earlier intern already named it) and then indexed as
+// a fact of the current generation. Interned ids are monotone, but a
+// tuple interned earlier (as a derived or example tuple) and only now
+// promoted to a fact may carry an id smaller than facts already
+// indexed — sortedInsert keeps the index lists ordered in that case.
+func (db *Database) insertOverlay(t Tuple) TupleID {
+	id := db.InternTuple(t)
+	if _, dup := db.overlay[id]; dup {
+		return id
+	}
+	if db.gen == 0 {
+		db.gen = 1
+	}
+	if db.overlay == nil {
+		db.overlay = make(map[TupleID]Gen)
+	}
+	db.overlay[id] = db.gen
+	db.overlayIDs = sortedInsert(db.overlayIDs, id)
+	t = db.TupleByID(id) // the interned copy owns its args
+	db.indexSorted(t, id)
 	return id
 }
 
-// Size reports the number of inserted tuples (interned-only tuples
-// are not counted; they are not facts of the database).
-func (db *Database) Size() int { return len(db.tuples) }
+// indexSorted is index for ids that may be out of order (promoted
+// interned tuples); it preserves the ascending-id invariant of every
+// index list.
+func (db *Database) indexSorted(t Tuple, id TupleID) {
+	for int(t.Rel) >= len(db.byRel) {
+		db.byRel = append(db.byRel, nil)
+		db.byCol = append(db.byCol, nil)
+	}
+	db.byRel[t.Rel] = sortedInsert(db.byRel[t.Rel], id)
 
-// Tuple returns the inserted tuple with the given id. It is the
-// evaluator's hot path and never takes a lock; for ids that may come
-// from the interning table, use TupleByID.
-func (db *Database) Tuple(id TupleID) Tuple { return db.tuples[id] }
+	cols := db.byCol[t.Rel]
+	for len(cols) < len(t.Args) {
+		cols = append(cols, make(map[Const][]TupleID))
+	}
+	db.byCol[t.Rel] = cols
+	seen := make(map[Const]bool, len(t.Args))
+	for col, c := range t.Args {
+		cols[col][c] = sortedInsert(cols[col][c], id)
+		if !seen[c] {
+			seen[c] = true
+			db.byConst[c] = sortedInsert(db.byConst[c], id)
+		}
+	}
+}
+
+// sortedInsert inserts id into the ascending list ids. The common
+// case — id larger than everything present — is a plain append.
+func sortedInsert(ids []TupleID, id TupleID) []TupleID {
+	n := len(ids)
+	if n == 0 || ids[n-1] < id {
+		return append(ids, id)
+	}
+	i := sort.Search(n, func(k int) bool { return ids[k] >= id })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// BeginGeneration opens a new overlay generation and returns its
+// number. Facts inserted from now on are stamped with it; ids issued
+// earlier are unaffected. Like overlay Insert, it must not race with
+// readers.
+func (db *Database) BeginGeneration() Gen {
+	db.gen++
+	return db.gen
+}
+
+// Generation returns the current overlay generation (0 until a
+// post-freeze insert or BeginGeneration opens one).
+func (db *Database) Generation() Gen { return db.gen }
+
+// GenerationOf reports which generation the fact with the given id
+// belongs to: 0 for base facts, the stamped generation for overlay
+// facts. ok is false when id does not name a fact (interned-only
+// tuples have no generation).
+func (db *Database) GenerationOf(id TupleID) (Gen, bool) {
+	if int(id) < len(db.tuples) {
+		return 0, true
+	}
+	g, ok := db.overlay[id]
+	return g, ok
+}
+
+// Size reports the number of fact tuples (base plus overlay;
+// interned-only tuples are not counted — they are not facts of the
+// database).
+func (db *Database) Size() int { return len(db.tuples) + len(db.overlayIDs) }
+
+// Tuple returns the tuple with the given id. It is the evaluator's
+// hot path: base-fact ids resolve with one bounds comparison and no
+// lock; overlay and interned ids go through the lock-free spine.
+func (db *Database) Tuple(id TupleID) Tuple { return db.TupleByID(id) }
 
 // InternTuple returns the dense id of t, assigning a fresh one on
 // first sight. Tuples already inserted keep their insert-time id;
@@ -205,16 +334,29 @@ func (db *Database) NumIDs() int {
 	return len(db.tuples) + db.intern.count
 }
 
-// Contains reports whether the database holds the given tuple.
+// Contains reports whether the database holds the given tuple as a
+// fact (base or overlay; interned-only tuples are not facts).
 func (db *Database) Contains(t Tuple) bool {
-	_, ok := db.keys[t.Key()]
+	_, ok := db.ID(t)
 	return ok
 }
 
-// ID returns the id of the given tuple, if present.
+// ID returns the id of the given fact tuple, if present.
 func (db *Database) ID(t Tuple) (TupleID, bool) {
-	id, ok := db.keys[t.Key()]
-	return id, ok
+	if id, ok := db.keys[t.Key()]; ok {
+		return id, true
+	}
+	if len(db.overlay) == 0 {
+		return 0, false
+	}
+	db.intern.mu.RLock()
+	id, ok := db.intern.byKey[t.Key()]
+	db.intern.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	_, isFact := db.overlay[id]
+	return id, isFact
 }
 
 // Extent returns the ids of all tuples of relation r. The returned
@@ -244,24 +386,27 @@ func (db *Database) Mentioning(c Const) []TupleID {
 	return db.byConst[c]
 }
 
-// All returns all tuples in insertion order. The result is a deep
-// copy: mutating the returned tuples cannot corrupt the database or
-// its indexes.
+// All returns all fact tuples in ascending id order (base facts keep
+// insertion order; overlay facts follow). The result is a deep copy:
+// mutating the returned tuples cannot corrupt the database or its
+// indexes.
 func (db *Database) All() []Tuple {
-	out := make([]Tuple, len(db.tuples))
-	for i, t := range db.tuples {
+	ids := db.AllIDs()
+	out := make([]Tuple, len(ids))
+	for i, id := range ids {
+		t := db.TupleByID(id)
 		out[i] = Tuple{Rel: t.Rel, Args: append([]Const(nil), t.Args...)}
 	}
 	return out
 }
 
-// AllIDs returns all tuple ids in insertion order.
+// AllIDs returns all fact tuple ids in ascending order.
 func (db *Database) AllIDs() []TupleID {
-	ids := make([]TupleID, len(db.tuples))
-	for i := range ids {
-		ids[i] = TupleID(i)
+	ids := make([]TupleID, 0, len(db.tuples)+len(db.overlayIDs))
+	for i := range db.tuples {
+		ids = append(ids, TupleID(i))
 	}
-	return ids
+	return append(ids, db.overlayIDs...)
 }
 
 // Sorted returns all tuples in canonical (Compare) order; useful for
@@ -278,7 +423,7 @@ func (db *Database) ConstantsOf(ids []TupleID) []Const {
 	seen := make(map[Const]bool)
 	var out []Const
 	for _, id := range ids {
-		for _, c := range db.tuples[id].Args {
+		for _, c := range db.TupleByID(id).Args {
 			if !seen[c] {
 				seen[c] = true
 				out = append(out, c)
@@ -287,4 +432,82 @@ func (db *Database) ConstantsOf(ids []TupleID) []Const {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Snapshot is a consistent view of the database at a generation
+// boundary: it sees every base fact plus the overlay facts of
+// generations up to and including its own, and none of any later
+// generation. Snapshots are cheap (a generation number, no copying)
+// and stay valid as the database grows, provided the contract of
+// BeginGeneration is respected: take the snapshot before inserting
+// into a newer generation, so the snapshot's own generation is
+// complete.
+type Snapshot struct {
+	db  *Database
+	gen Gen
+}
+
+// Snapshot returns a view pinned to the current generation.
+func (db *Database) Snapshot() Snapshot { return Snapshot{db: db, gen: db.gen} }
+
+// Generation returns the generation this snapshot is pinned to.
+func (s Snapshot) Generation() Gen { return s.gen }
+
+// Has reports whether the fact with the given id is visible: base
+// facts always are, overlay facts iff their generation is not newer
+// than the snapshot's.
+func (s Snapshot) Has(id TupleID) bool {
+	if int(id) < len(s.db.tuples) {
+		return true
+	}
+	g, ok := s.db.overlay[id]
+	return ok && g <= s.gen
+}
+
+// Size reports the number of facts visible in this snapshot.
+func (s Snapshot) Size() int {
+	n := len(s.db.tuples)
+	for _, g := range s.db.overlay {
+		if g <= s.gen {
+			n++
+		}
+	}
+	return n
+}
+
+// Extent returns the ids of visible tuples of relation r, ascending.
+// When nothing newer than the snapshot exists the live index slice is
+// returned as-is (shared; do not mutate); otherwise a filtered copy.
+func (s Snapshot) Extent(r RelID) []TupleID {
+	return s.filter(s.db.Extent(r))
+}
+
+// AtColumn returns the ids of visible tuples of relation r whose
+// column col holds constant c. Shared or copied as for Extent.
+func (s Snapshot) AtColumn(r RelID, col int, c Const) []TupleID {
+	return s.filter(s.db.AtColumn(r, col, c))
+}
+
+// Mentioning returns the ids of visible tuples mentioning constant c.
+// Shared or copied as for Extent.
+func (s Snapshot) Mentioning(c Const) []TupleID {
+	return s.filter(s.db.Mentioning(c))
+}
+
+// filter drops ids from later generations. The common case — every id
+// visible — returns the input slice unchanged, so pinned-to-current
+// snapshots add no per-read allocation.
+func (s Snapshot) filter(ids []TupleID) []TupleID {
+	for i, id := range ids {
+		if !s.Has(id) {
+			out := append([]TupleID(nil), ids[:i]...)
+			for _, id := range ids[i+1:] {
+				if s.Has(id) {
+					out = append(out, id)
+				}
+			}
+			return out
+		}
+	}
+	return ids
 }

@@ -1,0 +1,205 @@
+package relation
+
+import (
+	"sort"
+	"testing"
+)
+
+// freezeDB builds the shared test database and closes its load phase
+// by interning a non-fact tuple, the way a synthesis run's first
+// derived tuple would.
+func freezeDB(t *testing.T) (*Database, RelID, RelID, []Const, TupleID) {
+	t.Helper()
+	db, edge, color, cs := buildTestDB(t)
+	derived := db.InternTuple(NewTuple(color, cs[2])) // color(c): interned, not a fact
+	return db, edge, color, cs, derived
+}
+
+func TestOverlayInsertAfterFreeze(t *testing.T) {
+	db, edge, _, cs, derived := freezeDB(t)
+	base := db.Size()
+	baseIDs := db.AllIDs()
+
+	if db.Generation() != 0 {
+		t.Fatalf("fresh database generation = %d, want 0", db.Generation())
+	}
+	id := db.Insert(NewTuple(edge, cs[2], cs[0])) // edge(c,a)
+	if int(id) < base {
+		t.Fatalf("overlay insert got base-region id %d", id)
+	}
+	if db.Generation() != 1 {
+		t.Errorf("generation after first overlay insert = %d, want 1", db.Generation())
+	}
+	if g, ok := db.GenerationOf(id); !ok || g != 1 {
+		t.Errorf("GenerationOf(%d) = %d,%v want 1,true", id, g, ok)
+	}
+	if db.Size() != base+1 {
+		t.Errorf("Size = %d, want %d", db.Size(), base+1)
+	}
+
+	// Pre-existing ids are untouched.
+	for _, old := range baseIDs {
+		if g, ok := db.GenerationOf(old); !ok || g != 0 {
+			t.Fatalf("base id %d generation = %d,%v", old, g, ok)
+		}
+	}
+	if got := db.TupleByID(derived); !got.Equal(db.Tuple(derived)) {
+		t.Error("interned tuple no longer resolvable")
+	}
+
+	// Duplicate overlay insert returns the same id.
+	if again := db.Insert(NewTuple(edge, cs[2], cs[0])); again != id {
+		t.Errorf("duplicate overlay insert = %d, want %d", again, id)
+	}
+	if db.Size() != base+1 {
+		t.Errorf("duplicate overlay insert grew Size to %d", db.Size())
+	}
+
+	// The fact is visible on every read path.
+	if !db.Contains(NewTuple(edge, cs[2], cs[0])) {
+		t.Error("Contains misses the overlay fact")
+	}
+	if got, ok := db.ID(NewTuple(edge, cs[2], cs[0])); !ok || got != id {
+		t.Errorf("ID = %d,%v want %d,true", got, ok, id)
+	}
+	if ext := db.Extent(edge); ext[len(ext)-1] != id {
+		t.Errorf("Extent(edge) = %v, missing overlay id %d", ext, id)
+	}
+	if at := db.AtColumn(edge, 0, cs[2]); len(at) != 1 || at[0] != id {
+		t.Errorf("AtColumn(edge,0,c) = %v, want [%d]", at, id)
+	}
+	found := false
+	for _, m := range db.Mentioning(cs[2]) {
+		if m == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Mentioning(c) = %v, missing %d", db.Mentioning(cs[2]), id)
+	}
+	ids := db.AllIDs()
+	if len(ids) != base+1 || ids[len(ids)-1] != id {
+		t.Errorf("AllIDs = %v", ids)
+	}
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		t.Error("AllIDs not ascending")
+	}
+}
+
+// TestOverlayPromotesInternedTuple: a tuple first seen as an interned
+// example/derived tuple keeps its id when it later becomes a fact,
+// and index lists stay sorted even though that id is older than other
+// overlay facts.
+func TestOverlayPromotesInternedTuple(t *testing.T) {
+	db, edge, color, cs, derived := freezeDB(t)
+
+	// A newer overlay fact first, so the promotion below lands an id
+	// *smaller* than an id already in the color extent.
+	later := db.Insert(NewTuple(color, cs[1])) // color(b)
+	if later <= derived {
+		t.Fatalf("expected later id: later=%d derived=%d", later, derived)
+	}
+	promoted := db.Insert(NewTuple(color, cs[2])) // the interned color(c)
+	if promoted != derived {
+		t.Fatalf("promotion changed id: %d -> %d", derived, promoted)
+	}
+	if g, ok := db.GenerationOf(promoted); !ok || g != 1 {
+		t.Errorf("GenerationOf(promoted) = %d,%v want 1,true", g, ok)
+	}
+	ext := db.Extent(color)
+	if !sort.SliceIsSorted(ext, func(i, j int) bool { return ext[i] < ext[j] }) {
+		t.Errorf("Extent(color) = %v, not ascending after promotion", ext)
+	}
+	has := func(ids []TupleID, want TupleID) bool {
+		for _, id := range ids {
+			if id == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(ext, promoted) || !has(ext, later) {
+		t.Errorf("Extent(color) = %v, want both %d and %d", ext, promoted, later)
+	}
+	if !has(db.Mentioning(cs[2]), promoted) {
+		t.Error("Mentioning misses promoted fact")
+	}
+	_ = edge
+}
+
+func TestOverlayGenerationsAndSnapshot(t *testing.T) {
+	db, edge, _, cs, _ := freezeDB(t)
+
+	snap0 := db.Snapshot()
+	id1 := db.Insert(NewTuple(edge, cs[2], cs[0])) // generation 1
+	snap1 := db.Snapshot()
+	if g := db.BeginGeneration(); g != 2 {
+		t.Fatalf("BeginGeneration = %d, want 2", g)
+	}
+	id2 := db.Insert(NewTuple(edge, cs[2], cs[1])) // generation 2
+	snap2 := db.Snapshot()
+
+	if g, _ := db.GenerationOf(id1); g != 1 {
+		t.Errorf("id1 generation = %d, want 1", g)
+	}
+	if g, _ := db.GenerationOf(id2); g != 2 {
+		t.Errorf("id2 generation = %d, want 2", g)
+	}
+
+	// snap0 sees neither overlay fact; snap1 sees only id1; snap2 both.
+	if snap0.Has(id1) || snap0.Has(id2) {
+		t.Error("generation-0 snapshot sees overlay facts")
+	}
+	if !snap1.Has(id1) || snap1.Has(id2) {
+		t.Error("generation-1 snapshot visibility wrong")
+	}
+	if !snap2.Has(id1) || !snap2.Has(id2) {
+		t.Error("generation-2 snapshot visibility wrong")
+	}
+	if !snap0.Has(0) {
+		t.Error("snapshot hides base facts")
+	}
+
+	base := len(db.tuples)
+	if snap0.Size() != base || snap1.Size() != base+1 || snap2.Size() != base+2 {
+		t.Errorf("snapshot sizes = %d,%d,%d want %d,%d,%d",
+			snap0.Size(), snap1.Size(), snap2.Size(), base, base+1, base+2)
+	}
+
+	ext0 := snap0.Extent(edge)
+	for _, id := range ext0 {
+		if int(id) >= base {
+			t.Errorf("snap0.Extent leaked overlay id %d", id)
+		}
+	}
+	ext1 := snap1.Extent(edge)
+	if ext1[len(ext1)-1] != id1 {
+		t.Errorf("snap1.Extent = %v, want final id %d", ext1, id1)
+	}
+	ext2 := snap2.Extent(edge)
+	if len(ext2) != len(db.Extent(edge)) {
+		t.Errorf("current-generation snapshot filtered Extent: %v", ext2)
+	}
+
+	// Old snapshots remain consistent as the database keeps growing.
+	db.BeginGeneration()
+	id3 := db.Insert(NewTuple(edge, cs[1], cs[0]))
+	if snap1.Has(id3) || snap2.Has(id3) {
+		t.Error("old snapshot sees a generation-3 fact")
+	}
+	if m := snap0.Mentioning(cs[2]); has(m, id1) || has(m, id2) {
+		t.Errorf("snap0.Mentioning = %v leaks overlay facts", m)
+	}
+	if at := snap1.AtColumn(edge, 0, cs[2]); len(at) != 1 || at[0] != id1 {
+		t.Errorf("snap1.AtColumn = %v, want [%d]", at, id1)
+	}
+}
+
+func has(ids []TupleID, want TupleID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}

@@ -21,14 +21,22 @@ import (
 // Handler returns the service's HTTP routes wrapped in request
 // logging and status accounting:
 //
-//	POST /synthesize        run (or cache-serve) a synthesis task
-//	GET  /healthz           liveness: 200 serving, 503 draining
-//	GET  /metrics           Prometheus text exposition
-//	GET  /debug/traces/{id} fetch a stored request trace
-//	GET  /debug/pprof/...   stdlib runtime profiling
+//	POST /synthesize              run (or cache-serve) a synthesis task
+//	POST /sessions                create an incremental session
+//	POST /sessions/{id}/delta     apply deltas, optionally re-solve
+//	GET  /sessions/{id}           session status
+//	DELETE /sessions/{id}         drop a session
+//	GET  /healthz                 liveness: 200 serving, 503 draining
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /debug/traces/{id}       fetch a stored request trace
+//	GET  /debug/pprof/...         stdlib runtime profiling
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /synthesize", s.handleSynthesize)
+	mux.HandleFunc("POST /sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST /sessions/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("GET /sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)

@@ -54,6 +54,19 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 (for ratios and rates that
+// do not fit the integer Gauge). Lock-free: the value is stored as
+// its IEEE-754 bit pattern in a uint64 atomic.
+type FloatGauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // CounterVec is a family of counters partitioned by the values of one
 // label. Children are created on first use and live for the life of
 // the registry.
@@ -123,6 +136,7 @@ type family struct {
 	counter         *Counter
 	vec             *CounterVec
 	gauge           *Gauge
+	fgauge          *FloatGauge
 	hist            *Histogram
 }
 
@@ -161,6 +175,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// FloatGauge registers and returns a float-valued gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{}
+	r.add(&family{name: name, help: help, typ: "gauge", fgauge: g})
+	return g
+}
+
 // Histogram registers and returns a histogram with the given upper
 // bounds (nil selects DefBuckets).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -186,6 +207,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
 		case f.gauge != nil:
 			fmt.Fprintf(bw, "%s %d\n", f.name, f.gauge.Value())
+		case f.fgauge != nil:
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.fgauge.Value()))
 		case f.vec != nil:
 			writeVec(bw, f)
 		case f.hist != nil:

@@ -19,6 +19,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/egs-synthesis/egs"
@@ -47,6 +48,12 @@ type Config struct {
 	MaxContexts int
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// SessionCap bounds concurrently live incremental sessions; a full
+	// store answers POST /sessions with 429 (default 64).
+	SessionCap int
+	// SessionTTL evicts sessions idle for longer than this (default
+	// 15m). Every touch — delta, solve, status read — resets the clock.
+	SessionTTL time.Duration
 	// Logger receives structured request and lifecycle logs (default
 	// slog.Default).
 	Logger *slog.Logger
@@ -82,6 +89,14 @@ type Server struct {
 	// traces retains recent request traces for GET /debug/traces/{id}.
 	traces *traceStore
 
+	// sessions holds live incremental sessions; janitorStop ends the
+	// TTL sweeper.
+	sessions    *sessionStore
+	janitorStop chan struct{}
+	// sessEvals/sessHits accumulate assessment work across all session
+	// solves; their ratio is exported as egs_session_memo_reuse_ratio.
+	sessEvals, sessHits atomic.Uint64
+
 	reg *metrics.Registry
 
 	mRequests    *metrics.CounterVec // HTTP responses by status code
@@ -97,6 +112,14 @@ type Server struct {
 	// hit rate = memo_hits / (memo_hits + evals).
 	mAssessEvals    *metrics.Counter
 	mAssessMemoHits *metrics.Counter
+	// Session metrics: live count, applied deltas, store-full
+	// rejections, evictions by reason (ttl, delete), and the cumulative
+	// memo-reuse ratio of session solves.
+	mSessionsActive   *metrics.Gauge
+	mSessionDeltas    *metrics.Counter
+	mSessionRejected  *metrics.Counter
+	mSessionEvictions *metrics.CounterVec
+	mSessionMemoRatio *metrics.FloatGauge
 }
 
 // job is one admitted synthesis request.
@@ -104,6 +127,10 @@ type job struct {
 	ctx  context.Context
 	task *egs.Task
 	opts egs.Options
+	// do overrides the engine call (session solves run through their
+	// Session instead of egs.Synthesize); nil selects s.synth on
+	// (task, opts).
+	do func(ctx context.Context) (egs.Result, error)
 	// done receives the outcome exactly once; buffered so a worker
 	// never blocks on a handler that gave up at its deadline.
 	done chan jobResult
@@ -138,6 +165,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.SessionCap <= 0 {
+		cfg.SessionCap = 64
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 15 * time.Minute
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
@@ -151,9 +184,11 @@ func New(cfg Config) *Server {
 		log:    cfg.Logger,
 		synth:  cfg.synthesize,
 		cache:  newLRU(cfg.CacheSize),
-		queue:  make(chan *job, cfg.QueueDepth),
-		traces: newTraceStore(traceStoreCap),
-		reg:    reg,
+		queue:       make(chan *job, cfg.QueueDepth),
+		traces:      newTraceStore(traceStoreCap),
+		sessions:    newSessionStore(cfg.SessionCap, cfg.SessionTTL),
+		janitorStop: make(chan struct{}),
+		reg:         reg,
 
 		mRequests: reg.CounterVec("egs_requests_total",
 			"HTTP responses served, by status code.", "code"),
@@ -177,11 +212,23 @@ func New(cfg Config) *Server {
 			"Candidate-rule evaluations executed by the engine."),
 		mAssessMemoHits: reg.Counter("egs_assess_memo_hits_total",
 			"Candidate assessments answered from the engine's canonical-rule memo."),
+		mSessionsActive: reg.Gauge("egs_sessions_active",
+			"Incremental sessions currently live."),
+		mSessionDeltas: reg.Counter("egs_session_deltas_total",
+			"Deltas applied to incremental sessions."),
+		mSessionRejected: reg.Counter("egs_session_rejections_total",
+			"Session creations rejected with 429 because the store was at capacity."),
+		mSessionEvictions: reg.CounterVec("egs_session_evictions_total",
+			"Sessions removed from the store, by reason (ttl, delete).", "reason"),
+		mSessionMemoRatio: reg.FloatGauge("egs_session_memo_reuse_ratio",
+			"Memoized share of candidate assessments across all session solves: hits / (hits + evals)."),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.sessionJanitor()
 	s.log.Info("server ready",
 		"workers", cfg.Workers, "queue_depth", cfg.QueueDepth,
 		"cache_size", cfg.CacheSize, "default_timeout", cfg.DefaultTimeout)
@@ -210,7 +257,13 @@ func (s *Server) run(j *job) {
 	}
 	s.mInFlight.Inc()
 	start := time.Now()
-	res, err := s.synth(j.ctx, j.task, j.opts)
+	var res egs.Result
+	var err error
+	if j.do != nil {
+		res, err = j.do(j.ctx)
+	} else {
+		res, err = s.synth(j.ctx, j.task, j.opts)
+	}
 	dur := time.Since(start)
 	s.mInFlight.Dec()
 	s.mLatency.Observe(dur.Seconds())
@@ -266,6 +319,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.queue)
+		close(s.janitorStop)
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})

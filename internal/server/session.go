@@ -1,0 +1,459 @@
+// Incremental-session surface of the synthesis service: a bounded,
+// TTL-evicted store of egs.Session instances plus the handlers for
+//
+//	POST   /sessions             create a session, solve revision 0
+//	POST   /sessions/{id}/delta  apply deltas, optionally re-solve
+//	GET    /sessions/{id}        session status (never solves)
+//	DELETE /sessions/{id}        drop the session
+//
+// Session solves run through the same admission queue and worker pool
+// as one-shot requests — a full queue answers 429 — but never touch
+// the canonical-hash result cache: a session's task mutates under its
+// canonical hash, so serving (or seeding) cached entries from session
+// state could replay a stale answer. Freshness comes from the
+// session's own warm memo instead, visible as candidates_cached in
+// the response stats and as egs_session_memo_reuse_ratio in /metrics.
+
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/egs-synthesis/egs"
+)
+
+// serverSession is one live incremental session plus its bookkeeping.
+type serverSession struct {
+	id      string
+	name    string
+	sess    *egs.Session
+	created time.Time
+	// lastUsed is guarded by the owning store's mutex; every handler
+	// touch refreshes it.
+	lastUsed time.Time
+}
+
+// sessionStore is a capacity-bounded map of live sessions with lazy
+// TTL expiry (the janitor sweeps the rest).
+type sessionStore struct {
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	m   map[string]*serverSession
+}
+
+func newSessionStore(capacity int, ttl time.Duration) *sessionStore {
+	return &sessionStore{cap: capacity, ttl: ttl, m: make(map[string]*serverSession)}
+}
+
+var errSessionStoreFull = admissionError("session store is at capacity")
+
+// add inserts a new session, enforcing the capacity bound.
+func (st *sessionStore) add(ss *serverSession, now time.Time) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.m) >= st.cap {
+		return errSessionStoreFull
+	}
+	ss.created, ss.lastUsed = now, now
+	st.m[ss.id] = ss
+	return nil
+}
+
+// get returns the live session with the given id, refreshing its TTL
+// clock. A session found expired is removed and reported in the
+// second result so the caller can count the eviction.
+func (st *sessionStore) get(id string, now time.Time) (ss *serverSession, expired bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	if now.Sub(s.lastUsed) > st.ttl {
+		delete(st.m, id)
+		return nil, true
+	}
+	s.lastUsed = now
+	return s, false
+}
+
+// remove deletes the session, reporting whether it was present.
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.m[id]
+	delete(st.m, id)
+	return ok
+}
+
+// sweep removes every session idle past the TTL and returns the count.
+func (st *sessionStore) sweep(now time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for id, s := range st.m {
+		if now.Sub(s.lastUsed) > st.ttl {
+			delete(st.m, id)
+			n++
+		}
+	}
+	return n
+}
+
+// len reports the number of live sessions.
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// oldestIdle returns how long the least-recently-used session has
+// been idle; zero when the store is empty.
+func (st *sessionStore) oldestIdle(now time.Time) time.Duration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var idle time.Duration
+	for _, s := range st.m {
+		if d := now.Sub(s.lastUsed); d > idle {
+			idle = d
+		}
+	}
+	return idle
+}
+
+// sessionJanitor periodically evicts TTL-expired sessions so idle
+// sessions release memory without waiting to be touched.
+func (s *Server) sessionJanitor() {
+	defer s.wg.Done()
+	period := s.cfg.SessionTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	if period > time.Minute {
+		period = time.Minute
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case now := <-t.C:
+			if n := s.sessions.sweep(now); n > 0 {
+				s.mSessionEvictions.With("ttl").Add(uint64(n))
+				s.mSessionsActive.Set(int64(s.sessions.len()))
+				s.log.Info("sessions expired", "count", n)
+			}
+		}
+	}
+}
+
+// newSessionID returns a 128-bit random hex id.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// DeltaOp is one session mutation.
+type DeltaOp struct {
+	// Op is "add_fact", "add_example", "remove_example", or "relabel".
+	Op  string `json:"op"`
+	Rel string `json:"rel"`
+	// Args are the tuple's constants, by name.
+	Args []string `json:"args"`
+	// Positive selects the label polarity for add_example and relabel.
+	Positive bool `json:"positive,omitempty"`
+}
+
+// DeltaRequest is the JSON body of POST /sessions/{id}/delta.
+type DeltaRequest struct {
+	Deltas []DeltaOp `json:"deltas"`
+	// Solve controls whether the revision is synthesized after the
+	// deltas apply (default true). With false the deltas are staged
+	// and the response reports status "pending"; a later delta call
+	// (possibly with an empty delta list) solves the accumulated
+	// revision.
+	Solve     *bool           `json:"solve,omitempty"`
+	Options   *RequestOptions `json:"options,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+}
+
+// SessionResponse is the JSON body of the session endpoints: the
+// synthesis result (when a solve ran) plus session bookkeeping.
+type SessionResponse struct {
+	SynthesisResponse
+	SessionID string `json:"session_id"`
+	// Revision counts solved revisions; 0 is the creation solve.
+	Revision int `json:"revision"`
+	// DeltasApplied is the session's lifetime delta count.
+	DeltasApplied int `json:"deltas_applied"`
+	// Pending reports deltas staged but not yet solved.
+	Pending bool `json:"pending"`
+}
+
+// SessionStatus is the JSON body of GET /sessions/{id}.
+type SessionStatus struct {
+	SessionID     string  `json:"session_id"`
+	Name          string  `json:"name,omitempty"`
+	Revision      int     `json:"revision"`
+	DeltasApplied int     `json:"deltas_applied"`
+	Pending       bool    `json:"pending"`
+	Facts         int     `json:"facts"`
+	PosExamples   int     `json:"pos_examples"`
+	NegExamples   int     `json:"neg_examples"`
+	AgeSeconds    float64 `json:"age_seconds"`
+}
+
+// handleSessionCreate parses a task exactly like POST /synthesize,
+// wraps it in a session, and solves revision 0 through the worker
+// pool. The response carries the session id for subsequent deltas.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+	t, reqOpts, timeoutMS, err := parseRequest(r.Header.Get("Content-Type"), r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if pos, neg := t.NumExamples(); pos+neg == 0 {
+		s.writeError(w, http.StatusBadRequest, "task declares no labelled output tuples; nothing to synthesize")
+		return
+	}
+	opts, err := s.resolveOptions(reqOpts)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, err := egs.NewSession(t)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "session: "+err.Error())
+		return
+	}
+	id, err := newSessionID()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "session id generation failed")
+		return
+	}
+	ss := &serverSession{id: id, name: t.Name(), sess: sess}
+	if err := s.sessions.add(ss, start); err != nil {
+		s.mSessionRejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.sessionRetryAfterSeconds(start)))
+		s.writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	s.mSessionsActive.Set(int64(s.sessions.len()))
+
+	resp, status, errMsg := s.solveSession(r.Context(), ss, opts, timeoutMS, start)
+	if errMsg != "" {
+		// The creation solve failed (timeout, budget, queue overflow):
+		// drop the half-born session rather than leaking it.
+		if s.sessions.remove(id) {
+			s.mSessionEvictions.With("delete").Inc()
+			s.mSessionsActive.Set(int64(s.sessions.len()))
+		}
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
+		s.writeError(w, status, errMsg)
+		return
+	}
+	s.log.Info("session created", "session", id, "task", t.Name(), "status", resp.Status)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionDelta applies a delta batch and, unless solve=false,
+// synthesizes the new revision warm.
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ss, expired := s.sessions.get(r.PathValue("id"), start)
+	if ss == nil {
+		s.sessionMiss(w, expired)
+		return
+	}
+	var req DeltaRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid JSON request: "+err.Error())
+		return
+	}
+	for i, d := range req.Deltas {
+		var err error
+		switch d.Op {
+		case "add_fact":
+			err = ss.sess.AddFact(d.Rel, d.Args...)
+		case "add_example":
+			err = ss.sess.AddExample(d.Positive, d.Rel, d.Args...)
+		case "remove_example":
+			err = ss.sess.RemoveExample(d.Rel, d.Args...)
+		case "relabel":
+			err = ss.sess.RelabelTuple(d.Positive, d.Rel, d.Args...)
+		default:
+			err = fmt.Errorf("unknown op %q (want add_fact, add_example, remove_example, or relabel)", d.Op)
+		}
+		if err != nil {
+			// Earlier deltas of the batch stay applied; the error names
+			// the failing index so the client can resubmit the rest.
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("delta %d: %s", i, err))
+			return
+		}
+		s.mSessionDeltas.Inc()
+	}
+
+	if req.Solve != nil && !*req.Solve {
+		resp := &SessionResponse{SessionID: ss.id}
+		resp.Status = "pending"
+		s.fillSessionState(resp, ss)
+		resp.ElapsedMS = msSince(start)
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	opts, err := s.resolveOptions(req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, status, errMsg := s.solveSession(r.Context(), ss, opts, req.TimeoutMS, start)
+	if errMsg != "" {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
+		s.writeError(w, status, errMsg)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	ss, expired := s.sessions.get(r.PathValue("id"), now)
+	if ss == nil {
+		s.sessionMiss(w, expired)
+		return
+	}
+	pos, neg := ss.sess.NumExamples()
+	s.writeJSON(w, http.StatusOK, &SessionStatus{
+		SessionID:     ss.id,
+		Name:          ss.name,
+		Revision:      ss.sess.Revision(),
+		DeltasApplied: ss.sess.Deltas(),
+		Pending:       ss.sess.Pending(),
+		Facts:         ss.sess.NumFacts(),
+		PosExamples:   pos,
+		NegExamples:   neg,
+		AgeSeconds:    now.Sub(ss.created).Seconds(),
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("id")) {
+		s.writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	s.mSessionEvictions.With("delete").Inc()
+	s.mSessionsActive.Set(int64(s.sessions.len()))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// sessionMiss answers a lookup that found no live session, counting
+// the eviction when the miss was a lazy TTL expiry.
+func (s *Server) sessionMiss(w http.ResponseWriter, expired bool) {
+	if expired {
+		s.mSessionEvictions.With("ttl").Inc()
+		s.mSessionsActive.Set(int64(s.sessions.len()))
+		s.writeError(w, http.StatusNotFound, "session expired")
+		return
+	}
+	s.writeError(w, http.StatusNotFound, "no such session")
+}
+
+// solveSession runs one session revision through the admission queue
+// and worker pool, bypassing the result cache entirely (see the
+// package comment above). On success it returns the wire response; on
+// failure, an HTTP status and message.
+func (s *Server) solveSession(rctx context.Context, ss *serverSession, opts egs.Options, timeoutMS int64, start time.Time) (*SessionResponse, int, string) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = min(time.Duration(timeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(rctx, timeout)
+	defer cancel()
+	j := &job{
+		ctx:  ctx,
+		do:   func(ctx context.Context) (egs.Result, error) { return ss.sess.Solve(ctx, opts) },
+		done: make(chan jobResult, 1),
+	}
+	if err := s.enqueue(j); err != nil {
+		if errors.Is(err, errQueueFull) {
+			return nil, http.StatusTooManyRequests, err.Error()
+		}
+		return nil, http.StatusServiceUnavailable, err.Error()
+	}
+	var jr jobResult
+	select {
+	case jr = <-j.done:
+	case <-ctx.Done():
+		return nil, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline"
+	}
+	if jr.err != nil {
+		switch {
+		case errors.Is(jr.err, egs.ErrBudgetExceeded):
+			return nil, http.StatusUnprocessableEntity,
+				"enumeration budget exceeded before the search completed (raise max_contexts or the server budget)"
+		case errors.Is(jr.err, context.DeadlineExceeded), errors.Is(jr.err, context.Canceled):
+			return nil, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline"
+		default:
+			s.log.Error("session solve failed", "session", ss.id, "err", jr.err)
+			return nil, http.StatusInternalServerError, "synthesis failed: " + jr.err.Error()
+		}
+	}
+	// Fold this solve into the cumulative session memo-reuse ratio.
+	evals := s.sessEvals.Add(uint64(jr.res.Stats.CandidatesEvaluated))
+	hits := s.sessHits.Add(uint64(jr.res.Stats.CandidatesCached))
+	if evals+hits > 0 {
+		s.mSessionMemoRatio.Set(float64(hits) / float64(evals+hits))
+	}
+
+	resp := &SessionResponse{SynthesisResponse: *buildResponse(nil, jr.res, "")}
+	resp.SessionID = ss.id
+	s.fillSessionState(resp, ss)
+	resp.ElapsedMS = msSince(start)
+	s.log.Info("session revision solved",
+		"session", ss.id, "task", ss.name, "revision", resp.Revision,
+		"status", resp.Status, "synth_ms", float64(jr.dur.Microseconds())/1000,
+		"evals", jr.res.Stats.CandidatesEvaluated, "memo_hits", jr.res.Stats.CandidatesCached)
+	return resp, 0, ""
+}
+
+func (s *Server) fillSessionState(resp *SessionResponse, ss *serverSession) {
+	resp.Revision = ss.sess.Revision()
+	resp.DeltasApplied = ss.sess.Deltas()
+	resp.Pending = ss.sess.Pending()
+}
+
+// sessionRetryAfterSeconds estimates when a session slot will free
+// up: the time until the least-recently-used session ages out, with a
+// one-second floor.
+func (s *Server) sessionRetryAfterSeconds(now time.Time) int {
+	wait := s.cfg.SessionTTL - s.sessions.oldestIdle(now)
+	sec := int((wait + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}

@@ -1,0 +1,284 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gpTaskJSON is a grandparent task whose answer flips to the plain
+// parent rule when the labels are revised (see the regression test).
+const gpTaskJSON = `{
+  "name": "gp",
+  "inputs": [{"name": "parent", "arity": 2}],
+  "outputs": [{"name": "grandparent", "arity": 2}],
+  "facts": [
+    {"rel": "parent", "args": ["alice", "bob"]},
+    {"rel": "parent", "args": ["bob", "carol"]},
+    {"rel": "parent", "args": ["carol", "dave"]}
+  ],
+  "positive": [
+    {"rel": "grandparent", "args": ["alice", "carol"]},
+    {"rel": "grandparent", "args": ["bob", "dave"]}
+  ],
+  "negative": [{"rel": "grandparent", "args": ["alice", "bob"]}]
+}`
+
+func postSession(t *testing.T, url, body string) (*http.Response, *SessionResponse) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding session response: %v", err)
+	}
+	return resp, &sr
+}
+
+func deleteSession(t *testing.T, url, id string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url+"/sessions/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestSessionLifecycle drives create → delta → status → delete over
+// HTTP and asserts the session metric families along the way.
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, sr := postSession(t, ts.URL+"/sessions", gpTaskJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d (%s)", resp.StatusCode, sr.Error)
+	}
+	if sr.Status != "sat" || sr.SessionID == "" || sr.Revision != 0 {
+		t.Fatalf("create: %+v", sr)
+	}
+	want := "grandparent(x, z) :- parent(x, y), parent(y, z)."
+	if strings.TrimSpace(sr.Datalog) != want {
+		t.Errorf("create datalog = %q, want %q", sr.Datalog, want)
+	}
+	id := sr.SessionID
+
+	// Stage a fact without solving, then solve in a second call.
+	resp, sr = postSession(t, ts.URL+"/sessions/"+id+"/delta",
+		`{"deltas": [{"op": "add_fact", "rel": "parent", "args": ["dave", "erin"]}], "solve": false}`)
+	if resp.StatusCode != http.StatusOK || sr.Status != "pending" || !sr.Pending {
+		t.Fatalf("staged delta: status %d, %+v", resp.StatusCode, sr)
+	}
+	resp, sr = postSession(t, ts.URL+"/sessions/"+id+"/delta",
+		`{"deltas": [{"op": "add_example", "positive": true, "rel": "grandparent", "args": ["carol", "erin"]}]}`)
+	if resp.StatusCode != http.StatusOK || sr.Status != "sat" {
+		t.Fatalf("delta solve: status %d (%s)", resp.StatusCode, sr.Error)
+	}
+	if sr.Revision != 1 || sr.DeltasApplied != 2 || sr.Pending {
+		t.Errorf("delta solve state: %+v", sr)
+	}
+	if strings.TrimSpace(sr.Datalog) != want {
+		t.Errorf("warm datalog = %q, want %q", sr.Datalog, want)
+	}
+	if sr.Cached {
+		t.Error("session solve claimed to be served from the result cache")
+	}
+
+	// An example-only revision (toggle one label back to itself) runs
+	// against a memo no fact delta has disturbed: the assessments come
+	// back as revalidation hits.
+	resp, sr = postSession(t, ts.URL+"/sessions/"+id+"/delta", `{"deltas": [
+	  {"op": "remove_example", "rel": "grandparent", "args": ["carol", "erin"]},
+	  {"op": "add_example", "positive": true, "rel": "grandparent", "args": ["carol", "erin"]}
+	]}`)
+	if resp.StatusCode != http.StatusOK || sr.Status != "sat" {
+		t.Fatalf("toggle delta: status %d (%s)", resp.StatusCode, sr.Error)
+	}
+	if sr.Revision != 2 || sr.DeltasApplied != 4 {
+		t.Errorf("toggle delta state: %+v", sr)
+	}
+	if strings.TrimSpace(sr.Datalog) != want {
+		t.Errorf("toggled datalog = %q, want %q", sr.Datalog, want)
+	}
+	if sr.Stats == nil || sr.Stats.CandidatesCached == 0 {
+		t.Errorf("example-only revision reported no cached candidates: %+v", sr.Stats)
+	}
+
+	// Status endpoint never solves.
+	st, err := http.Get(ts.URL + "/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status SessionStatus
+	if err := json.NewDecoder(st.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if status.SessionID != id || status.Revision != 2 || status.Facts != 4 || status.PosExamples != 3 {
+		t.Errorf("status = %+v", status)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		"egs_sessions_active 1",
+		"egs_session_deltas_total 4",
+		"egs_session_memo_reuse_ratio 0.",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if resp := deleteSession(t, ts.URL, id); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if resp := deleteSession(t, ts.URL, id); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete: status %d, want 404", resp.StatusCode)
+	}
+	m = scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		"egs_sessions_active 0",
+		`egs_session_evictions_total{reason="delete"} 1`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSessionBypassesResultCache is the stale-answer regression test:
+// a session revision must never be served from (or seed) the
+// canonical-hash result cache, even when the one-shot path has a
+// cached answer for the same task.
+func TestSessionBypassesResultCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Seed the one-shot result cache.
+	resp, one := post(t, ts.URL+"/synthesize", "application/json", gpTaskJSON)
+	if resp.StatusCode != http.StatusOK || one.Status != "sat" {
+		t.Fatalf("synthesize: %d %+v", resp.StatusCode, one)
+	}
+	_, oneAgain := post(t, ts.URL+"/synthesize", "application/json", gpTaskJSON)
+	if !oneAgain.Cached {
+		t.Fatal("second one-shot request was not cached; cache not exercised")
+	}
+	gpRule := strings.TrimSpace(one.Datalog)
+
+	// A session over the same task must synthesize, not replay.
+	resp, sr := postSession(t, ts.URL+"/sessions", gpTaskJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d (%s)", resp.StatusCode, sr.Error)
+	}
+	if sr.Cached {
+		t.Error("session creation solve served from the result cache")
+	}
+	id := sr.SessionID
+
+	// Revise the labels so the answer changes: the parent pairs become
+	// the positives, the old grandparent pairs the negatives.
+	resp, sr = postSession(t, ts.URL+"/sessions/"+id+"/delta", `{"deltas": [
+      {"op": "relabel", "positive": false, "rel": "grandparent", "args": ["alice", "carol"]},
+      {"op": "relabel", "positive": false, "rel": "grandparent", "args": ["bob", "dave"]},
+      {"op": "relabel", "positive": true, "rel": "grandparent", "args": ["alice", "bob"]}
+    ]}`)
+	if resp.StatusCode != http.StatusOK || sr.Status != "sat" {
+		t.Fatalf("delta: %d (%s)", resp.StatusCode, sr.Error)
+	}
+	if sr.Cached {
+		t.Error("post-delta solve served from the result cache")
+	}
+	wantFlipped := "grandparent(x, y) :- parent(x, y)."
+	if got := strings.TrimSpace(sr.Datalog); got != wantFlipped {
+		t.Errorf("post-delta datalog = %q, want %q", got, wantFlipped)
+	}
+	if strings.TrimSpace(sr.Datalog) == gpRule {
+		t.Error("delta served the stale pre-delta answer")
+	}
+
+	// The one-shot cache entry must be untouched by session activity.
+	_, final := post(t, ts.URL+"/synthesize", "application/json", gpTaskJSON)
+	if !final.Cached || strings.TrimSpace(final.Datalog) != gpRule {
+		t.Errorf("one-shot cache polluted: cached=%v datalog=%q", final.Cached, final.Datalog)
+	}
+}
+
+// TestSessionCapRejects: a full session store answers 429 with a
+// Retry-After hint and counts the rejection.
+func TestSessionCapRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SessionCap: 1})
+
+	resp, sr := postSession(t, ts.URL+"/sessions", gpTaskJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first create: %d (%s)", resp.StatusCode, sr.Error)
+	}
+	resp, sr = postSession(t, ts.URL+"/sessions", gpTaskJSON)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second create: status %d, want 429 (%s)", resp.StatusCode, sr.Error)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if m := scrapeMetrics(t, ts.URL); !strings.Contains(m, "egs_session_rejections_total 1") {
+		t.Error("metrics missing egs_session_rejections_total 1")
+	}
+}
+
+// TestSessionTTLExpiry: an idle session ages out and later lookups
+// answer 404, counting a ttl eviction.
+func TestSessionTTLExpiry(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SessionTTL: 50 * time.Millisecond})
+
+	resp, sr := postSession(t, ts.URL+"/sessions", gpTaskJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d (%s)", resp.StatusCode, sr.Error)
+	}
+	time.Sleep(80 * time.Millisecond)
+	st, err := http.Get(ts.URL + "/sessions/" + sr.SessionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if st.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired session lookup: status %d, want 404", st.StatusCode)
+	}
+	if m := scrapeMetrics(t, ts.URL); !strings.Contains(m, `egs_session_evictions_total{reason="ttl"} 1`) {
+		t.Error("metrics missing ttl eviction count")
+	}
+}
+
+// TestSessionDeltaErrors: malformed deltas answer 400 naming the
+// failing index; unknown sessions answer 404.
+func TestSessionDeltaErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, sr := postSession(t, ts.URL+"/sessions/deadbeef/delta", `{"deltas": []}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", resp.StatusCode)
+	}
+
+	resp, sr = postSession(t, ts.URL+"/sessions", gpTaskJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d (%s)", resp.StatusCode, sr.Error)
+	}
+	id := sr.SessionID
+	for _, body := range []string{
+		`{"deltas": [{"op": "warp", "rel": "parent", "args": ["a", "b"]}]}`,
+		`{"deltas": [{"op": "add_fact", "rel": "nosuch", "args": ["a", "b"]}]}`,
+		`{"deltas": [{"op": "add_example", "positive": true, "rel": "grandparent", "args": ["alice"]}]}`,
+		`{"bogus_field": 1}`,
+	} {
+		resp, sr = postSession(t, ts.URL+"/sessions/"+id+"/delta", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400 (%s)", body, resp.StatusCode, sr.Error)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package session
+
+import (
+	"context"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/bench"
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// benchCases are the session benchmark instances: the synthetic
+// scaling family's largest suite member and a small real benchmark
+// with materialized negation.
+func benchCases(b *testing.B) map[string]func() *task.Task {
+	b.Helper()
+	return map[string]func() *task.Task{
+		"scaled-traffic-60": func() *task.Task {
+			t, err := bench.ScaledTraffic(60)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return t
+		},
+		"grandparent": func() *task.Task {
+			t, err := task.Load("../../testdata/benchmarks/knowledge-discovery/grandparent.task")
+			if err != nil {
+				b.Fatal(err)
+			}
+			return t
+		},
+	}
+}
+
+// BenchmarkSessionCold measures a from-scratch synthesis of the full
+// task — the baseline a warm revision is compared against.
+func BenchmarkSessionCold(b *testing.B) {
+	for name, load := range benchCases(b) {
+		b.Run(name, func(b *testing.B) {
+			tk := load()
+			if err := tk.Prepare(); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var evals int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := egs.Synthesize(ctx, tk, egs.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals = res.Stats.RuleEvals
+			}
+			b.ReportMetric(float64(evals), "ruleevals/op")
+		})
+	}
+}
+
+// BenchmarkSessionRevision measures one warm revision: toggle the
+// last positive example (remove + re-add, restoring the original
+// labelling) and re-solve through the session's stamped memo.
+func BenchmarkSessionRevision(b *testing.B) {
+	for name, load := range benchCases(b) {
+		b.Run(name, func(b *testing.B) {
+			sess, err := New(load())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := sess.Solve(ctx, egs.Options{}, 1); err != nil {
+				b.Fatal(err)
+			}
+			tk := sess.Task()
+			last := tk.Pos[len(tk.Pos)-1]
+			args := make([]string, len(last.Args))
+			for i, c := range last.Args {
+				args[i] = tk.Domain.Name(c)
+			}
+			rel := tk.Schema.Name(last.Rel)
+			var evals int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.RemoveExample(rel, args...); err != nil {
+					b.Fatal(err)
+				}
+				if err := sess.AddExample(true, rel, args...); err != nil {
+					b.Fatal(err)
+				}
+				res, err := sess.Solve(ctx, egs.Options{}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals = res.Stats.RuleEvals
+			}
+			b.ReportMetric(float64(evals), "ruleevals/op")
+		})
+	}
+}

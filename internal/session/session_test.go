@@ -1,0 +1,405 @@
+package session
+
+import (
+	"context"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/bench"
+	"github.com/egs-synthesis/egs/internal/egs"
+	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
+	"github.com/egs-synthesis/egs/internal/trace"
+)
+
+// suiteTasks is the 11-task differential suite, mirroring
+// internal/egs's determinismTasks: realizable tasks of several
+// shapes plus unrealizable ones.
+var suiteTasks = []string{
+	"../../testdata/benchmarks/knowledge-discovery/traffic.task",
+	"../../testdata/benchmarks/knowledge-discovery/grandparent.task",
+	"../../testdata/benchmarks/knowledge-discovery/kinship.task",
+	"../../testdata/benchmarks/knowledge-discovery/predecessor.task",
+	"../../testdata/benchmarks/knowledge-discovery/undirected-edge.task",
+	"../../testdata/benchmarks/database-queries/sql01.task",
+	"../../testdata/benchmarks/database-queries/sql05.task",
+	"../../testdata/benchmarks/program-analysis/reach.task",
+	"../../testdata/benchmarks/program-analysis/block-succ.task",
+	"../../testdata/benchmarks/unrealizable/isomorphism.task",
+	"../../testdata/benchmarks/unrealizable/traffic-partial.task",
+}
+
+// render reduces a run to the exact bytes a user would see: the
+// printed UCQ for realizable tasks, the rendered witness otherwise.
+func render(tk *task.Task, res egs.Result) string {
+	if res.Unsat {
+		return "UNSAT\n" + res.Witness.String(tk.Schema, tk.Domain)
+	}
+	return res.Query.String(tk.Schema, tk.Domain)
+}
+
+// atomName renders a tuple back into the (rel, args...) string form
+// the delta API takes.
+func atomName(s *relation.Schema, d *relation.Domain, t relation.Tuple) (string, []string) {
+	args := make([]string, len(t.Args))
+	for i, c := range t.Args {
+		args[i] = d.Name(c)
+	}
+	return s.Name(t.Rel), args
+}
+
+// scriptedSession builds a session that starts from a reduced form of
+// the parsed (unprepared) task — roughly half the examples and, for
+// tasks without materialized negation, the last two facts held out —
+// then replays deltas to reach the full task, solving along the way
+// with a bounded budget to keep intermediate (possibly unsat)
+// revisions cheap. The final state's label order equals the file
+// order, which the byte-identity assertion depends on.
+func scriptedSession(t *testing.T, full *task.Task, par int) (*Session, egs.Result) {
+	t.Helper()
+
+	canAddFacts := len(full.NegateRels) == 0 && !full.AddNeq
+	heldFacts := 0
+	if canAddFacts && full.Input.Size() > 2 {
+		heldFacts = 2
+	}
+	nFacts := full.Input.Size() - heldFacts
+	hp := (len(full.Pos) + 1) / 2
+	hn := (len(full.Neg) + 1) / 2
+
+	start := &task.Task{
+		Name:          full.Name,
+		Category:      full.Category,
+		ClosedWorld:   full.ClosedWorld,
+		NegateRels:    full.NegateRels,
+		AddNeq:        full.AddNeq,
+		TypedNegation: full.TypedNegation,
+		Modes:         full.Modes,
+		Schema:        full.Schema,
+		Domain:        full.Domain,
+		Input:         relation.NewDatabase(full.Schema, full.Domain),
+		Pos:           append([]relation.Tuple(nil), full.Pos[:hp]...),
+		Neg:           append([]relation.Tuple(nil), full.Neg[:hn]...),
+	}
+	for id := 0; id < nFacts; id++ {
+		start.Input.Insert(full.Input.Tuple(relation.TupleID(id)))
+	}
+
+	sess, err := New(start)
+	if err != nil {
+		t.Fatalf("session.New: %v", err)
+	}
+
+	ctx := context.Background()
+	// Intermediate revisions may be unsatisfiable (closed world: a
+	// dropped positive is an implicit negative) and an exhaustive
+	// unsat proof can be large; cap the budget and ignore the result.
+	interOpts := egs.Options{MaxContexts: 2000, AssessParallelism: par}
+	solveInter := func() {
+		_, _ = sess.Solve(ctx, interOpts, 1)
+	}
+	solveInter()
+
+	// Delta 1: the held-out facts, in file order (a suffix, so the
+	// facts' relative id order — which fixes body literal order and
+	// variable naming in rendered rules — matches the cold run).
+	for id := nFacts; id < full.Input.Size(); id++ {
+		rel, args := atomName(full.Schema, full.Domain, full.Input.Tuple(relation.TupleID(id)))
+		if err := sess.AddFact(rel, args...); err != nil {
+			t.Fatalf("AddFact(%s): %v", rel, err)
+		}
+	}
+	solveInter()
+
+	// Delta 2: the remaining examples, in file order.
+	for _, p := range full.Pos[hp:] {
+		rel, args := atomName(full.Schema, full.Domain, p)
+		if err := sess.AddExample(true, rel, args...); err != nil {
+			t.Fatalf("AddExample(+%s): %v", rel, err)
+		}
+	}
+	for _, n := range full.Neg[hn:] {
+		rel, args := atomName(full.Schema, full.Domain, n)
+		if err := sess.AddExample(false, rel, args...); err != nil {
+			t.Fatalf("AddExample(-%s): %v", rel, err)
+		}
+	}
+	solveInter()
+
+	// Delta 3: remove and re-add the last positive — exercising
+	// RemoveExample while restoring the original label order.
+	last := full.Pos[len(full.Pos)-1]
+	rel, args := atomName(full.Schema, full.Domain, last)
+	if err := sess.RemoveExample(rel, args...); err != nil {
+		t.Fatalf("RemoveExample(%s): %v", rel, err)
+	}
+	if err := sess.AddExample(true, rel, args...); err != nil {
+		t.Fatalf("re-AddExample(%s): %v", rel, err)
+	}
+
+	res, err := sess.Solve(ctx, egs.Options{AssessParallelism: par}, 1)
+	if err != nil {
+		t.Fatalf("final Solve: %v", err)
+	}
+	return sess, res
+}
+
+// TestSessionDifferentialByteIdentical is the session counterpart of
+// the byte-golden determinism test: for every suite task, a scripted
+// session that starts small and reaches the full task through deltas
+// must render the exact same query or unsat witness as a cold
+// one-shot on the final state, at sequential and parallel assessment
+// alike.
+func TestSessionDifferentialByteIdentical(t *testing.T) {
+	for _, path := range suiteTasks {
+		for _, par := range []int{1, 8} {
+			cold, err := task.Load(path)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			coldRes, err := egs.Synthesize(context.Background(), cold, egs.Options{AssessParallelism: par})
+			if err != nil {
+				t.Fatalf("%s cold: %v", path, err)
+			}
+			want := render(cold, coldRes)
+
+			full, err := task.Load(path)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			sess, res := scriptedSession(t, full, par)
+			got := render(sess.Task(), res)
+			if got != want {
+				t.Errorf("%s (par=%d): session output diverges from cold run\ncold:\n%s\nsession:\n%s",
+					path, par, want, got)
+			}
+		}
+	}
+}
+
+// explicitScaledTraffic converts bench.ScaledTraffic(n) into an
+// explicitly labelled task (every non-crashing street a labelled
+// negative) so that a held-out positive is merely unlabelled — the
+// warm-path experiment needs a satisfiable revision 0.
+func explicitScaledTraffic(t *testing.T, n int) *task.Task {
+	t.Helper()
+	st, err := bench.ScaledTraffic(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes, ok := st.Schema.Lookup("Crashes")
+	if !ok {
+		t.Fatal("no Crashes relation")
+	}
+	pos := map[relation.Const]bool{}
+	for _, p := range st.Pos {
+		pos[p.Args[0]] = true
+	}
+	var neg []relation.Tuple
+	for _, c := range st.Input.ConstantsOf(st.Input.AllIDs()) {
+		if !pos[c] {
+			neg = append(neg, relation.NewTuple(crashes, c))
+		}
+	}
+	return &task.Task{
+		Name:   st.Name + "-explicit",
+		Schema: st.Schema,
+		Domain: st.Domain,
+		Input:  st.Input,
+		Pos:    append([]relation.Tuple(nil), st.Pos...),
+		Neg:    neg,
+	}
+}
+
+// TestSessionWarmPathSkipsWork is the acceptance experiment: on
+// scaled-traffic-60, a single-example delta revision must execute
+// fewer than half the rule evaluations of a cold run on the same
+// final task — the memo's revalidation path answers assessments from
+// stored output ids — while producing byte-identical output.
+func TestSessionWarmPathSkipsWork(t *testing.T) {
+	ctx := context.Background()
+
+	// Cold reference: the full task, one shot.
+	coldTask := explicitScaledTraffic(t, 60)
+	coldRes, err := egs.Synthesize(ctx, coldTask, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRes.Unsat {
+		t.Fatal("cold scaled-traffic-60 unexpectedly unsat")
+	}
+	want := render(coldTask, coldRes)
+
+	// Session: start with the last positive unlabelled, solve, then
+	// deliver it as a delta and re-solve warm.
+	warmTask := explicitScaledTraffic(t, 60)
+	held := warmTask.Pos[len(warmTask.Pos)-1]
+	warmTask.Pos = warmTask.Pos[:len(warmTask.Pos)-1]
+	sess, err := New(warmTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev0, err := sess.Solve(ctx, egs.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev0.Unsat {
+		t.Fatal("revision 0 unexpectedly unsat")
+	}
+
+	rel, args := atomName(warmTask.Schema, warmTask.Domain, held)
+	if err := sess.AddExample(true, rel, args...); err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	warmRes, err := sess.Solve(ctx, egs.Options{Trace: col}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(sess.Task(), warmRes); got != want {
+		t.Errorf("warm revision output diverges from cold run\ncold:\n%s\nwarm:\n%s", want, got)
+	}
+
+	coldEvals, warmEvals := coldRes.Stats.RuleEvals, warmRes.Stats.RuleEvals
+	if warmEvals*2 >= coldEvals {
+		t.Errorf("warm revision executed %d rule evals, want < 50%% of cold's %d", warmEvals, coldEvals)
+	}
+	if warmRes.Stats.MemoHits == 0 {
+		t.Error("warm revision reported no memo hits")
+	}
+
+	// The trace must carry the proof: a session-revision event whose
+	// memo-hit counter dominates its eval counter, plus per-batch
+	// memo-hit events from the search itself.
+	var revEvents, memoHits int
+	for _, e := range col.Events() {
+		switch e.Kind {
+		case trace.KindSessionRevision:
+			revEvents++
+			if e.N != int64(warmEvals) || e.M != int64(warmRes.Stats.MemoHits) {
+				t.Errorf("session-revision event N=%d M=%d, stats say %d/%d",
+					e.N, e.M, warmEvals, warmRes.Stats.MemoHits)
+			}
+			if e.Target != "1" {
+				t.Errorf("session-revision event revision = %q, want \"1\"", e.Target)
+			}
+		case trace.KindMemoHit:
+			memoHits++
+		}
+	}
+	if revEvents != 1 {
+		t.Errorf("got %d session-revision events, want 1", revEvents)
+	}
+	if memoHits == 0 {
+		t.Error("trace has no memo-hit events despite warm revision")
+	}
+}
+
+// TestSessionDeltaValidation covers the delta API's error surface.
+func TestSessionDeltaValidation(t *testing.T) {
+	full, err := task.Load("../../testdata/benchmarks/knowledge-discovery/grandparent.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := New(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.AddNeq {
+		if err := sess.AddFact("father", "Mufasa", "Nala"); err == nil {
+			t.Error("AddFact accepted despite materialized neq")
+		}
+	}
+	if err := sess.AddExample(true, "nosuch", "a"); err == nil {
+		t.Error("AddExample accepted unknown relation")
+	}
+	if err := sess.AddExample(true, "father", "Mufasa", "Simba"); err == nil {
+		t.Error("AddExample accepted input relation as example")
+	}
+	if err := sess.AddExample(true, "grandparent", "Mufasa"); err == nil {
+		t.Error("AddExample accepted wrong arity")
+	}
+	if err := sess.RemoveExample("grandparent", "Mufasa", "Mufasa"); err == nil {
+		t.Error("RemoveExample accepted unlabelled tuple")
+	}
+	// Opposite-polarity re-label must go through RelabelTuple.
+	if err := sess.AddExample(false, "grandparent", "Mufasa", "Kiara"); err == nil {
+		t.Error("AddExample flipped an existing label")
+	}
+	if err := sess.RelabelTuple(false, "grandparent", "Mufasa", "Kiara"); err != nil {
+		t.Errorf("RelabelTuple: %v", err)
+	}
+	if err := sess.RelabelTuple(true, "grandparent", "Mufasa", "Kiara"); err != nil {
+		t.Errorf("RelabelTuple back: %v", err)
+	}
+	if !sess.Pending() {
+		t.Error("session not dirty after deltas")
+	}
+	if sess.Deltas() == 0 {
+		t.Error("delta counter did not advance")
+	}
+}
+
+// TestSessionFactDeltaChangesResult: facts added through the session
+// must actually reach the solver — a query learnable only with the
+// new fact appears after the delta.
+func TestSessionFactDeltaChangesResult(t *testing.T) {
+	full, err := task.Load("../../testdata/benchmarks/knowledge-discovery/traffic.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold out every HasTraffic fact: the intended rule cannot be
+	// learned without them.
+	var kept, held []relation.Tuple
+	for id := 0; id < full.Input.Size(); id++ {
+		tu := full.Input.Tuple(relation.TupleID(id))
+		if full.Schema.Name(tu.Rel) == "HasTraffic" {
+			held = append(held, tu)
+		} else {
+			kept = append(kept, tu)
+		}
+	}
+	start := &task.Task{
+		Name:        full.Name,
+		ClosedWorld: full.ClosedWorld,
+		Schema:      full.Schema,
+		Domain:      full.Domain,
+		Input:       relation.NewDatabase(full.Schema, full.Domain),
+		Pos:         full.Pos,
+	}
+	for _, tu := range kept {
+		start.Input.Insert(tu)
+	}
+	sess, err := New(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Facts()
+	for _, tu := range held {
+		rel, args := atomName(full.Schema, full.Domain, tu)
+		if err := sess.AddFact(rel, args...); err != nil {
+			t.Fatalf("AddFact: %v", err)
+		}
+	}
+	if sess.Facts() != before+len(held) {
+		t.Errorf("Facts = %d, want %d", sess.Facts(), before+len(held))
+	}
+	res, err := sess.Solve(context.Background(), egs.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("post-delta task unexpectedly unsat")
+	}
+	out := render(sess.Task(), res)
+	cold, err := task.Load("../../testdata/benchmarks/knowledge-discovery/traffic.task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := egs.Synthesize(context.Background(), cold, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := render(cold, coldRes); out != want {
+		t.Errorf("fact-delta session diverges from cold run\ncold:\n%s\nsession:\n%s", want, out)
+	}
+}

@@ -331,6 +331,48 @@ func (t *Task) Relabel(extraPos, extraNeg []relation.Tuple) (*Task, error) {
 	return nt, nil
 }
 
+// Revise returns a new prepared Task sharing this (already prepared)
+// task's input database, schema, and domain, with the example labels
+// replaced wholesale by pos and neg. Unlike Relabel, which can only
+// add labels, Revise supports removal and relabelling, and is
+// permitted under closed-world labelling, where the positive list is
+// the entire labelling. It is the revision constructor behind
+// incremental sessions: every delta yields a Revise'd task over the
+// same (possibly overlay-grown) database, so interned tuple ids and
+// warm search state stay valid.
+//
+// Complement and neq relations are not re-materialized (they are
+// already in the shared database), and RawInputCount/RawInputRels are
+// preserved.
+func (t *Task) Revise(pos, neg []relation.Tuple) (*Task, error) {
+	if !t.prepared {
+		return nil, fmt.Errorf("task %s: Revise before Prepare", t.Name)
+	}
+	if t.ClosedWorld && len(neg) > 0 {
+		return nil, fmt.Errorf("task %s: explicit negative tuples are incompatible with closed-world labelling", t.Name)
+	}
+	nt := &Task{
+		Name:        t.Name,
+		Category:    t.Category,
+		Expect:      ExpectUnknown,
+		ClosedWorld: t.ClosedWorld,
+		// Negation is already materialized in the shared database.
+		Modes:       t.Modes,
+		IntendedSrc: t.IntendedSrc,
+		Schema:      t.Schema,
+		Domain:      t.Domain,
+		Input:       t.Input,
+		Pos:         append([]relation.Tuple(nil), pos...),
+		Neg:         append([]relation.Tuple(nil), neg...),
+	}
+	if err := nt.Prepare(); err != nil {
+		return nil, err
+	}
+	nt.RawInputCount = t.RawInputCount
+	nt.RawInputRels = t.RawInputRels
+	return nt, nil
+}
+
 // Example returns the prepared oracle; Prepare must have been called.
 func (t *Task) Example() *Example {
 	if !t.prepared {

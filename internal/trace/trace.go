@@ -60,6 +60,13 @@ const (
 	// KindQueueHighWater records a new worklist length maximum: N is
 	// the new high-water mark.
 	KindQueueHighWater
+	// KindSessionRevision summarizes one incremental-session solve:
+	// Searcher is -1 (session-scoped, not tied to one searcher), N is
+	// the revision's rule evaluations actually executed, M its memo
+	// hits, and Target the session revision number in decimal. The
+	// warm-path evidence — a revision whose N is near zero while M
+	// carries the load — is read directly off these events.
+	KindSessionRevision
 )
 
 // String returns the stable wire name of the kind. These names are
@@ -83,6 +90,8 @@ func (k Kind) String() string {
 		return "eval-pool"
 	case KindQueueHighWater:
 		return "queue-high-water"
+	case KindSessionRevision:
+		return "session-revision"
 	default:
 		return "unknown"
 	}

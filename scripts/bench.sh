@@ -26,10 +26,12 @@ echo "bench: BenchmarkRuleOutputs (internal/eval)" >&2
 $GO test -run '^$' -bench BenchmarkRuleOutputs -benchmem ./internal/eval/ | tee "$TMP/eval.txt" >&2
 echo "bench: BenchmarkSynthesize + BenchmarkExplainCell (internal/egs)" >&2
 $GO test -run '^$' -bench 'BenchmarkSynthesize|BenchmarkExplainCell' -benchmem ./internal/egs/ | tee "$TMP/egs.txt" >&2
+echo "bench: BenchmarkSessionCold + BenchmarkSessionRevision (internal/session)" >&2
+$GO test -run '^$' -bench 'BenchmarkSession' -benchmem ./internal/session/ | tee "$TMP/session.txt" >&2
 
 # Convert `go test -bench` output lines into a JSON benchmark array:
 #   BenchmarkX/case-8   1219   1053847 ns/op   232384 B/op   13049 allocs/op
-grep -h '^Benchmark' "$TMP/eval.txt" "$TMP/egs.txt" | awk -v procs="$($GO env GOMAXPROCS 2>/dev/null || echo "")" '{
+grep -h '^Benchmark' "$TMP/eval.txt" "$TMP/egs.txt" "$TMP/session.txt" | awk -v procs="$($GO env GOMAXPROCS 2>/dev/null || echo "")" '{
     name = $1; sub(/^Benchmark/, "", name)
     # Strip only the GOMAXPROCS suffix go test appends (e.g. "-8"),
     # never a meaningful trailing number in the sub-benchmark name.

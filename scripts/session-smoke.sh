@@ -1,0 +1,118 @@
+#!/bin/sh
+# session-smoke: boot egs-serve, drive an incremental session through
+# create -> staged delta -> delta-and-solve over HTTP, assert that the
+# warm revision does strictly less assessment work than the creation
+# solve (the warm-state proof, read off the stats payload), then tear
+# the session down. Used by `make session-smoke`; needs curl (falls
+# back to wget).
+set -eu
+
+BIN=${BIN:-bin/egs-serve}
+PORT=${PORT:-8198}
+ADDR="127.0.0.1:$PORT"
+
+fetch() { # fetch <url> [curl-args...]
+    url=$1; shift
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$@" "$url"
+    else
+        wget -qO- "$url"
+    fi
+}
+
+# extract_int <json> <field>: first integer value of a JSON field in
+# the server's indented output.
+extract_int() {
+    printf '%s\n' "$1" | grep -o "\"$2\": [0-9]*" | head -n 1 | tr -dc 0-9
+}
+
+extract_str() {
+    printf '%s\n' "$1" | grep -o "\"$2\": \"[^\"]*\"" | head -n 1 | sed 's/.*: "\(.*\)"/\1/'
+}
+
+"$BIN" -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null; wait "$PID" 2>/dev/null || true' EXIT INT TERM
+
+i=0
+until fetch "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "session-smoke: server did not become healthy" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+TASK='{
+  "name": "gp-session",
+  "inputs": [{"name": "parent", "arity": 2}],
+  "outputs": [{"name": "grandparent", "arity": 2}],
+  "facts": [
+    {"rel": "parent", "args": ["alice", "bob"]},
+    {"rel": "parent", "args": ["bob", "carol"]},
+    {"rel": "parent", "args": ["carol", "dave"]}
+  ],
+  "positive": [
+    {"rel": "grandparent", "args": ["alice", "carol"]},
+    {"rel": "grandparent", "args": ["bob", "dave"]}
+  ],
+  "negative": [{"rel": "grandparent", "args": ["alice", "bob"]}]
+}'
+
+CREATE=$(fetch "http://$ADDR/sessions" -X POST -H 'Content-Type: application/json' --data-binary "$TASK")
+echo "$CREATE" | grep -q '"status": "sat"' || {
+    echo "session-smoke: creation solve not sat: $CREATE" >&2
+    exit 1
+}
+SID=$(extract_str "$CREATE" session_id)
+COLD=$(extract_int "$CREATE" candidates_evaluated)
+[ -n "$SID" ] && [ -n "$COLD" ] || {
+    echo "session-smoke: creation response missing session_id/stats: $CREATE" >&2
+    exit 1
+}
+
+# Stage a label removal without solving, then restore it and solve:
+# the revised task equals revision 0, so the warm memo should answer
+# almost every assessment.
+STAGED=$(fetch "http://$ADDR/sessions/$SID/delta" -X POST -H 'Content-Type: application/json' --data-binary \
+    '{"deltas": [{"op": "remove_example", "rel": "grandparent", "args": ["bob", "dave"]}], "solve": false}')
+echo "$STAGED" | grep -q '"status": "pending"' || {
+    echo "session-smoke: staged delta not pending: $STAGED" >&2
+    exit 1
+}
+
+WARM_RESP=$(fetch "http://$ADDR/sessions/$SID/delta" -X POST -H 'Content-Type: application/json' --data-binary \
+    '{"deltas": [{"op": "add_example", "positive": true, "rel": "grandparent", "args": ["bob", "dave"]}]}')
+echo "$WARM_RESP" | grep -q '"status": "sat"' || {
+    echo "session-smoke: warm solve not sat: $WARM_RESP" >&2
+    exit 1
+}
+WARM=$(extract_int "$WARM_RESP" candidates_evaluated)
+HITS=$(extract_int "$WARM_RESP" candidates_cached)
+
+if [ "$WARM" -ge "$COLD" ]; then
+    echo "session-smoke: warm revision evaluated $WARM candidates, cold did $COLD — no warm-state reuse" >&2
+    exit 1
+fi
+if [ "${HITS:-0}" -eq 0 ]; then
+    echo "session-smoke: warm revision reported no memo hits: $WARM_RESP" >&2
+    exit 1
+fi
+
+METRICS=$(fetch "http://$ADDR/metrics")
+for want in 'egs_sessions_active 1' 'egs_session_deltas_total 2' 'egs_session_memo_reuse_ratio'; do
+    echo "$METRICS" | grep -q "$want" || {
+        echo "session-smoke: /metrics missing $want" >&2
+        exit 1
+    }
+done
+
+fetch "http://$ADDR/sessions/$SID" -X DELETE -o /dev/null 2>/dev/null || \
+    fetch "http://$ADDR/sessions/$SID" -X DELETE >/dev/null
+fetch "http://$ADDR/metrics" | grep -q 'egs_sessions_active 0' || {
+    echo "session-smoke: session not removed after DELETE" >&2
+    exit 1
+}
+
+echo "session-smoke: OK (cold evals=$COLD warm evals=$WARM memo hits=$HITS)"

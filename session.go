@@ -1,0 +1,92 @@
+package egs
+
+import (
+	"context"
+
+	"github.com/egs-synthesis/egs/internal/session"
+)
+
+// Session is an incremental synthesis session: it keeps the task's
+// interned fact database, constant co-occurrence structure, and
+// candidate-assessment memo warm across revisions, so that after a
+// delta — a new fact, a new label, a removed or flipped label — the
+// next Solve re-derives only what the delta could have changed.
+// Results are always identical to a cold Synthesize on the revised
+// task; the warm state only shifts work from rule evaluation to memo
+// reuse (visible as CandidatesCached in the stats).
+//
+// A Session serializes its own methods; concurrent use from multiple
+// goroutines is safe but solves do not overlap.
+type Session struct {
+	s *session.Session
+}
+
+// NewSession starts a session from a task. The task becomes
+// session-owned: the caller must not mutate or reuse it (pass a
+// freshly built or loaded task).
+func NewSession(t *Task) (*Session, error) {
+	s, err := session.New(t.t)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// AddFact inserts a new input fact. Existing fact identities are
+// unaffected (the fact lands in a fresh database generation), and
+// re-adding a present fact is a no-op. Fact deltas are rejected for
+// tasks with materialized negation (Negate or AddNeq), whose
+// complement relations are fixed at preparation time.
+func (s *Session) AddFact(rel string, args ...string) error {
+	return s.s.AddFact(rel, args...)
+}
+
+// AddExample labels an output tuple. Re-labelling with the same
+// polarity is a no-op; flipping an existing label is an error — use
+// RelabelTuple for that. Closed-world tasks take no explicit
+// negatives.
+func (s *Session) AddExample(positive bool, rel string, args ...string) error {
+	return s.s.AddExample(positive, rel, args...)
+}
+
+// RemoveExample drops an output tuple's label. Under closed-world
+// labelling, removing a positive makes the tuple implicitly negative.
+func (s *Session) RemoveExample(rel string, args ...string) error {
+	return s.s.RemoveExample(rel, args...)
+}
+
+// RelabelTuple sets an output tuple's label to the given polarity,
+// replacing any existing label; a no-op when the label already
+// matches.
+func (s *Session) RelabelTuple(positive bool, rel string, args ...string) error {
+	return s.s.RelabelTuple(positive, rel, args...)
+}
+
+// Solve synthesizes the current revision, reusing the session's warm
+// state. Options behave exactly as in Synthesize (including
+// Options.Workers for per-tuple parallel explanation).
+func (s *Session) Solve(ctx context.Context, opts Options) (Result, error) {
+	res, err := s.s.Solve(ctx, opts.coreOptions(), opts.Workers)
+	if err != nil {
+		return Result{}, err
+	}
+	return convertResult(s.s.Task(), res), nil
+}
+
+// Revision reports how many revisions Solve has built; 0 until the
+// first post-delta solve.
+func (s *Session) Revision() int { return s.s.Revision() }
+
+// Deltas reports the total number of deltas applied to the session.
+func (s *Session) Deltas() int { return s.s.Deltas() }
+
+// Pending reports whether deltas have arrived since the last Solve.
+func (s *Session) Pending() bool { return s.s.Pending() }
+
+// NumExamples returns the current labelling sizes (|O+| and the
+// explicit |O-|).
+func (s *Session) NumExamples() (pos, neg int) { return s.s.Examples() }
+
+// NumFacts returns the current fact count, including any complement
+// tuples materialized at preparation.
+func (s *Session) NumFacts() int { return s.s.Facts() }

@@ -1,0 +1,94 @@
+package egs_test
+
+import (
+	"context"
+	"testing"
+
+	egs "github.com/egs-synthesis/egs"
+)
+
+// TestSessionIncremental drives the public session API through the
+// grandparent example: start with a partial task, add the missing
+// fact and labels as deltas, and check the warm result equals the
+// cold one-shot on the full task.
+func TestSessionIncremental(t *testing.T) {
+	ctx := context.Background()
+
+	cold, err := egs.Synthesize(ctx, buildGrandparent(t), egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cold.Query.Datalog()
+
+	b := egs.NewBuilder().Name("grandparent")
+	b.Input("parent", 2)
+	b.Output("grandparent", 2)
+	b.Fact("parent", "alice", "bob")
+	b.Fact("parent", "bob", "carol")
+	b.Positive("grandparent", "alice", "carol")
+	b.Negative("grandparent", "alice", "bob")
+	partial, err := b.Task()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := egs.NewSession(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Solve(ctx, egs.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Revision() != 0 {
+		t.Errorf("Revision = %d before any delta", sess.Revision())
+	}
+
+	if err := sess.AddFact("parent", "carol", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.AddExample(true, "grandparent", "bob", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.AddExample(false, "grandparent", "alice", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Pending() {
+		t.Error("Pending = false after deltas")
+	}
+	res, err := sess.Solve(ctx, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unsat {
+		t.Fatal("revised task reported unsat")
+	}
+	if got := res.Query.Datalog(); got != want {
+		t.Errorf("warm Datalog() = %q, want %q", got, want)
+	}
+	if sess.Revision() != 1 || sess.Deltas() != 3 || sess.Pending() {
+		t.Errorf("session state: rev=%d deltas=%d pending=%v", sess.Revision(), sess.Deltas(), sess.Pending())
+	}
+	if pos, neg := sess.NumExamples(); pos != 2 || neg != 2 {
+		t.Errorf("NumExamples = %d,%d want 2,2", pos, neg)
+	}
+	if sess.NumFacts() != 3 {
+		t.Errorf("NumFacts = %d, want 3", sess.NumFacts())
+	}
+
+	// Flip a label and drop it again: the session must keep tracking.
+	if err := sess.RelabelTuple(true, "grandparent", "alice", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RelabelTuple(false, "grandparent", "alice", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sess.Solve(ctx, egs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Query.Datalog(); got != want {
+		t.Errorf("post-relabel Datalog() = %q, want %q", got, want)
+	}
+	if res2.Stats.CandidatesCached == 0 {
+		t.Error("warm revision reported no cached candidates")
+	}
+}
