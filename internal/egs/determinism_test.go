@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/egs-synthesis/egs/internal/eval"
 	"github.com/egs-synthesis/egs/internal/relation"
 	"github.com/egs-synthesis/egs/internal/task"
 	"github.com/egs-synthesis/egs/internal/trace"
@@ -205,6 +206,45 @@ func TestSynthesisByteGolden(t *testing.T) {
 			if r.full != runs[3].full {
 				t.Errorf("%s: runs at parallel=8 disagree on stats: %s vs %s (traced=%v)",
 					path, runs[3].full, r.full, r.traced)
+			}
+		}
+	}
+}
+
+// TestSynthesisByteGoldenStrategies is the forced-strategy
+// differential: for every task, synthesis with the join strategy
+// pinned to backtracking and pinned to batch must produce output
+// byte-identical to the auto-heuristic run — and identical Stats
+// counters, since strategies may only change how a rule is joined,
+// never which tuples it derives and hence never any search decision.
+func TestSynthesisByteGoldenStrategies(t *testing.T) {
+	for _, path := range determinismTasks {
+		var golden, goldenStats string
+		for _, strat := range []eval.Strategy{eval.StrategyAuto, eval.StrategyBacktrack, eval.StrategyBatch} {
+			// Reload per run: Synthesize freezes and mutates the task's
+			// database.
+			tk, err := task.Load(path)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			restore := eval.ForceStrategy(strat)
+			res, err := Synthesize(context.Background(), tk, Options{})
+			restore()
+			if err != nil {
+				t.Fatalf("%s strategy=%v: %v", path, strat, err)
+			}
+			text, stats := renderOutcome(tk, res), statsFull(res.Stats)
+			if strat == eval.StrategyAuto {
+				golden, goldenStats = text, stats
+				continue
+			}
+			if text != golden {
+				t.Errorf("%s: output under forced %v diverges from auto:\n--- auto\n%s\n--- %v\n%s",
+					path, strat, golden, strat, text)
+			}
+			if stats != goldenStats {
+				t.Errorf("%s: stats under forced %v diverge from auto: %s vs %s",
+					path, strat, goldenStats, stats)
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -363,11 +364,15 @@ func (s *searcher) explainCellMulti(base []relation.TupleID, target relation.Tup
 	if tr != nil {
 		cellStart := tr.Now()
 		rt0, fresh0 := eval.PoolCounters()
+		batch0, bt0, _ := eval.StrategyCounters()
 		tr.Record(trace.Event{Kind: trace.KindCellStart, Searcher: s.id, Slice: int32(i), TS: cellStart, Target: target.String(db.Schema, db.Domain)})
 		defer func() {
 			end := tr.Now()
 			rt, fresh := eval.PoolCounters()
+			batch, bt, frontierHW := eval.StrategyCounters()
 			tr.Record(trace.Event{Kind: trace.KindEvalPool, Searcher: s.id, Slice: int32(i), TS: end, N: int64(rt - rt0), M: int64(fresh - fresh0)})
+			tr.Record(trace.Event{Kind: trace.KindEvalStrategy, Searcher: s.id, Slice: int32(i), TS: end,
+				N: int64(batch - batch0), M: int64(bt - bt0), Target: strconv.FormatUint(frontierHW, 10)})
 			tr.Record(trace.Event{Kind: trace.KindCellEnd, Searcher: s.id, Slice: int32(i), TS: cellStart, Dur: end - cellStart, N: int64(popped), M: int64(staged), Target: target.String(db.Schema, db.Domain)})
 		}()
 	}

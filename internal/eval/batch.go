@@ -1,0 +1,290 @@
+package eval
+
+import (
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// The set-at-a-time batch join. Evaluation runs in two phases over
+// the planned literal order:
+//
+// Phase 1 (pruneBatch) computes, per order position, a candidate set
+// S_i ⊆ extent — the tuple ids that could possibly participate in a
+// satisfying instantiation given per-column constraints alone:
+//
+//   - constant columns restrict S_i to the column's posting list;
+//     with two or more constant columns the two shortest postings are
+//     intersected by galloping merge (relation.IntersectSortedIDs)
+//     before anything tuple-level runs;
+//   - columns holding a variable bound at an earlier position are
+//     semijoin-filtered against that variable's value support — the
+//     set of constants the binder literal's own candidate set can
+//     supply (a ConstSet bit test per candidate).
+//
+// Pruning is sound, not complete: it never removes a tuple that could
+// match under some surviving valuation, so an empty S_i proves the
+// rule derives nothing and phase 2 can skip membership checks for
+// unpruned positions. Candidate lists stay in ascending id order.
+//
+// Phase 2 (searchBatch) unifies residual variables tuple-at-a-time,
+// but only over the surviving frontier: each position draws from its
+// statically chosen probe column's posting filtered by a bitset of
+// S_i — or directly from S_i when that is smaller — and fully-bound
+// literals degrade to existence tests (a ConstSet bit probe for unary
+// literals) instead of enumerating witnesses.
+
+// pruneBatch runs phase 1, filling e.cand for every order position.
+// It reports false when some candidate set is empty, which proves the
+// rule derives nothing.
+func (e *evaluator) pruneBatch() bool {
+	n := len(e.plan.order)
+	e.cand = growIDLists(e.cand, n)
+	e.candBuf = growIDLists(e.candBuf, n)
+	e.candIsExt = resetBools(e.candIsExt, n)
+	e.candSetOK = resetBools(e.candSetOK, n)
+	e.unaryCSOK = resetBools(e.unaryCSOK, n)
+	if cap(e.unaryCS) < n {
+		e.unaryCS = make([]*relation.ConstSet, n)
+	}
+	e.unaryCS = e.unaryCS[:n]
+	if cap(e.candSet) < n {
+		grown := make([]*relation.TupleSet, n)
+		copy(grown, e.candSet)
+		e.candSet = grown
+	}
+	e.candSet = e.candSet[:n]
+	e.varSupOK = resetBools(e.varSupOK, e.rule.NumVars())
+	if cap(e.varSup) < e.rule.NumVars() {
+		grown := make([]relation.ConstSet, e.rule.NumVars())
+		copy(grown, e.varSup)
+		e.varSup = grown
+	}
+	e.varSup = e.varSup[:e.rule.NumVars()]
+	e.frontierHW = 0
+
+	for pos := 0; pos < n; pos++ {
+		if !e.pruneLiteral(pos) {
+			return false
+		}
+		if l := len(e.cand[pos]); l > e.frontierHW {
+			e.frontierHW = l
+		}
+	}
+	return true
+}
+
+// pruneLiteral computes the candidate set for one order position; it
+// reports false when the set is empty.
+func (e *evaluator) pruneLiteral(pos int) bool {
+	lit := e.rule.Body[e.plan.order[pos]]
+
+	// Seed with the two shortest constant-column postings (galloping
+	// intersection), or the extent when the literal has no constants.
+	var shortest, second []relation.TupleID
+	shortCol, secondCol := -1, -1
+	for col, t := range lit.Args {
+		if !t.IsConst {
+			continue
+		}
+		ids := e.db.AtColumn(lit.Rel, col, t.Const)
+		if len(ids) == 0 {
+			e.cand[pos] = nil
+			return false
+		}
+		switch {
+		case shortest == nil || len(ids) < len(shortest):
+			shortest, second = ids, shortest
+			shortCol, secondCol = col, shortCol
+		case second == nil || len(ids) < len(second):
+			second, secondCol = ids, col
+		}
+	}
+	cur, owned := e.db.Extent(lit.Rel), false
+	if shortest != nil {
+		cur = shortest
+	}
+	if second != nil {
+		cur = relation.IntersectSortedIDs(e.candBuf[pos][:0], shortest, second)
+		e.candBuf[pos], owned = cur, true
+		if len(cur) == 0 {
+			e.cand[pos] = nil
+			return false
+		}
+	}
+
+	// Remaining per-column filters: constant columns beyond the two
+	// intersected ones, and semijoins for columns whose variable was
+	// bound at an earlier position.
+	filters := false
+	for col, t := range lit.Args {
+		if t.IsConst {
+			filters = filters || (col != shortCol && col != secondCol)
+			continue
+		}
+		bp := e.plan.binderPos[t.Var]
+		filters = filters || (bp >= 0 && int(bp) < pos)
+	}
+	if !filters {
+		e.cand[pos] = cur
+		e.candIsExt[pos] = shortest == nil
+		return len(cur) > 0
+	}
+	dst := e.candBuf[pos][:0]
+	if owned {
+		dst = cur[:0] // in-place filter over the owned buffer
+	}
+	for _, id := range cur {
+		args := e.db.Tuple(id).Args
+		keep := true
+		for col, t := range lit.Args {
+			if t.IsConst {
+				if col != shortCol && col != secondCol && args[col] != t.Const {
+					keep = false
+					break
+				}
+				continue
+			}
+			if bp := e.plan.binderPos[t.Var]; bp >= 0 && int(bp) < pos {
+				if !e.varSupport(t.Var).Has(args[col]) {
+					keep = false
+					break
+				}
+			}
+		}
+		if keep {
+			dst = append(dst, id)
+		}
+	}
+	e.candBuf[pos] = dst[:len(dst)]
+	e.cand[pos] = e.candBuf[pos]
+	e.candIsExt[pos] = false
+	return len(dst) > 0
+}
+
+// varSupport returns the set of constants variable v can take: the
+// distinct values of the binder literal's binding column over its
+// candidate set. Computed lazily once per session per variable;
+// candidate sets at earlier positions are final by the time a later
+// literal consults them.
+func (e *evaluator) varSupport(v query.Var) *relation.ConstSet {
+	s := &e.varSup[v]
+	if !e.varSupOK[v] {
+		s.Reset()
+		bp, bc := e.plan.binderPos[v], e.plan.binderCol[v]
+		for _, id := range e.cand[bp] {
+			s.Add(e.db.Tuple(id).Args[bc])
+		}
+		e.varSupOK[v] = true
+	}
+	return s
+}
+
+// candSetFor returns e.cand[pos] as a bitset for membership tests, or
+// nil when the candidate set is the full extent (no test needed).
+// Built lazily: positions whose posting probes never fire pay nothing.
+func (e *evaluator) candSetFor(pos int) *relation.TupleSet {
+	if e.candIsExt[pos] || len(e.cand[pos]) == e.plan.steps[pos].extent {
+		return nil
+	}
+	if e.candSet[pos] == nil {
+		e.candSet[pos] = &relation.TupleSet{}
+	}
+	s := e.candSet[pos]
+	if !e.candSetOK[pos] {
+		s.Reset()
+		for _, id := range e.cand[pos] {
+			s.Add(id)
+		}
+		e.candSetOK[pos] = true
+	}
+	return s
+}
+
+// searchBatch runs phase 2: residual unification over the pruned
+// frontier, extending the current valuation across order[i:]. It
+// returns false when the caller asked to stop.
+func (e *evaluator) searchBatch(i int, yield Yield) bool {
+	if i == len(e.plan.order) {
+		return e.emit(yield)
+	}
+	lit := e.rule.Body[e.plan.order[i]]
+	st := &e.plan.steps[i]
+
+	if !st.hasFree {
+		// Every column is bound: one witness suffices, and pruning
+		// never removes a tuple matching the current valuation (its
+		// column values all sit in the supports that did the
+		// filtering), so the full-relation indexes answer exactly.
+		if len(lit.Args) == 1 {
+			// The column const-set is fetched once per session: the
+			// database cannot grow mid-evaluation, and ColumnConstSet
+			// takes a read lock per call — far too hot for this probe,
+			// which runs once per surviving valuation.
+			if !e.unaryCSOK[i] {
+				e.unaryCS[i] = e.db.ColumnConstSet(lit.Rel, 0)
+				e.unaryCSOK[i] = true
+			}
+			if cs := e.unaryCS[i]; cs != nil && cs.Has(e.valueAt(lit.Args[0])) {
+				return e.searchBatch(i+1, yield)
+			}
+			return true
+		}
+		if st.probeCol >= 0 {
+			c := e.valueAt(lit.Args[st.probeCol])
+			for _, id := range e.db.AtColumn(lit.Rel, st.probeCol, c) {
+				if _, ok := e.match(lit, e.db.Tuple(id), i); ok {
+					return e.searchBatch(i+1, yield)
+				}
+			}
+			return true
+		}
+		// Zero-arity literal: satisfied iff the extent is non-empty,
+		// which phase 1 already established.
+		return e.searchBatch(i+1, yield)
+	}
+
+	ids := e.cand[i]
+	var filter *relation.TupleSet
+	if st.probeCol >= 0 {
+		c := e.valueAt(lit.Args[st.probeCol])
+		if posting := e.db.AtColumn(lit.Rel, st.probeCol, c); len(posting) < len(ids) {
+			ids, filter = posting, e.candSetFor(i)
+		}
+	}
+	for _, id := range ids {
+		if filter != nil && !filter.Has(id) {
+			continue
+		}
+		newly, ok := e.match(lit, e.db.Tuple(id), i)
+		if !ok {
+			continue
+		}
+		cont := e.searchBatch(i+1, yield)
+		for _, v := range newly {
+			e.bound[v] = false
+		}
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// valueAt resolves a bound term under the current valuation.
+func (e *evaluator) valueAt(t query.Term) relation.Const {
+	if t.IsConst {
+		return t.Const
+	}
+	return e.val[t.Var]
+}
+
+// growIDLists returns a list-of-lists of length n, reusing both the
+// outer array and the inner buffers' capacity.
+func growIDLists(b [][]relation.TupleID, n int) [][]relation.TupleID {
+	if cap(b) < n {
+		grown := make([][]relation.TupleID, n)
+		copy(grown, b)
+		return grown
+	}
+	return b[:n]
+}

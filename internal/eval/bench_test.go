@@ -1,10 +1,14 @@
 package eval_test
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/egs-synthesis/egs/internal/bench"
+	"github.com/egs-synthesis/egs/internal/datagen"
 	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
 	"github.com/egs-synthesis/egs/internal/task"
 )
 
@@ -17,6 +21,26 @@ var evalBenchTasks = []struct {
 	{"kinship", "../../testdata/benchmarks/knowledge-discovery/kinship.task"},
 	{"sql01", "../../testdata/benchmarks/database-queries/sql01.task"},
 	{"reach", "../../testdata/benchmarks/program-analysis/reach.task"},
+}
+
+// giantBenchTasks are the datagen giants: generated instances an
+// order of magnitude beyond the paper benchmarks (DESIGN.md §5).
+var giantBenchTasks = []struct {
+	name string
+	gen  func() string
+}{
+	{"agent", datagen.GenAgent},
+	{"polysite", datagen.GenPolysite},
+	{"rvcheck", datagen.GenRvcheck},
+}
+
+func loadGiant(b *testing.B, gen func() string) *task.Task {
+	b.Helper()
+	t, err := task.Parse(strings.NewReader(gen()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
 }
 
 // BenchmarkRuleOutputs measures the evaluator's hot path as the
@@ -45,6 +69,19 @@ func BenchmarkRuleOutputs(b *testing.B) {
 			}
 		})
 	}
+	for _, tc := range giantBenchTasks {
+		t := loadGiant(b, tc.gen)
+		rules := t.Intended().Rules
+		db := t.Example().DB
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range rules {
+					eval.RuleOutputIDs(r, db)
+				}
+			}
+		})
+	}
 	st, err := bench.ScaledTraffic(120)
 	if err != nil {
 		b.Fatal(err)
@@ -58,5 +95,50 @@ func BenchmarkRuleOutputs(b *testing.B) {
 				eval.RuleOutputIDs(r, db)
 			}
 		}
+	})
+}
+
+// BenchmarkRuleOutputsBatch is the same workload with the batch join
+// strategy forced, so the columnar kernel is measured even on the
+// small paper tasks where the cost heuristic would pick backtracking.
+// The batchjoins/op metric counts batch evaluation sessions per
+// iteration (via the strategy counters, hence pool tracing).
+func BenchmarkRuleOutputsBatch(b *testing.B) {
+	defer eval.ForceStrategy(eval.StrategyBatch)()
+	eval.EnablePoolTracing()
+	defer eval.DisablePoolTracing()
+
+	run := func(b *testing.B, rules []query.Rule, db *relation.Database) {
+		b.ReportAllocs()
+		batch0, _, _ := eval.StrategyCounters()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rules {
+				eval.RuleOutputIDs(r, db)
+			}
+		}
+		batch, _, _ := eval.StrategyCounters()
+		b.ReportMetric(float64(batch-batch0)/float64(b.N), "batchjoins/op")
+	}
+	for _, tc := range evalBenchTasks {
+		t, err := task.Load(tc.path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules := t.Intended().Rules
+		db := t.Example().DB
+		b.Run(tc.name, func(b *testing.B) { run(b, rules, db) })
+	}
+	for _, tc := range giantBenchTasks {
+		t := loadGiant(b, tc.gen)
+		b.Run(tc.name, func(b *testing.B) {
+			run(b, t.Intended().Rules, t.Example().DB)
+		})
+	}
+	st, err := bench.ScaledTraffic(120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("scaled-traffic-120", func(b *testing.B) {
+		run(b, st.Intended().Rules, st.Example().DB)
 	})
 }

@@ -7,12 +7,14 @@
 // candidate rules, and every synthesizer's output is re-checked for
 // consistency with the evaluator before being reported.
 //
-// The main evaluator performs a backtracking join: body literals are
-// greedily ordered so that literals with already-bound variables come
-// first, and candidate tuples for each literal are drawn from the
-// database's per-column indexes rather than by scanning extents. A
-// deliberately simple reference evaluator (EvalRuleNaive) is provided
-// for differential testing.
+// Two join strategies share one planner (see strategy.go): a
+// tuple-at-a-time backtracking join — literals greedily ordered so
+// that bound variables come first, candidates drawn from per-column
+// indexes — and a set-at-a-time batch join (batch.go) that prunes
+// whole candidate sets per literal before any tuple-level unification
+// runs. A per-rule cost heuristic picks between them. A deliberately
+// simple reference evaluator (EvalRuleNaive) is provided for
+// differential testing.
 package eval
 
 import (
@@ -39,6 +41,9 @@ type YieldID func(relation.TupleID) bool
 // This entry point does not touch the database's interning table, so
 // it remains usable on databases that are still being inserted into
 // (the fixpoint evaluator's working set).
+//
+// The set of yielded tuples is strategy-independent; the order in
+// which they are yielded is not specified.
 func EvalRule(r query.Rule, db *relation.Database, yield Yield) {
 	e := newEvaluator(r, db)
 	e.run(yield)
@@ -54,6 +59,22 @@ func EvalRule(r query.Rule, db *relation.Database, yield Yield) {
 func EvalRuleIDs(r query.Rule, db *relation.Database, yield YieldID) {
 	e := newEvaluator(r, db)
 	e.yieldID = yield
+	e.run(nil)
+	e.release()
+}
+
+// EvalRuleDelta is EvalRuleIDs restricted for semi-naive fixpoint
+// iteration: body literal li (an index into r.Body) matches only
+// tuples in delta. The fixpoint evaluator calls it once per body
+// position with the previous round's newly derived tuples, so each
+// round re-derives only instantiations that use at least one frontier
+// tuple. Restricted evaluations always run the backtracking strategy:
+// the delta restriction already makes the literal maximally selective,
+// which is precisely the regime where tuple-at-a-time wins.
+func EvalRuleDelta(r query.Rule, db *relation.Database, li int, delta *relation.TupleSet, yield YieldID) {
+	e := newEvaluator(r, db)
+	e.yieldID = yield
+	e.restrict, e.restrictLit = delta, li
 	e.search(0, nil)
 	e.release()
 }
@@ -111,7 +132,9 @@ func idsToMap(db *relation.Database, ids *relation.TupleSet) map[string]relation
 
 // Derives reports whether rule r derives exactly the tuple t. The
 // head variables are pre-bound to t's constants, so this is usually
-// much cheaper than a full evaluation.
+// much cheaper than a full evaluation. Pre-binding invalidates the
+// plan-time bound/free split the batch strategy relies on, so Derives
+// always runs the backtracking search.
 func Derives(r query.Rule, db *relation.Database, t relation.Tuple) bool {
 	if r.Head.Rel != t.Rel || len(r.Head.Args) != len(t.Args) {
 		return false
@@ -144,15 +167,16 @@ func Derives(r query.Rule, db *relation.Database, t relation.Tuple) bool {
 	return found
 }
 
-// evaluator holds the mutable state of one backtracking join.
-// Evaluators are pooled: the synthesizers run one evaluation per
-// candidate rule in their inner loops, and recycling the valuation,
-// plan, and dedup buffers keeps those evaluations allocation-free
-// (see evaluatorPool).
+// evaluator holds the mutable state of one rule evaluation session,
+// shared by both join strategies. Evaluators are pooled: the
+// synthesizers run one evaluation per candidate rule in their inner
+// loops, and recycling the valuation, plan, and dedup buffers keeps
+// those evaluations allocation-free (see evaluatorPool).
 type evaluator struct {
 	rule  query.Rule
 	db    *relation.Database
-	order []int // body literal evaluation order
+	plan  plan     // literal order + per-position stats (plan.go)
+	strat strategy // join strategy picked for this session (strategy.go)
 	val   []relation.Const
 	bound []bool
 	seen  map[string]bool // dedup of emitted head tuples (string path)
@@ -162,10 +186,10 @@ type evaluator struct {
 	// at a time, so one buffer per depth makes match allocation-free.
 	newlyAt [][]query.Var
 
-	// planUsed/planBound are planOrder scratch (slices, not maps, so
-	// planning does not allocate on the assess hot path).
-	planUsed  []bool
-	planBound []bool
+	// Semi-naive restriction (EvalRuleDelta): when restrict is non-nil
+	// the body literal at index restrictLit matches only ids in it.
+	restrict    *relation.TupleSet
+	restrictLit int
 
 	// Id path: yieldID non-nil selects it. Dedup is a bitset over the
 	// interning table and the head-projection buffer is reused, since
@@ -173,6 +197,21 @@ type evaluator struct {
 	yieldID YieldID
 	seenIDs relation.TupleSet
 	scratch []relation.Const
+
+	// Batch-strategy state (batch.go): per order position, the pruned
+	// candidate id lists (cand, possibly aliasing db postings; candBuf
+	// holds the evaluator-owned backing), their lazily built bitset
+	// forms, and per-variable value supports for semijoin filtering.
+	cand       [][]relation.TupleID
+	candBuf    [][]relation.TupleID
+	candIsExt  []bool
+	candSet    []*relation.TupleSet
+	candSetOK  []bool
+	unaryCS    []*relation.ConstSet // per-position ColumnConstSet, fetched once per session
+	unaryCSOK  []bool
+	varSup     []relation.ConstSet
+	varSupOK   []bool
+	frontierHW int // largest candidate-set size seen this session
 
 	// fresh marks an evaluator straight from the pool's New (a pool
 	// miss); pooltrace.go counts those. Cleared on first use.
@@ -198,7 +237,8 @@ func newEvaluator(r query.Rule, db *relation.Database) *evaluator {
 		e.newlyAt = make([][]query.Var, len(r.Body))
 	}
 	e.newlyAt = e.newlyAt[:len(r.Body)]
-	e.planOrder()
+	e.plan.compute(r, db)
+	e.strat = pickStrategy(&e.plan)
 	return e
 }
 
@@ -209,6 +249,14 @@ func (e *evaluator) release() {
 	e.rule = query.Rule{}
 	e.db = nil
 	e.yieldID = nil
+	e.restrict = nil
+	e.strat = nil
+	for i := range e.cand {
+		e.cand[i] = nil // may alias db posting lists
+	}
+	for i := range e.unaryCS {
+		e.unaryCS[i] = nil // aliases db column const-set views
+	}
 	if e.seen != nil {
 		clear(e.seen)
 	}
@@ -219,12 +267,13 @@ func (e *evaluator) release() {
 
 // planLiteralOrder returns the greedy join order for r's body as a
 // fresh slice, for callers (provenance search) outside the pooled
-// evaluator hot path.
+// evaluator hot path. It plans on a throwaway plan value rather than
+// borrowing a pooled evaluator, so provenance replay does not churn
+// the pool that the assess loop is warming.
 func planLiteralOrder(r query.Rule, db *relation.Database) []int {
-	e := newEvaluator(r, db)
-	order := append([]int(nil), e.order...)
-	e.release()
-	return order
+	var p plan
+	p.compute(r, db)
+	return p.order
 }
 
 // growConsts returns a buffer of length n, reusing capacity.
@@ -247,60 +296,23 @@ func resetBools(b []bool, n int) []bool {
 	return b
 }
 
-// planOrder greedily orders body literals: at each step pick the
-// literal with the most already-bound argument positions, breaking
-// ties by smaller relation extent. This keeps index lookups selective
-// without a full cost model. The order is written into e.order.
-func (e *evaluator) planOrder() {
-	r, db := e.rule, e.db
-	n := len(r.Body)
-	e.order = e.order[:0]
-	used := resetBools(e.planUsed, n)
-	boundVars := resetBools(e.planBound, r.NumVars())
-	e.planUsed, e.planBound = used, boundVars
-	// Head constants do not bind variables; head variables are bound
-	// only in Derives, which re-plans implicitly via the same greedy
-	// rule (the order is computed without that knowledge, which is
-	// acceptable: selectivity still comes from the index lookups).
-	for len(e.order) < n {
-		best, bestBound, bestExtent := -1, -1, 0
-		for i, lit := range r.Body {
-			if used[i] {
-				continue
-			}
-			b := 0
-			for _, t := range lit.Args {
-				if t.IsConst || boundVars[t.Var] {
-					b++
-				}
-			}
-			ext := db.ExtentSize(lit.Rel)
-			if best == -1 || b > bestBound || (b == bestBound && ext < bestExtent) {
-				best, bestBound, bestExtent = i, b, ext
-			}
-		}
-		used[best] = true
-		e.order = append(e.order, best)
-		for _, t := range r.Body[best].Args {
-			if !t.IsConst {
-				boundVars[t.Var] = true
-			}
-		}
-	}
-}
-
 func (e *evaluator) run(yield Yield) {
-	e.search(0, yield)
+	e.strat.run(e, yield)
 }
 
 // search extends the current partial valuation over body literals
 // order[i:]. It returns false when the caller asked to stop.
 func (e *evaluator) search(i int, yield Yield) bool {
-	if i == len(e.order) {
+	if i == len(e.plan.order) {
 		return e.emit(yield)
 	}
-	lit := e.rule.Body[e.order[i]]
+	li := e.plan.order[i]
+	lit := e.rule.Body[li]
+	restricted := e.restrict != nil && li == e.restrictLit
 	for _, id := range e.candidates(lit) {
+		if restricted && !e.restrict.Has(id) {
+			continue
+		}
 		tup := e.db.Tuple(id)
 		newly, ok := e.match(lit, tup, i)
 		if !ok {

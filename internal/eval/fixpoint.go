@@ -10,8 +10,16 @@ import (
 // FixpointUCQ evaluates a possibly-recursive Datalog program: rules
 // whose bodies may mention output (intensional) relations, including
 // the rule's own head relation. It computes the least fixpoint by
-// semi-naive iteration: each round re-derives only instantiations
-// that use at least one tuple discovered in the previous round.
+// semi-naive iteration on the id plane: after a naive first round,
+// each subsequent round evaluates every rule once per body position
+// with that position restricted to the previous round's delta
+// (EvalRuleDelta), so only instantiations that use at least one
+// newly derived tuple are re-joined. Tuples derived in a round are
+// promoted to overlay facts of the working database between rounds —
+// a between-runs mutation, per the Database contract — keeping their
+// interned ids, so the delta is a bitset and the frontier a plain
+// slice in first-derivation order (no map iteration anywhere near
+// the control flow).
 //
 // The EGS synthesizer itself targets the non-recursive UCQ fragment
 // (the paper lists recursion as future work), but the evaluator
@@ -41,64 +49,58 @@ func FixpointUCQ(q query.UCQ, db *relation.Database) (map[string]relation.Tuple,
 		work.Insert(t)
 	}
 	derived := make(map[string]relation.Tuple)
+	derivedIDs := &relation.TupleSet{}
+
+	// collect records a derived head id the first time it is seen,
+	// appending it to the current frontier. Ids that are already facts
+	// of work — base facts, or tuples promoted in earlier rounds — are
+	// not new derivations.
+	var frontier []relation.TupleID
+	collect := func(id relation.TupleID) bool {
+		if _, isFact := work.GenerationOf(id); isFact {
+			return true
+		}
+		if derivedIDs.Add(id) {
+			t := work.TupleByID(id)
+			t = relation.Tuple{Rel: t.Rel, Args: append([]relation.Const(nil), t.Args...)}
+			derived[t.Key()] = t
+			frontier = append(frontier, id)
+		}
+		return true
+	}
 
 	// Naive first round: evaluate every rule against the base facts.
-	frontier := make(map[string]relation.Tuple)
 	for _, r := range q.Rules {
-		EvalRule(r, work, func(t relation.Tuple) bool {
-			k := t.Key()
-			if _, ok := derived[k]; !ok && !containsTuple(db, t) {
-				derived[k] = t
-				frontier[k] = t
-			}
-			return true
-		})
-	}
-	for _, t := range frontier {
-		work.Insert(t)
+		EvalRuleIDs(r, work, collect)
 	}
 
-	// Semi-naive rounds: a rule can produce a new tuple only if some
-	// body literal matches a frontier tuple. We approximate the
-	// delta-rule optimization at the relation level: re-evaluate a
-	// rule only if its body mentions a relation that gained tuples
-	// in the previous round.
+	// Semi-naive rounds: re-derive only instantiations using at least
+	// one previous-round tuple, by running each rule once per body
+	// position with that position pinned to the delta. The union over
+	// positions covers every instantiation touching the delta;
+	// overlaps deduplicate through derivedIDs.
 	for len(frontier) > 0 {
-		grew := map[relation.RelID]bool{}
-		for _, t := range frontier {
-			grew[t.Rel] = true
+		delta := &relation.TupleSet{}
+		grew := make(map[relation.RelID]bool)
+		for _, id := range frontier {
+			delta.Add(id)
+			grew[work.TupleByID(id).Rel] = true
 		}
-		next := make(map[string]relation.Tuple)
+		// Promote the frontier to facts so this round's joins see it.
+		for _, id := range frontier {
+			work.Insert(work.TupleByID(id))
+		}
+		frontier = frontier[:0]
 		for _, r := range q.Rules {
-			relevant := false
-			for _, lit := range r.Body {
-				if grew[lit.Rel] {
-					relevant = true
-					break
+			for li, lit := range r.Body {
+				if !grew[lit.Rel] {
+					continue
 				}
+				EvalRuleDelta(r, work, li, delta, collect)
 			}
-			if !relevant {
-				continue
-			}
-			EvalRule(r, work, func(t relation.Tuple) bool {
-				k := t.Key()
-				if _, ok := derived[k]; !ok && !containsTuple(db, t) {
-					derived[k] = t
-					next[k] = t
-				}
-				return true
-			})
 		}
-		for _, t := range next {
-			work.Insert(t)
-		}
-		frontier = next
 	}
 	return derived, nil
-}
-
-func containsTuple(db *relation.Database, t relation.Tuple) bool {
-	return db.Contains(t)
 }
 
 // TransitiveClosureRules builds the textbook recursive program

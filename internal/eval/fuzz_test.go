@@ -27,8 +27,9 @@ func (d *fuzzDecoder) next(bound int) int {
 	return int(b) % bound
 }
 
-// fuzzCase decodes a database and a safe rule from fuzz input.
-func fuzzCase(data []byte) (*relation.Database, query.Rule, bool) {
+// fuzzCase decodes a database, a safe rule, and a batch of overlay
+// tuples (facts to land in a post-freeze generation) from fuzz input.
+func fuzzCase(data []byte) (*relation.Database, query.Rule, []relation.Tuple, bool) {
 	d := &fuzzDecoder{data: data}
 	s := relation.NewSchema()
 	dom := relation.NewDomain()
@@ -45,15 +46,18 @@ func fuzzCase(data []byte) (*relation.Database, query.Rule, bool) {
 	for i := range consts {
 		consts[i] = dom.Intern(string(rune('a' + i)))
 	}
-	db := relation.NewDatabase(s, dom)
-	nTuples := d.next(13)
-	for i := 0; i < nTuples; i++ {
+	randTuple := func() relation.Tuple {
 		rel := inputs[d.next(len(inputs))]
 		args := make([]relation.Const, s.Arity(rel))
 		for j := range args {
 			args[j] = consts[d.next(nConst)]
 		}
-		db.Insert(relation.Tuple{Rel: rel, Args: args})
+		return relation.Tuple{Rel: rel, Args: args}
+	}
+	db := relation.NewDatabase(s, dom)
+	nTuples := d.next(13)
+	for i := 0; i < nTuples; i++ {
+		db.Insert(randTuple())
 	}
 
 	nBody := 1 + d.next(3)
@@ -79,13 +83,17 @@ func fuzzCase(data []byte) (*relation.Database, query.Rule, bool) {
 		r.Body = append(r.Body, lit)
 	}
 	if len(bodyVars) == 0 {
-		return nil, query.Rule{}, false // all-constant body cannot build a safe head
+		return nil, query.Rule{}, nil, false // all-constant body cannot build a safe head
 	}
 	r.Head.Args = make([]query.Term, headArity)
 	for j := range r.Head.Args {
 		r.Head.Args[j] = query.V(bodyVars[d.next(len(bodyVars))])
 	}
-	return db, r, true
+	overlay := make([]relation.Tuple, d.next(5))
+	for i := range overlay {
+		overlay[i] = randTuple()
+	}
+	return db, r, overlay, true
 }
 
 func sortedKeys(m map[string]relation.Tuple) []string {
@@ -97,45 +105,75 @@ func sortedKeys(m map[string]relation.Tuple) []string {
 	return keys
 }
 
-// FuzzEvalEquivalence differentially tests the three evaluation
-// paths: the indexed string-keyed evaluator (EvalRule via
-// RuleOutputs), the dense-id path (RuleOutputIDs), and the
-// unoptimized nested-loop oracle (EvalRuleNaive). All three must
-// derive exactly the same set of output tuples on every input.
+// checkEquivalence compares the naive oracle against the indexed
+// string-keyed path and the dense-id path, with the join strategy
+// pinned to backtracking and then to batch.
+func checkEquivalence(t *testing.T, db *relation.Database, r query.Rule, stage string) {
+	t.Helper()
+	naive := EvalRuleNaive(r, db)
+	nk := sortedKeys(naive)
+	for _, strat := range []Strategy{StrategyBacktrack, StrategyBatch} {
+		restore := ForceStrategy(strat)
+		indexed := RuleOutputs(r, db)
+		ids := RuleOutputIDs(r, db)
+		restore()
+
+		ik := sortedKeys(indexed)
+		if len(nk) != len(ik) {
+			t.Fatalf("[%s/%s] naive derives %d tuples, indexed derives %d\nrule: %s",
+				stage, strat, len(nk), len(ik), r.String(db.Schema, db.Domain))
+		}
+		for i := range nk {
+			if nk[i] != ik[i] {
+				t.Fatalf("[%s/%s] naive and indexed outputs diverge\nrule: %s",
+					stage, strat, r.String(db.Schema, db.Domain))
+			}
+		}
+		if ids.Len() != len(naive) {
+			t.Fatalf("[%s/%s] id path derives %d tuples, naive derives %d\nrule: %s",
+				stage, strat, ids.Len(), len(naive), r.String(db.Schema, db.Domain))
+		}
+		ids.Iterate(func(id relation.TupleID) bool {
+			if _, present := naive[db.TupleByID(id).Key()]; !present {
+				t.Fatalf("[%s/%s] id path derived tuple missing from naive output\nrule: %s",
+					stage, strat, r.String(db.Schema, db.Domain))
+			}
+			return true
+		})
+	}
+}
+
+// FuzzEvalEquivalence differentially tests the evaluation paths: the
+// indexed string-keyed evaluator (EvalRule via RuleOutputs), the
+// dense-id path (RuleOutputIDs), and the unoptimized nested-loop
+// oracle (EvalRuleNaive) — each indexed path forced through both the
+// backtracking and the batch join strategy. All must derive exactly
+// the same set of output tuples on every input, both on the base
+// database and again after a post-freeze generation overlay lands
+// more facts (exercising the columnar caches' stamp invalidation).
 func FuzzEvalEquivalence(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
 	f.Add([]byte{2, 4, 9, 1, 0, 1, 2, 0, 1, 1, 2, 2, 0, 3, 1, 2, 0, 2, 1, 1, 0, 2})
 	f.Add([]byte{0, 3, 12, 2, 1, 0, 2, 1, 1, 2, 2, 1, 0, 0, 1, 2, 3, 4, 2, 2, 1, 1, 0, 0, 3})
+	f.Add([]byte{1, 3, 11, 2, 1, 0, 2, 1, 1, 2, 2, 1, 0, 0, 1, 2, 3, 4, 2, 2, 1, 1, 0, 0, 3,
+		4, 1, 0, 1, 2, 2, 1, 0, 3, 1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		db, r, ok := fuzzCase(data)
+		db, r, overlay, ok := fuzzCase(data)
 		if !ok {
 			return
 		}
-		naive := EvalRuleNaive(r, db)
-		indexed := RuleOutputs(r, db)
-		ids := RuleOutputIDs(r, db)
-
-		nk, ik := sortedKeys(naive), sortedKeys(indexed)
-		if len(nk) != len(ik) {
-			t.Fatalf("naive derives %d tuples, indexed derives %d\nrule: %s",
-				len(nk), len(ik), r.String(db.Schema, db.Domain))
+		checkEquivalence(t, db, r, "base")
+		if len(overlay) == 0 {
+			return
 		}
-		for i := range nk {
-			if nk[i] != ik[i] {
-				t.Fatalf("naive and indexed outputs diverge\nrule: %s", r.String(db.Schema, db.Domain))
-			}
+		// The id-path evaluations above froze the interning table, so
+		// these inserts land in an overlay generation; every cached
+		// columnar view they touch must self-invalidate.
+		db.BeginGeneration()
+		for _, tup := range overlay {
+			db.Insert(tup)
 		}
-		if ids.Len() != len(naive) {
-			t.Fatalf("id path derives %d tuples, naive derives %d\nrule: %s",
-				ids.Len(), len(naive), r.String(db.Schema, db.Domain))
-		}
-		ids.Iterate(func(id relation.TupleID) bool {
-			if _, present := naive[db.TupleByID(id).Key()]; !present {
-				t.Fatalf("id path derived tuple missing from naive output\nrule: %s",
-					r.String(db.Schema, db.Domain))
-			}
-			return true
-		})
+		checkEquivalence(t, db, r, "overlay")
 	})
 }

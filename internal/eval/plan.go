@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"github.com/egs-synthesis/egs/internal/query"
+	"github.com/egs-synthesis/egs/internal/relation"
+)
+
+// The planner: greedy literal ordering plus the per-position stats
+// both join strategies consume. Planning used to live on the pooled
+// evaluator only; it is a standalone value now so that non-pooled
+// callers (provenance replay, tests) can plan without borrowing an
+// evaluator from the pool.
+
+// litStep holds the stats of one planned order position, computed
+// under the variable bindings established by earlier positions.
+type litStep struct {
+	// boundMask marks argument columns holding a constant or a
+	// variable bound at an earlier position (columns >= 64 are not
+	// representable; plan.wideLit flags that case).
+	boundMask uint64
+	// hasFree reports whether some column binds a new variable here.
+	hasFree bool
+	// probeCol is the bound column with the most distinct values — the
+	// statically most selective index probe — or -1 when no column is
+	// bound.
+	probeCol int
+	// extent is the literal's relation extent size at plan time.
+	extent int
+}
+
+// plan is the evaluation plan of one rule over one database: the
+// greedy literal order, per-position stats, and the binding sites of
+// each variable. The zero value is ready for use; buffers are reused
+// across compute calls, so a pooled evaluator replans without
+// allocating.
+type plan struct {
+	order []int     // body literal evaluation order
+	steps []litStep // steps[i] describes the literal at order[i]
+	// binderPos/binderCol record, per variable, the order position and
+	// argument column that first bind it (-1 when the body never binds
+	// it — an unsafe rule).
+	binderPos []int32
+	binderCol []int32
+	// used/bound are planning scratch (slices, not maps, so planning
+	// does not allocate on the assess hot path).
+	used  []bool
+	bound []bool
+	// totalExtent sums the body literals' extent sizes — the cost
+	// heuristic's input (strategy.go).
+	totalExtent int
+	// wideLit reports a body literal with more than 64 columns, which
+	// boundMask cannot represent; such rules stay on backtracking.
+	wideLit bool
+}
+
+// compute plans rule r over db: at each step pick the unused literal
+// with the most already-bound argument positions, breaking ties by
+// smaller relation extent. This keeps index lookups selective without
+// a full cost model. Head constants do not bind variables; head
+// variables are bound only in Derives, which reuses the same order
+// (the order is computed without that knowledge, which is acceptable:
+// selectivity still comes from the index lookups).
+func (p *plan) compute(r query.Rule, db *relation.Database) {
+	n := len(r.Body)
+	if cap(p.order) < n {
+		p.order = make([]int, 0, n)
+	}
+	p.order = p.order[:0]
+	if cap(p.steps) < n {
+		p.steps = make([]litStep, 0, n)
+	}
+	p.steps = p.steps[:0]
+	nv := r.NumVars()
+	p.used = resetBools(p.used, n)
+	p.bound = resetBools(p.bound, nv)
+	p.binderPos = resetInt32(p.binderPos, nv)
+	p.binderCol = resetInt32(p.binderCol, nv)
+	p.totalExtent = 0
+	p.wideLit = false
+	for len(p.order) < n {
+		best, bestBound, bestExtent := -1, -1, 0
+		for i, lit := range r.Body {
+			if p.used[i] {
+				continue
+			}
+			b := 0
+			for _, t := range lit.Args {
+				if t.IsConst || p.bound[t.Var] {
+					b++
+				}
+			}
+			ext := db.ExtentSize(lit.Rel)
+			if best == -1 || b > bestBound || (b == bestBound && ext < bestExtent) {
+				best, bestBound, bestExtent = i, b, ext
+			}
+		}
+		p.used[best] = true
+		lit := r.Body[best]
+		st := litStep{probeCol: -1, extent: db.ExtentSize(lit.Rel)}
+		bestDistinct := -1
+		for col, t := range lit.Args {
+			if t.IsConst || p.bound[t.Var] {
+				if col < 64 {
+					st.boundMask |= 1 << uint(col)
+				} else {
+					p.wideLit = true
+				}
+				if d := db.ColumnDistinct(lit.Rel, col); d > bestDistinct {
+					bestDistinct, st.probeCol = d, col
+				}
+				continue
+			}
+			st.hasFree = true
+		}
+		p.totalExtent += st.extent
+		pos := len(p.order)
+		p.order = append(p.order, best)
+		p.steps = append(p.steps, st)
+		for col, t := range lit.Args {
+			if !t.IsConst && !p.bound[t.Var] {
+				p.bound[t.Var] = true
+				p.binderPos[t.Var] = int32(pos)
+				p.binderCol[t.Var] = int32(col)
+			}
+		}
+	}
+}
+
+// resetInt32 returns an all -1 buffer of length n, reusing capacity.
+func resetInt32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		b = make([]int32, n)
+	} else {
+		b = b[:n]
+	}
+	for i := range b {
+		b[i] = -1
+	}
+	return b
+}

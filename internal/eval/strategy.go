@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// The strategy layer: EvalRule / EvalRuleIDs sessions run one of two
+// join strategies over the same plan.
+//
+//   - backtracking (eval.go): tuple-at-a-time depth-first search,
+//     dynamically picking the shortest posting list per branch. Wins
+//     when the search space is small or the first literals are highly
+//     selective — the common case for paper-scale tasks, where one
+//     candidate rule meets a database of tens of tuples.
+//
+//   - batch (batch.go): set-at-a-time. Per-literal candidate sets are
+//     pruned wholesale (constant columns by posting-list intersection,
+//     already-bound columns by semijoin against the binder literal's
+//     value support) before any tuple-level unification runs, and the
+//     residual search walks only the surviving frontier. Wins on large
+//     extents, where backtracking revisits the same dead subtrees once
+//     per outer binding.
+//
+// Both strategies produce the same SET of head tuples; emission order
+// is unspecified (every caller is order-insensitive: outputs land in
+// TupleSets or are counted). A per-rule cost heuristic picks the
+// strategy; EGS_EVAL_STRATEGY / ForceStrategy override it for
+// differential testing and benchmarks.
+
+// Strategy names a join strategy choice.
+type Strategy uint8
+
+const (
+	// StrategyAuto lets the per-rule cost heuristic decide.
+	StrategyAuto Strategy = iota
+	// StrategyBacktrack forces the tuple-at-a-time backtracking join.
+	StrategyBacktrack
+	// StrategyBatch forces the set-at-a-time batch join.
+	StrategyBatch
+)
+
+// String returns the spelling accepted by EGS_EVAL_STRATEGY.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBacktrack:
+		return "backtrack"
+	case StrategyBatch:
+		return "batch"
+	default:
+		return "auto"
+	}
+}
+
+// forcedStrategy holds the process-wide override, seeded from the
+// EGS_EVAL_STRATEGY environment variable ("auto", "backtrack",
+// "batch"); StrategyAuto means "no override". Atomic because
+// evaluations run concurrently under SynthesizeParallel.
+var forcedStrategy = func() *atomic.Int32 {
+	v := new(atomic.Int32)
+	switch os.Getenv("EGS_EVAL_STRATEGY") {
+	case "backtrack":
+		v.Store(int32(StrategyBacktrack))
+	case "batch":
+		v.Store(int32(StrategyBatch))
+	}
+	return v
+}()
+
+// ForceStrategy overrides the per-rule strategy heuristic process-wide
+// and returns a function restoring the previous override. Intended for
+// tests and benchmarks that need to pin one code path:
+//
+//	defer eval.ForceStrategy(eval.StrategyBatch)()
+func ForceStrategy(s Strategy) (restore func()) {
+	prev := forcedStrategy.Swap(int32(s))
+	return func() { forcedStrategy.Store(prev) }
+}
+
+// strategy is one way of running a planned evaluation session to
+// completion. Implementations are stateless singletons; all session
+// state lives on the evaluator.
+type strategy interface {
+	name() string
+	// run evaluates to completion, honoring the evaluator's yield
+	// configuration; it returns false when the caller stopped early.
+	run(e *evaluator, yield Yield) bool
+}
+
+var (
+	backtrack strategy = backtrackStrategy{}
+	batch     strategy = batchStrategy{}
+)
+
+type backtrackStrategy struct{}
+
+func (backtrackStrategy) name() string { return "backtrack" }
+
+func (backtrackStrategy) run(e *evaluator, yield Yield) bool {
+	noteStrategyRun(false, 0)
+	return e.search(0, yield)
+}
+
+type batchStrategy struct{}
+
+func (batchStrategy) name() string { return "batch" }
+
+func (batchStrategy) run(e *evaluator, yield Yield) bool {
+	nonEmpty := e.pruneBatch()
+	noteStrategyRun(true, e.frontierHW)
+	if !nonEmpty {
+		return true // some literal has no candidates: r derives nothing
+	}
+	return e.searchBatch(0, yield)
+}
+
+// batchExtentThreshold is the cost heuristic's cut-over: the summed
+// body extent size below which set-at-a-time bookkeeping cannot pay
+// for itself. Paper-scale example databases (tens of tuples) stay on
+// backtracking; the scaled and datagen instances cross it.
+const batchExtentThreshold = 256
+
+// pickStrategy chooses the join strategy for one session from the
+// plan's static stats. Deterministic: it depends only on the rule and
+// the database's extent sizes.
+func pickStrategy(p *plan) strategy {
+	switch Strategy(forcedStrategy.Load()) {
+	case StrategyBacktrack:
+		return backtrack
+	case StrategyBatch:
+		if p.wideLit {
+			return backtrack // boundMask cannot describe the literal
+		}
+		return batch
+	}
+	if p.wideLit || len(p.order) < 2 || p.totalExtent < batchExtentThreshold {
+		return backtrack
+	}
+	return batch
+}

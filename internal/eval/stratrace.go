@@ -1,0 +1,50 @@
+// Strategy-dispatch accounting for the trace layer, following the
+// pooled-evaluator counters in pooltrace.go: process-wide atomics
+// behind the same enablement count, read as deltas at span
+// boundaries. With tracing off each evaluation session pays one
+// atomic load; the frontier high-water is tracked only for batch
+// sessions while tracing is on.
+
+package eval
+
+import "sync/atomic"
+
+var (
+	// stratBatch / stratBacktrack count evaluation sessions dispatched
+	// to each strategy.
+	stratBatch     atomic.Uint64
+	stratBacktrack atomic.Uint64
+	// stratFrontier is the high-water mark of batch candidate-set
+	// sizes (the largest per-literal frontier any batch session built).
+	stratFrontier atomic.Uint64
+)
+
+// noteStrategyRun is called once per evaluation session from the
+// strategy implementations; frontier is the session's largest
+// candidate-set size (batch only).
+func noteStrategyRun(isBatch bool, frontier int) {
+	if poolTraceOn.Load() <= 0 {
+		return
+	}
+	if !isBatch {
+		stratBacktrack.Add(1)
+		return
+	}
+	stratBatch.Add(1)
+	hw := uint64(frontier)
+	for {
+		cur := stratFrontier.Load()
+		if hw <= cur || stratFrontier.CompareAndSwap(cur, hw) {
+			return
+		}
+	}
+}
+
+// StrategyCounters returns the cumulative per-strategy session counts
+// and the batch frontier high-water mark counted while pool tracing
+// was enabled (EnablePoolTracing gates both counter families).
+// Callers take deltas of the counts; the high-water mark is monotone
+// and read as an absolute.
+func StrategyCounters() (batch, backtrack, frontierHighWater uint64) {
+	return stratBatch.Load(), stratBacktrack.Load(), stratFrontier.Load()
+}

@@ -33,9 +33,11 @@ var scopes = map[string][]string{
 	// reach the queue, canonical keys, or rendered queries.
 	// internal/session revises tasks and owns the cross-revision memo,
 	// so a ranged map there could reorder labels or deltas.
+	// internal/prosynth drives a CEGIS loop whose clause order shapes
+	// the SAT search, so map order must not reach clause emission.
 	"detorder": {
 		"internal/egs", "internal/eval", "internal/query", "internal/cograph",
-		"internal/session",
+		"internal/session", "internal/prosynth",
 	},
 	// Wall-clock and randomness are banned from the synthesis core and
 	// the data structures it renders. internal/session is in: session
@@ -46,6 +48,7 @@ var scopes = map[string][]string{
 	"nodetsource": {
 		"internal/egs", "internal/eval", "internal/query", "internal/cograph",
 		"internal/relation", "internal/task", "internal/session",
+		"internal/prosynth",
 	},
 	// Everywhere except internal/relation itself (the analyzer skips
 	// the owning package) and the lint tree (fixtures deliberately

@@ -122,10 +122,32 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 		return d
 	}
 
+	// Incremental derived-set scoring: counts[id] is the number of
+	// selected rules deriving tuple id, so "the subset derives id" is
+	// counts[id] > 0 and flipping rule i in or out of the subset
+	// adjusts the derived set by ±outsMemo[i] — instead of re-unioning
+	// every selected rule's outputs from scratch each CEGIS iteration.
+	var counts []int32
+	applyRule := func(i int, delta int32) {
+		outputsOf(i).Iterate(func(id relation.TupleID) bool {
+			if int(id) >= len(counts) {
+				grown := make([]int32, int(id)+1)
+				copy(grown, counts)
+				counts = grown
+			}
+			counts[id] += delta
+			return true
+		})
+	}
+	derivedHas := func(id relation.TupleID) bool {
+		return int(id) < len(counts) && counts[id] > 0
+	}
+
 	// Initial candidate subset: all rules on (ProSynth's seed).
 	selected := make([]bool, n)
 	for i := range selected {
 		selected[i] = true
+		applyRule(i, 1)
 	}
 
 	for {
@@ -133,13 +155,6 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 		case <-ctx.Done():
 			return nil, 0, ctx.Err()
 		default:
-		}
-		// Evaluate the current subset.
-		derived := &relation.TupleSet{}
-		for i := 0; i < n; i++ {
-			if selected[i] {
-				derived.Union(outputsOf(i))
-			}
 		}
 		consistent := true
 		// Why provenance: disable every selected rule deriving a
@@ -156,11 +171,18 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 		// Why-not provenance: for each missing positive tuple,
 		// require one of its derivers.
 		for _, pid := range posIDs {
-			if derived.Has(pid) {
+			if derivedHas(pid) {
 				continue
 			}
 			consistent = false
 			ds := deriversOf(pid)
+			if len(ds) == 0 {
+				// No candidate rule derives this positive tuple: the
+				// why-not clause would be empty, so every subset fails
+				// the same way. Report exhaustion directly instead of
+				// pushing an unsatisfiable clause through the solver.
+				return nil, synth.Exhausted, nil
+			}
 			clause := make([]sat.Lit, 0, len(ds))
 			for _, i := range ds {
 				clause = append(clause, lits[i])
@@ -187,7 +209,16 @@ func cegis(ctx context.Context, t *task.Task, candidates []query.Rule) ([]query.
 			return nil, synth.Exhausted, nil
 		}
 		for i := 0; i < n; i++ {
-			selected[i] = model.Lit(lits[i])
+			sel := model.Lit(lits[i])
+			if sel == selected[i] {
+				continue
+			}
+			if sel {
+				applyRule(i, 1)
+			} else {
+				applyRule(i, -1)
+			}
+			selected[i] = sel
 		}
 	}
 }

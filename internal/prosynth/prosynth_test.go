@@ -92,6 +92,32 @@ func TestExhausted(t *testing.T) {
 	}
 }
 
+func TestUnderivablePositiveExhaustsImmediately(t *testing.T) {
+	// The positive example mentions a constant (z) that no input fact
+	// mentions, so no candidate rule can derive it: its deriver list
+	// is empty. The loop must short-circuit to Exhausted instead of
+	// routing an empty why-not clause through the solver.
+	src := `
+task underivable
+closed-world true
+modes maxv=3 edge=2
+input edge(2)
+output out(2)
+edge(a, b).
+edge(b, c).
++out(a, z).
+`
+	tk := load(t, src)
+	s := &Synthesizer{Source: ilasp.TaskSpecific}
+	res, err := s.Synthesize(context.Background(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != synth.Exhausted {
+		t.Fatalf("status = %v, want exhausted", res.Status)
+	}
+}
+
 func TestWhyNotDrivesCoverage(t *testing.T) {
 	// A disjunctive concept: the loop must enable rules for both
 	// positives even though the seed's negatives-driven constraints

@@ -1,0 +1,133 @@
+package relation
+
+import "sync"
+
+// Columnar views over the Database's posting lists, for the batch
+// (set-at-a-time) evaluator: bitset forms of per-column indexes that
+// make repeated membership probes word-cheap. Views are cached — the
+// synthesizers evaluate thousands of candidate rules against one
+// database, and the same (relation, column, constant) keys recur
+// constantly (anchor constants of the target tuple) — and each entry
+// is stamped with the size of the index it was built from. Extents,
+// posting lists, and column maps are append-only (base inserts during
+// the load phase, sortedInsert during overlay generations), so "the
+// stamp still matches" is exactly "the view is still current": any
+// BeginGeneration overlay insert that touches an indexed list grows
+// it and invalidates the affected entries, and no other mutation
+// exists. Untouched entries survive generation changes, which is what
+// keeps incremental sessions warm.
+//
+// The cache is filled lazily under a lock; hits take a read lock.
+// That is safe against the Database's concurrency contract: reads
+// (including cache fills) may run concurrently, overlay mutation is a
+// between-runs operation and never races a reader.
+
+// colCache holds the lazily built columnar views.
+type colCache struct {
+	mu sync.RWMutex
+	// sets caches AtColumnSet: (rel, col, const) -> bitset of the
+	// posting list, stamped with the posting length at build time.
+	sets map[colSetKey]*colSetEntry
+	// consts caches ColumnConstSet: (rel, col) -> bitset of the
+	// constants present, stamped with the column map's size (the map
+	// gains a key exactly when a never-seen constant arrives).
+	consts map[colConstKey]*colConstEntry
+}
+
+type colSetKey struct {
+	rel RelID
+	col int32
+	c   Const
+}
+
+type colSetEntry struct {
+	set   *TupleSet
+	stamp int // len of the posting list when built
+}
+
+type colConstKey struct {
+	rel RelID
+	col int32
+}
+
+type colConstEntry struct {
+	set   *ConstSet
+	stamp int // len of byCol[rel][col] when built
+}
+
+// AtColumnSet returns the tuples of relation r holding constant c in
+// column col, as a bitset over the database's tuple ids. The view is
+// cached and revalidated against the posting list's current length,
+// so it stays correct across overlay generations. The returned set is
+// shared; callers must not mutate it. Returns nil when no such tuple
+// exists.
+func (db *Database) AtColumnSet(r RelID, col int, c Const) *TupleSet {
+	ids := db.AtColumn(r, col, c)
+	if len(ids) == 0 {
+		return nil
+	}
+	key := colSetKey{rel: r, col: int32(col), c: c}
+	cc := &db.cols
+	cc.mu.RLock()
+	e := cc.sets[key]
+	cc.mu.RUnlock()
+	if e != nil && e.stamp == len(ids) {
+		return e.set
+	}
+	set := NewTupleSet(int(ids[len(ids)-1]) + 1)
+	for _, id := range ids {
+		set.Add(id)
+	}
+	cc.mu.Lock()
+	if cc.sets == nil {
+		cc.sets = make(map[colSetKey]*colSetEntry)
+	}
+	cc.sets[key] = &colSetEntry{set: set, stamp: len(ids)}
+	cc.mu.Unlock()
+	return set
+}
+
+// ColumnConstSet returns the set of constants appearing in column col
+// of relation r, as a bitset over the domain. The view is cached and
+// revalidated against the column index's current size. The returned
+// set is shared; callers must not mutate it. Returns nil when the
+// column is empty.
+func (db *Database) ColumnConstSet(r RelID, col int) *ConstSet {
+	if int(r) >= len(db.byCol) || col >= len(db.byCol[r]) {
+		return nil
+	}
+	m := db.byCol[r][col]
+	if len(m) == 0 {
+		return nil
+	}
+	key := colConstKey{rel: r, col: int32(col)}
+	cc := &db.cols
+	cc.mu.RLock()
+	e := cc.consts[key]
+	cc.mu.RUnlock()
+	if e != nil && e.stamp == len(m) {
+		return e.set
+	}
+	set := &ConstSet{}
+	for c := range m {
+		set.Add(c)
+	}
+	cc.mu.Lock()
+	if cc.consts == nil {
+		cc.consts = make(map[colConstKey]*colConstEntry)
+	}
+	cc.consts[key] = &colConstEntry{set: set, stamp: len(m)}
+	cc.mu.Unlock()
+	return set
+}
+
+// ColumnDistinct reports the number of distinct constants appearing
+// in column col of relation r — the planner's static selectivity
+// stat: a column with many distinct values splits its extent into
+// short posting lists, so probing it first keeps index joins cheap.
+func (db *Database) ColumnDistinct(r RelID, col int) int {
+	if int(r) >= len(db.byCol) || col >= len(db.byCol[r]) {
+		return 0
+	}
+	return len(db.byCol[r][col])
+}

@@ -1,0 +1,191 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func colTestDB(t *testing.T) (*Database, RelID, []Const) {
+	t.Helper()
+	s := NewSchema()
+	d := NewDomain()
+	edge := s.MustDeclare("edge", 2, Input)
+	db := NewDatabase(s, d)
+	consts := make([]Const, 6)
+	for i := range consts {
+		consts[i] = d.Intern(string(rune('a' + i)))
+	}
+	for i := 0; i < 5; i++ {
+		db.Insert(NewTuple(edge, consts[i], consts[(i+1)%5]))
+	}
+	return db, edge, consts
+}
+
+func TestAtColumnSetMatchesPosting(t *testing.T) {
+	db, edge, consts := colTestDB(t)
+	for col := 0; col < 2; col++ {
+		for _, c := range consts {
+			ids := db.AtColumn(edge, col, c)
+			set := db.AtColumnSet(edge, col, c)
+			if len(ids) == 0 {
+				if set != nil {
+					t.Fatalf("col %d const %d: empty posting but non-nil set", col, c)
+				}
+				continue
+			}
+			if set.Len() != len(ids) {
+				t.Fatalf("col %d const %d: set len %d, posting len %d", col, c, set.Len(), len(ids))
+			}
+			for _, id := range ids {
+				if !set.Has(id) {
+					t.Fatalf("col %d const %d: posting id %d missing from set", col, c, id)
+				}
+			}
+			// Cached: same pointer on re-request while unchanged.
+			if again := db.AtColumnSet(edge, col, c); again != set {
+				t.Fatalf("col %d const %d: cache miss on unchanged posting", col, c)
+			}
+		}
+	}
+}
+
+func TestAtColumnSetInvalidatesAcrossGenerations(t *testing.T) {
+	db, edge, consts := colTestDB(t)
+	before := db.AtColumnSet(edge, 0, consts[0])
+	n0 := before.Len()
+	cs0 := db.ColumnConstSet(edge, 1)
+	if cs0.Has(consts[5]) {
+		t.Fatal("constant f present before overlay insert")
+	}
+
+	// Freeze (interning) then land an overlay fact reusing column-0
+	// constant a and introducing f in column 1.
+	db.InternTuple(NewTuple(edge, consts[0], consts[0]))
+	db.BeginGeneration()
+	id := db.Insert(NewTuple(edge, consts[0], consts[5]))
+
+	after := db.AtColumnSet(edge, 0, consts[0])
+	if after.Len() != n0+1 || !after.Has(id) {
+		t.Fatalf("overlay fact not visible: len %d want %d, has=%v", after.Len(), n0+1, after.Has(id))
+	}
+	if !db.ColumnConstSet(edge, 1).Has(consts[5]) {
+		t.Fatal("new constant not visible in column const set after overlay insert")
+	}
+	// The pre-overlay view object must have been rebuilt, not mutated.
+	if before.Has(id) {
+		t.Fatal("stale cached view mutated in place")
+	}
+}
+
+func TestColumnDistinct(t *testing.T) {
+	db, edge, _ := colTestDB(t)
+	for col := 0; col < 2; col++ {
+		want := make(map[Const]bool)
+		for _, id := range db.Extent(edge) {
+			want[db.Tuple(id).Args[col]] = true
+		}
+		if got := db.ColumnDistinct(edge, col); got != len(want) {
+			t.Fatalf("col %d: distinct %d, want %d", col, got, len(want))
+		}
+	}
+	if db.ColumnDistinct(edge, 7) != 0 {
+		t.Fatal("out-of-range column should report 0")
+	}
+}
+
+func TestIntersectSortedIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		// Skewed sizes to exercise both the merge and gallop paths.
+		na, nb := rng.Intn(40), rng.Intn(40)*rng.Intn(20)
+		a, b := randomSortedIDs(rng, na, 300), randomSortedIDs(rng, nb, 300)
+		got := IntersectSortedIDs(nil, a, b)
+		inB := make(map[TupleID]bool, len(b))
+		for _, id := range b {
+			inB[id] = true
+		}
+		var want []TupleID
+		for _, id := range a {
+			if inB[id] {
+				want = append(want, id)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestFilterSortedBySet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomSortedIDs(rng, 50, 200)
+	s := &TupleSet{}
+	for _, id := range a {
+		if rng.Intn(2) == 0 {
+			s.Add(id)
+		}
+	}
+	got := FilterSortedBySet(nil, a, s)
+	for _, id := range got {
+		if !s.Has(id) {
+			t.Fatalf("id %d not in filter set", id)
+		}
+	}
+	n := 0
+	for _, id := range a {
+		if s.Has(id) {
+			n++
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("kept %d ids, want %d", len(got), n)
+	}
+	if FilterSortedBySet(nil, a, nil) != nil {
+		t.Fatal("nil set should filter everything")
+	}
+}
+
+func TestConstSetBasics(t *testing.T) {
+	var s ConstSet
+	if s.Has(3) || s.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if !s.Add(3) || s.Add(3) {
+		t.Fatal("Add newness misreported")
+	}
+	s.Add(200)
+	if !s.Has(3) || !s.Has(200) || s.Has(4) || s.Len() != 2 {
+		t.Fatal("membership wrong")
+	}
+	var got []Const
+	s.Iterate(func(c Const) bool { got = append(got, c); return true })
+	if len(got) != 2 || got[0] != 3 || got[1] != 200 {
+		t.Fatalf("iterate order %v", got)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Has(3) {
+		t.Fatal("reset did not empty")
+	}
+}
+
+func randomSortedIDs(rng *rand.Rand, n, max int) []TupleID {
+	if n > max {
+		n = max
+	}
+	seen := make(map[TupleID]bool)
+	for len(seen) < n {
+		seen[TupleID(rng.Intn(max))] = true
+	}
+	out := make([]TupleID, 0, n)
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

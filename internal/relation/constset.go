@@ -1,0 +1,64 @@
+package relation
+
+import "math/bits"
+
+// ConstSet is a set of interned constants, represented as a bitset.
+// Constants are dense (a Domain with n constants uses ids 0..n-1), so
+// membership is one shift-and-mask — the batch evaluator uses ConstSet
+// views of index columns to turn per-candidate "does rel hold this
+// value?" probes from map lookups into bit tests.
+//
+// The zero value is an empty set ready for use. A ConstSet is not safe
+// for concurrent mutation; concurrent reads are fine.
+type ConstSet struct {
+	words []uint64
+	count int
+}
+
+// Add inserts c, growing the bitset as needed. It reports whether the
+// constant was newly added.
+func (s *ConstSet) Add(c Const) bool {
+	w, b := int(c)>>6, uint(c)&63
+	if w >= len(s.words) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.words)
+		s.words = grown
+	}
+	if s.words[w]&(1<<b) != 0 {
+		return false
+	}
+	s.words[w] |= 1 << b
+	s.count++
+	return true
+}
+
+// Has reports whether c is in the set.
+func (s *ConstSet) Has(c Const) bool {
+	w := int(c) >> 6
+	return w < len(s.words) && s.words[w]&(1<<(uint(c)&63)) != 0
+}
+
+// Len reports the cardinality of the set.
+func (s *ConstSet) Len() int { return s.count }
+
+// Reset empties the set, retaining capacity.
+func (s *ConstSet) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
+// Iterate calls f on each constant in ascending order; returning
+// false stops the iteration early.
+func (s *ConstSet) Iterate(f func(Const) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(Const(i<<6 + b)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -49,6 +49,12 @@ type Database struct {
 
 	tuples []Tuple
 	keys   map[string]TupleID
+	// packed mirrors keys for tuples of arity ≤ packedArity under a
+	// fixed-size comparable key, so the interning hot path (emitting a
+	// derived tuple already seen) hashes a struct instead of building
+	// a string. keys remains the source of truth; packed is a pure
+	// accelerator and always updated alongside it.
+	packed map[packedKey]TupleID
 
 	byRel [][]TupleID // relation id -> extent
 	// byCol[rel][col] maps a constant to the tuples of rel having
@@ -67,6 +73,11 @@ type Database struct {
 	gen        Gen
 	overlay    map[TupleID]Gen
 	overlayIDs []TupleID
+
+	// cols caches columnar (bitset) views of the indexes for the
+	// batch evaluator; entries self-invalidate via size stamps (see
+	// colcache.go).
+	cols colCache
 }
 
 // Gen numbers overlay generations of a Database. Generation 0 is the
@@ -93,9 +104,36 @@ const (
 type internTable struct {
 	mu    sync.RWMutex
 	byKey map[string]TupleID
-	spine atomic.Pointer[[]*[internChunkSize]Tuple]
-	count int
-	base  int // len(db.tuples) at freeze time
+	// byPacked mirrors byKey for packable tuples (see Database.packed).
+	byPacked map[packedKey]TupleID
+	spine    atomic.Pointer[[]*[internChunkSize]Tuple]
+	count    int
+	base     int // len(db.tuples) at freeze time
+}
+
+// packedArity bounds the tuple arity the packed identity key covers;
+// wider tuples fall back to the string key. Four columns cover every
+// relation in the benchmark suite.
+const packedArity = 4
+
+// packedKey is a fixed-size comparable identity for a tuple: relation,
+// arity, and up to packedArity argument constants. Hashing it is a
+// few words of memhash — no serialization, no allocation.
+type packedKey struct {
+	rel  RelID
+	n    int8
+	args [packedArity]Const
+}
+
+// packTuple returns the packed identity of t, or ok=false when the
+// tuple is too wide to pack.
+func packTuple(t Tuple) (packedKey, bool) {
+	if len(t.Args) > packedArity {
+		return packedKey{}, false
+	}
+	k := packedKey{rel: t.Rel, n: int8(len(t.Args))}
+	copy(k.args[:], t.Args)
+	return k, true
 }
 
 // NewDatabase returns an empty database over the given schema and
@@ -105,6 +143,7 @@ func NewDatabase(s *Schema, d *Domain) *Database {
 		Schema:  s,
 		Domain:  d,
 		keys:    make(map[string]TupleID),
+		packed:  make(map[packedKey]TupleID),
 		byConst: make(map[Const][]TupleID),
 	}
 }
@@ -136,6 +175,9 @@ func (db *Database) Insert(t Tuple) TupleID {
 	id := TupleID(len(db.tuples))
 	db.tuples = append(db.tuples, t)
 	db.keys[k] = id
+	if pk, ok := packTuple(t); ok {
+		db.packed[pk] = id
+	}
 	db.index(t, id)
 	return id
 }
@@ -272,18 +314,45 @@ func (db *Database) Tuple(id TupleID) Tuple { return db.TupleByID(id) }
 //
 // The first call freezes the insert region; InternTuple is safe for
 // concurrent use from then on.
+//
+// The hit path for packable tuples (arity ≤ packedArity — every
+// relation in the benchmark suite) never serializes the tuple: it
+// hashes a fixed-size struct against the packed mirrors of the two
+// key maps. This is the single hottest operation in synthesis — the
+// evaluator interns one head tuple per satisfying valuation.
 func (db *Database) InternTuple(t Tuple) TupleID {
+	pk, packable := packTuple(t)
+	it := &db.intern
+	if packable {
+		if id, ok := db.packed[pk]; ok {
+			return id
+		}
+		it.mu.RLock()
+		id, ok := it.byPacked[pk]
+		it.mu.RUnlock()
+		if ok {
+			return id
+		}
+		return db.internSlow(t, pk, packable)
+	}
 	k := t.Key()
 	if id, ok := db.keys[k]; ok {
 		return id
 	}
-	it := &db.intern
 	it.mu.RLock()
 	id, ok := it.byKey[k]
 	it.mu.RUnlock()
 	if ok {
 		return id
 	}
+	return db.internSlow(t, pk, packable)
+}
+
+// internSlow assigns an id to a tuple both fast paths missed,
+// re-checking under the write lock against racing interns.
+func (db *Database) internSlow(t Tuple, pk packedKey, packable bool) TupleID {
+	k := t.Key()
+	it := &db.intern
 	it.mu.Lock()
 	defer it.mu.Unlock()
 	if id, ok := it.byKey[k]; ok {
@@ -291,6 +360,7 @@ func (db *Database) InternTuple(t Tuple) TupleID {
 	}
 	if it.byKey == nil {
 		it.byKey = make(map[string]TupleID)
+		it.byPacked = make(map[packedKey]TupleID)
 		it.base = len(db.tuples)
 	}
 	ci, off := it.count>>internChunkBits, it.count&(internChunkSize-1)
@@ -307,9 +377,12 @@ func (db *Database) InternTuple(t Tuple) TupleID {
 		spine = &grown
 	}
 	(*spine)[ci][off] = Tuple{Rel: t.Rel, Args: append([]Const(nil), t.Args...)}
-	id = TupleID(it.base + it.count)
+	id := TupleID(it.base + it.count)
 	it.count++
 	it.byKey[k] = id
+	if packable {
+		it.byPacked[pk] = id
+	}
 	return id
 }
 

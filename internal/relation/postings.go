@@ -1,0 +1,83 @@
+package relation
+
+import "sort"
+
+// Sorted-slice set algebra over posting lists. Database index lists
+// (extents, per-column postings) hold ascending TupleIDs, so the batch
+// evaluator can intersect them directly — no bitset materialization —
+// with the classic galloping (exponential-probe) scheme: linear when
+// the lists are similar in size, logarithmic per element when one list
+// is much shorter than the other.
+
+// IntersectSortedIDs appends to dst the ids present in both a and b
+// (each ascending, duplicate-free) and returns the extended slice.
+// Pass dst = buf[:0] to reuse a scratch buffer; dst must not alias a
+// or b.
+func IntersectSortedIDs(dst, a, b []TupleID) []TupleID {
+	// Gallop from the shorter list into the longer one.
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	// When the lists are close in size, a linear merge beats repeated
+	// binary probes; 16× is the conventional crossover.
+	if len(b) <= 16*len(a) {
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				dst = append(dst, a[i])
+				i++
+				j++
+			}
+		}
+		return dst
+	}
+	lo := 0
+	for _, id := range a {
+		lo += gallop(b[lo:], id)
+		if lo < len(b) && b[lo] == id {
+			dst = append(dst, id)
+			lo++
+		}
+	}
+	return dst
+}
+
+// gallop returns the index of the first element of s that is >= id,
+// probing exponentially from the front before binary-searching the
+// bracketed run. s is ascending.
+func gallop(s []TupleID, id TupleID) int {
+	bound := 1
+	for bound < len(s) && s[bound] < id {
+		bound <<= 1
+	}
+	lo := bound >> 1
+	hi := bound
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return lo + sort.Search(hi-lo, func(k int) bool { return s[lo+k] >= id })
+}
+
+// FilterSortedBySet appends to dst the ids of a that are members of s
+// and returns the extended slice. a is ascending; the output stays
+// ascending. Pass dst = buf[:0] to reuse a scratch buffer; dst must
+// not alias a.
+func FilterSortedBySet(dst, a []TupleID, s *TupleSet) []TupleID {
+	if s == nil {
+		return dst
+	}
+	for _, id := range a {
+		if s.Has(id) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}

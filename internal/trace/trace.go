@@ -67,6 +67,12 @@ const (
 	// warm-path evidence — a revision whose N is near zero while M
 	// carries the load — is read directly off these events.
 	KindSessionRevision
+	// KindEvalStrategy reports join-strategy dispatch for one cell: N
+	// is the evaluation sessions run set-at-a-time (batch), M the
+	// sessions run by backtracking, and Target the batch frontier
+	// high-water mark — the largest per-literal candidate set any
+	// batch session built — in decimal.
+	KindEvalStrategy
 )
 
 // String returns the stable wire name of the kind. These names are
@@ -92,6 +98,8 @@ func (k Kind) String() string {
 		return "queue-high-water"
 	case KindSessionRevision:
 		return "session-revision"
+	case KindEvalStrategy:
+		return "eval-strategy"
 	default:
 		return "unknown"
 	}

@@ -41,9 +41,11 @@ grep -h '^Benchmark' "$TMP/eval.txt" "$TMP/egs.txt" "$TMP/session.txt" | awk -v 
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "B/op") bytes = $i
         if ($(i + 1) == "allocs/op") allocs = $i
-        # Custom b.ReportMetric counters (assessment-cache accounting).
+        # Custom b.ReportMetric counters (assessment-cache accounting,
+        # batch join strategy accounting).
         if ($(i + 1) == "ruleevals/op") extra = extra sprintf(", \"ruleevals_per_op\": %s", $i)
         if ($(i + 1) == "memohits/op") extra = extra sprintf(", \"memohits_per_op\": %s", $i)
+        if ($(i + 1) == "batchjoins/op") extra = extra sprintf(", \"batch_joins_per_op\": %s", $i)
     }
     printf "{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}\n", name, $2, ns, bytes, allocs, extra
 }' | jq -s '.' > "$TMP/benches.json"
