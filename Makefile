@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet lint lint-json race serve-smoke session-smoke clean
+.PHONY: all build verify test vet lint lint-json race serve-smoke session-smoke router-smoke bench-serve clean
 
 all: build
 
@@ -48,6 +48,21 @@ serve-smoke:
 session-smoke:
 	$(GO) build -o bin/egs-serve ./cmd/egs-serve
 	BIN=bin/egs-serve ./scripts/session-smoke.sh
+
+# router-smoke boots two replicas plus egs-router, asserts consistent
+# routing stickiness, then replays a short low-rate load with egs-load
+# and checks p99/429-rate thresholds and the per-replica spread.
+router-smoke:
+	$(GO) build -o bin/egs-serve ./cmd/egs-serve
+	$(GO) build -o bin/egs-router ./cmd/egs-router
+	$(GO) build -o bin/egs-load ./cmd/egs-load
+	BIN_SERVE=bin/egs-serve BIN_ROUTER=bin/egs-router BIN_LOAD=bin/egs-load \
+		./scripts/router-smoke.sh
+
+# bench-serve measures the serving tier (stampede collapse, single vs
+# routed throughput) and records BENCH_serve.json.
+bench-serve:
+	./scripts/bench-serve.sh
 
 clean:
 	rm -rf bin

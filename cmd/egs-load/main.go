@@ -1,0 +1,112 @@
+// Command egs-load replays deterministic synthesis-task mixes against
+// an egs-serve replica or an egs-router and prints one scenario
+// measurement as JSON (qps, client and server latency quantiles, 429
+// rate, cache/singleflight hit counters, per-replica routing skew).
+// scripts/bench-serve.sh composes scenarios into BENCH_serve.json.
+//
+// Every random draw — task selection and open-loop arrival gaps —
+// flows from -seed through one linear-congruential PRNG, so a scenario
+// replays identically; there is no dependence on math/rand's global
+// state.
+//
+// Usage:
+//
+//	egs-load -target http://127.0.0.1:8080 -mode burst -requests 16 -mix stampede
+//	egs-load -target http://127.0.0.1:8090 -mode closed -concurrency 8 -duration 10s -mix miss
+//	egs-load -target http://127.0.0.1:8090 -mode open -rate 25 -duration 10s -mix mixed
+//
+// Flags:
+//
+//	-target url        replica or router base URL (required)
+//	-scenario name     scenario label in the emitted JSON
+//	-mode m            burst | closed | open
+//	-requests n        burst size (burst mode)
+//	-concurrency n     worker count (closed mode)
+//	-rate r            target arrivals/second (open mode)
+//	-duration d        run length (closed and open modes)
+//	-mix m             stampede | miss | mixed
+//	-seed n            PRNG seed (default 1)
+//	-timeout d         per-request budget (default 60s)
+//	-scrape a,b,...    extra /metrics bases (replicas behind a router)
+//	                   aggregated into the counters
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	target := flag.String("target", "", "replica or router base URL")
+	scenario := flag.String("scenario", "", "scenario label (default: mode-mix)")
+	mode := flag.String("mode", "closed", "arrival pattern: burst, closed, or open")
+	requests := flag.Int("requests", 16, "burst size (burst mode)")
+	concurrency := flag.Int("concurrency", 8, "worker count (closed mode)")
+	rate := flag.Float64("rate", 25, "target arrivals per second (open mode)")
+	duration := flag.Duration("duration", 10*time.Second, "run length (closed and open modes)")
+	mixName := flag.String("mix", "miss", "task mix: stampede, miss, or mixed")
+	seed := flag.Uint64("seed", 1, "PRNG seed")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request budget")
+	scrape := flag.String("scrape", "", "comma-separated extra /metrics bases to aggregate")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "egs-load: -target is required")
+		return 2
+	}
+	mix, err := load.MixByName(*mixName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egs-load: %v\n", err)
+		return 2
+	}
+	name := *scenario
+	if name == "" {
+		name = *mode + "-" + *mixName
+	}
+	var scrapeURLs []string
+	for _, u := range strings.Split(*scrape, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			scrapeURLs = append(scrapeURLs, strings.TrimRight(u, "/"))
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := load.Run(ctx, load.Config{
+		Scenario:    name,
+		Target:      strings.TrimRight(*target, "/"),
+		Mode:        *mode,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		Rate:        *rate,
+		Duration:    *duration,
+		Mix:         mix,
+		Seed:        *seed,
+		Timeout:     *timeout,
+		ScrapeURLs:  scrapeURLs,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egs-load: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fmt.Fprintf(os.Stderr, "egs-load: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,125 @@
+// Command egs-router scales egs-serve horizontally: a thin reverse
+// proxy that rendezvous-hashes each synthesis task's canonical digest
+// onto one of N replicas, so identical tasks always land where the
+// result cache and singleflight tier already know them. Session
+// requests follow the replica that created the session; replica
+// health is probed continuously and dead replicas are failed over.
+// See internal/router for the routing architecture.
+//
+// Usage:
+//
+//	egs-router -replicas http://host:8081,http://host:8082 [flags]
+//
+// Endpoints mirror egs-serve (requests are forwarded): POST
+// /synthesize, POST /sessions, POST /sessions/{id}/delta, GET/DELETE
+// /sessions/{id}, GET /debug/traces/{id}. The router answers GET
+// /healthz (200 while any replica is healthy) and GET /metrics
+// (its own routing metrics) itself.
+//
+// Flags:
+//
+//	-addr :8090           listen address (:0 picks a free port; the
+//	                      bound address is logged as addr=...)
+//	-replicas a,b,...     comma-separated egs-serve base URLs (required)
+//	-check-interval 1s    replica health-probe period
+//	-check-timeout 2s     one probe's budget
+//	-max-body bytes       buffered request body limit (default 8 MiB)
+//	-affinity n           session-to-replica map entries (default 4096)
+//	-log text|json        structured log format (default text)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/router"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated egs-serve base URLs")
+	checkInterval := flag.Duration("check-interval", time.Second, "replica health-probe period")
+	checkTimeout := flag.Duration("check-timeout", 2*time.Second, "health-probe budget")
+	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
+	affinity := flag.Int("affinity", 4096, "session affinity map entries")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "egs-router: unknown log format %q\n", *logFormat)
+		return 2
+	}
+	log := slog.New(handler)
+
+	var names []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			names = append(names, strings.TrimRight(r, "/"))
+		}
+	}
+	rt, err := router.New(router.Config{
+		Replicas:      names,
+		CheckInterval: *checkInterval,
+		CheckTimeout:  *checkTimeout,
+		MaxBodyBytes:  *maxBody,
+		AffinityCap:   *affinity,
+		Logger:        log,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egs-router: %v\n", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt.Start(ctx)
+
+	// Bind explicitly so -addr :0 reports the kernel-assigned port in
+	// a machine-parseable form (scripts grep for "listening" addr=).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		return 1
+	}
+	hs := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("listening", "addr", ln.Addr().String(), "replicas", len(names))
+		errc <- hs.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		log.Error("listener failed", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Warn("shutdown", "err", err)
+	}
+	log.Info("bye")
+	return 0
+}

@@ -34,7 +34,8 @@
 //
 // Flags:
 //
-//	-addr :8080        listen address
+//	-addr :8080        listen address (:0 picks a free port; the bound
+//	                   address is logged as addr=...)
 //	-workers n         concurrent syntheses (default GOMAXPROCS)
 //	-queue n           admission queue depth; overflow answers 429 (default 64)
 //	-cache n           result-cache entries; 0 disables (default 256)
@@ -44,6 +45,10 @@
 //	-max-body bytes    request body limit (default 8 MiB)
 //	-session-cap n     concurrently live sessions; overflow answers 429 (default 64)
 //	-session-ttl d     idle-session eviction deadline (default 15m)
+//	-snapshots n       interned-database snapshot cache entries
+//	                   (0 = default 64, negative disables)
+//	-solve-delay d     artificial per-solve service time, for capacity
+//	                   testing only (0 disables)
 //	-log text|json     structured log format (default text)
 //	-grace d           shutdown drain budget (default 15s)
 //
@@ -58,6 +63,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -82,6 +88,8 @@ func run() int {
 	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes")
 	sessionCap := flag.Int("session-cap", 64, "concurrently live incremental sessions")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle-session eviction deadline")
+	snapshots := flag.Int("snapshots", 0, "interned-database snapshot cache entries (0 = default 64, negative disables)")
+	solveDelay := flag.Duration("solve-delay", 0, "artificial per-solve service time for capacity testing (0 disables)")
 	logFormat := flag.String("log", "text", "log format: text or json")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain budget")
 	flag.Parse()
@@ -103,20 +111,21 @@ func run() int {
 		cacheSize = -1 // Config uses negative to disable, 0 for default
 	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxContexts:    *maxContexts,
-		MaxBodyBytes:   *maxBody,
-		SessionCap:     *sessionCap,
-		SessionTTL:     *sessionTTL,
-		Logger:         log,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         cacheSize,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxContexts:       *maxContexts,
+		MaxBodyBytes:      *maxBody,
+		SessionCap:        *sessionCap,
+		SessionTTL:        *sessionTTL,
+		SnapshotCacheSize: *snapshots,
+		SolveDelay:        *solveDelay,
+		Logger:            log,
 	})
 
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -124,10 +133,17 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Bind explicitly so -addr :0 reports the kernel-assigned port in
+	// a machine-parseable form (scripts grep for "listening" addr=).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		return 1
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Info("listening", "addr", *addr)
-		errc <- hs.ListenAndServe()
+		log.Info("listening", "addr", ln.Addr().String())
+		errc <- hs.Serve(ln)
 	}()
 
 	select {

@@ -361,6 +361,67 @@ func (t *Task) Name() string { return t.t.Name }
 // synthesis server and is cheap enough to compute per request.
 func (t *Task) CanonicalHash() string { return task.CanonicalHash(t.t) }
 
+// BaseHash returns a stable hex-encoded digest of the task's
+// extensional part: relation declarations, input facts, and the
+// labelling/negation directives, excluding the example labels. Two
+// tasks share a base hash exactly when they pose (possibly different)
+// questions over the same database. It keys the synthesis server's
+// copy-on-write snapshot cache (see AdoptExamples).
+func (t *Task) BaseHash() string { return task.BaseHash(t.t) }
+
+// AdoptExamples returns a prepared task that carries o's example
+// labels over t's interned database, schema, and domain. It is the
+// copy-on-write snapshot path of the synthesis server: when two
+// requests share a base (equal BaseHash), the second can adopt the
+// first's already-interned, already-indexed database instead of
+// rebuilding it, at the cost of interning only its example tuples.
+//
+// The receivers' bases must match (callers gate on BaseHash
+// equality). Adoption never inserts facts — example tuples are only
+// interned, which the database supports concurrently — so t's
+// TupleIDs, column caches, and frozen extents all stay valid, and
+// any number of adopted tasks may be synthesized concurrently over
+// the shared database.
+//
+// ok is false when o's examples mention a constant absent from t's
+// domain (interning it would race concurrent readers); callers fall
+// back to o itself, which is always correct.
+func (t *Task) AdoptExamples(o *Task) (*Task, bool, error) {
+	translate := func(tuples []relation.Tuple) ([]relation.Tuple, bool) {
+		out := make([]relation.Tuple, 0, len(tuples))
+		for _, tu := range tuples {
+			rel, found := t.t.Schema.Lookup(o.t.Schema.Name(tu.Rel))
+			if !found || t.t.Schema.Arity(rel) != len(tu.Args) {
+				return nil, false
+			}
+			args := make([]relation.Const, len(tu.Args))
+			for i, c := range tu.Args {
+				tc, found := t.t.Domain.Lookup(o.t.Domain.Name(c))
+				if !found {
+					return nil, false
+				}
+				args[i] = tc
+			}
+			out = append(out, relation.Tuple{Rel: rel, Args: args})
+		}
+		return out, true
+	}
+	pos, ok := translate(o.t.Pos)
+	if !ok {
+		return nil, false, nil
+	}
+	neg, ok := translate(o.t.Neg)
+	if !ok {
+		return nil, false, nil
+	}
+	nt, err := t.t.Revise(pos, neg)
+	if err != nil {
+		return nil, false, err
+	}
+	nt.Name = o.t.Name
+	return &Task{t: nt}, true, nil
+}
+
 // NumFacts returns the number of input facts (before negation
 // preprocessing).
 func (t *Task) NumFacts() int { return t.t.RawInputCount }

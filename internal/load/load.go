@@ -1,0 +1,376 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load scenario.
+type Config struct {
+	// Scenario names the run in the emitted JSON.
+	Scenario string
+	// Target is the base URL receiving POST /synthesize (a replica or
+	// a router).
+	Target string
+	// Mode selects the arrival pattern:
+	//
+	//	burst:  Requests simultaneous requests, one round
+	//	closed: Concurrency workers back-to-back for Duration
+	//	open:   Poisson arrivals at Rate for Duration, unbounded
+	//	        concurrency (the open-loop property: a slow server
+	//	        does not slow the arrival process)
+	Mode string
+	// Requests is the burst size (burst mode only).
+	Requests int
+	// Concurrency is the closed-loop worker count (closed mode only).
+	Concurrency int
+	// Rate is the open-loop target arrival rate per second.
+	Rate float64
+	// Duration bounds closed and open runs.
+	Duration time.Duration
+	// Mix picks task bodies (see Mix).
+	Mix Mix
+	// Seed drives every random draw; same seed, same run.
+	Seed uint64
+	// Timeout bounds one request (default 60s).
+	Timeout time.Duration
+	// ScrapeURLs are additional /metrics bases (the replicas behind a
+	// router) whose counter deltas are aggregated into the result; the
+	// Target is always scraped.
+	ScrapeURLs []string
+	// Client is the HTTP client (default: pooled transport).
+	Client *http.Client
+}
+
+// Result is one scenario's measurement, serialized into
+// BENCH_serve.json.
+type Result struct {
+	Scenario    string  `json:"scenario"`
+	Target      string  `json:"target"`
+	Mode        string  `json:"mode"`
+	Mix         Mix     `json:"mix"`
+	Seed        uint64  `json:"seed"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	RateTarget  float64 `json:"rate_target,omitempty"`
+	DurationS   float64 `json:"duration_s"`
+
+	OK        int     `json:"ok"`
+	Rejected  int     `json:"rejected"` // HTTP 429
+	Errored   int     `json:"errored"`  // transport errors and non-429 failures
+	QPS       float64 `json:"qps"`      // completed OK per wall-clock second
+	RejectPct float64 `json:"reject_pct"`
+
+	// Client-observed latency quantiles (milliseconds), measured per
+	// request at the generator.
+	ClientP50MS float64 `json:"client_p50_ms"`
+	ClientP99MS float64 `json:"client_p99_ms"`
+
+	// Server-side quantiles (milliseconds) derived from the scraped
+	// histogram deltas: end-to-end, queue-wait, and solve attribution.
+	ServerP50MS    float64 `json:"server_p50_ms,omitempty"`
+	ServerP99MS    float64 `json:"server_p99_ms,omitempty"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms,omitempty"`
+	SolveP99MS     float64 `json:"solve_p99_ms,omitempty"`
+
+	// Counters aggregates selected server metric deltas over the
+	// target plus every scrape URL.
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// PerReplica is the routed-request split (router targets only).
+	PerReplica map[string]float64 `json:"per_replica,omitempty"`
+}
+
+// counterKeys are the metric families whose deltas a scenario records.
+var counterKeys = []string{
+	"egs_cache_hits_total",
+	"egs_cache_misses_total",
+	"egs_singleflight_leaders_total",
+	"egs_singleflight_shared_total",
+	"egs_snapshot_hits_total",
+	"egs_snapshot_misses_total",
+	"egs_snapshot_fallbacks_total",
+	"egs_assess_evals_total",
+	"egs_assess_memo_hits_total",
+	"egs_queue_rejections_total",
+	"egs_router_retries_total",
+	"egs_router_unroutable_total",
+}
+
+type sample struct {
+	latency time.Duration
+	status  int
+	err     bool
+}
+
+// Run executes one scenario and collates the result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+
+	scrapeBases := append([]string{cfg.Target}, cfg.ScrapeURLs...)
+	before := make([]Snapshot, len(scrapeBases))
+	for i, base := range scrapeBases {
+		snap, err := Scrape(client, base+"/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("pre-scrape %s: %w", base, err)
+		}
+		before[i] = snap
+	}
+
+	var samples []sample
+	var elapsed time.Duration
+	var err error
+	switch cfg.Mode {
+	case "burst":
+		samples, elapsed, err = runBurst(ctx, cfg, client)
+	case "closed":
+		samples, elapsed, err = runClosed(ctx, cfg, client)
+	case "open":
+		samples, elapsed, err = runOpen(ctx, cfg, client)
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want burst, closed, or open)", cfg.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	after := make([]Snapshot, len(scrapeBases))
+	for i, base := range scrapeBases {
+		snap, serr := Scrape(client, base+"/metrics")
+		if serr != nil {
+			return nil, fmt.Errorf("post-scrape %s: %w", base, serr)
+		}
+		after[i] = snap
+	}
+	deltas := make([]Snapshot, len(scrapeBases))
+	for i := range scrapeBases {
+		deltas[i] = Delta(before[i], after[i])
+	}
+
+	return collate(cfg, samples, elapsed, deltas), nil
+}
+
+// issue posts one task body and classifies the outcome.
+func issue(ctx context.Context, client *http.Client, cfg Config, body string) sample {
+	rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, cfg.Target+"/synthesize", strings.NewReader(body))
+	if err != nil {
+		return sample{err: true}
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{latency: time.Since(start), err: true}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{latency: time.Since(start), status: resp.StatusCode}
+}
+
+func runBurst(ctx context.Context, cfg Config, client *http.Client) ([]sample, time.Duration, error) {
+	if cfg.Requests <= 0 {
+		return nil, 0, fmt.Errorf("burst mode needs -requests > 0")
+	}
+	// Draw all bodies up front (deterministic order), then release
+	// every request at once.
+	p := newPRNG(cfg.Seed)
+	uniq := 0
+	bodies := make([]string, cfg.Requests)
+	for i := range bodies {
+		bodies[i] = TaskBody(cfg.Seed, cfg.Mix.pick(p, &uniq))
+	}
+	samples := make([]sample, cfg.Requests)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-release
+			samples[i] = issue(ctx, client, cfg, bodies[i])
+		}(i)
+	}
+	start := time.Now()
+	close(release)
+	wg.Wait()
+	return samples, time.Since(start), nil
+}
+
+func runClosed(ctx context.Context, cfg Config, client *http.Client) ([]sample, time.Duration, error) {
+	if cfg.Concurrency <= 0 || cfg.Duration <= 0 {
+		return nil, 0, fmt.Errorf("closed mode needs -concurrency and -duration > 0")
+	}
+	perWorker := make([][]sample, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Worker-disjoint streams: each worker's PRNG and unique
+			// space derive from (seed, worker), so the global request
+			// sequence is independent of goroutine interleaving.
+			p := newPRNG(cfg.Seed + uint64(w)*0x632be59bd9b4e019)
+			uniq := w << 24
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				body := TaskBody(cfg.Seed, cfg.Mix.pick(p, &uniq))
+				perWorker[w] = append(perWorker[w], issue(ctx, client, cfg, body))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var samples []sample
+	for _, s := range perWorker {
+		samples = append(samples, s...)
+	}
+	return samples, time.Since(start), nil
+}
+
+func runOpen(ctx context.Context, cfg Config, client *http.Client) ([]sample, time.Duration, error) {
+	if cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return nil, 0, fmt.Errorf("open mode needs -rate and -duration > 0")
+	}
+	p := newPRNG(cfg.Seed)
+	uniq := 0
+	// Precompute the whole deterministic arrival schedule and body
+	// sequence so dispatch jitter cannot perturb the draws.
+	var offsets []time.Duration
+	var bodies []string
+	for at := time.Duration(0); at < cfg.Duration; {
+		at += time.Duration(p.expInterval(cfg.Rate) * float64(time.Second))
+		if at >= cfg.Duration {
+			break
+		}
+		offsets = append(offsets, at)
+		bodies = append(bodies, TaskBody(cfg.Seed, cfg.Mix.pick(p, &uniq)))
+	}
+	samples := make([]sample, len(offsets))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, at := range offsets {
+		if d := time.Until(start.Add(at)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return samples[:i], time.Since(start), nil
+			}
+		}
+		// Fire-and-forget keeps arrivals open-loop: a slow response
+		// never delays the next arrival.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples[i] = issue(ctx, client, cfg, bodies[i])
+		}(i)
+	}
+	wg.Wait()
+	return samples, time.Since(start), nil
+}
+
+func collate(cfg Config, samples []sample, elapsed time.Duration, deltas []Snapshot) *Result {
+	r := &Result{
+		Scenario:    cfg.Scenario,
+		Target:      cfg.Target,
+		Mode:        cfg.Mode,
+		Mix:         cfg.Mix,
+		Seed:        cfg.Seed,
+		Requests:    len(samples),
+		Concurrency: cfg.Concurrency,
+		RateTarget:  cfg.Rate,
+		DurationS:   elapsed.Seconds(),
+		Counters:    make(map[string]float64),
+	}
+	var latencies []time.Duration
+	for _, s := range samples {
+		switch {
+		case s.err:
+			r.Errored++
+		case s.status == http.StatusOK:
+			r.OK++
+			latencies = append(latencies, s.latency)
+		case s.status == http.StatusTooManyRequests:
+			r.Rejected++
+		default:
+			r.Errored++
+		}
+	}
+	if elapsed > 0 {
+		r.QPS = float64(r.OK) / elapsed.Seconds()
+	}
+	if len(samples) > 0 {
+		r.RejectPct = 100 * float64(r.Rejected) / float64(len(samples))
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		r.ClientP50MS = quantileMS(latencies, 0.50)
+		r.ClientP99MS = quantileMS(latencies, 0.99)
+	}
+
+	for _, key := range counterKeys {
+		if v := Sum(deltas, key); v != 0 {
+			r.Counters[key] = v
+		}
+	}
+	// The target's own latency histogram: the router's end-to-end view
+	// when routing, the replica's otherwise.
+	target := deltas[0]
+	histName := "egs_router_request_seconds"
+	if _, routed := target[histName+"_count"]; !routed {
+		histName = "egs_synthesis_seconds"
+	}
+	r.ServerP50MS = 1000 * HistogramQuantile(target, histName, 0.50)
+	r.ServerP99MS = 1000 * HistogramQuantile(target, histName, 0.99)
+	// Queue-wait vs solve attribution aggregates over every scraped
+	// replica (merged bucket deltas).
+	merged := make(Snapshot)
+	for _, d := range deltas {
+		for k, v := range d {
+			if strings.HasPrefix(k, "egs_queue_wait_seconds") || strings.HasPrefix(k, "egs_solve_seconds") {
+				merged[k] += v
+			}
+		}
+	}
+	r.QueueWaitP99MS = 1000 * HistogramQuantile(merged, "egs_queue_wait_seconds", 0.99)
+	r.SolveP99MS = 1000 * HistogramQuantile(merged, "egs_solve_seconds", 0.99)
+	sanitizeNaNs(r)
+
+	if per := PerLabel(target, "egs_router_requests_total", "replica"); len(per) > 0 {
+		r.PerReplica = per
+	}
+	return r
+}
+
+// sanitizeNaNs zeroes quantiles that had no observations: NaN is not
+// valid JSON.
+func sanitizeNaNs(r *Result) {
+	for _, f := range []*float64{&r.ServerP50MS, &r.ServerP99MS, &r.QueueWaitP99MS, &r.SolveP99MS} {
+		if *f != *f {
+			*f = 0
+		}
+	}
+}
+
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Microseconds()) / 1000
+}

@@ -1,0 +1,227 @@
+package load
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/server"
+)
+
+// TestPRNGDeterminism: same seed, same stream; different seeds
+// diverge.
+func TestPRNGDeterminism(t *testing.T) {
+	a, b := newPRNG(7), newPRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := newPRNG(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if newPRNG(7).state == c.state {
+			same++
+		}
+		c.next()
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestPRNGUniform sanity-checks float(): mean near 0.5, all in [0,1).
+func TestPRNGUniform(t *testing.T) {
+	p := newPRNG(42)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := p.float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float() = %v outside [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; mean < 0.48 || mean > 0.52 {
+		t.Errorf("float() mean = %v, want ~0.5", mean)
+	}
+}
+
+// TestExpIntervalMean checks the Poisson gap generator: at rate λ the
+// mean gap must be ~1/λ.
+func TestExpIntervalMean(t *testing.T) {
+	p := newPRNG(3)
+	const rate = 50.0
+	sum := 0.0
+	for i := 0; i < 20000; i++ {
+		g := p.expInterval(rate)
+		if g < 0 || math.IsInf(g, 0) || math.IsNaN(g) {
+			t.Fatalf("expInterval = %v", g)
+		}
+		sum += g
+	}
+	if mean := sum / 20000; mean < 0.9/rate || mean > 1.1/rate {
+		t.Errorf("mean gap %v, want ~%v", mean, 1/rate)
+	}
+}
+
+// TestMixes checks the three canonical mixes produce the advertised
+// shapes.
+func TestMixes(t *testing.T) {
+	stampede, _ := MixByName("stampede")
+	p, uniq := newPRNG(1), 0
+	for i := 0; i < 100; i++ {
+		if idx := stampede.pick(p, &uniq); idx != 0 {
+			t.Fatalf("stampede picked index %d, want 0", idx)
+		}
+	}
+
+	miss, _ := MixByName("miss")
+	p, uniq = newPRNG(1), 0
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		idx := miss.pick(p, &uniq)
+		if seen[idx] {
+			t.Fatalf("miss mix repeated index %d", idx)
+		}
+		seen[idx] = true
+	}
+
+	mixed, _ := MixByName("mixed")
+	p, uniq = newPRNG(1), 0
+	hot, cold := 0, 0
+	for i := 0; i < 1000; i++ {
+		if mixed.pick(p, &uniq) < mixed.HotTasks {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Errorf("mixed mix degenerate: %d hot, %d cold", hot, cold)
+	}
+
+	if _, err := MixByName("nope"); err == nil {
+		t.Error("unknown mix name accepted")
+	}
+}
+
+// TestTaskBodySolvable posts generated bodies to a real server: they
+// must parse, synthesize sat, and distinct indexes must be distinct
+// cache keys while equal indexes collide.
+func TestTaskBodySolvable(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	h0 := server.RoutingHash("text/plain", []byte(TaskBody(1, 0)))
+	if h1 := server.RoutingHash("text/plain", []byte(TaskBody(1, 1))); h1 == h0 {
+		t.Error("distinct indexes hash identically")
+	}
+	if hs := server.RoutingHash("text/plain", []byte(TaskBody(2, 0))); hs == h0 {
+		t.Error("distinct seeds hash identically")
+	}
+	if again := server.RoutingHash("text/plain", []byte(TaskBody(1, 0))); again != h0 {
+		t.Error("equal (seed, index) hashes differ")
+	}
+
+	res, err := Run(context.Background(), Config{
+		Scenario: "test-burst",
+		Target:   ts.URL,
+		Mode:     "burst",
+		Requests: 8,
+		Mix:      Mix{Name: "stampede", HotTasks: 1, HotRatio: 1},
+		Seed:     1,
+		Timeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 8 || res.Errored != 0 || res.Rejected != 0 {
+		t.Fatalf("burst result %+v, want 8 ok", res)
+	}
+	// An 8-way stampede of one task on a fresh server is one synthesis.
+	if leaders := res.Counters["egs_singleflight_leaders_total"]; leaders != 1 {
+		t.Errorf("singleflight leaders = %v, want 1", leaders)
+	}
+	if res.ClientP99MS <= 0 {
+		t.Error("no client latency recorded")
+	}
+	if res.ServerP99MS <= 0 {
+		t.Error("no server histogram quantile derived")
+	}
+}
+
+// TestParsePrometheus covers the value forms our registries emit.
+func TestParsePrometheus(t *testing.T) {
+	text := `# HELP egs_x helper
+# TYPE egs_x counter
+egs_x 41
+egs_vec{replica="http://a:1"} 7
+egs_hist_bucket{le="0.5"} 3
+egs_hist_bucket{le="+Inf"} 4
+egs_hist_sum 1.25
+egs_hist_count 4
+egs_ratio 0.75
+`
+	snap, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		"egs_x":                         41,
+		`egs_vec{replica="http://a:1"}`: 7,
+		`egs_hist_bucket{le="0.5"}`:     3,
+		`egs_hist_bucket{le="+Inf"}`:    4,
+		"egs_hist_sum":                  1.25,
+		"egs_ratio":                     0.75,
+	} {
+		if snap[key] != want {
+			t.Errorf("%s = %v, want %v", key, snap[key], want)
+		}
+	}
+	per := PerLabel(snap, "egs_vec", "replica")
+	if per["http://a:1"] != 7 {
+		t.Errorf("PerLabel = %v", per)
+	}
+}
+
+// TestHistogramQuantile checks interpolation and edge cases.
+func TestHistogramQuantile(t *testing.T) {
+	snap := Snapshot{
+		`egs_h_bucket{le="0.1"}`:  10,
+		`egs_h_bucket{le="0.2"}`:  20,
+		`egs_h_bucket{le="+Inf"}`: 20,
+	}
+	// Median: rank 10 lands exactly on the first bucket boundary.
+	if q := HistogramQuantile(snap, "egs_h", 0.5); math.Abs(q-0.1) > 1e-9 {
+		t.Errorf("p50 = %v, want 0.1", q)
+	}
+	// p75: rank 15, halfway through the (0.1, 0.2] bucket.
+	if q := HistogramQuantile(snap, "egs_h", 0.75); math.Abs(q-0.15) > 1e-9 {
+		t.Errorf("p75 = %v, want 0.15", q)
+	}
+	if q := HistogramQuantile(snap, "absent", 0.5); !math.IsNaN(q) {
+		t.Errorf("quantile of absent histogram = %v, want NaN", q)
+	}
+	empty := Snapshot{`egs_e_bucket{le="+Inf"}`: 0}
+	if q := HistogramQuantile(empty, "egs_e", 0.5); !math.IsNaN(q) {
+		t.Errorf("quantile of empty histogram = %v, want NaN", q)
+	}
+}
+
+// TestDeltaAndSum covers the scrape arithmetic helpers.
+func TestDeltaAndSum(t *testing.T) {
+	before := Snapshot{"a": 10, "b": 1}
+	after := Snapshot{"a": 15, "b": 1, "c": 2}
+	d := Delta(before, after)
+	if d["a"] != 5 || d["b"] != 0 || d["c"] != 2 {
+		t.Errorf("Delta = %v", d)
+	}
+	if s := Sum([]Snapshot{{"k": 1}, {"k": 2}, {}}, "k"); s != 3 {
+		t.Errorf("Sum = %v, want 3", s)
+	}
+}

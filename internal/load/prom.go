@@ -1,0 +1,146 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is one parse of a Prometheus text exposition: sample values
+// keyed by "name" or `name{label="value"}` exactly as exposed.
+type Snapshot map[string]float64
+
+// Scrape fetches and parses url (a /metrics endpoint).
+func Scrape(client *http.Client, url string) (Snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	return ParsePrometheus(resp.Body)
+}
+
+// ParsePrometheus parses the text exposition format (comments and
+// blank lines skipped; the trailing-timestamp form is not emitted by
+// our servers and not supported).
+func ParsePrometheus(r io.Reader) (Snapshot, error) {
+	snap := make(Snapshot)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("malformed metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed metrics value in %q: %w", line, err)
+		}
+		snap[line[:sp]] = v
+	}
+	return snap, sc.Err()
+}
+
+// Delta returns after-minus-before for every key in after (keys new
+// since before count from zero). Gauges subtract too; callers should
+// only read counter and histogram keys from a delta.
+func Delta(before, after Snapshot) Snapshot {
+	d := make(Snapshot, len(after))
+	for k, v := range after {
+		d[k] = v - before[k]
+	}
+	return d
+}
+
+// Sum adds the values of key across snapshots (aggregating one metric
+// over several replicas' scrapes).
+func Sum(snaps []Snapshot, key string) float64 {
+	total := 0.0
+	for _, s := range snaps {
+		total += s[key]
+	}
+	return total
+}
+
+// histBucket is one cumulative histogram bucket.
+type histBucket struct {
+	le    float64
+	count float64
+}
+
+// HistogramQuantile estimates the q-quantile (0 < q < 1) of the named
+// histogram within a snapshot (typically a Delta), interpolating
+// linearly inside the landing bucket, as Prometheus's
+// histogram_quantile does. Returns NaN when the histogram is absent or
+// empty.
+func HistogramQuantile(snap Snapshot, name string, q float64) float64 {
+	prefix := name + `_bucket{le="`
+	var buckets []histBucket
+	for k, v := range snap {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		leStr := strings.TrimSuffix(strings.TrimPrefix(k, prefix), `"}`)
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			f, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = f
+		}
+		buckets = append(buckets, histBucket{le: le, count: v})
+	}
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].count
+	if total <= 0 {
+		return math.NaN()
+	}
+	rank := q * total
+	for i, b := range buckets {
+		if b.count >= rank {
+			lower, lowerCount := 0.0, 0.0
+			if i > 0 {
+				lower, lowerCount = buckets[i-1].le, buckets[i-1].count
+			}
+			if math.IsInf(b.le, 1) {
+				return lower // the paper's convention: clamp +Inf to the last finite bound
+			}
+			width := b.count - lowerCount
+			if width <= 0 {
+				return b.le
+			}
+			return lower + (b.le-lower)*(rank-lowerCount)/width
+		}
+	}
+	return buckets[len(buckets)-1].le
+}
+
+// PerLabel extracts every sample of a labelled family, keyed by label
+// value: PerLabel(d, "egs_router_requests_total", "replica") returns
+// each replica's forwarded-request delta.
+func PerLabel(snap Snapshot, name, label string) map[string]float64 {
+	prefix := name + "{" + label + `="`
+	out := make(map[string]float64)
+	for k, v := range snap {
+		if strings.HasPrefix(k, prefix) {
+			out[strings.TrimSuffix(strings.TrimPrefix(k, prefix), `"}`)] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+// Package load is a deterministic, template-driven load generator for
+// egs-serve and egs-router: it replays parameterized synthesis-task
+// mixes against a target at a configured arrival pattern and reports
+// client-side latency quantiles alongside server-side metric deltas
+// (cache and singleflight hit rates, queue-wait vs solve attribution,
+// per-replica routing skew). Everything random flows from one seeded
+// PRNG, so a scenario replays byte-identically: the same seed produces
+// the same task bodies in the same order at the same (scheduled)
+// arrival offsets.
+package load
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// prng is the same 64-bit LCG the data generator uses (Knuth MMIX
+// constants, top 31 bits), so load runs are reproducible everywhere
+// without math/rand's process-global state.
+type prng struct {
+	state uint64
+}
+
+func newPRNG(seed uint64) *prng {
+	return &prng{state: seed*0x9e3779b97f4a7c15 + 1}
+}
+
+func (p *prng) next() uint64 {
+	p.state = p.state*6364136223846793005 + 1442695040888963407
+	return p.state >> 33
+}
+
+// float returns a uniform float64 in [0, 1).
+func (p *prng) float() float64 {
+	return float64(p.next()) / float64(uint64(1)<<31)
+}
+
+// expInterval returns one exponentially distributed inter-arrival gap
+// (seconds) for a Poisson process at the given rate (events/second).
+func (p *prng) expInterval(rate float64) float64 {
+	u := p.float()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) / rate
+}
+
+// Mix describes how request bodies are drawn: a hot set of HotTasks
+// recurring tasks hit with probability HotRatio, everything else a
+// never-repeated unique task. The three canonical mixes:
+//
+//	stampede: HotTasks=1, HotRatio=1 — every request identical
+//	miss:     HotRatio=0             — every request unique
+//	mixed:    HotTasks=k, 0<HotRatio<1
+type Mix struct {
+	Name     string  `json:"name"`
+	HotTasks int     `json:"hot_tasks"`
+	HotRatio float64 `json:"hot_ratio"`
+}
+
+// MixByName resolves the canonical mix names.
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "stampede":
+		return Mix{Name: name, HotTasks: 1, HotRatio: 1}, nil
+	case "miss":
+		return Mix{Name: name}, nil
+	case "mixed":
+		return Mix{Name: name, HotTasks: 16, HotRatio: 0.5}, nil
+	}
+	return Mix{}, fmt.Errorf("unknown mix %q (want stampede, miss, or mixed)", name)
+}
+
+// pick returns the task index for the next request. uniq is the
+// caller's monotonically increasing unique-task counter.
+func (m Mix) pick(p *prng, uniq *int) int {
+	if m.HotRatio > 0 && m.HotTasks > 0 && p.float() < m.HotRatio {
+		return int(p.next() % uint64(m.HotTasks))
+	}
+	*uniq++
+	return m.HotTasks + *uniq
+}
+
+// TaskBody renders the load template for one (seed, index) pair: a
+// three-fact inverse-copy task over constants unique to the pair, so
+// distinct indexes are distinct synthesis problems (cache misses) and
+// distinct seeds occupy disjoint task spaces (back-to-back runs
+// against one server do not poison each other's miss mixes). The
+// intended program — child(x, y) :- parent(y, x) — is found within a
+// few candidates, keeping engine time negligible next to the serving
+// overheads under test.
+func TaskBody(seed uint64, index int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "task load-%d-%d\nclosed-world true\ninput parent(2)\noutput child(2)\n", seed, index)
+	for k := 0; k < 3; k++ {
+		fmt.Fprintf(&b, "parent(P%d_%d_%d, C%d_%d_%d).\n", seed, index, k, seed, index, k)
+	}
+	for k := 0; k < 3; k++ {
+		fmt.Fprintf(&b, "+child(C%d_%d_%d, P%d_%d_%d).\n", seed, index, k, seed, index, k)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package router
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// affinityMap remembers which replica owns each session, learned from
+// successful POST /sessions responses. It is a bounded FIFO: sessions
+// are created and dropped in rough arrival order, and an evicted entry
+// only costs a ring-fallback lookup (which finds the session again
+// exactly when the ring placement happened to match, and 404s
+// harmlessly otherwise — the same failure mode as a router restart).
+type affinityMap struct {
+	mu    sync.Mutex
+	m     map[string]string
+	order []string
+	cap   int
+}
+
+func newAffinityMap(cap int) *affinityMap {
+	return &affinityMap{m: make(map[string]string, cap), cap: cap}
+}
+
+func (a *affinityMap) get(sid string) (string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep, ok := a.m[sid]
+	return rep, ok
+}
+
+func (a *affinityMap) put(sid, replica string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, exists := a.m[sid]; !exists {
+		for len(a.m) >= a.cap && len(a.order) > 0 {
+			delete(a.m, a.order[0])
+			a.order = a.order[1:]
+		}
+		a.order = append(a.order, sid)
+	}
+	a.m[sid] = replica
+}
+
+// sessionID extracts session_id from a session-create response body;
+// "" when absent or unparseable.
+func sessionID(body []byte) string {
+	var resp struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return ""
+	}
+	return resp.SessionID
+}

@@ -1,0 +1,107 @@
+// Package router is a thin HTTP reverse proxy that scales egs-serve
+// horizontally: synthesis requests are routed to one of N replicas by
+// rendezvous-hashing the task's canonical digest, so identical tasks
+// always land on the same replica and its result cache and
+// singleflight tier see the full stampede instead of 1/Nth of it.
+// Session requests follow the replica that created the session.
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring assigns keys to replicas by rendezvous (highest-random-weight)
+// hashing: every (key, replica) pair gets an independent pseudo-random
+// score and the key belongs to the highest-scoring replica. Unlike a
+// mod-N table, adding or removing one replica only moves the keys that
+// scored highest on it — in expectation K/N of them — and unlike a
+// virtual-node ring there is no placement table to size or rebuild.
+// A Ring is immutable and safe for concurrent use.
+type Ring struct {
+	names  []string
+	hashes []uint64
+}
+
+// NewRing builds a ring over the given replica names (base URLs).
+// Order does not matter; duplicates are dropped.
+func NewRing(names []string) *Ring {
+	r := &Ring{}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.names = append(r.names, n)
+		r.hashes = append(r.hashes, hash64(n))
+	}
+	return r
+}
+
+// Replicas returns the replica names in ring order.
+func (r *Ring) Replicas() []string { return append([]string(nil), r.names...) }
+
+// Len returns the number of replicas.
+func (r *Ring) Len() int { return len(r.names) }
+
+// Ranked returns every replica ordered by descending preference for
+// key. The first entry is the key's owner; the rest are the failover
+// order, which is itself consistent (replica i+1 for a key is stable
+// across rings that contain it).
+func (r *Ring) Ranked(key string) []string {
+	kh := hash64(key)
+	type scored struct {
+		name  string
+		score uint64
+	}
+	sc := make([]scored, len(r.names))
+	for i, n := range r.names {
+		sc[i] = scored{name: n, score: mix64(kh ^ r.hashes[i])}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].name < sc[j].name // total order even on score ties
+	})
+	out := make([]string, len(sc))
+	for i, s := range sc {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Owner returns the highest-scoring replica for key ("" on an empty
+// ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.names) == 0 {
+		return ""
+	}
+	kh := hash64(key)
+	best, bestScore := 0, uint64(0)
+	for i := range r.names {
+		s := mix64(kh ^ r.hashes[i])
+		if i == 0 || s > bestScore || (s == bestScore && r.names[i] < r.names[best]) {
+			best, bestScore = i, s
+		}
+	}
+	return r.names[best]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap bijective scrambler that
+// turns the structured FNV xor into uniformly distributed scores.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

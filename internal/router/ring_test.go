@@ -1,0 +1,136 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func replicaNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return names
+}
+
+// TestRingBalance checks that rendezvous placement spreads keys
+// evenly: over 100k keys and 8 replicas, every replica's share stays
+// within 10% of the K/N mean (the expected binomial deviation is
+// under 1%, so 10% leaves wide margin without flakiness).
+func TestRingBalance(t *testing.T) {
+	const (
+		n    = 8
+		keys = 100000
+	)
+	r := NewRing(replicaNames(n))
+	counts := make(map[string]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("task-%d", i))]++
+	}
+	mean := keys / n
+	lo, hi := mean-mean/10, mean+mean/10
+	for _, name := range r.Replicas() {
+		if c := counts[name]; c < lo || c > hi {
+			t.Errorf("replica %s owns %d keys, want within [%d, %d] (10%% of mean %d)",
+				name, c, lo, hi, mean)
+		}
+	}
+}
+
+// TestRingMovementOnLeave checks the K/N property for removal: only
+// the departed replica's keys move, and every one of them lands on its
+// previous second choice.
+func TestRingMovementOnLeave(t *testing.T) {
+	const (
+		n    = 8
+		keys = 50000
+	)
+	names := replicaNames(n)
+	before := NewRing(names)
+	departed := names[3]
+	after := NewRing(append(append([]string(nil), names[:3]...), names[4:]...))
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("task-%d", i)
+		ownerBefore := before.Owner(key)
+		ownerAfter := after.Owner(key)
+		if ownerBefore != departed {
+			if ownerAfter != ownerBefore {
+				t.Fatalf("key %s moved from %s to %s though neither is the departed replica",
+					key, ownerBefore, ownerAfter)
+			}
+			continue
+		}
+		moved++
+		if second := before.Ranked(key)[1]; ownerAfter != second {
+			t.Errorf("key %s reassigned to %s, want its previous second choice %s",
+				key, ownerAfter, second)
+		}
+	}
+	// Exactly the departed replica's keys move: in expectation K/N,
+	// bounded here by the balance tolerance.
+	if limit := keys / n * 11 / 10; moved > limit {
+		t.Errorf("%d keys moved on leave, want <= %d (~K/N)", moved, limit)
+	}
+	if moved == 0 {
+		t.Error("no keys moved on leave; the departed replica owned nothing")
+	}
+}
+
+// TestRingMovementOnJoin checks the K/N property for addition: every
+// moved key moves to the new replica, and at most ~K/(N+1) keys move.
+func TestRingMovementOnJoin(t *testing.T) {
+	const (
+		n    = 8
+		keys = 50000
+	)
+	names := replicaNames(n)
+	before := NewRing(names)
+	joined := "http://replica-new:8080"
+	after := NewRing(append(append([]string(nil), names...), joined))
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("task-%d", i)
+		ownerBefore, ownerAfter := before.Owner(key), after.Owner(key)
+		if ownerAfter == ownerBefore {
+			continue
+		}
+		moved++
+		if ownerAfter != joined {
+			t.Fatalf("key %s moved from %s to %s, but only the joining replica may take keys",
+				key, ownerBefore, ownerAfter)
+		}
+	}
+	if limit := keys / (n + 1) * 11 / 10; moved > limit {
+		t.Errorf("%d keys moved on join, want <= %d (~K/(N+1))", moved, limit)
+	}
+	if moved == 0 {
+		t.Error("no keys moved on join; the new replica owns nothing")
+	}
+}
+
+// TestRingRankedIsTotalAndStable sanity-checks Ranked: it permutes the
+// replica set and is deterministic.
+func TestRingRankedIsTotalAndStable(t *testing.T) {
+	r := NewRing(replicaNames(5))
+	a := r.Ranked("some-task-digest")
+	b := r.Ranked("some-task-digest")
+	if len(a) != 5 {
+		t.Fatalf("Ranked returned %d names, want 5", len(a))
+	}
+	seen := make(map[string]bool)
+	for i, name := range a {
+		if seen[name] {
+			t.Fatalf("Ranked repeated %s", name)
+		}
+		seen[name] = true
+		if b[i] != name {
+			t.Fatalf("Ranked not deterministic at %d: %s vs %s", i, name, b[i])
+		}
+	}
+	if a[0] != r.Owner("some-task-digest") {
+		t.Error("Ranked[0] disagrees with Owner")
+	}
+}

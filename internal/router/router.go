@@ -1,0 +1,423 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/egs-synthesis/egs/internal/server"
+	"github.com/egs-synthesis/egs/internal/server/metrics"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Replicas are the egs-serve base URLs (e.g. http://127.0.0.1:8081).
+	Replicas []string
+	// CheckInterval is the health-probe period (default 1s).
+	CheckInterval time.Duration
+	// CheckTimeout bounds one health probe (default 2s).
+	CheckTimeout time.Duration
+	// MaxBodyBytes limits buffered request bodies (default 8 MiB, the
+	// egs-serve default). Forwarding buffers the whole body so a
+	// request can be replayed on the next replica after a transport
+	// failure.
+	MaxBodyBytes int64
+	// AffinityCap bounds the session-to-replica map (default 4096).
+	AffinityCap int
+	// Client performs the forwarding; nil selects a transport with
+	// sane connection pooling.
+	Client *http.Client
+	// Logger receives request and health logs; nil discards.
+	Logger *slog.Logger
+}
+
+// replica is one backend and its probed health.
+type replica struct {
+	name    string
+	healthy atomic.Bool
+}
+
+// Router routes requests across egs-serve replicas: /synthesize by
+// rendezvous hash of the task's canonical digest, /sessions/{id} by
+// the replica that created the session, everything stateless to the
+// ring owner of its path. See the package comment for rationale.
+type Router struct {
+	cfg      Config
+	ring     *Ring
+	replicas map[string]*replica
+	client   *http.Client
+	log      *slog.Logger
+	mux      *http.ServeMux
+
+	affinity *affinityMap
+
+	reg         *metrics.Registry
+	mRequests   *metrics.CounterVec
+	mRetries    *metrics.Counter
+	mUnroutable *metrics.Counter
+	mHealthy    *metrics.GaugeVec
+	mLatency    *metrics.Histogram
+}
+
+// New builds a Router. Call Start to begin health probing.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = time.Second
+	}
+	if cfg.CheckTimeout <= 0 {
+		cfg.CheckTimeout = 2 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.AffinityCap <= 0 {
+		cfg.AffinityCap = 4096
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+
+	reg := metrics.New()
+	rt := &Router{
+		cfg:      cfg,
+		ring:     NewRing(cfg.Replicas),
+		replicas: make(map[string]*replica),
+		client:   client,
+		log:      cfg.Logger,
+		affinity: newAffinityMap(cfg.AffinityCap),
+		reg:      reg,
+		mRequests: reg.CounterVec("egs_router_requests_total",
+			"Requests forwarded, by destination replica.", "replica"),
+		mRetries: reg.Counter("egs_router_retries_total",
+			"Forwards retried on the next ranked replica after a transport failure."),
+		mUnroutable: reg.Counter("egs_router_unroutable_total",
+			"Requests that exhausted every candidate replica."),
+		mHealthy: reg.GaugeVec("egs_router_replica_healthy",
+			"Replica health as probed at /healthz (1 healthy, 0 not).", "replica"),
+		mLatency: reg.Histogram("egs_router_request_seconds",
+			"End-to-end routed request latency.", nil),
+	}
+	for _, name := range rt.ring.Replicas() {
+		rt.replicas[name] = &replica{name: name}
+		rt.mHealthy.With(name).Set(0)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /synthesize", rt.handleSynthesize)
+	mux.HandleFunc("POST /sessions", rt.handleSessionCreate)
+	mux.HandleFunc("POST /sessions/{id}/delta", rt.handleSessionScoped)
+	mux.HandleFunc("GET /sessions/{id}", rt.handleSessionScoped)
+	mux.HandleFunc("DELETE /sessions/{id}", rt.handleSessionScoped)
+	mux.HandleFunc("GET /debug/traces/{id}", rt.handleTrace)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.Handle("GET /metrics", reg.Handler())
+	rt.mux = mux
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Start probes every replica once synchronously (so the first request
+// sees real health) and then keeps probing on the configured interval
+// until ctx is cancelled.
+func (rt *Router) Start(ctx context.Context) {
+	rt.ProbeAll(ctx)
+	for _, rep := range rt.replicas {
+		go func(rep *replica) {
+			t := time.NewTicker(rt.cfg.CheckInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					rt.probe(ctx, rep)
+				}
+			}
+		}(rep)
+	}
+}
+
+// ProbeAll probes every replica once, concurrently, and returns when
+// all probes finish. Exported for tests and for Start's initial sweep.
+func (rt *Router) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range rt.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rt.probe(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(ctx context.Context, rep *replica) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.CheckTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.name+"/healthz", nil)
+	if err != nil {
+		rt.setHealth(rep, false)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.setHealth(rep, false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rt.setHealth(rep, resp.StatusCode == http.StatusOK)
+}
+
+func (rt *Router) setHealth(rep *replica, ok bool) {
+	was := rep.healthy.Swap(ok)
+	if was != ok {
+		rt.log.Info("replica health changed", "replica", rep.name, "healthy", ok)
+	}
+	v := int64(0)
+	if ok {
+		v = 1
+	}
+	rt.mHealthy.With(rep.name).Set(v)
+}
+
+// candidates filters ranked to healthy replicas; when nothing is
+// healthy it returns ranked unchanged, so an outage degrades to
+// best-effort forwarding instead of instant 502s.
+func (rt *Router) candidates(ranked []string) []string {
+	healthy := ranked[:0:0]
+	for _, name := range ranked {
+		if rt.replicas[name].healthy.Load() {
+			healthy = append(healthy, name)
+		}
+	}
+	if len(healthy) == 0 {
+		return ranked
+	}
+	return healthy
+}
+
+func (rt *Router) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	key := server.RoutingHash(r.Header.Get("Content-Type"), body)
+	rt.forward(w, r, body, rt.candidates(rt.ring.Ranked(key)), true)
+}
+
+func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	// Placement by task digest keeps re-creations of the same session
+	// base on one replica; the learned affinity below, not the ring, is
+	// authoritative afterwards (the replica names the session).
+	key := server.RoutingHash(r.Header.Get("Content-Type"), body)
+	rt.forwardSessionCreate(w, r, body, rt.candidates(rt.ring.Ranked(key)))
+}
+
+func (rt *Router) handleSessionScoped(w http.ResponseWriter, r *http.Request) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	sid := r.PathValue("id")
+	// Sessions are replica-local state: no cross-replica retry. The
+	// learned owner wins; the ring is only a fallback for affinity
+	// entries lost to eviction or a router restart.
+	var ranked []string
+	if owner, ok := rt.affinity.get(sid); ok {
+		ranked = []string{owner}
+	} else {
+		ranked = rt.candidates(rt.ring.Ranked(sid))[:1]
+	}
+	rt.forward(w, r, body, ranked, false)
+}
+
+// handleTrace sweeps replicas in ranked order until one admits to
+// holding the trace: stored traces live on whichever replica ran the
+// synthesis, which the router does not track.
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var last *http.Response
+	for _, name := range rt.candidates(rt.ring.Ranked(r.PathValue("id"))) {
+		resp, err := rt.send(r, name, nil)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			rt.relay(w, resp, name, start)
+			return
+		}
+		if last != nil {
+			last.Body.Close()
+		}
+		last = resp
+	}
+	if last == nil {
+		rt.mUnroutable.Inc()
+		http.Error(w, "no replica reachable", http.StatusBadGateway)
+		return
+	}
+	rt.relay(w, last, "", start)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	for _, rep := range rt.replicas {
+		if rep.healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, "ok\n")
+			return
+		}
+	}
+	http.Error(w, "no healthy replicas", http.StatusServiceUnavailable)
+}
+
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "request body too large") {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return nil, false
+	}
+	return body, true
+}
+
+// forward tries candidates in order, replaying the buffered body after
+// transport failures (connection refused, reset, mid-flight EOF — the
+// request never produced an HTTP response). HTTP-level failures,
+// including 429 with its Retry-After, are relayed as-is: the replica
+// answered, and its admission-control answer is authoritative. retry
+// gates whether later candidates are tried at all (session-scoped
+// calls pin one replica).
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, candidates []string, retry bool) {
+	start := time.Now()
+	for i, name := range candidates {
+		resp, err := rt.send(r, name, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client gave up; nothing to answer
+			}
+			rt.log.Warn("forward failed", "replica", name, "path", r.URL.Path, "err", err)
+			if retry && i+1 < len(candidates) {
+				rt.mRetries.Inc()
+				continue
+			}
+			break
+		}
+		rt.relay(w, resp, name, start)
+		return
+	}
+	rt.mUnroutable.Inc()
+	http.Error(w, "no replica reachable", http.StatusBadGateway)
+}
+
+// forwardSessionCreate is forward plus affinity learning: a successful
+// create is parsed for its session_id, which pins the session to the
+// replica that answered.
+func (rt *Router) forwardSessionCreate(w http.ResponseWriter, r *http.Request, body []byte, candidates []string) {
+	start := time.Now()
+	for i, name := range candidates {
+		resp, err := rt.send(r, name, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			rt.log.Warn("forward failed", "replica", name, "path", r.URL.Path, "err", err)
+			if i+1 < len(candidates) {
+				rt.mRetries.Inc()
+				continue
+			}
+			break
+		}
+		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			rt.log.Warn("session create response truncated", "replica", name, "err", rerr)
+		}
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated {
+			if sid := sessionID(respBody); sid != "" {
+				rt.affinity.put(sid, name)
+			}
+		}
+		rt.mRequests.With(name).Inc()
+		rt.mLatency.Observe(time.Since(start).Seconds())
+		copyHeader(w.Header(), resp.Header)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(respBody)
+		return
+	}
+	rt.mUnroutable.Inc()
+	http.Error(w, "no replica reachable", http.StatusBadGateway)
+}
+
+// send issues one forwarded copy of r to the named replica.
+func (rt *Router) send(r *http.Request, name string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, name+r.URL.RequestURI(), rd)
+	if err != nil {
+		return nil, err
+	}
+	copyHeader(req.Header, r.Header)
+	req.Header.Del("Connection")
+	if prior := r.Header.Get("X-Forwarded-For"); prior != "" {
+		req.Header.Set("X-Forwarded-For", prior+", "+clientIP(r))
+	} else {
+		req.Header.Set("X-Forwarded-For", clientIP(r))
+	}
+	return rt.client.Do(req)
+}
+
+// relay streams a replica response back to the client.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, name string, start time.Time) {
+	defer resp.Body.Close()
+	if name != "" {
+		rt.mRequests.With(name).Inc()
+	}
+	rt.mLatency.Observe(time.Since(start).Seconds())
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func clientIP(r *http.Request) string {
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	return strings.Trim(host, "[]")
+}

@@ -1,0 +1,251 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/server"
+)
+
+// stubReplica is a fake egs-serve: healthy at /healthz, scripted
+// everywhere else, counting hits per path.
+type stubReplica struct {
+	ts *httptest.Server
+
+	mu   sync.Mutex
+	hits map[string]int
+
+	// respond overrides the default 200 text/plain "ok" answer.
+	respond func(w http.ResponseWriter, r *http.Request)
+}
+
+func newStubReplica(t *testing.T) *stubReplica {
+	s := &stubReplica{hits: make(map[string]int)}
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		s.mu.Lock()
+		s.hits[r.URL.Path]++
+		s.mu.Unlock()
+		if s.respond != nil {
+			s.respond(w, r)
+			return
+		}
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func (s *stubReplica) count(path string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits[path]
+}
+
+func (s *stubReplica) total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.hits {
+		n += c
+	}
+	return n
+}
+
+func newTestRouter(t *testing.T, replicas ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(Config{Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+// TestRoutingStickiness checks that identical bodies always land on
+// one replica while distinct bodies use both.
+func TestRoutingStickiness(t *testing.T) {
+	a, b := newStubReplica(t), newStubReplica(t)
+	rt, ts := newTestRouter(t, a.ts.URL, b.ts.URL)
+	rt.ProbeAll(context.Background())
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	for i := 0; i < 10; i++ {
+		post("stampede body")
+	}
+	if a.total() != 10 && b.total() != 10 {
+		t.Errorf("identical bodies split across replicas: %d vs %d", a.total(), b.total())
+	}
+
+	for i := 0; i < 64; i++ {
+		post(fmt.Sprintf("distinct body %d", i))
+	}
+	if a.total() == 0 || b.total() == 0 {
+		t.Errorf("64 distinct bodies never reached one replica: %d vs %d", a.total(), b.total())
+	}
+}
+
+// TestRetryOnConnectionFailure checks that a transport-level failure
+// (dead replica, no HTTP response) fails over to the next ranked
+// replica, while the dead replica stays in the ring.
+func TestRetryOnConnectionFailure(t *testing.T) {
+	alive := newStubReplica(t)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	rt, ts := newTestRouter(t, alive.ts.URL, deadURL)
+	// No probing: the router does not yet know the replica is dead, so
+	// the forward itself must discover the failure and retry.
+
+	// Find a body owned by the dead replica so the first attempt fails.
+	body := ""
+	for i := 0; ; i++ {
+		candidate := fmt.Sprintf("task body %d", i)
+		if rt.ring.Owner(hashBody(candidate)) == deadURL {
+			body = candidate
+			break
+		}
+	}
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 from failover", resp.StatusCode)
+	}
+	if alive.count("/synthesize") != 1 {
+		t.Errorf("alive replica saw %d requests, want 1", alive.count("/synthesize"))
+	}
+	if got := rt.mRetries.Value(); got != 1 {
+		t.Errorf("egs_router_retries_total = %d, want 1", got)
+	}
+}
+
+// hashBody mirrors handleSynthesize's key derivation for plain-text
+// bodies that fail task parsing (stub bodies are not valid tasks).
+func hashBody(body string) string {
+	return server.RoutingHash("text/plain", []byte(body))
+}
+
+// Test429Passthrough checks that replica-level admission control is
+// relayed verbatim — status, Retry-After, body — with no failover.
+func Test429Passthrough(t *testing.T) {
+	a, b := newStubReplica(t), newStubReplica(t)
+	reject := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		io.WriteString(w, `{"status":"error","error":"queue full"}`)
+	}
+	a.respond = reject
+	b.respond = reject
+	_, ts := newTestRouter(t, a.ts.URL, b.ts.URL)
+
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader("any body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Errorf("Retry-After %q not propagated", ra)
+	}
+	if n := a.total() + b.total(); n != 1 {
+		t.Errorf("429 caused %d backend requests, want 1 (no failover on HTTP errors)", n)
+	}
+}
+
+// TestSessionAffinity checks that session-scoped requests follow the
+// replica that created the session, not the ring placement of the id.
+func TestSessionAffinity(t *testing.T) {
+	a, b := newStubReplica(t), newStubReplica(t)
+	for i, s := range []*stubReplica{a, b} {
+		sid := fmt.Sprintf("sess-%d", i)
+		s.respond = func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && r.URL.Path == "/sessions" {
+				fmt.Fprintf(w, `{"session_id":%q,"revision":0}`, sid)
+				return
+			}
+			io.WriteString(w, "ok")
+		}
+	}
+	rt, ts := newTestRouter(t, a.ts.URL, b.ts.URL)
+	rt.ProbeAll(context.Background())
+
+	resp, err := http.Post(ts.URL+"/sessions", "text/plain", strings.NewReader("create body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	sid := sessionID(body)
+	if sid == "" {
+		t.Fatalf("no session id in create response %q", body)
+	}
+	creator, other := a, b
+	if sid == "sess-1" {
+		creator, other = b, a
+	}
+
+	for i := 0; i < 5; i++ {
+		resp, err := http.Post(ts.URL+"/sessions/"+sid+"/delta", "application/json",
+			strings.NewReader(`{"deltas":[]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	deltaPath := "/sessions/" + sid + "/delta"
+	if creator.count(deltaPath) != 5 {
+		t.Errorf("creator replica saw %d deltas, want 5", creator.count(deltaPath))
+	}
+	if other.count(deltaPath) != 0 {
+		t.Errorf("non-creator replica saw %d deltas, want 0", other.count(deltaPath))
+	}
+}
+
+// TestRouterHealthz checks the router's own liveness aggregation.
+func TestRouterHealthz(t *testing.T) {
+	a := newStubReplica(t)
+	rt, ts := newTestRouter(t, a.ts.URL)
+
+	get := func() int {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz before any probe = %d, want 503", code)
+	}
+	rt.ProbeAll(context.Background())
+	if code := get(); code != http.StatusOK {
+		t.Errorf("healthz with a healthy replica = %d, want 200", code)
+	}
+}

@@ -175,70 +175,135 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mCacheMisses.Inc()
 
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-	j := &job{ctx: ctx, task: t, opts: opts, done: make(chan jobResult, 1)}
-	if err := s.enqueue(j); err != nil {
-		switch {
-		case errors.Is(err, errQueueFull):
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			s.writeError(w, http.StatusTooManyRequests, err.Error())
-		default:
-			s.writeError(w, http.StatusServiceUnavailable, err.Error())
+	if tr != nil {
+		// Traced requests also bypass singleflight: each trace must
+		// describe its own engine run, so coalescing would be wrong.
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		res, dur, status, msg := s.runSynthesis(ctx, s.adoptSnapshot(t), opts)
+		if msg != "" {
+			if status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			}
+			if status == http.StatusInternalServerError {
+				s.log.Error("synthesis failed", "task", t.Name(), "hash", hash, "err", msg)
+			}
+			s.writeError(w, status, msg)
+			return
 		}
+		resp := buildResponse(t, res, hash)
+		s.log.Info("synthesis complete",
+			"task", t.Name(), "hash", hash, "status", resp.Status,
+			"synth_ms", float64(dur.Microseconds())/1000,
+			"rules", respRules(res))
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			s.log.Error("trace rendering failed", "task", t.Name(), "err", err)
+		} else if traceMode == "inline" {
+			resp.Trace = json.RawMessage(buf.Bytes())
+		} else {
+			resp.TraceID = s.traces.put(buf.Bytes())
+		}
+		resp.ElapsedMS = msSince(start)
+		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
+	// Singleflight: concurrent misses on one key share a single
+	// synthesis. Every caller's interest lives exactly as long as its
+	// request context — when the request ends (response written or
+	// client hung up), the caller leaves, and the last one out cancels
+	// the engine. A follower abandoning early therefore never poisons
+	// the flight for the rest.
+	f, leader, fctx := s.flights.join(key, timeout)
+	context.AfterFunc(r.Context(), f.leave)
+	if !leader {
+		s.mFlightShared.Inc()
+		wait, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		select {
+		case <-f.done:
+		case <-wait.Done():
+			s.writeError(w, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline")
+			return
+		}
+		s.log.Info("synthesis shared from flight", "task", t.Name(), "hash", hash)
+		s.writeFlightOutcome(w, start, f.out, true)
+		return
+	}
+	s.mFlightLeaders.Inc()
+
+	res, dur, status, msg := s.runSynthesis(fctx, s.adoptSnapshot(t), opts)
+	if msg != "" {
+		if status == http.StatusInternalServerError {
+			s.log.Error("synthesis failed", "task", t.Name(), "hash", hash, "err", msg)
+		}
+		s.flights.finish(key, f, flightOutcome{status: status, msg: msg})
+		s.writeFlightOutcome(w, start, f.out, false)
+		return
+	}
+
+	resp := buildResponse(t, res, hash)
+	// Cache the immutable part. Both verdicts are cacheable: sat
+	// programs and unsat proofs are deterministic for (task, options).
+	s.cache.Put(key, resp)
+	s.mCacheSize.Set(int64(s.cache.Len()))
+	s.log.Info("synthesis complete",
+		"task", t.Name(), "hash", hash, "status", resp.Status,
+		"synth_ms", float64(dur.Microseconds())/1000,
+		"rules", respRules(res))
+	s.flights.finish(key, f, flightOutcome{resp: resp})
+	s.writeFlightOutcome(w, start, f.out, false)
+}
+
+// runSynthesis admits one engine run onto the queue and awaits it
+// under ctx. On failure it returns the HTTP status and message to
+// relay (msg == "" means success).
+func (s *Server) runSynthesis(ctx context.Context, t *egs.Task, opts egs.Options) (res egs.Result, dur time.Duration, status int, msg string) {
+	j := &job{ctx: ctx, task: t, opts: opts, done: make(chan jobResult, 1)}
+	if err := s.enqueue(j); err != nil {
+		if errors.Is(err, errQueueFull) {
+			return res, 0, http.StatusTooManyRequests, err.Error()
+		}
+		return res, 0, http.StatusServiceUnavailable, err.Error()
+	}
 	var jr jobResult
 	select {
 	case jr = <-j.done:
 	case <-ctx.Done():
 		// The worker may still be running; it observes the same ctx
 		// and will stop at its next cancellation check.
-		s.writeError(w, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline")
+		return res, 0, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline"
+	}
+	switch {
+	case jr.err == nil:
+		return jr.res, jr.dur, 0, ""
+	case errors.Is(jr.err, egs.ErrBudgetExceeded):
+		return res, 0, http.StatusUnprocessableEntity,
+			"enumeration budget exceeded before the search completed (raise max_contexts or the server budget)"
+	case errors.Is(jr.err, context.DeadlineExceeded), errors.Is(jr.err, context.Canceled):
+		return res, 0, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline"
+	default:
+		return res, 0, http.StatusInternalServerError, "synthesis failed: " + jr.err.Error()
+	}
+}
+
+// writeFlightOutcome renders a singleflight result for one caller:
+// each caller gets its own shallow copy (ElapsedMS and Coalesced are
+// per-request), errors relay the leader's status with a fresh
+// Retry-After where applicable.
+func (s *Server) writeFlightOutcome(w http.ResponseWriter, start time.Time, out flightOutcome, coalesced bool) {
+	if out.resp == nil {
+		if out.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
+		s.writeError(w, out.status, out.msg)
 		return
 	}
-	if jr.err != nil {
-		switch {
-		case errors.Is(jr.err, egs.ErrBudgetExceeded):
-			s.writeError(w, http.StatusUnprocessableEntity,
-				"enumeration budget exceeded before the search completed (raise max_contexts or the server budget)")
-		case errors.Is(jr.err, context.DeadlineExceeded), errors.Is(jr.err, context.Canceled):
-			s.writeError(w, http.StatusGatewayTimeout, "synthesis did not finish within the request deadline")
-		default:
-			s.log.Error("synthesis failed", "task", t.Name(), "hash", hash, "err", jr.err)
-			s.writeError(w, http.StatusInternalServerError, "synthesis failed: "+jr.err.Error())
-		}
-		return
-	}
-
-	resp := buildResponse(t, jr.res, hash)
-	if tr == nil {
-		// Cache the immutable part. Both verdicts are cacheable: sat
-		// programs and unsat proofs are deterministic for (task,
-		// options). Traced responses stay out: their trace payload is
-		// per-run, not part of the deterministic result.
-		s.cache.Put(key, resp)
-		s.mCacheSize.Set(int64(s.cache.Len()))
-	}
-	s.log.Info("synthesis complete",
-		"task", t.Name(), "hash", hash, "status", resp.Status,
-		"synth_ms", float64(jr.dur.Microseconds())/1000,
-		"rules", respRules(jr.res))
-
-	out := *resp
-	if tr != nil {
-		var buf bytes.Buffer
-		if err := tr.WriteChrome(&buf); err != nil {
-			s.log.Error("trace rendering failed", "task", t.Name(), "err", err)
-		} else if traceMode == "inline" {
-			out.Trace = json.RawMessage(buf.Bytes())
-		} else {
-			out.TraceID = s.traces.put(buf.Bytes())
-		}
-	}
-	out.ElapsedMS = msSince(start)
-	s.writeJSON(w, http.StatusOK, &out)
+	resp := *out.resp
+	resp.Coalesced = coalesced
+	resp.ElapsedMS = msSince(start)
+	s.writeJSON(w, http.StatusOK, &resp)
 }
 
 // buildResponse renders an engine result for the wire.

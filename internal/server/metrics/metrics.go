@@ -89,6 +89,28 @@ func (v *CounterVec) With(value string) *Counter {
 	return c
 }
 
+// GaugeVec is a family of gauges partitioned by the values of one
+// label (per-replica health and routing state in the router). As with
+// CounterVec, children are created on first use and never removed.
+type GaugeVec struct {
+	label string
+
+	mu sync.Mutex
+	m  map[string]*Gauge
+}
+
+// With returns the child gauge for the given label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.m[value]
+	if !ok {
+		g = &Gauge{}
+		v.m[value] = g
+	}
+	return g
+}
+
 // Histogram is a cumulative histogram with fixed upper bounds, plus
 // the running sum and count, matching the Prometheus histogram type.
 type Histogram struct {
@@ -135,6 +157,7 @@ type family struct {
 	name, help, typ string
 	counter         *Counter
 	vec             *CounterVec
+	gvec            *GaugeVec
 	gauge           *Gauge
 	fgauge          *FloatGauge
 	hist            *Histogram
@@ -175,6 +198,13 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// GaugeVec registers and returns a labelled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{label: label, m: make(map[string]*Gauge)}
+	r.add(&family{name: name, help: help, typ: "gauge", gvec: v})
+	return v
+}
+
 // FloatGauge registers and returns a float-valued gauge.
 func (r *Registry) FloatGauge(name, help string) *FloatGauge {
 	g := &FloatGauge{}
@@ -211,6 +241,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.fgauge.Value()))
 		case f.vec != nil:
 			writeVec(bw, f)
+		case f.gvec != nil:
+			writeGaugeVec(bw, f)
 		case f.hist != nil:
 			writeHistogram(bw, f)
 		}
@@ -230,6 +262,23 @@ func writeVec(w io.Writer, f *family) {
 		lines[i] = fmt.Sprintf("%s{%s=\"%s\"} %d", f.name, f.vec.label, escapeLabel(v), f.vec.m[v].Value())
 	}
 	f.vec.mu.Unlock()
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+func writeGaugeVec(w io.Writer, f *family) {
+	f.gvec.mu.Lock()
+	values := make([]string, 0, len(f.gvec.m))
+	for v := range f.gvec.m {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	lines := make([]string, len(values))
+	for i, v := range values {
+		lines[i] = fmt.Sprintf("%s{%s=\"%s\"} %d", f.name, f.gvec.label, escapeLabel(v), f.gvec.m[v].Value())
+	}
+	f.gvec.mu.Unlock()
 	for _, l := range lines {
 		fmt.Fprintln(w, l)
 	}

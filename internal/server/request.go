@@ -108,6 +108,10 @@ type SynthesisResponse struct {
 	// Cached reports that the response was served from the result
 	// cache without running the synthesizer.
 	Cached bool `json:"cached"`
+	// Coalesced reports that the response was shared from a concurrent
+	// identical request's synthesis (singleflight) rather than a
+	// dedicated engine run.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// ElapsedMS is the server-side handling time for this request.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Error carries a human-readable message when Status is "error".

@@ -1,0 +1,22 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// RoutingHash parses a /synthesize (or /sessions create) body exactly
+// as the server would and returns the task's canonical digest — the
+// same hash that prefixes the server's result-cache key. The router
+// uses it so that its placement of a request and the replica's caching
+// of the response agree byte-for-byte. Bodies that fail to parse fall
+// back to a digest of the raw bytes: routing stays deterministic and
+// the replica stays the single authority on request validation.
+func RoutingHash(contentType string, body []byte) string {
+	if t, _, _, err := parseRequest(contentType, bytes.NewReader(body)); err == nil {
+		return t.CanonicalHash()
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}

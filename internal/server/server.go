@@ -38,6 +38,19 @@ type Config struct {
 	// CacheSize is the result-cache capacity in entries; 0 keeps the
 	// default (256) and a negative value disables caching.
 	CacheSize int
+	// SnapshotCacheSize bounds the copy-on-write snapshot cache of
+	// prepared tasks keyed by base (extensional) hash; requests whose
+	// base matches a cached task adopt its interned database instead
+	// of re-interning the facts. 0 keeps the default (64) and a
+	// negative value disables snapshot sharing.
+	SnapshotCacheSize int
+	// SolveDelay adds a fixed hold to every worker execution before
+	// the engine runs. It exists for capacity testing: the benchmark
+	// suite's tasks solve in microseconds, so a realistic per-request
+	// service time (against which routing and admission behaviour can
+	// be measured) has to be injected. Zero — the default, and the
+	// only sensible production setting — disables it.
+	SolveDelay time.Duration
 	// DefaultTimeout bounds synthesis time for requests that do not
 	// set timeout_ms (default 30s).
 	DefaultTimeout time.Duration
@@ -72,6 +85,13 @@ type Server struct {
 	log   *slog.Logger
 	synth synthFunc
 	cache *lruCache
+
+	// flights coalesces concurrent cache misses on one key into a
+	// single synthesis (see singleflight.go); snapshots shares
+	// interned databases across requests with equal base hashes (see
+	// snapshot.go).
+	flights   *flightGroup
+	snapshots *lruCache
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -108,6 +128,21 @@ type Server struct {
 	mCacheMisses *metrics.Counter
 	mCacheSize   *metrics.Gauge
 	mLatency     *metrics.Histogram
+	// Request-latency attribution: time spent waiting for a worker vs
+	// time spent solving (including any configured SolveDelay), so a
+	// p99 regression can be blamed on admission or on synthesis.
+	mQueueWait *metrics.Histogram
+	mSolve     *metrics.Histogram
+	// Singleflight accounting: leaders ran a synthesis, shared were
+	// answered by someone else's in-flight run.
+	mFlightLeaders *metrics.Counter
+	mFlightShared  *metrics.Counter
+	// Snapshot-cache accounting: hits adopted a shared interned
+	// database, misses seeded one, fallbacks matched a base but could
+	// not adopt (example constants outside the shared domain).
+	mSnapshotHits      *metrics.Counter
+	mSnapshotMisses    *metrics.Counter
+	mSnapshotFallbacks *metrics.Counter
 	// Assessment-cache counters: the engine's canonical-rule memo.
 	// hit rate = memo_hits / (memo_hits + evals).
 	mAssessEvals    *metrics.Counter
@@ -134,6 +169,8 @@ type job struct {
 	// done receives the outcome exactly once; buffered so a worker
 	// never blocks on a handler that gave up at its deadline.
 	done chan jobResult
+	// enqueuedAt stamps admission, for the queue-wait histogram.
+	enqueuedAt time.Time
 }
 
 type jobResult struct {
@@ -155,6 +192,12 @@ func New(cfg Config) *Server {
 		cfg.CacheSize = 256
 	case cfg.CacheSize < 0:
 		cfg.CacheSize = 0
+	}
+	switch {
+	case cfg.SnapshotCacheSize == 0:
+		cfg.SnapshotCacheSize = 64
+	case cfg.SnapshotCacheSize < 0:
+		cfg.SnapshotCacheSize = 0
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 30 * time.Second
@@ -180,10 +223,12 @@ func New(cfg Config) *Server {
 
 	reg := metrics.New()
 	s := &Server{
-		cfg:    cfg,
-		log:    cfg.Logger,
-		synth:  cfg.synthesize,
-		cache:  newLRU(cfg.CacheSize),
+		cfg:         cfg,
+		log:         cfg.Logger,
+		synth:       cfg.synthesize,
+		cache:       newLRU(cfg.CacheSize),
+		flights:     newFlightGroup(),
+		snapshots:   newLRU(cfg.SnapshotCacheSize),
 		queue:       make(chan *job, cfg.QueueDepth),
 		traces:      newTraceStore(traceStoreCap),
 		sessions:    newSessionStore(cfg.SessionCap, cfg.SessionTTL),
@@ -207,7 +252,21 @@ func New(cfg Config) *Server {
 		mCacheSize: reg.Gauge("egs_cache_entries",
 			"Entries resident in the result cache."),
 		mLatency: reg.Histogram("egs_synthesis_seconds",
-			"Wall-clock synthesis latency (engine runs only; cache hits excluded).", nil),
+			"End-to-end admitted-request latency: queue wait plus solve (cache hits excluded).", nil),
+		mQueueWait: reg.Histogram("egs_queue_wait_seconds",
+			"Time admitted jobs spent queued before a worker picked them up.", nil),
+		mSolve: reg.Histogram("egs_solve_seconds",
+			"Worker execution time per job: the engine run plus any configured solve delay.", nil),
+		mFlightLeaders: reg.Counter("egs_singleflight_leaders_total",
+			"Cache misses that ran a synthesis as a singleflight leader."),
+		mFlightShared: reg.Counter("egs_singleflight_shared_total",
+			"Cache misses answered by another request's in-flight synthesis."),
+		mSnapshotHits: reg.Counter("egs_snapshot_hits_total",
+			"Requests that adopted a shared interned-database snapshot."),
+		mSnapshotMisses: reg.Counter("egs_snapshot_misses_total",
+			"Requests whose base was new; their task seeded the snapshot cache."),
+		mSnapshotFallbacks: reg.Counter("egs_snapshot_fallbacks_total",
+			"Requests matching a cached base that could not adopt it (examples outside the shared domain)."),
 		mAssessEvals: reg.Counter("egs_assess_evals_total",
 			"Candidate-rule evaluations executed by the engine."),
 		mAssessMemoHits: reg.Counter("egs_assess_memo_hits_total",
@@ -255,8 +314,18 @@ func (s *Server) run(j *job) {
 		j.done <- jobResult{err: err}
 		return
 	}
+	wait := time.Since(j.enqueuedAt)
+	s.mQueueWait.Observe(wait.Seconds())
 	s.mInFlight.Inc()
 	start := time.Now()
+	if s.cfg.SolveDelay > 0 {
+		// Injected service time for capacity testing (see
+		// Config.SolveDelay); counted as solve time, cancellable.
+		select {
+		case <-time.After(s.cfg.SolveDelay):
+		case <-j.ctx.Done():
+		}
+	}
 	var res egs.Result
 	var err error
 	if j.do != nil {
@@ -266,7 +335,8 @@ func (s *Server) run(j *job) {
 	}
 	dur := time.Since(start)
 	s.mInFlight.Dec()
-	s.mLatency.Observe(dur.Seconds())
+	s.mSolve.Observe(dur.Seconds())
+	s.mLatency.Observe((wait + dur).Seconds())
 	switch {
 	case err != nil:
 		s.mSyntheses.With("error").Inc()
@@ -300,6 +370,7 @@ func (s *Server) enqueue(j *job) error {
 	if s.closed {
 		return errDraining
 	}
+	j.enqueuedAt = time.Now()
 	select {
 	case s.queue <- j:
 		s.mQueueDepth.Inc()

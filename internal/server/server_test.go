@@ -272,9 +272,12 @@ func TestQueueFullReturns429(t *testing.T) {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
-	issue := func() {
+	// Each request carries a distinct extra fact: identical tasks would
+	// coalesce in the singleflight tier and never contend for the queue.
+	issue := func(variant string) {
 		defer wg.Done()
-		resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(string(src)))
+		body := string(src) + "\nfather(" + variant + "A, " + variant + "B).\n"
+		resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(body))
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
@@ -282,12 +285,12 @@ func TestQueueFullReturns429(t *testing.T) {
 	}
 	// First request occupies the only worker...
 	wg.Add(1)
-	go issue()
+	go issue("Va")
 	<-started
 	// ...second fills the queue (poll the depth gauge: enqueue happens
 	// just before the handler blocks on the result)...
 	wg.Add(1)
-	go issue()
+	go issue("Vb")
 	deadline := time.Now().Add(5 * time.Second)
 	for s.mQueueDepth.Value() < 1 {
 		if time.Now().After(deadline) {

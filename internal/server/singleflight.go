@@ -1,0 +1,96 @@
+// Singleflight request coalescing for the result-cache miss path: all
+// concurrent /synthesize requests that share a cache key block on one
+// synthesis and share its response, so a stampede on one viral task
+// costs one solve instead of N. Unlike the x/sync singleflight (which
+// the stdlib-only rule keeps out anyway), a flight here is not tied to
+// its leader's lifetime: the engine runs under a detached, refcounted
+// context, so one caller hanging up — the leader included — never
+// poisons the answer the remaining callers are waiting for. Only when
+// every caller has gone does the flight cancel.
+
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flightOutcome is the shared terminal state of one coalesced
+// synthesis: either an immutable response, or an HTTP error to relay.
+type flightOutcome struct {
+	resp   *SynthesisResponse // non-nil on success; shared, never mutated
+	status int                // HTTP status when resp is nil
+	msg    string
+}
+
+// flight is one in-progress coalesced synthesis.
+type flight struct {
+	done chan struct{} // closed when out is valid
+	out  flightOutcome
+
+	mu      sync.Mutex
+	waiters int                // callers still interested in the result
+	cancel  context.CancelFunc // stops the engine when waiters hits 0
+}
+
+// join registers one more interested caller.
+func (f *flight) join() {
+	f.mu.Lock()
+	f.waiters++
+	f.mu.Unlock()
+}
+
+// leave deregisters a caller; the last one out cancels the flight.
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	last := f.waiters == 0
+	f.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+}
+
+// flightGroup deduplicates in-progress syntheses by cache key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating it when none is in
+// progress. leader reports whether the caller must run the synthesis
+// (and eventually call finish). The caller is registered as a waiter
+// either way and must arrange for leave exactly once.
+func (g *flightGroup) join(key string, timeout time.Duration) (f *flight, leader bool, ctx context.Context) {
+	g.mu.Lock()
+	if f = g.m[key]; f != nil {
+		g.mu.Unlock()
+		f.join()
+		return f, false, nil
+	}
+	// The flight's context is detached from any one request: its
+	// lifetime is "some caller still wants the answer", bounded by the
+	// leader's resolved timeout.
+	fctx, cancel := context.WithTimeout(context.Background(), timeout)
+	f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = f
+	g.mu.Unlock()
+	return f, true, fctx
+}
+
+// finish publishes the outcome and removes the flight from the group,
+// so later requests with the same key start fresh (typically hitting
+// the result cache the leader just filled).
+func (g *flightGroup) finish(key string, f *flight, out flightOutcome) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.out = out
+	close(f.done)
+	f.cancel() // release the timeout's timer; the engine is done
+}

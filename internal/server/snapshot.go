@@ -1,0 +1,52 @@
+// Copy-on-write sharing of interned-database snapshots across
+// requests on the same extensional base. Parsing a task builds and
+// indexes a fresh relation.Database per request; for workloads that
+// ask many questions over one dataset (the common shape once clients
+// keep a schema and vary examples), that work is identical every
+// time. The snapshot cache keys prepared tasks by Task.BaseHash — the
+// canonical digest minus the example labels — and later requests with
+// an equal base adopt the cached task's database via
+// Task.AdoptExamples, interning only their example tuples.
+//
+// Adoption is safe under full request concurrency because it never
+// mutates shared state destructively: the base database is frozen
+// (PR 2 semantics), example tuples go through the lock-protected
+// interning table, and no facts are ever inserted, so the generation
+// stamps that guard TupleID stability and the column caches are never
+// invalidated. Requests whose examples mention constants outside the
+// shared domain fall back to their own parsed task (interning a new
+// constant would race concurrent readers of the domain).
+//
+// Incremental sessions never adopt snapshots: sessions insert facts
+// (overlay generations), which is a between-runs mutation that must
+// not race other requests reading the same database.
+
+package server
+
+import "github.com/egs-synthesis/egs"
+
+// adoptSnapshot returns the task to synthesize: t itself when its
+// base is new (seeding the cache) or unadoptable, or a task sharing
+// the cached base's interned database when one matches.
+func (s *Server) adoptSnapshot(t *egs.Task) *egs.Task {
+	if s.snapshots == nil {
+		return t
+	}
+	base := t.BaseHash()
+	v, ok := s.snapshots.Get(base)
+	if !ok {
+		s.mSnapshotMisses.Inc()
+		s.snapshots.Put(base, t)
+		return t
+	}
+	shared, ok, err := v.(*egs.Task).AdoptExamples(t)
+	if err != nil || !ok {
+		if err != nil {
+			s.log.Warn("snapshot adoption failed", "task", t.Name(), "err", err)
+		}
+		s.mSnapshotFallbacks.Inc()
+		return t
+	}
+	s.mSnapshotHits.Inc()
+	return shared
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// kinshipVariant returns the kinship benchmark with its example set
+// replaced, leaving the schema, facts, and domain — the BaseHash —
+// unchanged.
+func kinshipVariant(t *testing.T, examples []string) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join(benchDir, "kinship.task"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "+") || strings.HasPrefix(trimmed, "-") ||
+			strings.HasPrefix(trimmed, "intended ") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	for _, ex := range examples {
+		b.WriteString(ex)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestSnapshotAdoptionDifferential checks that a request adopting a
+// cached interned-database snapshot produces byte-identical output to
+// the same request solved from its own fresh parse.
+func TestSnapshotAdoptionDifferential(t *testing.T) {
+	variant := kinshipVariant(t, []string{
+		"+child(Simba, Sarabi).",
+		"+child(Simba, Mufasa).",
+		"+child(Kiara, Nala).",
+		"+child(Kiara, Simba).",
+	})
+
+	// Shared server: the full benchmark seeds the snapshot, the variant
+	// (same base, different examples) adopts it.
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1})
+	src, err := os.ReadFile(filepath.Join(benchDir, "kinship.task"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, sr := post(t, ts.URL+"/synthesize", "text/plain", string(src)); sr.Status != "sat" {
+		t.Fatalf("seeding solve status %q (%s)", sr.Status, sr.Error)
+	}
+	_, adopted := post(t, ts.URL+"/synthesize", "text/plain", variant)
+	if adopted.Status != "sat" {
+		t.Fatalf("adopted solve status %q (%s)", adopted.Status, adopted.Error)
+	}
+	if got := s.mSnapshotHits.Value(); got != 1 {
+		t.Errorf("egs_snapshot_hits_total = %d, want 1 (adoption did not happen)", got)
+	}
+
+	// Fresh server: the variant solved with no snapshot to adopt.
+	_, tsFresh := newTestServer(t, Config{Workers: 1, CacheSize: -1})
+	_, fresh := post(t, tsFresh.URL+"/synthesize", "text/plain", variant)
+	if fresh.Status != "sat" {
+		t.Fatalf("fresh solve status %q (%s)", fresh.Status, fresh.Error)
+	}
+	if adopted.Datalog != fresh.Datalog {
+		t.Errorf("adopted and fresh solves disagree:\n%s\nvs\n%s", adopted.Datalog, fresh.Datalog)
+	}
+	if adopted.SQL != fresh.SQL {
+		t.Errorf("adopted and fresh SQL disagree:\n%s\nvs\n%s", adopted.SQL, fresh.SQL)
+	}
+	if adopted.TaskHash != fresh.TaskHash {
+		t.Errorf("adopted and fresh task hashes disagree: %s vs %s", adopted.TaskHash, fresh.TaskHash)
+	}
+}
+
+// TestSnapshotFallbackOnForeignConstant checks that a request whose
+// examples mention a constant outside the shared snapshot's domain
+// falls back to its own parse instead of mutating the shared domain.
+func TestSnapshotFallbackOnForeignConstant(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1})
+	src, err := os.ReadFile(filepath.Join(benchDir, "kinship.task"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, sr := post(t, ts.URL+"/synthesize", "text/plain", string(src)); sr.Status != "sat" {
+		t.Fatalf("seeding solve status %q (%s)", sr.Status, sr.Error)
+	}
+
+	// Same base (facts unchanged), but one example names a constant the
+	// cached snapshot's domain has never interned. BaseHash ignores the
+	// domain table, so the bases match; adoption must then refuse
+	// rather than intern Scar into the shared domain.
+	variant := kinshipVariant(t, []string{
+		"+child(Scar, Sarabi).",
+		"+child(Simba, Sarabi).",
+		"+child(Simba, Mufasa).",
+		"+child(Kiara, Nala).",
+		"+child(Kiara, Simba).",
+	})
+
+	resp, sr := post(t, ts.URL+"/synthesize", "text/plain", variant)
+	if resp.StatusCode != 200 {
+		t.Fatalf("fallback solve HTTP %d (%s)", resp.StatusCode, sr.Error)
+	}
+	if sr.Status == "error" {
+		t.Fatalf("fallback solve errored: %s", sr.Error)
+	}
+	if got := s.mSnapshotFallbacks.Value(); got < 1 {
+		t.Errorf("egs_snapshot_fallbacks_total = %d, want >= 1", got)
+	}
+	if got := s.mSnapshotHits.Value(); got != 0 {
+		t.Errorf("egs_snapshot_hits_total = %d, want 0", got)
+	}
+}

@@ -28,7 +28,19 @@ import (
 // Mode declarations and the intended program are deliberately
 // excluded: they parameterize the baseline synthesizers and the
 // quality comparison, not the example itself.
-func CanonicalHash(t *Task) string {
+func CanonicalHash(t *Task) string { return hashTask(t, true) }
+
+// BaseHash digests the task's extensional part only: declarations,
+// input facts, and the labelling/negation directives — everything
+// CanonicalHash covers except the example labels (O+ and O-). Two
+// tasks share a base hash exactly when they pose different questions
+// over the same database, which is the key of the server's
+// copy-on-write snapshot cache: a request whose base matches an
+// already-prepared task can adopt that task's interned database
+// (via Revise) instead of re-interning and re-indexing the facts.
+func BaseHash(t *Task) string { return hashTask(t, false) }
+
+func hashTask(t *Task, includeExamples bool) string {
 	h := sha256.New()
 	write := func(rec string) {
 		h.Write([]byte(rec))
@@ -83,8 +95,10 @@ func CanonicalHash(t *Task) string {
 		}
 	}
 	writeSorted("fact", t.Input.All())
-	writeSorted("+", t.Pos)
-	writeSorted("-", t.Neg)
+	if includeExamples {
+		writeSorted("+", t.Pos)
+		writeSorted("-", t.Neg)
+	}
 
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,142 @@
+#!/bin/sh
+# bench-serve: measure the serving tier end to end and record the
+# results in BENCH_serve.json under a named run.
+#
+#   scripts/bench-serve.sh [run-name]
+#
+# Three scenarios:
+#
+#   stampede-16    16 simultaneous identical requests against one
+#                  fresh replica: the singleflight tier must collapse
+#                  them to one synthesis (leaders=1, shared=15).
+#   single-miss    closed-loop, cache-miss-heavy mix against one
+#                  replica: the single-replica throughput baseline.
+#   routed-miss    the same load against an egs-router in front of
+#                  two replicas: throughput must scale.
+#
+# Throughput scenarios inject an artificial per-solve service time
+# (-solve-delay, recorded in the run) so the scaling measurement is
+# about the serving tier rather than the host's core count: on the
+# 1-CPU CI class this repo targets, two CPU-bound replicas cannot
+# beat one, but two replicas each serializing SOLVE_DELAY solves
+# behind one worker expose exactly the routed-capacity ratio the
+# router is supposed to deliver. BENCH_serve.json accumulates runs
+# keyed by name (re-running a name replaces it). Requires the Go
+# toolchain and jq.
+set -eu
+
+RUN=${1:-post-scaleout}
+OUT=${OUT:-BENCH_serve.json}
+GO=${GO:-go}
+SOLVE_DELAY=${SOLVE_DELAY:-20ms}
+DURATION=${DURATION:-8s}
+CONCURRENCY=${CONCURRENCY:-8}
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+    for pid in $PIDS; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "bench-serve: building" >&2
+$GO build -o "$TMP/egs-serve" ./cmd/egs-serve
+$GO build -o "$TMP/egs-router" ./cmd/egs-router
+$GO build -o "$TMP/egs-load" ./cmd/egs-load
+
+bound_addr() { # bound_addr <logfile>
+    i=0
+    while :; do
+        addr=$(sed -n 's/.*msg=listening addr=\([0-9.:]*\).*/\1/p' "$1" | head -n1)
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        i=$((i + 1))
+        [ "$i" -ge 50 ] && { echo "bench-serve: no listening line in $1" >&2; cat "$1" >&2; return 1; }
+        sleep 0.1
+    done
+}
+
+start_replica() { # start_replica <logfile>
+    "$TMP/egs-serve" -addr 127.0.0.1:0 -workers 1 -queue 64 \
+        -solve-delay "$SOLVE_DELAY" >"$1" 2>&1 &
+    PIDS="$PIDS $!"
+    bound_addr "$1"
+}
+
+stop_all() {
+    for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+    for pid in $PIDS; do wait "$pid" 2>/dev/null || true; done
+    PIDS=""
+}
+
+# --- scenario 1: stampede-16 ------------------------------------------
+echo "bench-serve: stampede-16" >&2
+R=$(start_replica "$TMP/s1.log")
+"$TMP/egs-load" -target "http://$R" -mode burst -requests 16 -mix stampede \
+    -seed 1 -scenario stampede-16 >"$TMP/stampede.json"
+stop_all
+
+jq -e '.ok == 16 and .counters.egs_singleflight_leaders_total == 1 and .counters.egs_singleflight_shared_total == 15' \
+    "$TMP/stampede.json" >/dev/null || {
+    echo "bench-serve: stampede did not collapse to one synthesis:" >&2
+    cat "$TMP/stampede.json" >&2
+    exit 1
+}
+
+# --- scenario 2: single-miss ------------------------------------------
+echo "bench-serve: single-miss" >&2
+R=$(start_replica "$TMP/s2.log")
+"$TMP/egs-load" -target "http://$R" -mode closed -concurrency "$CONCURRENCY" \
+    -duration "$DURATION" -mix miss -seed 2 -scenario single-miss >"$TMP/single.json"
+stop_all
+
+# --- scenario 3: routed-miss ------------------------------------------
+echo "bench-serve: routed-miss" >&2
+R1=$(start_replica "$TMP/s3a.log")
+R2=$(start_replica "$TMP/s3b.log")
+"$TMP/egs-router" -addr 127.0.0.1:0 -replicas "http://$R1,http://$R2" \
+    -check-interval 200ms >"$TMP/router.log" 2>&1 &
+PIDS="$PIDS $!"
+RT=$(bound_addr "$TMP/router.log")
+sleep 0.5 # let the first health sweep mark both replicas up
+"$TMP/egs-load" -target "http://$RT" -scrape "http://$R1,http://$R2" \
+    -mode closed -concurrency "$CONCURRENCY" -duration "$DURATION" \
+    -mix miss -seed 3 -scenario routed-miss >"$TMP/routed.json"
+stop_all
+
+SINGLE_QPS=$(jq .qps "$TMP/single.json")
+ROUTED_QPS=$(jq .qps "$TMP/routed.json")
+RATIO=$(jq -n "$ROUTED_QPS / $SINGLE_QPS")
+echo "bench-serve: single $SINGLE_QPS qps, routed $ROUTED_QPS qps (x$RATIO)" >&2
+jq -n -e "$RATIO >= 1.8" >/dev/null || {
+    echo "bench-serve: routed throughput only x$RATIO of single-replica, want >= 1.8" >&2
+    exit 1
+}
+# Equal-or-better tail latency while doubling throughput.
+SINGLE_P99=$(jq .client_p99_ms "$TMP/single.json")
+ROUTED_P99=$(jq .client_p99_ms "$TMP/routed.json")
+jq -n -e "$ROUTED_P99 <= $SINGLE_P99" >/dev/null || {
+    echo "bench-serve: routed p99 ${ROUTED_P99}ms worse than single-replica ${SINGLE_P99}ms" >&2
+    exit 1
+}
+
+# --- merge into $OUT ---------------------------------------------------
+jq -s \
+    --arg name "$RUN" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg go "$($GO version | sed 's/^go version //')" \
+    --arg delay "$SOLVE_DELAY" \
+    '{name: $name, date: $date, go: $go, solve_delay: $delay, scenarios: .}' \
+    "$TMP/stampede.json" "$TMP/single.json" "$TMP/routed.json" >"$TMP/run.json"
+
+if [ -f "$OUT" ]; then
+    jq --arg name "$RUN" --slurpfile run "$TMP/run.json" \
+        '.runs = ([.runs[] | select(.name != $name)] + $run)' "$OUT" >"$TMP/out.json"
+else
+    jq -n --slurpfile run "$TMP/run.json" '{runs: $run}' >"$TMP/out.json"
+fi
+mv "$TMP/out.json" "$OUT"
+echo "bench-serve: recorded run \"$RUN\" in $OUT" >&2

@@ -1,0 +1,134 @@
+#!/bin/sh
+# router-smoke: boot two egs-serve replicas plus an egs-router, assert
+# consistent-hash routing stickiness, then replay a short low-rate load
+# with egs-load and assert p99 latency and 429-rate thresholds.
+# Used by `make router-smoke`; needs curl (falls back to wget) and jq.
+#
+# Every process binds -addr 127.0.0.1:0 and the script parses the
+# kernel-assigned port from the machine-parseable "listening addr="
+# log line — which is itself part of what this smoke test covers.
+set -eu
+
+BIN_SERVE=${BIN_SERVE:-bin/egs-serve}
+BIN_ROUTER=${BIN_ROUTER:-bin/egs-router}
+BIN_LOAD=${BIN_LOAD:-bin/egs-load}
+TASK=${TASK:-testdata/benchmarks/knowledge-discovery/kinship.task}
+# A small artificial service time keeps the replicas busy enough for
+# queue-wait attribution to show up without slowing the smoke test.
+SOLVE_DELAY=${SOLVE_DELAY:-10ms}
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+    for pid in $PIDS; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fetch() { # fetch <url> [curl-args...]
+    url=$1; shift
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$@" "$url"
+    else
+        wget -qO- "$url"
+    fi
+}
+
+# bound_addr <logfile>: poll for the "listening addr=host:port" line.
+bound_addr() {
+    i=0
+    while :; do
+        addr=$(sed -n 's/.*msg=listening addr=\([0-9.:]*\).*/\1/p' "$1" | head -n1)
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "router-smoke: no listening line in $1:" >&2
+            cat "$1" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+}
+
+"$BIN_SERVE" -addr 127.0.0.1:0 -workers 1 -solve-delay "$SOLVE_DELAY" >"$TMP/r1.log" 2>&1 &
+PIDS="$PIDS $!"
+"$BIN_SERVE" -addr 127.0.0.1:0 -workers 1 -solve-delay "$SOLVE_DELAY" >"$TMP/r2.log" 2>&1 &
+PIDS="$PIDS $!"
+R1=$(bound_addr "$TMP/r1.log")
+R2=$(bound_addr "$TMP/r2.log")
+
+"$BIN_ROUTER" -addr 127.0.0.1:0 -replicas "http://$R1,http://$R2" -check-interval 200ms \
+    >"$TMP/router.log" 2>&1 &
+PIDS="$PIDS $!"
+RT=$(bound_addr "$TMP/router.log")
+
+i=0
+until fetch "http://$RT/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "router-smoke: router never became healthy" >&2
+        cat "$TMP/router.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# One synthesis through the router must answer exactly like a replica.
+RESP=$(fetch "http://$RT/synthesize" -X POST -H 'Content-Type: text/plain' --data-binary "@$TASK")
+echo "$RESP" | grep -q '"status": "sat"' || {
+    echo "router-smoke: expected sat via router, got: $RESP" >&2
+    exit 1
+}
+
+# Routing stickiness: re-POSTing the same task must land on the same
+# replica every time — after 4 sends, one replica owns all 4 routed
+# requests and the other owns 0.
+for _ in 1 2 3; do
+    fetch "http://$RT/synthesize" -X POST -H 'Content-Type: text/plain' --data-binary "@$TASK" >/dev/null
+done
+fetch "http://$RT/metrics" >"$TMP/router-metrics.txt"
+COUNTS=$(sed -n 's/^egs_router_requests_total{replica="[^"]*"} \([0-9]*\)$/\1/p' "$TMP/router-metrics.txt" | sort -n | tr '\n' ' ')
+case "$COUNTS" in
+*"4 "*) : ;;
+*)
+    echo "router-smoke: identical tasks split across replicas (counts: $COUNTS)" >&2
+    exit 1
+    ;;
+esac
+
+# Low-rate replay through the router: open-loop Poisson arrivals, a
+# mixed task mix, both replicas scraped for the counter aggregation.
+"$BIN_LOAD" -target "http://$RT" -scrape "http://$R1,http://$R2" \
+    -mode open -rate 10 -duration 5s -mix mixed -seed 7 \
+    -scenario router-smoke >"$TMP/load.json"
+cat "$TMP/load.json"
+
+jq -e '.ok >= 1' "$TMP/load.json" >/dev/null || {
+    echo "router-smoke: no successful requests in the replay" >&2
+    exit 1
+}
+# Thresholds: effectively zero admission pressure at 10 qps against
+# two replicas (allow one stray 429), and p99 well under a second
+# when each solve costs ~SOLVE_DELAY.
+jq -e '.reject_pct <= 5' "$TMP/load.json" >/dev/null || {
+    echo "router-smoke: 429 rate above threshold" >&2
+    exit 1
+}
+jq -e '.client_p99_ms > 0 and .client_p99_ms <= 1000' "$TMP/load.json" >/dev/null || {
+    echo "router-smoke: client p99 outside (0, 1000] ms" >&2
+    exit 1
+}
+# Both replicas must have taken routed traffic (the mixed mix spreads
+# unique tasks across the ring).
+jq -e '(.per_replica | length) == 2 and ([.per_replica[]] | min) >= 1' "$TMP/load.json" >/dev/null || {
+    echo "router-smoke: load did not spread across both replicas" >&2
+    exit 1
+}
+# The queue-wait vs solve split must be populated on the replicas.
+jq -e '.solve_p99_ms > 0' "$TMP/load.json" >/dev/null || {
+    echo "router-smoke: no solve-latency attribution scraped" >&2
+    exit 1
+}
+
+echo "router-smoke: OK"
