@@ -21,11 +21,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs egslint (the custom analyzer suite in internal/lint that
-# enforces the determinism, aliasing, and pooling invariants), plus
-# staticcheck/govulncheck when installed at the versions pinned in
-# tools/tools.go. See DESIGN.md §10 for the analyzer catalogue and
-# the //lint:ignore suppression convention.
+# lint runs egslint (the custom analyzer suite in internal/lint:
+# determinism, aliasing, and pooling invariants plus the
+# flow-sensitive concurrency analyzers ctxflow/lockscope/goroleak
+# over the serving tier), with stale //lint:ignore detection and a
+# wall-clock budget (EGSLINT_BUDGET_SECS), plus staticcheck and
+# govulncheck when installed at the versions pinned in
+# tools/tools.go. See DESIGN.md §10 and §15 for the analyzer
+# catalogue and the //lint:ignore suppression convention.
 lint:
 	./scripts/lint.sh
 

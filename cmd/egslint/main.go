@@ -1,16 +1,23 @@
 // Command egslint runs the repo's custom analyzer suite
-// (internal/lint): detorder, tuplealias, poolrelease, nodetsource.
+// (internal/lint): ctxflow, detorder, goroleak, lockscope,
+// nodetsource, poolrelease, tuplealias.
 //
 // Standalone:
 //
-//	egslint [-json] [-show-suppressed] [packages...]
+//	egslint [-json] [-show-suppressed] [-stale-ignores] [packages...]
 //
 // loads the named package patterns (default ./...) from the enclosing
 // module, runs every analyzer in its configured scope
 // (internal/lint/suite.go), and prints findings. Suppressed findings
 // (//lint:ignore egslint/<name> reason) never fail the run but are
 // listed with -show-suppressed and always included in -json output.
-// Exit status: 0 clean, 1 unsuppressed findings, 2 operational error.
+// -stale-ignores additionally reports //lint:ignore directives that
+// matched no diagnostic — dead suppressions that would silently excuse
+// a future, different finding — and fails the run on them. With -json,
+// -stale-ignores switches the output from a findings array to an
+// object {"findings": […], "stale_ignores": […]}.
+// Exit status: 0 clean, 1 unsuppressed findings (or stale ignores
+// under -stale-ignores), 2 operational error.
 //
 // As a vet tool:
 //
@@ -58,6 +65,7 @@ func standalone(args []string) int {
 	fs := flag.NewFlagSet("egslint", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (suppressed included)")
 	showSuppressed := fs.Bool("show-suppressed", false, "also list suppressed findings with their reasons")
+	staleIgnores := fs.Bool("stale-ignores", false, "report //lint:ignore directives that matched no diagnostic, and fail on them")
 	fs.Parse(args)
 
 	patterns := fs.Args()
@@ -75,20 +83,31 @@ func standalone(args []string) int {
 		fmt.Fprintln(os.Stderr, "egslint:", err)
 		return 2
 	}
-	findings, err := checker.Run(pkgs, lint.Suite(), lint.Applies)
+	findings, directives, err := checker.RunAll(pkgs, lint.Suite(), lint.Applies)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "egslint:", err)
 		return 2
 	}
 
 	unsuppressed := checker.Unsuppressed(findings)
+	var stale []checker.Directive
+	if *staleIgnores {
+		stale = checker.Stale(directives)
+	}
+	if findings == nil {
+		findings = []checker.Finding{}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []checker.Finding{}
+		var payload any = findings
+		if *staleIgnores {
+			if stale == nil {
+				stale = []checker.Directive{}
+			}
+			payload = map[string]any{"findings": findings, "stale_ignores": stale}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(payload); err != nil {
 			fmt.Fprintln(os.Stderr, "egslint:", err)
 			return 2
 		}
@@ -101,8 +120,12 @@ func standalone(args []string) int {
 				fmt.Printf("%s [suppressed: %s]\n", f, f.Reason)
 			}
 		}
+		for _, d := range stale {
+			fmt.Printf("%s:%d: stale //lint:ignore %s (no matching diagnostic): %s\n",
+				d.File, d.Line, strings.Join(d.Checks, ","), d.Reason)
+		}
 	}
-	if len(unsuppressed) > 0 {
+	if len(unsuppressed) > 0 || len(stale) > 0 {
 		return 1
 	}
 	return 0

@@ -1,0 +1,549 @@
+// Package cfg builds per-function control-flow graphs over go/ast and
+// solves forward dataflow problems on them. It is the flow-sensitive
+// substrate of the egslint concurrency analyzers (ctxflow, lockscope,
+// goroleak): where the PR 4 analyzers reason lexically ("is there a
+// release before every return"), these reason per-path ("is the
+// obligation discharged on every path that reaches an exit").
+//
+// The graph is deliberately syntactic — no SSA, no types — because
+// the analyzers that consume it track obligations attached to
+// identifiers (a cancel func, a mutex receiver) whose identity the
+// type checker already resolves. What the graph adds is path
+// structure:
+//
+//   - if/else, for, range, switch, type switch, and select each
+//     contribute their real branch edges, including the
+//     loop-may-not-run edge and the select-clause fan-out;
+//   - short-circuit conditions are decomposed: `if a && b` evaluates
+//     a in its own block with a false-edge that bypasses b, so an
+//     obligation discharged only under b's evaluation is seen as
+//     missing on the a-false path;
+//   - break/continue/goto (labelled or not) and fallthrough edges are
+//     resolved;
+//   - return statements edge to the synthetic Exit block; falling off
+//     the end of the body does too (implicit return);
+//   - panic(...) and the conventional terminating calls (os.Exit,
+//     log.Fatal*, runtime.Goexit, testing's t.Fatal*) end their block
+//     with NO successor: obligations are not owed on dying paths, so
+//     analyzers get that rule for free.
+//
+// Nested function literals are NOT inlined: a FuncLit is an opaque
+// node of the enclosing graph, and analysis.Pass.Funcs yields its
+// body separately for its own graph. Defer statements are ordinary
+// nodes; clients model their at-exit semantics in their transfer
+// functions (see Solve's documentation).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NodeKind tells a transfer function how to scan a node.
+type NodeKind int
+
+const (
+	// KindStmt is a simple statement (assign, expr, send, defer, go,
+	// decl, return, ...). Compound statements never appear whole; only
+	// their header parts do, with the kinds below.
+	KindStmt NodeKind = iota
+	// KindCond is a decomposed condition (or switch tag) expression
+	// evaluated for control flow; the block has a true and a false
+	// successor (in that order) when it ends in one.
+	KindCond
+	// KindRange is a *ast.RangeStmt header: the ranged expression is
+	// evaluated here. Clients must not descend into Body.
+	KindRange
+	// KindSelect is a *ast.SelectStmt header. Clients must not descend
+	// into the clause bodies; use HasDefault for blocking-ness.
+	KindSelect
+	// KindComm is one select communication statement (the `case v :=
+	// <-ch:` part). Its channel operation belongs to the select header,
+	// so blocking-op scans should skip it, but obligation scans (does
+	// this bind or use a tracked identifier) still apply.
+	KindComm
+)
+
+// Node is one program point: a piece of syntax plus how to read it.
+type Node struct {
+	Syntax ast.Node
+	Kind   NodeKind
+}
+
+// Block is a basic block: nodes executed in order, then a transfer of
+// control to one of Succs. A block with no successors ends the
+// function without reaching Exit (panic or a terminating call).
+type Block struct {
+	Index int
+	Nodes []Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is synthetic: every return statement and the fall-off-end
+	// path edge to it. It holds no nodes.
+	Exit *Block
+}
+
+// Build constructs the graph of one function body.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*labelTargets{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	last := b.stmts(body.List, b.g.Entry)
+	if last != nil {
+		addEdge(last, b.g.Exit)
+	}
+	// Prune blocks unreachable from Entry (code after a return, the
+	// continuation of a default-less select, …). Leaving them in would
+	// let their fall-through edges contaminate Exit's predecessor set —
+	// a dataflow client would then see states from paths that cannot
+	// execute. Exit is kept even when unreachable (a function whose
+	// every path panics) so clients need not nil-check it.
+	live := map[*Block]bool{b.g.Entry: true, b.g.Exit: true}
+	stack := []*Block{b.g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !live[s] {
+				live[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	kept := b.g.Blocks[:0]
+	for _, blk := range b.g.Blocks {
+		if !live[blk] {
+			continue
+		}
+		succs := blk.Succs[:0]
+		for _, s := range blk.Succs {
+			if live[s] {
+				succs = append(succs, s)
+			}
+		}
+		blk.Succs = succs
+		kept = append(kept, blk)
+	}
+	b.g.Blocks = kept
+	for i, blk := range b.g.Blocks {
+		blk.Index = i
+	}
+	// Seal: derive predecessor lists (deterministic: block order, then
+	// successor order).
+	for _, blk := range b.g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.g
+}
+
+// HasDefault reports whether a select or switch statement has a
+// default clause (a select with default never blocks).
+func HasDefault(n ast.Node) bool {
+	var list []ast.Stmt
+	switch s := n.(type) {
+	case *ast.SelectStmt:
+		list = s.Body.List
+	case *ast.SwitchStmt:
+		list = s.Body.List
+	case *ast.TypeSwitchStmt:
+		list = s.Body.List
+	default:
+		return false
+	}
+	for _, c := range list {
+		switch c := c.(type) {
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// terminalSelectors are call names that conventionally never return.
+// The match is syntactic (the builder has no type information); the
+// receivers in practice are os.Exit, runtime.Goexit, log.Fatal*, and
+// testing's t.Fatal*/t.Skip* helpers.
+var terminalSelectors = map[string]bool{
+	"Exit": true, "Goexit": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Skip": true, "Skipf": true, "SkipNow": true, "FailNow": true,
+}
+
+// IsTerminalCall reports whether stmt is a call that ends the
+// goroutine (panic or a conventional terminating call), so control
+// does not continue to the next statement or to Exit.
+func IsTerminalCall(stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		return terminalSelectors[fun.Sel.Name]
+	}
+	return false
+}
+
+// labelTargets resolves a label to the blocks its branches jump to.
+type labelTargets struct {
+	start     *Block // goto target / labelled statement entry
+	brk, cont *Block // set while the labelled loop/switch is open
+}
+
+type builder struct {
+	g      *Graph
+	labels map[string]*labelTargets
+	// break/continue stacks for the innermost enclosing constructs.
+	breaks, continues []*Block
+	// pendingLabel is the label immediately wrapping the next
+	// loop/switch/select statement, so its break/continue targets can
+	// be registered under that name.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func addEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (blk *Block) add(n ast.Node, kind NodeKind) {
+	blk.Nodes = append(blk.Nodes, Node{Syntax: n, Kind: kind})
+}
+
+// stmts threads the statement list through cur, returning the block
+// control reaches afterwards; nil means control cannot fall through
+// (every path returned, panicked, or branched away).
+func (b *builder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code still gets a graph (fresh, predecessor-less
+			// block) so its nodes exist for position-based reporting.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.ReturnStmt:
+		cur.add(s, KindStmt)
+		addEdge(cur, b.g.Exit)
+		return nil
+
+	case *ast.ExprStmt:
+		cur.add(s, KindStmt)
+		if IsTerminalCall(s) {
+			return nil // panic/os.Exit: no successor at all
+		}
+		return cur
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		then, els, after := b.newBlock(), b.newBlock(), b.newBlock()
+		b.cond(s.Cond, cur, then, els)
+		if end := b.stmts(s.Body.List, then); end != nil {
+			addEdge(end, after)
+		}
+		if s.Else != nil {
+			if end := b.stmt(s.Else, els); end != nil {
+				addEdge(end, after)
+			}
+		} else {
+			addEdge(els, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head, body, after := b.newBlock(), b.newBlock(), b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		addEdge(cur, head)
+		if s.Cond != nil {
+			b.cond(s.Cond, head, body, after)
+		} else {
+			addEdge(head, body)
+		}
+		b.pushLoop(label, after, post)
+		end := b.stmts(s.Body.List, body)
+		b.popLoop(label)
+		if end != nil {
+			addEdge(end, post)
+		}
+		if s.Post != nil {
+			p := b.stmt(s.Post, post)
+			if p != nil {
+				addEdge(p, head)
+			}
+		}
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head, body, after := b.newBlock(), b.newBlock(), b.newBlock()
+		addEdge(cur, head)
+		head.add(s, KindRange)
+		addEdge(head, body)
+		addEdge(head, after)
+		b.pushLoop(label, after, head)
+		end := b.stmts(s.Body.List, body)
+		b.popLoop(label)
+		if end != nil {
+			addEdge(end, head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		if s.Tag != nil {
+			cur.add(s.Tag, KindCond)
+		}
+		return b.caseClauses(s.Body.List, cur, label, HasDefault(s))
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.add(s.Assign, KindStmt)
+		return b.caseClauses(s.Body.List, cur, label, HasDefault(s))
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		cur.add(s, KindSelect)
+		after := b.newBlock()
+		b.pushLoop(label, after, nil)
+		reachable := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			addEdge(cur, blk)
+			if cc.Comm != nil {
+				blk.add(cc.Comm, KindComm)
+			}
+			if end := b.stmts(cc.Body, blk); end != nil {
+				addEdge(end, after)
+				reachable = true
+			}
+		}
+		b.popLoop(label)
+		_ = reachable
+		if len(s.Body.List) == 0 {
+			// `select {}` blocks forever.
+			return nil
+		}
+		// after may be predecessor-less (every clause returns and nothing
+		// breaks); an unreachable continuation block is harmless.
+		return after
+
+	case *ast.LabeledStmt:
+		lt := b.labelFor(s.Label.Name)
+		addEdge(cur, lt.start)
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			return b.stmt(s.Stmt, lt.start)
+		default:
+			return b.stmt(s.Stmt, lt.start)
+		}
+
+	case *ast.BranchStmt:
+		cur.add(s, KindStmt)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, true); t != nil {
+				addEdge(cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, false); t != nil {
+				addEdge(cur, t)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				addEdge(cur, b.labelFor(s.Label.Name).start)
+			}
+		case token.FALLTHROUGH:
+			// Edge added by caseClauses, which sees the clause layout.
+			return cur
+		}
+		return nil
+
+	default:
+		// Assign, Decl, Send, IncDec, Defer, Go, Empty: plain nodes.
+		cur.add(s, KindStmt)
+		return cur
+	}
+}
+
+// caseClauses builds the clause fan-out shared by switch and type
+// switch: header → every clause, clause end → after, fallthrough →
+// next clause, and header → after when no default exists.
+func (b *builder) caseClauses(clauses []ast.Stmt, header *Block, label string, hasDefault bool) *Block {
+	after := b.newBlock()
+	if !hasDefault {
+		addEdge(header, after)
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		addEdge(header, blocks[i])
+	}
+	b.pushLoop(label, after, nil)
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		body := cc.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		end := b.stmts(body, blocks[i])
+		if end != nil {
+			if fallsThrough && i+1 < len(blocks) {
+				addEdge(end, blocks[i+1])
+			} else {
+				addEdge(end, after)
+			}
+		}
+	}
+	b.popLoop(label)
+	return after
+}
+
+// cond decomposes a condition into short-circuit control flow: each
+// leaf lands in its own block with edges to the true and false
+// targets (in that order).
+func (b *builder) cond(e ast.Expr, cur, t, f *Block) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, cur, t, f)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, cur, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, cur, mid, f)
+			b.cond(x.Y, mid, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, cur, t, mid)
+			b.cond(x.Y, mid, t, f)
+			return
+		}
+	}
+	cur.add(e, KindCond)
+	addEdge(cur, t)
+	addEdge(cur, f)
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) labelFor(name string) *labelTargets {
+	lt, ok := b.labels[name]
+	if !ok {
+		lt = &labelTargets{start: b.newBlock()}
+		b.labels[name] = lt
+	}
+	return lt
+}
+
+// pushLoop opens one break scope (loop, switch, or select). cont is
+// nil for switch/select, which break out of but do not continue; the
+// nil entry keeps the stacks aligned so continue resolves past it to
+// the innermost enclosing loop.
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		lt := b.labelFor(label)
+		lt.brk, lt.cont = brk, cont
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if label != "" {
+		lt := b.labels[label]
+		lt.brk, lt.cont = nil, nil
+	}
+}
+
+// branchTarget resolves break/continue to a block; nil when the label
+// is unknown (malformed code — the type checker rejects it anyway).
+func (b *builder) branchTarget(label *ast.Ident, isBreak bool) *Block {
+	if label != nil {
+		lt, ok := b.labels[label.Name]
+		if !ok {
+			return nil
+		}
+		if isBreak {
+			return lt.brk
+		}
+		return lt.cont
+	}
+	if isBreak {
+		if len(b.breaks) == 0 {
+			return nil
+		}
+		return b.breaks[len(b.breaks)-1]
+	}
+	// Skip the nil entries pushed by switch/select scopes.
+	for i := len(b.continues) - 1; i >= 0; i-- {
+		if b.continues[i] != nil {
+			return b.continues[i]
+		}
+	}
+	return nil
+}

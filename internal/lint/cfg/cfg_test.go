@@ -1,0 +1,437 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as the body of a function and builds its graph.
+// src is the full function declaration, e.g. "func f() { ... }".
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return Build(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// nodeStrings flattens the graph's nodes to short descriptions for
+// structural assertions.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestStraightLineReachesExit(t *testing.T) {
+	g := buildFunc(t, `func f() { x := 1; _ = x }`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable in straight-line code")
+	}
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("exit preds = %d, want 1 (implicit return)", len(g.Exit.Preds))
+	}
+}
+
+func TestIfElseBothPathsMerge(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) int {
+		if c {
+			return 1
+		}
+		return 2
+	}`)
+	// Two returns, each its own edge into Exit; no fall-off edge.
+	if got := len(g.Exit.Preds); got != 2 {
+		t.Fatalf("exit preds = %d, want 2", got)
+	}
+}
+
+func TestShortCircuitEdges(t *testing.T) {
+	g := buildFunc(t, `func f(a, b bool) {
+		if a && b {
+			println("both")
+		}
+	}`)
+	// The condition must be decomposed: a's block has a false edge
+	// that bypasses b's block entirely.
+	var aBlk, bBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if id, ok := n.Syntax.(*ast.Ident); ok && n.Kind == KindCond {
+				switch id.Name {
+				case "a":
+					aBlk = blk
+				case "b":
+					bBlk = blk
+				}
+			}
+		}
+	}
+	if aBlk == nil || bBlk == nil {
+		t.Fatal("condition not decomposed into per-operand blocks")
+	}
+	if aBlk == bBlk {
+		t.Fatal("a and b share a block; short-circuit edge lost")
+	}
+	foundTrue, foundFalse := false, false
+	for _, s := range aBlk.Succs {
+		if s == bBlk {
+			foundTrue = true
+		} else {
+			foundFalse = true
+		}
+	}
+	if !foundTrue || !foundFalse {
+		t.Fatalf("a's successors must include b (true) and the bypass (false); got %d succs", len(aBlk.Succs))
+	}
+}
+
+func TestForLoopBackEdgeAndZeroTrip(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+		for i := 0; i < n; i++ {
+			println(i)
+		}
+		println("after")
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The cond block must have two successors (body and after), giving
+	// the zero-trip path.
+	var cond *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Kind == KindCond {
+				cond = blk
+			}
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("loop condition block missing or has %d succs, want 2", len(cond.Succs))
+	}
+	// A back edge exists: some block reachable from cond's body
+	// successor leads back to cond.
+	body := cond.Succs[0]
+	back := false
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s == cond {
+				back = true
+				return
+			}
+			walk(s)
+		}
+	}
+	walk(body)
+	if !back {
+		t.Fatal("no back edge to the loop condition")
+	}
+}
+
+func TestRangeHeaderKindAndExit(t *testing.T) {
+	g := buildFunc(t, `func f(xs []int) {
+		for _, x := range xs {
+			println(x)
+		}
+	}`)
+	var head *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Kind == KindRange {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("range header not marked KindRange")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range header succs = %d, want 2 (body, after)", len(head.Succs))
+	}
+}
+
+func TestPanicPathHasNoExitEdge(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		if c {
+			panic("boom")
+		}
+		println("ok")
+	}`)
+	// Exactly one path reaches Exit (the non-panic one): panic blocks
+	// must not edge to Exit.
+	for _, p := range g.Exit.Preds {
+		for _, n := range p.Nodes {
+			if es, ok := n.Syntax.(*ast.ExprStmt); ok && IsTerminalCall(es) {
+				t.Fatal("panic block has an edge to Exit")
+			}
+		}
+	}
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("exit preds = %d, want 1", len(g.Exit.Preds))
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := buildFunc(t, `func f(a, b chan int) int {
+		select {
+		case x := <-a:
+			return x
+		case <-b:
+			return 0
+		}
+	}`)
+	var header *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Kind == KindSelect {
+				header = blk
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("select header missing")
+	}
+	if len(header.Succs) != 2 {
+		t.Fatalf("select header succs = %d, want 2 clauses", len(header.Succs))
+	}
+	comms := 0
+	for _, s := range header.Succs {
+		if len(s.Nodes) > 0 && s.Nodes[0].Kind == KindComm {
+			comms++
+		}
+	}
+	if comms != 2 {
+		t.Fatalf("comm-marked clause heads = %d, want 2", comms)
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Fatalf("exit preds = %d, want 2 returns", len(g.Exit.Preds))
+	}
+}
+
+func TestHasDefault(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+func f(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case <-ch:
+	}
+	switch 1 {
+	default:
+	}
+}`
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.SelectStmt, *ast.SwitchStmt:
+			got = append(got, HasDefault(n))
+		}
+		return true
+	})
+	want := []bool{true, false, true}
+	if len(got) != len(want) {
+		t.Fatalf("saw %d statements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("HasDefault #%d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGotoAndLabelledBreak(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+	outer:
+		for i := 0; i < n; i++ {
+			for {
+				if i > 2 {
+					break outer
+				}
+				goto done
+			}
+		}
+	done:
+		println("done")
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable through goto/labelled break")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+		switch n {
+		case 1:
+			println("one")
+			fallthrough
+		case 2:
+			println("two")
+		}
+	}`)
+	if !reachable(g)[g.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The fallthrough edge: the block printing "one" must reach the
+	// block printing "two" without going through the switch header.
+	var one, two *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.Syntax.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				continue
+			}
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				switch lit.Value {
+				case `"one"`:
+					one = blk
+				case `"two"`:
+					two = blk
+				}
+			}
+		}
+	}
+	if one == nil || two == nil {
+		t.Fatal("case bodies not found")
+	}
+	linked := false
+	for _, s := range one.Succs {
+		if s == two {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("fallthrough edge missing")
+	}
+}
+
+// TestSolveMayAnalysis runs a tiny may-analysis: bit 0 is set by any
+// call to set() and cleared by any call to clear(); the exit state
+// must reflect the union over paths.
+func TestSolveMayAnalysis(t *testing.T) {
+	transfer := func(n Node, s uint64) uint64 {
+		InspectNode(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "set":
+					s |= 1
+				case "clear":
+					s &^= 1
+				}
+			}
+			return true
+		})
+		return s
+	}
+	join := func(a, b uint64) uint64 { return a | b }
+
+	cases := []struct {
+		name string
+		src  string
+		want uint64
+	}{
+		{"cleared on all paths", `func f(c bool) {
+			set()
+			if c { clear() } else { clear() }
+		}`, 0},
+		{"missed on one path", `func f(c bool) {
+			set()
+			if c { clear() }
+		}`, 1},
+		{"early return leaks", `func f(c bool) {
+			set()
+			if c { return }
+			clear()
+		}`, 1},
+		{"panic path owes nothing", `func f(c bool) {
+			set()
+			if c { panic("x") }
+			clear()
+		}`, 0},
+		{"short circuit covered", `func f(a, b bool) {
+			set()
+			if a && maybe(b) { clear(); return }
+			clear()
+		}`, 0},
+		{"loop clears", `func f(n int) {
+			set()
+			for i := 0; i < n; i++ { clear() }
+		}`, 1}, // zero-trip path skips the clear
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := buildFunc(t, c.src)
+			in := Solve(g, uint64(0), transfer, join)
+			got := ExitState(g, in, transfer, join)
+			if got != c.want {
+				t.Fatalf("exit state = %b, want %b", got, c.want)
+			}
+		})
+	}
+}
+
+// TestSolveUnreachableIsBottom: code after a return contributes
+// nothing to the exit state.
+func TestSolveUnreachableIsBottom(t *testing.T) {
+	g := buildFunc(t, `func f() {
+		clear()
+		return
+		set()
+	}`)
+	transfer := func(n Node, s uint64) uint64 {
+		InspectNode(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "set" {
+					s |= 1
+				}
+			}
+			return true
+		})
+		return s
+	}
+	join := func(a, b uint64) uint64 { return a | b }
+	in := Solve(g, uint64(0), transfer, join)
+	if got := ExitState(g, in, transfer, join); got != 0 {
+		t.Fatalf("unreachable set() leaked into exit state: %b", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Forward dataflow over a Graph: a worklist fixpoint of
+//
+//	in(b)  = join over p in preds(b) of out(p)
+//	out(b) = transfer applied to b's nodes in order, starting from in(b)
+//
+// The framework is generic in the state type S. Clients must pick S so
+// that its zero value is the lattice bottom (the state of an
+// unreachable block), join is commutative/associative/idempotent, and
+// transfer is monotone — the analyzers here use small bitsets
+// ("obligation i is possibly outstanding"), for which all three hold
+// by construction and the fixpoint is reached in O(blocks × bits).
+//
+// Defer semantics are the client's concern: a DeferStmt node arrives
+// at the transfer function like any other statement. An analyzer
+// checking "obligation discharged on every path to Exit" typically
+// treats `defer release()` as discharging immediately — a path that
+// executes the defer will release at exit, and only exit states are
+// inspected — while an analyzer tracking "resource held here" must
+// NOT, because the resource stays held from the defer to the actual
+// return (the lockscope blocking-op rule depends on exactly this
+// distinction).
+
+package cfg
+
+import "go/ast"
+
+// Solve runs the fixpoint and returns the in-state of every block.
+// boundary is the state entering the function. The transfer function
+// receives each node with its kind; it must be pure (no reporting —
+// report in a separate pass over blocks using the returned states, so
+// diagnostics do not depend on fixpoint iteration order).
+func Solve[S comparable](g *Graph, boundary S, transfer func(n Node, s S) S, join func(a, b S) S) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	out := make(map[*Block]S, len(g.Blocks))
+	in[g.Entry] = boundary
+
+	// Iterate to fixpoint. Blocks are in construction order, which is
+	// near-topological for reducible Go control flow, so a handful of
+	// passes suffice; the guard bounds pathological graphs.
+	maxPasses := 2*len(g.Blocks) + 4
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, blk := range g.Blocks {
+			s := in[blk]
+			if blk != g.Entry {
+				var acc S
+				first := true
+				for _, p := range blk.Preds {
+					if first {
+						acc = out[p]
+						first = false
+					} else {
+						acc = join(acc, out[p])
+					}
+				}
+				s = acc
+			}
+			if s != in[blk] {
+				in[blk] = s
+				changed = true
+			}
+			o := FlowThrough(blk, s, transfer)
+			if o != out[blk] {
+				out[blk] = o
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
+// FlowThrough applies transfer to every node of blk starting from s,
+// returning the block's out-state. Exposed so reporting passes can
+// replay a block node-by-node from its solved in-state.
+func FlowThrough[S any](blk *Block, s S, transfer func(n Node, s S) S) S {
+	for _, n := range blk.Nodes {
+		s = transfer(n, s)
+	}
+	return s
+}
+
+// ExitState joins the out-states of Exit's predecessors — the state
+// on the function's return paths (paths ending in panic or a
+// terminating call have no edge to Exit and do not contribute).
+func ExitState[S comparable](g *Graph, in map[*Block]S, transfer func(n Node, s S) S, join func(a, b S) S) S {
+	var acc S
+	first := true
+	for _, p := range g.Exit.Preds {
+		o := FlowThrough(p, in[p], transfer)
+		if first {
+			acc, first = o, false
+		} else {
+			acc = join(acc, o)
+		}
+	}
+	return acc
+}
+
+// InspectNode walks the syntax of one node for obligation scanning,
+// honouring the node-kind contract: Range and Select headers are not
+// descended into (their bodies are separate blocks), and nested
+// function literals are opaque (their bodies are separate graphs).
+// The visitor returns false to prune a subtree.
+func InspectNode(n Node, visit func(ast.Node) bool) {
+	inspectNode(n, false, visit)
+}
+
+// InspectNodeClosures is InspectNode but descends into nested
+// function literals too — for analyses where a closure capturing a
+// tracked identifier is itself an event (ctxflow treats a cancel func
+// captured by a goroutine closure as escaped-to-that-closure).
+func InspectNodeClosures(n Node, visit func(ast.Node) bool) {
+	inspectNode(n, true, visit)
+}
+
+func inspectNode(n Node, intoFuncs bool, visit func(ast.Node) bool) {
+	switch n.Kind {
+	case KindRange:
+		// Only the ranged expression (and key/value lhs) execute here.
+		rng := n.Syntax.(*ast.RangeStmt)
+		if rng.Key != nil {
+			inspectPruned(rng.Key, intoFuncs, visit)
+		}
+		if rng.Value != nil {
+			inspectPruned(rng.Value, intoFuncs, visit)
+		}
+		inspectPruned(rng.X, intoFuncs, visit)
+	case KindSelect:
+		// The header decides readiness; the comm statements and bodies
+		// are their own blocks.
+	default:
+		inspectPruned(n.Syntax, intoFuncs, visit)
+	}
+}
+
+// inspectPruned is ast.Inspect with optional function-literal pruning.
+func inspectPruned(root ast.Node, intoFuncs bool, visit func(ast.Node) bool) {
+	ast.Inspect(root, func(x ast.Node) bool {
+		if x == nil {
+			return true
+		}
+		if _, ok := x.(*ast.FuncLit); ok && !intoFuncs {
+			return false
+		}
+		return visit(x)
+	})
+}

@@ -45,16 +45,58 @@ func (f Finding) String() string {
 // suppression is one parsed //lint:ignore directive.
 type suppression struct {
 	analyzers map[string]bool // "egslint/<name>" keys
+	checks    []string        // the keys in written order, for reporting
 	reason    string
+	file      string
+	line      int
+	matched   bool // some finding was acknowledged by this directive
+}
+
+// Directive is one //lint:ignore comment, with whether any finding in
+// the run matched it. An unmatched (stale) directive means the code it
+// excused has been fixed or moved: the comment is dead weight and —
+// worse — would silently excuse a future, different finding on its
+// line. `egslint -stale-ignores` fails on them.
+type Directive struct {
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Checks  []string `json:"checks"`
+	Reason  string   `json:"reason"`
+	Matched bool     `json:"matched"`
+}
+
+// Stale returns the directives no finding matched.
+func Stale(ds []Directive) []Directive {
+	var out []Directive
+	for _, d := range ds {
+		if !d.Matched {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Run applies every analyzer to every package and returns the merged,
 // deterministically ordered findings. applies filters analyzers per
 // package import path (nil means all analyzers run everywhere).
 func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer, applies func(analyzer, importPath string) bool) ([]Finding, error) {
+	findings, _, err := RunAll(pkgs, analyzers, applies)
+	return findings, err
+}
+
+// RunAll is Run plus the suppression ledger: every //lint:ignore
+// directive seen in the loaded packages, marked with whether it
+// acknowledged at least one finding.
+func RunAll(pkgs []*loader.Package, analyzers []*analysis.Analyzer, applies func(analyzer, importPath string) bool) ([]Finding, []Directive, error) {
 	var findings []Finding
+	var allSupp []*suppression
 	for _, pkg := range pkgs {
 		supp := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, byLine := range supp {
+			for _, s := range byLine {
+				allSupp = append(allSupp, s)
+			}
+		}
 		for _, a := range analyzers {
 			if applies != nil && !applies(a.Name, pkg.ImportPath) {
 				continue
@@ -79,11 +121,12 @@ func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer, applies func(an
 				if s := supp.lookup(pos.Filename, pos.Line, "egslint/"+name); s != nil {
 					f.Suppressed = true
 					f.Reason = s.reason
+					s.matched = true
 				}
 				findings = append(findings, f)
 			}
 			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("checker: %s on %s: %v", a.Name, pkg.ImportPath, err)
+				return nil, nil, fmt.Errorf("checker: %s on %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
 	}
@@ -100,7 +143,30 @@ func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer, applies func(an
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+
+	// Render the suppression ledger. A file shared by several loaded
+	// packages (a package and its external test) would list its
+	// directives twice; dedupe by position, keeping the matched one.
+	byPos := map[string]*Directive{}
+	for _, s := range allSupp {
+		key := fmt.Sprintf("%s:%d", s.file, s.line)
+		if prev, ok := byPos[key]; ok {
+			prev.Matched = prev.Matched || s.matched
+			continue
+		}
+		byPos[key] = &Directive{File: s.file, Line: s.line, Checks: s.checks, Reason: s.reason, Matched: s.matched}
+	}
+	dirs := make([]Directive, 0, len(byPos))
+	for _, d := range byPos {
+		dirs = append(dirs, *d)
+	}
+	sort.Slice(dirs, func(i, j int) bool {
+		if dirs[i].File != dirs[j].File {
+			return dirs[i].File < dirs[j].File
+		}
+		return dirs[i].Line < dirs[j].Line
+	})
+	return findings, dirs, nil
 }
 
 // Unsuppressed returns the findings that are not acknowledged by a
@@ -157,6 +223,7 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionInde
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				s.file, s.line = pos.Filename, pos.Line
 				byLine := idx[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int]*suppression)
@@ -190,6 +257,7 @@ func parseDirective(text string) (*suppression, bool) {
 	for _, c := range strings.Split(checks, ",") {
 		if c = strings.TrimSpace(c); c != "" {
 			s.analyzers[c] = true
+			s.checks = append(s.checks, c)
 		}
 	}
 	return s, true

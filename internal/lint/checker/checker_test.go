@@ -79,6 +79,52 @@ func f() {
 	}
 }
 
+func TestStaleDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:ignore egslint/demo this one is matched
+	_ = 2 //lint:ignore egslint/demo nothing fires here anymore
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := collectSuppressions(fset, []*ast.File{f})
+	// Simulate the checker acknowledging a finding on line 4 only.
+	if s := idx.lookup("p.go", 4, "egslint/demo"); s != nil {
+		s.matched = true
+	} else {
+		t.Fatal("directive on line 4 not indexed")
+	}
+
+	var all []*suppression
+	for _, byLine := range idx {
+		for _, s := range byLine {
+			all = append(all, s)
+		}
+	}
+	var dirs []Directive
+	for _, s := range all {
+		dirs = append(dirs, Directive{File: s.file, Line: s.line, Checks: s.checks, Reason: s.reason, Matched: s.matched})
+	}
+	stale := Stale(dirs)
+	if len(stale) != 1 {
+		t.Fatalf("stale directives = %d, want 1", len(stale))
+	}
+	if stale[0].Line != 5 {
+		t.Errorf("stale directive on line %d, want 5", stale[0].Line)
+	}
+	if stale[0].Reason != "nothing fires here anymore" {
+		t.Errorf("stale reason = %q", stale[0].Reason)
+	}
+	if len(stale[0].Checks) != 1 || stale[0].Checks[0] != "egslint/demo" {
+		t.Errorf("stale checks = %v", stale[0].Checks)
+	}
+}
+
 func TestFindingFilters(t *testing.T) {
 	fs := []Finding{
 		{Analyzer: "a", File: "x.go", Line: 1, Suppressed: true, Reason: "why"},

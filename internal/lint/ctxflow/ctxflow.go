@@ -1,0 +1,207 @@
+// Package ctxflow enforces context discipline on the serving tier.
+//
+// Two invariants, both motivated by the refcounted flight-context
+// pattern in internal/server/singleflight.go:
+//
+//  1. No context.Background() or context.TODO() on a request path. A
+//     serving-tier function that mints a root context detaches its work
+//     from request cancellation and server shutdown; it must derive
+//     from the ctx it was handed. (The one blessed detachment — a
+//     singleflight flight that outlives its first caller — carries a
+//     //lint:ignore with its reason.)
+//
+//  2. Every cancel/stop function returned by context.WithCancel,
+//     WithTimeout, WithDeadline, WithCancelCause, or AfterFunc must be
+//     used on every path to return: called, deferred, stored, passed
+//     along, or captured by a closure. Discarding one (assigning to _,
+//     or dropping an AfterFunc result on the floor) is reported at the
+//     creation site; missing it on just one early-return path is found
+//     by forward dataflow over the function's CFG.
+//
+// "Used" is deliberately weaker than "called": once the cancel func
+// escapes — stored in a struct, handed to another function, captured
+// by a goroutine — responsibility has been transferred and this
+// analyzer stops tracking it. That trades a little soundness for zero
+// false positives on the ownership-transfer patterns the serving tier
+// actually uses; the flow-sensitive part exists to catch the common
+// real bug, an early return between creation and the defer.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+	"github.com/egs-synthesis/egs/internal/lint/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "serving-tier context discipline: no context.Background()/TODO() on request paths, " +
+		"and every cancel/stop func from context.WithCancel/WithTimeout/WithDeadline/WithCancelCause/AfterFunc " +
+		"must be called (or escape) on all return paths",
+	Run: run,
+}
+
+// cancelReturning maps the context constructors we track to the index
+// of the cancel/stop func in their result list.
+var cancelReturning = map[string]int{
+	"WithCancel":      1,
+	"WithTimeout":     1,
+	"WithDeadline":    1,
+	"WithCancelCause": 1,
+	"AfterFunc":       0,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, ok := contextCall(pass, call); ok && (name == "Background" || name == "TODO") {
+					pass.Reportf(call.Pos(), "context.%s() on a serving path: derive the context from the request or session instead", name)
+				}
+			}
+			return true
+		})
+	}
+	pass.Funcs(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if pass.IsTestFile(body.Pos()) {
+			return
+		}
+		checkCancelPaths(pass, body)
+	})
+	return nil, nil
+}
+
+// obligation is one tracked cancel/stop func within a function body.
+type obligation struct {
+	bit      uint64
+	obj      types.Object // the variable holding the cancel func
+	def      *ast.Ident   // its identifier at the creation site (not a use)
+	creation ast.Node     // the assignment statement
+	ctor     string       // "context.WithCancel" etc., for the message
+	pos      token.Pos
+}
+
+func checkCancelPaths(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Collect obligations lexically first so bits are stable. Nested
+	// function literals are skipped: Pass.Funcs visits their bodies
+	// separately, and a WithCancel inside a closure owes its cancel on
+	// the closure's paths, not ours.
+	var obs []*obligation
+	byObj := map[types.Object]*obligation{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := contextCall(pass, call); ok {
+					if _, tracked := cancelReturning[name]; tracked {
+						pass.Reportf(call.Pos(), "result of context.%s is discarded; its cancel/stop func must be called to release the context's resources", name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := contextCall(pass, call)
+			if !ok {
+				return true
+			}
+			idx, tracked := cancelReturning[name]
+			if !tracked || idx >= len(n.Lhs) {
+				return true
+			}
+			id, ok := n.Lhs[idx].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(id.Pos(), "cancel/stop func returned by context.%s is discarded; it must be called on every path", name)
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil || len(obs) >= 64 {
+				return true
+			}
+			if prev, ok := byObj[obj]; ok {
+				// The same variable re-bound (e.g. in a loop): reuse its
+				// bit; the creation set below fires at both sites.
+				obs = append(obs, &obligation{bit: prev.bit, obj: obj, def: id, creation: n, ctor: "context." + name, pos: call.Pos()})
+				return true
+			}
+			ob := &obligation{bit: 1 << uint(len(byObj)), obj: obj, def: id, creation: n, ctor: "context." + name, pos: call.Pos()}
+			byObj[obj] = ob
+			obs = append(obs, ob)
+		}
+		return true
+	})
+	if len(obs) == 0 {
+		return
+	}
+
+	creations := map[ast.Node]uint64{}
+	defs := map[*ast.Ident]bool{}
+	for _, ob := range obs {
+		creations[ob.creation] |= ob.bit
+		defs[ob.def] = true
+	}
+
+	g := cfg.Build(body)
+	transfer := func(n cfg.Node, s uint64) uint64 {
+		// Closures are descended into here: a closure capturing the
+		// cancel func counts as the responsibility escaping to it.
+		cfg.InspectNodeClosures(n, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok || defs[id] {
+				return true
+			}
+			if ob, tracked := byObj[pass.ObjectOf(id)]; tracked {
+				s &^= ob.bit
+			}
+			return true
+		})
+		if bits, ok := creations[n.Syntax]; ok {
+			s |= bits
+		}
+		return s
+	}
+	join := func(a, b uint64) uint64 { return a | b }
+	in := cfg.Solve(g, 0, transfer, join)
+	leaked := cfg.ExitState(g, in, transfer, join)
+	reported := uint64(0)
+	for _, ob := range obs {
+		if leaked&ob.bit != 0 && reported&ob.bit == 0 {
+			reported |= ob.bit
+			pass.Reportf(ob.pos, "cancel/stop func %s from %s may not be called on all return paths (add defer %s())", ob.obj.Name(), ob.ctor, ob.obj.Name())
+		}
+	}
+}
+
+// contextCall reports whether call invokes a function from the
+// standard context package, returning its name.
+func contextCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	// Exclude methods (e.g. ctx.Done): only package-level functions.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}

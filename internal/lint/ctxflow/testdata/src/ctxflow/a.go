@@ -1,0 +1,96 @@
+// Fixture for the ctxflow analyzer: root-context minting and
+// cancel-on-all-paths shapes.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func mintsRoots() {
+	_ = context.Background() // want `context\.Background\(\) on a serving path`
+	_ = context.TODO()       // want `context\.TODO\(\) on a serving path`
+}
+
+// deferCancel is the blessed shape: the defer discharges the cancel on
+// every path, including the early return.
+func deferCancel(ctx context.Context, fast bool) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	if fast {
+		return nil
+	}
+	return work(ctx)
+}
+
+// earlyReturnLeaks forgets the cancel on the fast path.
+func earlyReturnLeaks(ctx context.Context, fast bool) error {
+	ctx, cancel := context.WithCancel(ctx) // want `cancel/stop func cancel from context\.WithCancel may not be called on all return paths`
+	if fast {
+		return nil
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// bothBranchesCancel releases on every path without a defer; flow
+// analysis must not flag it.
+func bothBranchesCancel(ctx context.Context, fast bool) error {
+	ctx, cancel := context.WithCancel(ctx)
+	if fast {
+		cancel()
+		return nil
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// panicPathOwesNothing: the error path dies, so only the success path
+// owes the cancel, and it pays.
+func panicPathOwesNothing(ctx context.Context, bad bool) {
+	ctx, cancel := context.WithCancel(ctx)
+	if bad {
+		panic("bad")
+	}
+	_ = work(ctx)
+	cancel()
+}
+
+// escapeTransfersOwnership: storing the cancel func hands
+// responsibility to the struct's owner; the analyzer must stop
+// tracking it.
+type holder struct{ stop context.CancelFunc }
+
+func escapeTransfersOwnership(ctx context.Context) *holder {
+	_, cancel := context.WithCancel(ctx)
+	return &holder{stop: cancel}
+}
+
+// closureCaptureTransfers: a goroutine capturing the cancel func also
+// counts as an escape.
+func closureCaptureTransfers(ctx context.Context, done chan struct{}) {
+	_, cancel := context.WithCancel(ctx)
+	go func() {
+		<-done
+		cancel()
+	}()
+}
+
+// discarded cancel funcs report at the creation site.
+func discards(ctx context.Context) context.Context {
+	c, _ := context.WithCancel(ctx) // want `cancel/stop func returned by context\.WithCancel is discarded`
+	context.AfterFunc(ctx, noop)    // want `result of context\.AfterFunc is discarded`
+	return c
+}
+
+// afterFuncStopped uses the stop func, so it is clean.
+func afterFuncStopped(ctx context.Context) {
+	stop := context.AfterFunc(ctx, noop)
+	defer stop()
+	_ = work(ctx)
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+func noop()                          {}

@@ -1,0 +1,41 @@
+// Regression fixture: the near-miss shape next door to
+// internal/server/singleflight.go. The real flightGroup.join hands its
+// cancel func to the flight struct (an ownership escape, clean); this
+// variant adds a capacity check AFTER minting the context, and the
+// rejection path returns without cancelling — the bug one refactor
+// away from the real code, which the flow-sensitive pass must catch.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type leakyFlight struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+}
+
+type leakyGroup struct {
+	mu sync.Mutex
+	m  map[string]*leakyFlight
+}
+
+func (g *leakyGroup) join(key string, timeout time.Duration) (*leakyFlight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f := g.m[key]; f != nil {
+		return f, false
+	}
+	fctx, cancel := context.WithTimeout(context.Background(), timeout) // want `context\.Background\(\) on a serving path` `cancel/stop func cancel from context\.WithTimeout may not be called on all return paths`
+	if len(g.m) >= 128 {
+		// Rejected for capacity — but fctx's timer is already running
+		// and nothing will ever stop it.
+		return nil, false
+	}
+	f := &leakyFlight{done: make(chan struct{}), cancel: cancel}
+	g.m[key] = f
+	_ = fctx
+	return f, true
+}

@@ -1,0 +1,168 @@
+// Package goroleak requires every `go` statement in the serving
+// packages to carry visible lifecycle evidence — something that bounds
+// the goroutine's lifetime to a context, a stop signal, a WaitGroup,
+// or a drained queue. A goroutine with none of these outlives shutdown
+// at best and accumulates per-request at worst; under the load harness
+// that is the difference between a flat goroutine count and a leak.
+//
+// Accepted evidence, checked in the spawned body (for `go func(){…}()`)
+// or in the body of the same-package function being spawned (for
+// `go s.worker()`):
+//
+//   - a call to Done() on a context.Context (the ctx.Done() select arm);
+//   - a call to Done() or Wait() on a sync.WaitGroup (registration with
+//     a drain barrier);
+//   - a receive from a `chan struct{}` (the conventional stop channel);
+//   - a `for … range ch` over a channel (a worker draining a bounded
+//     queue, which ends when the queue closes).
+//
+// Spawns whose callee cannot be resolved within the package (an
+// external function, a method value, a dynamic call) are reported:
+// either wrap them in a bound closure or carry a //lint:ignore
+// explaining what bounds them.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement in serving packages must be bound to a cancellable context, " +
+		"a stop channel, a WaitGroup, or a drained channel; unbounded spawns leak",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Index same-package function and method bodies by their object so
+	// `go s.worker()` can be checked through worker's body.
+	bodies := map[types.Object]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.ObjectOf(fd.Name); obj != nil {
+					bodies[obj] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !bound(pass, g.Call, bodies) {
+				pass.Reportf(g.Pos(), "goroutine is not visibly bound to a cancellable context, stop channel, WaitGroup, or drained channel; bind its lifetime or //lint:ignore with what bounds it")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// bound reports whether the spawned call's body carries lifecycle
+// evidence. Arguments to the call are also accepted: passing a
+// context, a stop channel, or an evidence expression (`go
+// run(ctx.Done())`) hands the goroutine its bound explicitly.
+func bound(pass *analysis.Pass, call *ast.CallExpr, bodies map[types.Object]*ast.BlockStmt) bool {
+	for _, arg := range call.Args {
+		if hasEvidence(pass, arg) {
+			return true
+		}
+		if t := pass.TypeOf(arg); t != nil {
+			if isStopChan(t) || isNamed(t, "context", "Context") {
+				return true
+			}
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return hasEvidence(pass, fun.Body)
+	case *ast.Ident:
+		if body, ok := bodies[pass.ObjectOf(fun)]; ok {
+			return hasEvidence(pass, body)
+		}
+	case *ast.SelectorExpr:
+		if body, ok := bodies[pass.ObjectOf(fun.Sel)]; ok {
+			return hasEvidence(pass, body)
+		}
+	}
+	return false
+}
+
+// hasEvidence scans one body (including nested closures — evidence one
+// level down still bounds the tree rooted at this goroutine) for any
+// of the accepted lifecycle signals.
+func hasEvidence(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.ObjectOf(sel.Sel).(*types.Func); ok && fn.Pkg() != nil {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						recv := sig.Recv().Type()
+						if p, ok := recv.(*types.Pointer); ok {
+							recv = p.Elem()
+						}
+						switch {
+						case isNamed(recv, "context", "Context") && fn.Name() == "Done":
+							found = true
+						case isNamed(recv, "sync", "WaitGroup") && (fn.Name() == "Done" || fn.Name() == "Wait"):
+							found = true
+						}
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isStopChan(pass.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStopChan reports whether t is a channel of struct{} — the
+// conventional stop/done signal type (ctx.Done()'s <-chan struct{}
+// included).
+func isStopChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isNamed reports whether t is the named type pkg.name, through
+// interfaces and pointers already stripped by the caller.
+func isNamed(t types.Type, pkg, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}

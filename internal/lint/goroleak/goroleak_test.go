@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysistest"
+	"github.com/egs-synthesis/egs/internal/lint/goroleak"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "goroleak")
+}

@@ -1,0 +1,94 @@
+// Fixture for the goroleak analyzer: goroutine lifecycle-evidence
+// shapes.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+type srv struct {
+	wg    sync.WaitGroup
+	queue chan int
+	stop  chan struct{}
+	n     int
+}
+
+// ctxBound: the classic select-on-ctx.Done loop.
+func ctxBound(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// wgBound: registered with a drain barrier.
+func (s *srv) wgBound() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.n++
+	}()
+}
+
+// stopChanBound: a conventional chan struct{} stop signal.
+func (s *srv) stopChanBound() {
+	go func() {
+		<-s.stop
+		s.n = 0
+	}()
+}
+
+// drainBound: a worker ends when its queue closes.
+func (s *srv) drainBound() {
+	go s.worker()
+}
+
+func (s *srv) worker() {
+	defer s.wg.Done()
+	for v := range s.queue {
+		s.n += v
+	}
+}
+
+// shutdownBarrier: the wait-then-signal closure from Shutdown.
+func (s *srv) shutdownBarrier() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+// unboundedClosure has no lifecycle evidence at all.
+func (s *srv) unboundedClosure() {
+	go func() { // want `goroutine is not visibly bound`
+		s.n++
+	}()
+}
+
+// unboundedNamed spawns a same-package function whose body carries no
+// evidence either.
+func (s *srv) unboundedNamed() {
+	go s.tick() // want `goroutine is not visibly bound`
+}
+
+func (s *srv) tick() { s.n++ }
+
+// unresolvable: the callee is a method value parameter; the analyzer
+// cannot see its body and must report.
+func runDetached(f func()) {
+	go f() // want `goroutine is not visibly bound`
+}
+
+// evidenceViaArgument: the bound is passed in explicitly.
+func spawnWith(done <-chan struct{}, body func(<-chan struct{})) {
+	go body(done)
+}

@@ -1,0 +1,296 @@
+// Package lockscope checks the two flow-sensitive locking invariants
+// the serving tier depends on:
+//
+//  1. A sync.Mutex/RWMutex locked in a function must be released on
+//     every path to return. `defer mu.Unlock()` discharges this (the
+//     deferred call runs on every exit, including panics).
+//
+//  2. A held lock must not span a blocking operation: a channel send
+//     or receive, a default-less select, a range over a channel,
+//     WaitGroup.Wait, Cond.Wait, an outbound HTTP/network call, or
+//     time.Sleep. Blocking under a lock turns an independent slow peer
+//     into whole-server convoying — the exact failure the snapshot
+//     cache and metrics writer avoid by copying under the lock and
+//     doing I/O outside it. Note that a deferred unlock does NOT
+//     discharge this rule: the lock stays held from the defer to the
+//     actual return, so blocking after `defer mu.Unlock()` still
+//     reports.
+//
+// Locks are identified syntactically by their receiver expression
+// (types.ExprString), so `s.mu` in two methods of the same receiver
+// name is one lock for analysis purposes within each function. The
+// analysis is per-function: a lock handed to another function, or
+// locked in one function and unlocked in another (the singleflight
+// join/leave refcount dance), is out of scope and must carry a
+// //lint:ignore with its reason if flagged.
+package lockscope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysis"
+	"github.com/egs-synthesis/egs/internal/lint/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "held sync.Mutex/RWMutex must be released on all return paths and must not span " +
+		"blocking operations (channel ops, select, network calls, WaitGroup.Wait)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pass.Funcs(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if pass.IsTestFile(body.Pos()) {
+			return
+		}
+		checkBody(pass, body)
+	})
+	return nil, nil
+}
+
+// lockState is the dataflow fact: bit i of unrel means "lock i may be
+// unreleased at this point" (no unlock, not even deferred, has
+// executed); bit i of held means "lock i may be held right here".
+// They differ only in how a DeferStmt unlock transfers: it clears
+// unrel (the exit paths are covered) but not held (the critical
+// section runs to the actual return).
+type lockState struct {
+	unrel, held uint64
+}
+
+type lockInfo struct {
+	bit  uint64
+	name string    // receiver expression, e.g. "s.mu"
+	pos  token.Pos // first Lock/RLock site
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Assign a bit to each distinct lock receiver, in lexical order of
+	// first Lock. Functions that only unlock (the unlock half of a
+	// cross-function pairing) get no bits and are skipped.
+	locks := map[string]*lockInfo{}
+	var order []*lockInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, op, ok := mutexOp(pass, call)
+		if !ok || op != opLock || locks[name] != nil || len(order) >= 64 {
+			return true
+		}
+		li := &lockInfo{bit: 1 << uint(len(order)), name: name, pos: call.Pos()}
+		locks[name] = li
+		order = append(order, li)
+		return true
+	})
+	if len(order) == 0 {
+		return
+	}
+
+	transfer := func(n cfg.Node, s lockState) lockState {
+		if d, ok := n.Syntax.(*ast.DeferStmt); ok {
+			if name, op, ok := mutexOp(pass, d.Call); ok && op == opUnlock {
+				if li := locks[name]; li != nil {
+					s.unrel &^= li.bit
+				}
+			}
+			return s
+		}
+		cfg.InspectNode(n, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, op, ok := mutexOp(pass, call); ok {
+				if li := locks[name]; li != nil {
+					switch op {
+					case opLock:
+						s.unrel |= li.bit
+						s.held |= li.bit
+					case opUnlock:
+						s.unrel &^= li.bit
+						s.held &^= li.bit
+					}
+				}
+			}
+			return true
+		})
+		return s
+	}
+	join := func(a, b lockState) lockState {
+		return lockState{unrel: a.unrel | b.unrel, held: a.held | b.held}
+	}
+
+	g := cfg.Build(body)
+	in := cfg.Solve(g, lockState{}, transfer, join)
+
+	// Reporting pass 1: blocking ops under a held lock. Replay each
+	// block from its solved in-state; the check uses the state BEFORE
+	// the node's own transfer, so `mu.Unlock()` itself never reports.
+	for _, blk := range g.Blocks {
+		s := in[blk]
+		for _, n := range blk.Nodes {
+			if s.held != 0 {
+				if desc, blocking := blockingOp(pass, n); blocking {
+					var names []string
+					for _, li := range order {
+						if s.held&li.bit != 0 {
+							names = append(names, li.name)
+						}
+					}
+					pass.Reportf(n.Syntax.Pos(), "mutex %s is held across a blocking operation (%s); release it first or //lint:ignore with a reason", strings.Join(names, ", "), desc)
+				}
+			}
+			s = transfer(n, s)
+		}
+	}
+
+	// Reporting pass 2: locks that may still be unreleased at return.
+	leaked := cfg.ExitState(g, in, transfer, join)
+	for _, li := range order {
+		if leaked.unrel&li.bit != 0 {
+			pass.Reportf(li.pos, "mutex %s may not be unlocked on all return paths (add defer %s.Unlock())", li.name, li.name)
+		}
+	}
+}
+
+type mutexOpKind int
+
+const (
+	opLock mutexOpKind = iota
+	opUnlock
+)
+
+// mutexOp classifies call as a Lock/RLock or Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the receiver expression text
+// as the lock's identity.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (string, mutexOpKind, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	var op mutexOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", 0, false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", 0, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", 0, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), op, true
+	}
+	return "", 0, false
+}
+
+// blockingOp reports whether node n performs an operation that can
+// block indefinitely. Comm clauses (KindComm) never report — the
+// blocking decision is the select header's, and a ready comm does not
+// block. FuncLits inside n are opaque: code in a closure runs on the
+// closure's schedule, not under this function's locks... unless called
+// inline, which is out of scope.
+func blockingOp(pass *analysis.Pass, n cfg.Node) (string, bool) {
+	switch n.Kind {
+	case cfg.KindComm:
+		return "", false
+	case cfg.KindSelect:
+		if !cfg.HasDefault(n.Syntax) {
+			return "select without default", true
+		}
+		return "", false
+	case cfg.KindRange:
+		rng := n.Syntax.(*ast.RangeStmt)
+		if t := pass.TypeOf(rng.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return "range over channel", true
+			}
+		}
+		return "", false
+	}
+	desc, found := "", false
+	cfg.InspectNode(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.SendStmt:
+			desc, found = "channel send", true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				desc, found = "channel receive", true
+			}
+		case *ast.CallExpr:
+			if d, ok := blockingCall(pass, x); ok {
+				desc, found = d, true
+			}
+		}
+		return !found
+	})
+	return desc, found
+}
+
+// blockingCall recognizes well-known blocking calls: WaitGroup.Wait,
+// Cond.Wait, http.Client.Do, the http package-level request helpers,
+// net dialers/listeners, and time.Sleep.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		rname := named.Obj().Name()
+		switch {
+		case pkg == "sync" && rname == "WaitGroup" && name == "Wait":
+			return "sync.WaitGroup.Wait", true
+		case pkg == "sync" && rname == "Cond" && name == "Wait":
+			return "sync.Cond.Wait", true
+		case pkg == "net/http" && rname == "Client" && name == "Do":
+			return "http.Client.Do", true
+		}
+		return "", false
+	}
+	switch {
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep", true
+	case pkg == "net/http" && (name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+		return "http." + name, true
+	case pkg == "net" && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")):
+		return "net." + name, true
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysistest"
+	"github.com/egs-synthesis/egs/internal/lint/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, lockscope.Analyzer, "lockscope")
+}

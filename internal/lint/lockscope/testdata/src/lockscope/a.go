@@ -1,0 +1,157 @@
+// Fixture for the lockscope analyzer: release-on-all-paths and
+// no-blocking-under-lock shapes.
+package lockscope
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	m    map[string]int
+	work chan int
+}
+
+// deferUnlock is the blessed shape.
+func (s *store) deferUnlock(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// earlyReturnLeaksLock misses the unlock on the not-found path.
+func (s *store) earlyReturnLeaksLock(k string) (int, bool) {
+	s.mu.Lock() // want `mutex s\.mu may not be unlocked on all return paths`
+	v, ok := s.m[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// bothPathsUnlock releases on every path without a defer; clean.
+func (s *store) bothPathsUnlock(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// rlockCounts: RLock/RUnlock pair on the RWMutex, with a leak on one
+// branch.
+func (s *store) rlockCounts(k string, fast bool) int {
+	s.rw.RLock() // want `mutex s\.rw may not be unlocked on all return paths`
+	if fast {
+		return len(s.m)
+	}
+	v := s.m[k]
+	s.rw.RUnlock()
+	return v
+}
+
+// sendUnderLock blocks on a channel send while holding the mutex.
+func (s *store) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.work <- v // want `mutex s\.mu is held across a blocking operation \(channel send\)`
+	s.mu.Unlock()
+}
+
+// deferThenBlock: the deferred unlock covers the exit paths, but the
+// lock is STILL HELD at the receive — must report.
+func (s *store) deferThenBlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.work // want `mutex s\.mu is held across a blocking operation \(channel receive\)`
+}
+
+// selectUnderLock: a default-less select blocks under the lock.
+func (s *store) selectUnderLock(stop chan struct{}) {
+	s.mu.Lock()
+	select { // want `mutex s\.mu is held across a blocking operation \(select without default\)`
+	case v := <-s.work:
+		s.m["last"] = v
+	case <-stop:
+	}
+	s.mu.Unlock()
+}
+
+// selectWithDefaultIsFine: a ready-or-bail select never blocks; the
+// enqueue fast path in internal/server does exactly this under RLock.
+func (s *store) selectWithDefaultIsFine(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.work <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// unlockBeforeBlocking releases first; clean.
+func (s *store) unlockBeforeBlocking(v int) {
+	s.mu.Lock()
+	s.m["pending"]++
+	s.mu.Unlock()
+	s.work <- v
+}
+
+// httpUnderLock: an outbound call under the lock convoys the server.
+func (s *store) httpUnderLock(c *http.Client, r *http.Request) {
+	s.mu.Lock()
+	resp, err := c.Do(r) // want `mutex s\.mu is held across a blocking operation \(http\.Client\.Do\)`
+	s.mu.Unlock()
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// sleepUnderLock, the classic.
+func (s *store) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `mutex s\.mu is held across a blocking operation \(time\.Sleep\)`
+	s.mu.Unlock()
+}
+
+// waitUnderLock: waiting for a WaitGroup while holding the lock the
+// workers need is a deadlock factory.
+func (s *store) waitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `mutex s\.mu is held across a blocking operation \(sync\.WaitGroup\.Wait\)`
+	s.mu.Unlock()
+}
+
+// drainUnderLock: ranging a channel under the lock holds it for the
+// queue's whole lifetime.
+func (s *store) drainUnderLock() {
+	s.mu.Lock()
+	for v := range s.work { // want `mutex s\.mu is held across a blocking operation \(range over channel\)`
+		s.m["sum"] += v
+	}
+	s.mu.Unlock()
+}
+
+// closureOpsAreOpaque: lock ops inside a spawned closure belong to the
+// closure's own paths, not this function's; no findings here (the
+// closure body is analyzed separately and is itself clean).
+func (s *store) closureOpsAreOpaque() {
+	go func() {
+		s.mu.Lock()
+		s.m["bg"]++
+		s.mu.Unlock()
+	}()
+}
+
+// unlockOnlyHalf: the unlock side of a cross-function pairing locks
+// nothing, so it gets no bits and no findings.
+func (s *store) unlockOnlyHalf() {
+	s.mu.Unlock()
+}

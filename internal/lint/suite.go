@@ -8,7 +8,10 @@ import (
 	"strings"
 
 	"github.com/egs-synthesis/egs/internal/lint/analysis"
+	"github.com/egs-synthesis/egs/internal/lint/ctxflow"
 	"github.com/egs-synthesis/egs/internal/lint/detorder"
+	"github.com/egs-synthesis/egs/internal/lint/goroleak"
+	"github.com/egs-synthesis/egs/internal/lint/lockscope"
 	"github.com/egs-synthesis/egs/internal/lint/nodetsource"
 	"github.com/egs-synthesis/egs/internal/lint/poolrelease"
 	"github.com/egs-synthesis/egs/internal/lint/tuplealias"
@@ -17,7 +20,10 @@ import (
 // Suite returns the egslint analyzers in deterministic order.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
 		detorder.Analyzer,
+		goroleak.Analyzer,
+		lockscope.Analyzer,
 		nodetsource.Analyzer,
 		poolrelease.Analyzer,
 		tuplealias.Analyzer,
@@ -55,6 +61,23 @@ var scopes = map[string][]string{
 	// violate the rules).
 	"tuplealias":  nil,
 	"poolrelease": nil,
+	// The flow-sensitive concurrency analyzers police the serving tier:
+	// the HTTP server (sessions, singleflight, snapshot cache, worker
+	// pool), its metrics registry, the scale-out router, and the load
+	// harness. The synthesis core is single-threaded by design and the
+	// deterministic analyzers above already keep it that way.
+	"ctxflow": {
+		"internal/server", "internal/server/metrics", "internal/router",
+		"internal/session",
+	},
+	"lockscope": {
+		"internal/server", "internal/server/metrics", "internal/router",
+		"internal/session", "internal/load",
+	},
+	"goroleak": {
+		"internal/server", "internal/server/metrics", "internal/router",
+		"internal/session", "internal/load",
+	},
 }
 
 // exemptEverywhere are package path fragments no analyzer polices:

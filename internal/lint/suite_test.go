@@ -3,15 +3,27 @@ package lint
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/egs-synthesis/egs/internal/lint/checker"
 	"github.com/egs-synthesis/egs/internal/lint/loader"
 )
 
+// analysisBudget bounds the pure analysis phase (checker.RunAll over
+// the already-loaded module, all analyzers including the CFG/dataflow
+// passes). The bound is deliberately loose — an order of magnitude
+// above the observed time — so it only trips if a dataflow fixpoint
+// regresses to something pathological, not on a slow CI machine.
+// scripts/lint.sh enforces a wall-clock bound on the whole binary
+// (load + analysis) separately via EGSLINT_BUDGET_SECS.
+const analysisBudget = 30 * time.Second
+
 // TestRepoIsLintClean runs the full egslint suite over the repository
 // exactly as cmd/egslint does and requires zero unsuppressed
-// findings. Any suppressed findings must carry a reason (guaranteed
-// by the directive grammar), and are listed for visibility.
+// findings, zero stale //lint:ignore directives, and an analysis
+// phase inside its runtime budget. Any suppressed findings must carry
+// a reason (guaranteed by the directive grammar), and are listed for
+// visibility.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
@@ -24,7 +36,9 @@ func TestRepoIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := checker.Run(pkgs, Suite(), Applies)
+	start := time.Now()
+	findings, directives, err := checker.RunAll(pkgs, Suite(), Applies)
+	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,6 +47,13 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	for _, f := range checker.Suppressed(findings) {
 		t.Logf("suppressed (%s): %s", f.Reason, f)
+	}
+	for _, d := range checker.Stale(directives) {
+		t.Errorf("stale //lint:ignore at %s:%d (no matching diagnostic): %s", d.File, d.Line, d.Reason)
+	}
+	t.Logf("analysis phase: %v over %d packages", elapsed, len(pkgs))
+	if elapsed > analysisBudget {
+		t.Errorf("analysis took %v, over the %v budget: a flow-sensitive pass has regressed", elapsed, analysisBudget)
 	}
 }
 
@@ -49,6 +70,20 @@ func TestApplies(t *testing.T) {
 		{"nodetsource", "github.com/egs-synthesis/egs/cmd/egs", false},
 		{"tuplealias", "github.com/egs-synthesis/egs/internal/server", true},
 		{"poolrelease", "github.com/egs-synthesis/egs/cmd/egs", true},
+		// The concurrency analyzers police the serving tier only: the
+		// synthesis core is single-threaded by design.
+		{"ctxflow", "github.com/egs-synthesis/egs/internal/server", true},
+		{"ctxflow", "github.com/egs-synthesis/egs/internal/server/metrics", true},
+		{"ctxflow", "github.com/egs-synthesis/egs/internal/router", true},
+		{"ctxflow", "github.com/egs-synthesis/egs/internal/session", true},
+		{"ctxflow", "github.com/egs-synthesis/egs/internal/load", false},
+		{"ctxflow", "github.com/egs-synthesis/egs/internal/egs", false},
+		{"lockscope", "github.com/egs-synthesis/egs/internal/server", true},
+		{"lockscope", "github.com/egs-synthesis/egs/internal/load", true},
+		{"lockscope", "github.com/egs-synthesis/egs/internal/eval", false},
+		{"goroleak", "github.com/egs-synthesis/egs/internal/router", true},
+		{"goroleak", "github.com/egs-synthesis/egs/internal/load", true},
+		{"goroleak", "github.com/egs-synthesis/egs/cmd/egs", false},
 		// The lint tree itself is exempt: fixtures violate the rules on
 		// purpose.
 		{"detorder", "github.com/egs-synthesis/egs/internal/lint/detorder", false},

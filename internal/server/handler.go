@@ -216,6 +216,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	// the engine. A follower abandoning early therefore never poisons
 	// the flight for the rest.
 	f, leader, fctx := s.flights.join(key, timeout)
+	//lint:ignore egslint/ctxflow the AfterFunc stop is deliberately dropped: leave must fire exactly when this request's context ends, and stopping it early would leak the caller's waiter refcount
 	context.AfterFunc(r.Context(), f.leave)
 	if !leader {
 		s.mFlightShared.Inc()

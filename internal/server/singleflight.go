@@ -76,6 +76,7 @@ func (g *flightGroup) join(key string, timeout time.Duration) (f *flight, leader
 	// The flight's context is detached from any one request: its
 	// lifetime is "some caller still wants the answer", bounded by the
 	// leader's resolved timeout.
+	//lint:ignore egslint/ctxflow the detached root is the point of singleflight: the flight outlives its leader and is cancelled by the last waiter leaving (or this timeout), never by any one request
 	fctx, cancel := context.WithTimeout(context.Background(), timeout)
 	f = &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	g.m[key] = f

@@ -2,18 +2,28 @@
 # scripts/lint.sh — the repo's lint entry point (`make lint`).
 #
 # Always runs egslint, the custom analyzer suite (internal/lint) that
-# enforces the determinism, aliasing, and pooling invariants. When
-# staticcheck or govulncheck are installed at the versions pinned in
-# tools/tools.go they run too; otherwise they are skipped with a
+# enforces the determinism, aliasing, pooling, and concurrency
+# (ctxflow/lockscope/goroleak) invariants, with stale-suppression
+# detection: a //lint:ignore that matches no diagnostic fails the run.
+# When staticcheck or govulncheck are installed at the versions pinned
+# in tools/tools.go they run too; otherwise they are skipped with a
 # notice (the CI container is offline and cannot install them).
 #
 # Usage:
 #   scripts/lint.sh          human-readable; also lists suppressed
 #                            findings with their reasons
-#   scripts/lint.sh -json    machine-readable egslint findings on
-#                            stdout (suppressed included)
+#   scripts/lint.sh -json    machine-readable egslint report on stdout:
+#                            {"findings": […], "stale_ignores": […]}
 #
-# Exit status: non-zero iff any tool reports an unsuppressed finding.
+# The egslint run (load + analysis, whole repo) must finish within
+# EGSLINT_BUDGET_SECS wall-clock seconds (default 120): the
+# flow-sensitive dataflow passes are meant to cost milliseconds, and
+# the budget keeps a pathological fixpoint regression from silently
+# inflating `make verify`. The analysis phase alone is bounded more
+# tightly by TestRepoIsLintClean.
+#
+# Exit status: non-zero iff any tool reports an unsuppressed finding,
+# a stale suppression exists, or the budget is exceeded.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,12 +41,19 @@ done
 
 "$GO" build -o bin/egslint ./cmd/egslint
 
+BUDGET=${EGSLINT_BUDGET_SECS:-120}
 status=0
+start=$(date +%s)
 if [ "$JSON" = 1 ]; then
-	./bin/egslint -json ./... || status=$?
+	./bin/egslint -json -stale-ignores ./... || status=$?
 else
 	echo "== egslint =="
-	./bin/egslint -show-suppressed ./... || status=$?
+	./bin/egslint -show-suppressed -stale-ignores ./... || status=$?
+fi
+elapsed=$(($(date +%s) - start))
+if [ "$elapsed" -gt "$BUDGET" ]; then
+	echo "egslint took ${elapsed}s, over the ${BUDGET}s budget (EGSLINT_BUDGET_SECS): a flow-sensitive pass has regressed" >&2
+	status=1
 fi
 
 # pinned <ConstName> extracts a version pin from tools/tools.go.
