@@ -1,0 +1,12 @@
+package probetmp
+
+import (
+	"testing"
+
+	"github.com/egs-synthesis/egs/internal/lint/analysistest"
+	"github.com/egs-synthesis/egs/internal/lint/ctxflow"
+	"github.com/egs-synthesis/egs/internal/lint/lockscope"
+)
+
+func TestProbeLockscope(t *testing.T) { analysistest.Run(t, lockscope.Analyzer, "probe") }
+func TestProbeCtxflow(t *testing.T)  { analysistest.Run(t, ctxflow.Analyzer, "probe") }

@@ -1,0 +1,37 @@
+package probe
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type S struct{ mu sync.Mutex }
+
+// defer via closure: does the unlock discharge?
+func (s *S) deferClosure() {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+}
+
+// blocking call inside a switch case EXPRESSION under a held lock
+func (s *S) caseExpr(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case len(ch) > 0 && sleepTrue():
+		return 1
+	}
+	return 0
+}
+
+func sleepTrue() bool { time.Sleep(time.Second); return true }
+
+// cancel used only inside a case expression of a switch
+func caseExprCancel(ctx context.Context, f func(context.CancelFunc) bool) {
+	ctx2, cancel := context.WithCancel(ctx)
+	_ = ctx2
+	switch {
+	case f(cancel):
+	}
+}
