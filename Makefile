@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build verify test vet lint lint-json race serve-smoke session-smoke router-smoke bench-serve clean
+.PHONY: all build verify test vet lint lint-json race serve-smoke session-smoke router-smoke families-smoke bench-serve clean
 
 all: build
 
@@ -61,6 +61,14 @@ router-smoke:
 	$(GO) build -o bin/egs-load ./cmd/egs-load
 	BIN_SERVE=bin/egs-serve BIN_ROUTER=bin/egs-router BIN_LOAD=bin/egs-load \
 		./scripts/router-smoke.sh
+
+# families-smoke generates the scenario-factory family grid twice,
+# asserts byte-determinism across the runs, and solves the smallest
+# instance of every program class with the egs CLI.
+families-smoke:
+	$(GO) build -o bin/egs-datagen ./cmd/egs-datagen
+	$(GO) build -o bin/egs ./cmd/egs
+	BIN_DATAGEN=bin/egs-datagen BIN_EGS=bin/egs ./scripts/families-smoke.sh
 
 # bench-serve measures the serving tier (stampede collapse, single vs
 # routed throughput) and records BENCH_serve.json.

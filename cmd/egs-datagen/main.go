@@ -1,12 +1,20 @@
 // Command egs-datagen deterministically regenerates the large
-// benchmark instances of the suite (see internal/datagen).
+// benchmark instances of the suite (see internal/datagen), and
+// generates scenario-factory task families (internal/datagen/family).
 //
 // Usage:
 //
 //	egs-datagen [-out testdata/benchmarks]
+//	egs-datagen -family chain [-domain 32] [-density 2] [-noise 0] [-seed 1] [-out DIR]
+//	egs-datagen -grid [-seed 1] [-out DIR]
 //
-// Re-running reproduces the committed task files byte for byte; the
-// test suite enforces this.
+// With no family flags it regenerates the six committed legacy
+// instances byte for byte; the test suite enforces this. -family
+// emits one instance of the named program class (chain, star, union,
+// negation, typed) to <out>/<class>/<name>.task, or to stdout when
+// -out is empty. -grid emits the full default family grid (every
+// class at every default scale). Family output is byte-deterministic
+// in (spec, seed).
 package main
 
 import (
@@ -15,25 +23,82 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/egs-synthesis/egs/internal/datagen"
+	"github.com/egs-synthesis/egs/internal/datagen/family"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("egs-datagen: ")
-	out := flag.String("out", "testdata/benchmarks", "output benchmark directory")
+	out := flag.String("out", "testdata/benchmarks", "output directory ('' with -family prints to stdout)")
+	class := flag.String("family", "", "generate one family instance of this class: "+strings.Join(family.Classes(), ", "))
+	domain := flag.Int("domain", 32, "family constant-pool size")
+	density := flag.Float64("density", 2, "family fact density (facts per binary relation ~= density*domain)")
+	noise := flag.Float64("noise", 0, "family label-noise probability in [0, 1)")
+	seed := flag.Uint64("seed", 1, "family stream seed")
+	grid := flag.Bool("grid", false, "generate the full default family grid")
 	flag.Parse()
 
-	for _, g := range datagen.Generators {
-		dir := filepath.Join(*out, g.Domain)
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	switch {
+	case *grid:
+		if err := writeGrid(*out, *seed); err != nil {
 			log.Fatal(err)
 		}
-		path := filepath.Join(dir, g.Name+".task")
-		if err := os.WriteFile(path, []byte(g.Gen()), 0o644); err != nil {
+	case *class != "":
+		spec := family.Spec{Class: *class, Domain: *domain, Density: *density, Noise: *noise}
+		inst, err := family.Generate(spec, *seed)
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("wrote", path)
+		if *out == "" {
+			fmt.Print(inst.Content)
+			return
+		}
+		if err := writeInstance(*out, inst); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		for _, g := range datagen.Generators {
+			dir := filepath.Join(*out, g.Domain)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(dir, g.Name+".task")
+			if err := os.WriteFile(path, []byte(g.Gen()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
 	}
+}
+
+func writeGrid(out string, seed uint64) error {
+	if out == "" {
+		return fmt.Errorf("-grid needs -out")
+	}
+	for _, gp := range family.DefaultGrid() {
+		inst, err := family.Generate(gp.Spec, seed)
+		if err != nil {
+			return err
+		}
+		if err := writeInstance(out, inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeInstance(out string, inst *family.Instance) error {
+	dir := filepath.Join(out, inst.Spec.Class)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, inst.Name+".task")
+	if err := os.WriteFile(path, []byte(inst.Content), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
 }

@@ -25,6 +25,9 @@
 //	-rate r            target arrivals/second (open mode)
 //	-duration d        run length (closed and open modes)
 //	-mix m             stampede | miss | mixed
+//	-template t        request-body template: inverse-parent (default)
+//	                   or family:<class> for scenario-factory bodies
+//	                   (chain, star, union, negation, typed)
 //	-seed n            PRNG seed (default 1)
 //	-timeout d         per-request budget (default 60s)
 //	-scrape a,b,...    extra /metrics bases (replicas behind a router)
@@ -58,6 +61,7 @@ func run() int {
 	rate := flag.Float64("rate", 25, "target arrivals per second (open mode)")
 	duration := flag.Duration("duration", 10*time.Second, "run length (closed and open modes)")
 	mixName := flag.String("mix", "miss", "task mix: stampede, miss, or mixed")
+	template := flag.String("template", "", "body template: inverse-parent (default) or family:<class>")
 	seed := flag.Uint64("seed", 1, "PRNG seed")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request budget")
 	scrape := flag.String("scrape", "", "comma-separated extra /metrics bases to aggregate")
@@ -94,6 +98,7 @@ func run() int {
 		Rate:        *rate,
 		Duration:    *duration,
 		Mix:         mix,
+		Template:    *template,
 		Seed:        *seed,
 		Timeout:     *timeout,
 		ScrapeURLs:  scrapeURLs,

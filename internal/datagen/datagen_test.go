@@ -98,6 +98,23 @@ func TestLCGStream(t *testing.T) {
 	}
 }
 
+// TestLCGIntnRejectsBadBounds pins the bound guard: non-positive
+// bounds panic (previously n == 0 crashed with a divide-by-zero and
+// n < 0 silently wrapped), while positive bounds keep the exact
+// stream the committed instances were generated with.
+func TestLCGIntnRejectsBadBounds(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("intn(%d) did not panic", n)
+				}
+			}()
+			newLCG(1).intn(n)
+		}()
+	}
+}
+
 func TestTaskBuilderOutput(t *testing.T) {
 	b := &taskBuilder{}
 	b.head("task x", "input p(1)")

@@ -1,0 +1,581 @@
+// Package family generalizes internal/datagen's six hand-coded
+// instance generators into a parameterized generator of synthesis
+// task *families* (ROADMAP item 4): a Spec names a schema shape and
+// intended-program class (chain joins, star joins, unions, negation,
+// typed domains), a data scale (domain size, fact density), and an
+// optional label-noise knob for best-effort workloads. Facts are
+// drawn from seeded template streams; the output labels are computed
+// by applying the intended program to the drawn facts, so every
+// instance is consistent by construction — and every instance is
+// byte-deterministic in (spec, seed): the same pair renders the same
+// task file byte for byte, on every platform, forever.
+//
+// The generated instances feed four consumers: cmd/egs-datagen's
+// -family/-grid modes write them to disk, internal/load replays them
+// as request bodies (the "family:<class>" template source), the
+// benchmark suites in internal/eval and internal/egs use them as a
+// grid axis, and the differential fuzz/property tests use them as a
+// corpus far beyond the authored suite.
+package family
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/egs-synthesis/egs/internal/eval"
+	"github.com/egs-synthesis/egs/internal/task"
+)
+
+// Spec parameterizes one task family. Instances of the family are
+// drawn by Generate(spec, seed); the zero Noise value yields
+// consistent-by-construction labels, a positive Noise flips labels
+// with the given probability (recorded per flip, for best-effort
+// synthesis workloads).
+type Spec struct {
+	// Class is the schema shape and intended-program class: one of
+	// Classes() — chain, star, union, negation, typed.
+	Class string `json:"class"`
+	// Domain is the constant-pool size (per pool for the typed class).
+	Domain int `json:"domain"`
+	// Density scales the fact count: each binary input relation draws
+	// about Density×Domain facts (unary relations half that).
+	Density float64 `json:"density"`
+	// Noise is the per-label flip probability. Zero (the default)
+	// keeps the instance consistent with its intended program; a
+	// positive value drops each intended positive with probability
+	// Noise and injects about Noise×|O+| spurious positives, each
+	// flip declared in the instance and in Instance.Dropped/Added.
+	Noise float64 `json:"noise,omitempty"`
+}
+
+// Validate checks the spec is inside the supported envelope.
+func (s Spec) Validate() error {
+	if _, ok := classes[s.Class]; !ok {
+		return fmt.Errorf("family: unknown class %q (want one of %s)", s.Class, strings.Join(Classes(), ", "))
+	}
+	if s.Domain < 8 || s.Domain > 2048 {
+		return fmt.Errorf("family: domain %d out of range [8, 2048]", s.Domain)
+	}
+	if s.Density <= 0 || s.Density > 64 {
+		return fmt.Errorf("family: density %g out of range (0, 64]", s.Density)
+	}
+	if s.Noise < 0 || s.Noise >= 1 {
+		return fmt.Errorf("family: noise %g out of range [0, 1)", s.Noise)
+	}
+	return nil
+}
+
+// Name renders the canonical instance name for this spec and seed,
+// e.g. "fam-chain-d32-x2-s1" or "fam-union-d12-x1p5-n0p2-s7". The
+// name doubles as the task name and the suggested file stem.
+func (s Spec) Name(seed uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fam-%s-d%d-x%s", s.Class, s.Domain, numToken(s.Density))
+	if s.Noise > 0 {
+		fmt.Fprintf(&b, "-n%s", numToken(s.Noise))
+	}
+	fmt.Fprintf(&b, "-s%d", seed)
+	return b.String()
+}
+
+// numToken renders a float compactly with '.' replaced by 'p', so the
+// result is safe in task names and file stems: 1.5 -> "1p5".
+func numToken(f float64) string {
+	return strings.ReplaceAll(fmt.Sprintf("%g", f), ".", "p")
+}
+
+// Instance is one generated task.
+type Instance struct {
+	Spec    Spec
+	Seed    uint64
+	Name    string
+	Content string // the task file, byte-deterministic in (Spec, Seed)
+	// Dropped lists intended-positive atoms the noise knob removed
+	// (negative by closed-world in the emitted instance); Added lists
+	// the spurious positives it injected. Both empty at Noise 0.
+	Dropped []string
+	Added   []string
+}
+
+// Classes lists the supported program classes in canonical order.
+func Classes() []string {
+	return []string{"chain", "star", "union", "negation", "typed"}
+}
+
+// Scale is one (domain, density) point of the default grid.
+type Scale struct {
+	Domain  int
+	Density float64
+}
+
+// DefaultScales are the canonical small/medium/large scale points.
+func DefaultScales() []Scale {
+	return []Scale{{12, 1.5}, {32, 2}, {96, 2.5}}
+}
+
+// GridPoint pairs a spec with a seed.
+type GridPoint struct {
+	Spec Spec
+	Seed uint64
+}
+
+// DefaultGrid returns the canonical family grid: every class at every
+// default scale, seed 1 — the grid scripts/families-smoke.sh and the
+// family property tests sweep.
+func DefaultGrid() []GridPoint {
+	var pts []GridPoint
+	for _, cl := range Classes() {
+		for _, sc := range DefaultScales() {
+			pts = append(pts, GridPoint{Spec{Class: cl, Domain: sc.Domain, Density: sc.Density}, 1})
+		}
+	}
+	return pts
+}
+
+// classDef is the static shape of one program class: declarations,
+// modes, the intended program, and the seeded fact-template stream.
+type classDef struct {
+	summary  string   // one-line description for the file header
+	inputs   []string // input declarations in emission order
+	output   string   // output declaration
+	outRel   string
+	outArity int
+	modes    string
+	features string // "" | "disjunction" | "negation"
+	negate   string // relation complemented via the negate directive
+	typed    bool   // typed-negation over disjoint constant pools
+	intended []string
+	facts    func(s Spec, r *rng, em *emitter)
+}
+
+var classes = map[string]*classDef{
+	"chain": {
+		summary:  "two-hop chain join over binary relations",
+		inputs:   []string{"r1(2)", "r2(2)"},
+		output:   "out(2)",
+		outRel:   "out",
+		outArity: 2,
+		modes:    "maxv=3 r1=1 r2=1",
+		intended: []string{"out(x, z) :- r1(x, y), r2(y, z)."},
+		facts:    chainFacts,
+	},
+	"star": {
+		summary:  "star join: two spokes and a tag sharing the center",
+		inputs:   []string{"spoke1(2)", "spoke2(2)", "tag(1)"},
+		output:   "out(1)",
+		outRel:   "out",
+		outArity: 1,
+		modes:    "maxv=3 spoke1=1 spoke2=1 tag=1",
+		intended: []string{"out(x) :- spoke1(x, y), spoke2(x, z), tag(x)."},
+		facts:    starFacts,
+	},
+	"union": {
+		summary:  "two-rule union: a link into either of two unary sets",
+		inputs:   []string{"link(2)", "qa(1)", "qb(1)"},
+		output:   "out(1)",
+		outRel:   "out",
+		outArity: 1,
+		modes:    "maxv=2 link=1 qa=1 qb=1",
+		features: "disjunction",
+		intended: []string{
+			"out(x) :- link(x, y), qa(y).",
+			"out(x) :- link(x, y), qb(y).",
+		},
+		facts: unionFacts,
+	},
+	"negation": {
+		summary:  "edge into a good set, guarded by a negated bad set",
+		inputs:   []string{"edge(2)", "good(1)", "bad(1)"},
+		output:   "out(1)",
+		outRel:   "out",
+		outArity: 1,
+		modes:    "maxv=2 edge=1 good=1 not_bad=1",
+		features: "negation",
+		negate:   "bad",
+		intended: []string{"out(x) :- edge(x, y), good(y), not_bad(x)."},
+		facts:    negationFacts,
+	},
+	"typed": {
+		summary:  "typed domains: person/city pools with a typed complement",
+		inputs:   []string{"lives(2)", "hub(1)", "visited(1)"},
+		output:   "out(1)",
+		outRel:   "out",
+		outArity: 1,
+		modes:    "maxv=2 lives=1 hub=1 not_visited=1",
+		features: "negation",
+		negate:   "visited",
+		typed:    true,
+		intended: []string{"out(x) :- lives(x, y), hub(y), not_visited(x)."},
+		facts:    typedFacts,
+	},
+}
+
+// emitter accumulates fact atoms in insertion order, deduplicating,
+// and tracks the constants actually used in facts (the pool spurious
+// noisy positives may draw from without growing the data domain).
+type emitter struct {
+	atoms []string
+	seen  map[string]bool
+	used  map[string]bool
+}
+
+func newEmitter() *emitter {
+	return &emitter{seen: make(map[string]bool), used: make(map[string]bool)}
+}
+
+func (e *emitter) fact(rel string, args ...string) {
+	atom := rel + "(" + strings.Join(args, ", ") + ")"
+	if e.seen[atom] {
+		return
+	}
+	e.seen[atom] = true
+	e.atoms = append(e.atoms, atom)
+	for _, a := range args {
+		e.used[a] = true
+	}
+}
+
+// usedPool returns the sorted fact constants, optionally filtered to
+// one typed pool by prefix.
+func (e *emitter) usedPool(prefix string) []string {
+	var cs []string
+	for c := range e.used {
+		if strings.HasPrefix(c, prefix) {
+			cs = append(cs, c)
+		}
+	}
+	sort.Strings(cs)
+	return cs
+}
+
+// pool returns the deterministic constant pool prefix000..prefixN-1.
+func pool(prefix string, n int) []string {
+	cs := make([]string, n)
+	for i := range cs {
+		cs[i] = fmt.Sprintf("%s%03d", prefix, i)
+	}
+	return cs
+}
+
+// pairCount is the fact budget for a binary relation; unaryCount the
+// (halved) budget for a unary one.
+func pairCount(s Spec) int {
+	n := int(s.Density * float64(s.Domain))
+	if n < 2 {
+		return 2
+	}
+	return n
+}
+
+func unaryCount(s Spec) int {
+	n := pairCount(s) / 2
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// witnessCount is how many intended-program witnesses each class
+// plants so instances are non-vacuous (at least one positive) at
+// every scale.
+func witnessCount(s Spec) int { return 1 + s.Domain/8 }
+
+func chainFacts(s Spec, r *rng, em *emitter) {
+	n := s.Domain
+	cs := pool("c", n)
+	for i := 0; i < witnessCount(s); i++ {
+		a, b, d := cs[(3*i)%n], cs[(3*i+1)%n], cs[(3*i+2)%n]
+		em.fact("r1", a, b)
+		em.fact("r2", b, d)
+	}
+	for i := 0; i < pairCount(s); i++ {
+		em.fact("r1", cs[r.intn(n)], cs[r.intn(n)])
+	}
+	for i := 0; i < pairCount(s); i++ {
+		em.fact("r2", cs[r.intn(n)], cs[r.intn(n)])
+	}
+}
+
+func starFacts(s Spec, r *rng, em *emitter) {
+	n := s.Domain
+	m := n - 3 // top three constants reserved for decoys
+	cs := pool("c", n)
+	for i := 0; i < witnessCount(s); i++ {
+		a, b, d := cs[(3*i)%m], cs[(3*i+1)%m], cs[(3*i+2)%m]
+		em.fact("spoke1", a, b)
+		em.fact("spoke2", a, d)
+		em.fact("tag", a)
+	}
+	// Decoys pin the intended three-literal shape: a tagged center
+	// with only one spoke (one per spoke relation), and a
+	// double-spoked center with no tag. Random draws below never use
+	// a reserved constant as a center or a tag, so each decoy head
+	// stays a closed-world negative and every proper sub-rule of the
+	// intended rule over-derives.
+	em.fact("spoke1", cs[n-1], cs[0])
+	em.fact("tag", cs[n-1])
+	em.fact("spoke2", cs[n-2], cs[0])
+	em.fact("tag", cs[n-2])
+	em.fact("spoke1", cs[n-3], cs[1])
+	em.fact("spoke2", cs[n-3], cs[1])
+	for i := 0; i < pairCount(s); i++ {
+		em.fact("spoke1", cs[r.intn(m)], cs[r.intn(n)])
+	}
+	for i := 0; i < pairCount(s); i++ {
+		em.fact("spoke2", cs[r.intn(m)], cs[r.intn(n)])
+	}
+	for i := 0; i < unaryCount(s); i++ {
+		em.fact("tag", cs[r.intn(m)])
+	}
+}
+
+func unionFacts(s Spec, r *rng, em *emitter) {
+	n := s.Domain
+	m := n - 3 // top three constants reserved for decoys
+	cs := pool("c", n)
+	for i := 0; i < witnessCount(s); i++ {
+		a, b := cs[(2*i)%m], cs[(2*i+1)%m]
+		em.fact("link", a, b)
+		// Alternate which disjunct the witness exercises, so neither
+		// rule of the union is vacuous.
+		if i%2 == 0 {
+			em.fact("qa", b)
+		} else {
+			em.fact("qb", b)
+		}
+	}
+	// Decoys: a link whose target is in neither qa nor qb (kills the
+	// bare-link rule), plus one qa-only and one qb-only witness whose
+	// targets the random draws below can never label with the other
+	// set — each disjunct has a tuple only it derives.
+	em.fact("link", cs[n-1], cs[n-1])
+	em.fact("link", cs[0], cs[n-2])
+	em.fact("qa", cs[n-2])
+	em.fact("link", cs[1], cs[n-3])
+	em.fact("qb", cs[n-3])
+	for i := 0; i < pairCount(s); i++ {
+		em.fact("link", cs[r.intn(m)], cs[r.intn(m)])
+	}
+	for i := 0; i < unaryCount(s); i++ {
+		em.fact("qa", cs[r.intn(m)])
+	}
+	for i := 0; i < unaryCount(s); i++ {
+		em.fact("qb", cs[r.intn(m)])
+	}
+}
+
+func negationFacts(s Spec, r *rng, em *emitter) {
+	n := s.Domain
+	half := n / 2
+	m := n - 1 // top constant reserved for the decoy
+	cs := pool("c", n)
+	// Witnesses live in the lower half of the pool; the bad set is
+	// drawn from the upper half, so every witness head survives the
+	// not_bad guard by construction.
+	for i := 0; i < witnessCount(s); i++ {
+		a, b := cs[(2*i)%half], cs[(2*i+1)%half]
+		em.fact("edge", a, b)
+		em.fact("good", b)
+	}
+	// Decoys: an edge into a never-good target from a never-bad head
+	// (kills bare not_bad and edge+not_bad), and a bad head with an
+	// edge into a good target (kills edge+good without the guard).
+	em.fact("edge", cs[n-1], cs[n-1])
+	em.fact("bad", cs[half])
+	em.fact("edge", cs[half], cs[1])
+	em.fact("good", cs[1])
+	for i := 0; i < pairCount(s); i++ {
+		em.fact("edge", cs[r.intn(m)], cs[r.intn(m)])
+	}
+	for i := 0; i < unaryCount(s); i++ {
+		em.fact("good", cs[r.intn(m)])
+	}
+	for i := 0; i < unaryCount(s); i++ {
+		em.fact("bad", cs[half+r.intn(n-1-half)])
+	}
+}
+
+func typedFacts(s Spec, r *rng, em *emitter) {
+	n := s.Domain
+	half := n / 2
+	m := n - 1 // top constant of each pool reserved for the decoys
+	ps := pool("p", n)
+	ts := pool("t", n)
+	// Same guard discipline as the negation class, over the person
+	// pool: visited is drawn from the upper half only.
+	for i := 0; i < witnessCount(s); i++ {
+		pp, tt := ps[(2*i)%half], ts[(2*i+1)%m]
+		em.fact("lives", pp, tt)
+		em.fact("hub", tt)
+	}
+	// Decoys: a loner living in a never-hub city (kills bare
+	// not_visited and lives+not_visited), and a visited person living
+	// in a hub (kills lives+hub without the guard).
+	em.fact("lives", ps[n-1], ts[n-1])
+	em.fact("visited", ps[half])
+	em.fact("lives", ps[half], ts[1])
+	em.fact("hub", ts[1])
+	for i := 0; i < pairCount(s); i++ {
+		em.fact("lives", ps[r.intn(m)], ts[r.intn(m)])
+	}
+	for i := 0; i < unaryCount(s); i++ {
+		em.fact("hub", ts[r.intn(m)])
+	}
+	for i := 0; i < unaryCount(s); i++ {
+		em.fact("visited", ps[half+r.intn(n-1-half)])
+	}
+}
+
+// Generate draws one instance of the family. The result is
+// byte-deterministic in (spec, seed) and, at Noise 0, consistent by
+// construction: the intended program applied to the drawn facts *is*
+// the positive labelling (closed-world supplies the negatives).
+func Generate(spec Spec, seed uint64) (*Instance, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cl := classes[spec.Class]
+	r := newRNG(instanceSeed(spec, seed))
+	name := spec.Name(seed)
+
+	em := newEmitter()
+	cl.facts(spec, r, em)
+
+	var b strings.Builder
+	line := func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+	line("# %s: %s.", name, cl.summary)
+	line("# Generated by internal/datagen/family (cmd/egs-datagen -family/-grid);")
+	line("# byte-deterministic in (spec, seed), labels computed from the intended")
+	line("# program so the instance is consistent by construction.")
+	line("# Spec: class=%s domain=%d density=%g noise=%g seed=%d", spec.Class, spec.Domain, spec.Density, spec.Noise, seed)
+	line("# Intended program:")
+	for _, src := range cl.intended {
+		line("#   %s", src)
+	}
+	line("task %s", name)
+	line("domain synthetic")
+	line("closed-world true")
+	if spec.Noise == 0 {
+		line("expect sat")
+	} else {
+		// A noisy labelling may or may not stay realizable; the
+		// instance targets best-effort synthesis, so no expectation
+		// is declared.
+		line("# no expect directive: noise made the labelling best-effort")
+	}
+	if cl.features != "" {
+		line("features %s", cl.features)
+	}
+	if cl.negate != "" {
+		line("negate %s", cl.negate)
+	}
+	if cl.typed {
+		line("typed-negation true")
+	}
+	line("modes %s", cl.modes)
+	for _, src := range cl.intended {
+		line("intended %s", src)
+	}
+	for _, in := range cl.inputs {
+		line("input %s", in)
+	}
+	line("output %s", cl.output)
+	line("")
+	for _, atom := range em.atoms {
+		line("%s.", atom)
+	}
+
+	// Compute the labels by running the intended program over the
+	// facts through the real parser and reference evaluator — the
+	// same semantics (complement materialization, typed domains) the
+	// consistency tests check against.
+	base := b.String()
+	tk, err := task.Parse(strings.NewReader(base))
+	if err != nil {
+		return nil, fmt.Errorf("family: generated facts for %s do not parse: %w", name, err)
+	}
+	outs := make(map[string]bool)
+	for _, rule := range tk.Intended().Rules {
+		for _, tup := range eval.EvalRuleNaive(rule, tk.Input) {
+			outs[tup.String(tk.Schema, tk.Domain)] = true
+		}
+	}
+	positives := make([]string, 0, len(outs))
+	for atom := range outs {
+		positives = append(positives, atom)
+	}
+	sort.Strings(positives)
+
+	inst := &Instance{Spec: spec, Seed: seed, Name: name}
+	if spec.Noise > 0 {
+		positives = inst.applyNoise(cl, em, r, positives)
+	}
+
+	line("")
+	for _, atom := range inst.Dropped {
+		line("# noise: dropped %s", atom)
+	}
+	for _, atom := range inst.Added {
+		line("# noise: added %s", atom)
+	}
+	for _, atom := range positives {
+		line("+%s.", atom)
+	}
+	inst.Content = b.String()
+	return inst, nil
+}
+
+// applyNoise flips labels: each intended positive is dropped with
+// probability Noise (becoming negative under closed-world), and about
+// Noise×|O+| spurious positives over fact constants are injected.
+// Every flip is recorded in Dropped/Added, so consumers know exactly
+// where the labelling departs from the intended program.
+func (inst *Instance) applyNoise(cl *classDef, em *emitter, r *rng, positives []string) []string {
+	spec := inst.Spec
+	posSet := make(map[string]bool, len(positives))
+	for _, a := range positives {
+		posSet[a] = true
+	}
+	kept := positives[:0]
+	for _, a := range positives {
+		if r.chance(spec.Noise) {
+			inst.Dropped = append(inst.Dropped, a)
+		} else {
+			kept = append(kept, a)
+		}
+	}
+	// Spurious positives draw from constants already used in facts,
+	// so the data domain (and, for the typed class, the inferred
+	// person type) is unchanged by noise.
+	prefix := ""
+	if cl.typed {
+		prefix = "p"
+	}
+	cands := em.usedPool(prefix)
+	nFlips := len(posSet)
+	for i := 0; i < nFlips && len(cands) > 0; i++ {
+		if !r.chance(spec.Noise) {
+			continue
+		}
+		for try := 0; try < 32; try++ {
+			args := make([]string, cl.outArity)
+			for j := range args {
+				args[j] = cands[r.intn(len(cands))]
+			}
+			atom := cl.outRel + "(" + strings.Join(args, ", ") + ")"
+			if posSet[atom] {
+				continue
+			}
+			posSet[atom] = true
+			inst.Added = append(inst.Added, atom)
+			kept = append(kept, atom)
+			break
+		}
+	}
+	sort.Strings(kept)
+	return kept
+}

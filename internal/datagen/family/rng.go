@@ -1,0 +1,63 @@
+package family
+
+import "fmt"
+
+// rng is the family generator's deterministic pseudo-random stream.
+// It shares the legacy datagen LCG's transition (Knuth MMIX
+// constants, top 31 bits per draw) but not its draw discipline: intn
+// rejects non-positive bounds loudly and uses rejection sampling, so
+// family draws are exactly uniform. The legacy lcg in
+// internal/datagen keeps its biased modulo reduction deliberately —
+// its streams are pinned byte-for-byte by the committed instances.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next returns the next 31-bit draw.
+func (r *rng) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 33
+}
+
+// intn returns a uniform value in [0, n). The bound must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("family: intn bound %d, want > 0", n))
+	}
+	bound := uint64(n)
+	// Largest multiple of bound that fits in the 31-bit draw range;
+	// rejecting draws at or above it removes the modulo bias.
+	limit := (uint64(1) << 31) / bound * bound
+	for {
+		if v := r.next(); v < limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()) / float64(uint64(1)<<31)
+}
+
+// chance returns true with probability p.
+func (r *rng) chance(p float64) bool { return r.float() < p }
+
+// instanceSeed mixes a spec and a caller seed into one well-spread
+// stream seed: FNV-1a over the spec's canonical rendering, xor'd with
+// the golden-ratio-scaled seed, then a SplitMix64 finalizer. Distinct
+// (spec, seed) pairs get distinct, decorrelated streams.
+func instanceSeed(s Spec, seed uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(fmt.Sprintf("%s|%d|%g|%g", s.Class, s.Domain, s.Density, s.Noise)) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	x := h ^ (seed * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

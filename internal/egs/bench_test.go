@@ -2,9 +2,11 @@ package egs_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"github.com/egs-synthesis/egs/internal/bench"
+	"github.com/egs-synthesis/egs/internal/datagen/family"
 	"github.com/egs-synthesis/egs/internal/egs"
 	"github.com/egs-synthesis/egs/internal/task"
 )
@@ -49,6 +51,36 @@ func BenchmarkSynthesize(b *testing.B) {
 			}
 			// The search is deterministic, so the last run's counters
 			// are every run's counters.
+			b.ReportMetric(float64(stats.RuleEvals), "ruleevals/op")
+			b.ReportMetric(float64(stats.MemoHits), "memohits/op")
+		})
+	}
+	// The scenario-factory axis: one generated instance per program
+	// class at the small default scale, so end-to-end synthesis is
+	// tracked over joins, stars, unions, and both negation forms that
+	// the authored pick above does not systematically cover.
+	for _, class := range family.Classes() {
+		inst, err := family.Generate(family.Spec{Class: class, Domain: 12, Density: 1.5}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t, err := task.Parse(strings.NewReader(inst.Content))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("fam-"+class+"-d12", func(b *testing.B) {
+			b.ReportAllocs()
+			var stats egs.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := egs.Synthesize(ctx, t, egs.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Unsat {
+					b.Fatalf("%s: unexpectedly unsat", inst.Name)
+				}
+				stats = res.Stats
+			}
 			b.ReportMetric(float64(stats.RuleEvals), "ruleevals/op")
 			b.ReportMetric(float64(stats.MemoHits), "memohits/op")
 		})

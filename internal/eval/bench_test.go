@@ -6,6 +6,7 @@ import (
 
 	"github.com/egs-synthesis/egs/internal/bench"
 	"github.com/egs-synthesis/egs/internal/datagen"
+	"github.com/egs-synthesis/egs/internal/datagen/family"
 	"github.com/egs-synthesis/egs/internal/eval"
 	"github.com/egs-synthesis/egs/internal/query"
 	"github.com/egs-synthesis/egs/internal/relation"
@@ -43,6 +44,26 @@ func loadGiant(b *testing.B, gen func() string) *task.Task {
 	return t
 }
 
+// famBenchClasses is the scenario-factory axis: generated instances
+// at the large default scale (domain 96, density 2.5), one per
+// structurally distinct program class, so the evaluator is measured
+// over chains, stars, and negation at sizes the authored suite does
+// not reach.
+var famBenchClasses = []string{"chain", "star", "negation"}
+
+func loadFamily(b *testing.B, class string) *task.Task {
+	b.Helper()
+	inst, err := family.Generate(family.Spec{Class: class, Domain: 96, Density: 2.5}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := task.Parse(strings.NewReader(inst.Content))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
 // BenchmarkRuleOutputs measures the evaluator's hot path as the
 // synthesizers drive it: materializing the output set of a candidate
 // rule over a task's input database — a TupleSet of dense ids since
@@ -74,6 +95,19 @@ func BenchmarkRuleOutputs(b *testing.B) {
 		rules := t.Intended().Rules
 		db := t.Example().DB
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range rules {
+					eval.RuleOutputIDs(r, db)
+				}
+			}
+		})
+	}
+	for _, class := range famBenchClasses {
+		t := loadFamily(b, class)
+		rules := t.Intended().Rules
+		db := t.Example().DB
+		b.Run("fam-"+class+"-d96", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, r := range rules {
@@ -131,6 +165,12 @@ func BenchmarkRuleOutputsBatch(b *testing.B) {
 	for _, tc := range giantBenchTasks {
 		t := loadGiant(b, tc.gen)
 		b.Run(tc.name, func(b *testing.B) {
+			run(b, t.Intended().Rules, t.Example().DB)
+		})
+	}
+	for _, class := range famBenchClasses {
+		t := loadFamily(b, class)
+		b.Run("fam-"+class+"-d96", func(b *testing.B) {
 			run(b, t.Intended().Rules, t.Example().DB)
 		})
 	}

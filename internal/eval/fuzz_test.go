@@ -1,11 +1,16 @@
-package eval
+package eval_test
 
 import (
 	"sort"
+	"strings"
 	"testing"
+
+	"github.com/egs-synthesis/egs/internal/datagen/family"
+	"github.com/egs-synthesis/egs/internal/eval"
 
 	"github.com/egs-synthesis/egs/internal/query"
 	"github.com/egs-synthesis/egs/internal/relation"
+	"github.com/egs-synthesis/egs/internal/task"
 )
 
 // fuzzDecoder turns an arbitrary byte string into a bounded stream of
@@ -110,12 +115,12 @@ func sortedKeys(m map[string]relation.Tuple) []string {
 // pinned to backtracking and then to batch.
 func checkEquivalence(t *testing.T, db *relation.Database, r query.Rule, stage string) {
 	t.Helper()
-	naive := EvalRuleNaive(r, db)
+	naive := eval.EvalRuleNaive(r, db)
 	nk := sortedKeys(naive)
-	for _, strat := range []Strategy{StrategyBacktrack, StrategyBatch} {
-		restore := ForceStrategy(strat)
-		indexed := RuleOutputs(r, db)
-		ids := RuleOutputIDs(r, db)
+	for _, strat := range []eval.Strategy{eval.StrategyBacktrack, eval.StrategyBatch} {
+		restore := eval.ForceStrategy(strat)
+		indexed := eval.RuleOutputs(r, db)
+		ids := eval.RuleOutputIDs(r, db)
 		restore()
 
 		ik := sortedKeys(indexed)
@@ -176,4 +181,50 @@ func FuzzEvalEquivalence(f *testing.F) {
 		}
 		checkEquivalence(t, db, r, "overlay")
 	})
+}
+
+// TestFamilyGridEvalEquivalence drives the same differential harness
+// with realistic inputs: every scenario-factory grid instance's
+// intended rules over its parsed database (complements and typed
+// negation included), checked on the base generation and again after
+// an overlay generation lands argument-reversed copies of existing
+// facts.
+func TestFamilyGridEvalEquivalence(t *testing.T) {
+	for _, gp := range family.DefaultGrid() {
+		inst, err := family.Generate(gp.Spec, gp.Seed)
+		if err != nil {
+			t.Fatalf("Generate(%+v, %d): %v", gp.Spec, gp.Seed, err)
+		}
+		tk, err := task.Parse(strings.NewReader(inst.Content))
+		if err != nil {
+			t.Fatalf("%s: %v", inst.Name, err)
+		}
+		db := tk.Input
+		for _, r := range tk.Intended().Rules {
+			checkEquivalence(t, db, r, inst.Name+"/base")
+		}
+
+		// Overlay: reverse the argument order of a handful of binary
+		// facts and re-insert them in a fresh generation, then
+		// re-check every path agrees on the grown database.
+		ids := db.AllIDs()
+		db.BeginGeneration()
+		inserted := 0
+		for _, id := range ids {
+			tup := db.TupleByID(id)
+			if len(tup.Args) != 2 {
+				continue
+			}
+			db.Insert(relation.Tuple{Rel: tup.Rel, Args: []relation.Const{tup.Args[1], tup.Args[0]}})
+			if inserted++; inserted >= 8 {
+				break
+			}
+		}
+		if inserted == 0 {
+			t.Fatalf("%s: no binary facts to overlay", inst.Name)
+		}
+		for _, r := range tk.Intended().Rules {
+			checkEquivalence(t, db, r, inst.Name+"/overlay")
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -36,6 +37,12 @@ type Config struct {
 	Duration time.Duration
 	// Mix picks task bodies (see Mix).
 	Mix Mix
+	// Template selects the request-body source: "inverse-parent" (the
+	// default, also the empty string) renders the three-fact
+	// inverse-copy micro-task, "family:<class>" draws small
+	// scenario-factory instances of the named program class (chain,
+	// star, union, negation, typed) from internal/datagen/family.
+	Template string
 	// Seed drives every random draw; same seed, same run.
 	Seed uint64
 	// Timeout bounds one request (default 60s).
@@ -55,6 +62,7 @@ type Result struct {
 	Target      string  `json:"target"`
 	Mode        string  `json:"mode"`
 	Mix         Mix     `json:"mix"`
+	Template    string  `json:"template,omitempty"`
 	Seed        uint64  `json:"seed"`
 	Requests    int     `json:"requests"`
 	Concurrency int     `json:"concurrency,omitempty"`
@@ -68,7 +76,11 @@ type Result struct {
 	RejectPct float64 `json:"reject_pct"`
 
 	// Client-observed latency quantiles (milliseconds), measured per
-	// request at the generator.
+	// request at the generator. Convention change: since PR 10 these
+	// are nearest-rank quantiles (ceil(q*n)-th smallest sample); the
+	// truncating index used before under-read the tail, so
+	// client_p99_ms values in BENCH_serve.json runs recorded earlier
+	// sit one sample low at small request counts.
 	ClientP50MS float64 `json:"client_p50_ms"`
 	ClientP99MS float64 `json:"client_p99_ms"`
 
@@ -131,16 +143,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		before[i] = snap
 	}
 
+	body, err := resolveTemplate(cfg.Template, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
 	var samples []sample
 	var elapsed time.Duration
-	var err error
 	switch cfg.Mode {
 	case "burst":
-		samples, elapsed, err = runBurst(ctx, cfg, client)
+		samples, elapsed, err = runBurst(ctx, cfg, client, body)
 	case "closed":
-		samples, elapsed, err = runClosed(ctx, cfg, client)
+		samples, elapsed, err = runClosed(ctx, cfg, client, body)
 	case "open":
-		samples, elapsed, err = runOpen(ctx, cfg, client)
+		samples, elapsed, err = runOpen(ctx, cfg, client, body)
 	default:
 		return nil, fmt.Errorf("unknown mode %q (want burst, closed, or open)", cfg.Mode)
 	}
@@ -183,7 +199,7 @@ func issue(ctx context.Context, client *http.Client, cfg Config, body string) sa
 	return sample{latency: time.Since(start), status: resp.StatusCode}
 }
 
-func runBurst(ctx context.Context, cfg Config, client *http.Client) ([]sample, time.Duration, error) {
+func runBurst(ctx context.Context, cfg Config, client *http.Client, body func(int) string) ([]sample, time.Duration, error) {
 	if cfg.Requests <= 0 {
 		return nil, 0, fmt.Errorf("burst mode needs -requests > 0")
 	}
@@ -193,7 +209,7 @@ func runBurst(ctx context.Context, cfg Config, client *http.Client) ([]sample, t
 	uniq := 0
 	bodies := make([]string, cfg.Requests)
 	for i := range bodies {
-		bodies[i] = TaskBody(cfg.Seed, cfg.Mix.pick(p, &uniq))
+		bodies[i] = body(cfg.Mix.pick(p, &uniq))
 	}
 	samples := make([]sample, cfg.Requests)
 	release := make(chan struct{})
@@ -212,7 +228,7 @@ func runBurst(ctx context.Context, cfg Config, client *http.Client) ([]sample, t
 	return samples, time.Since(start), nil
 }
 
-func runClosed(ctx context.Context, cfg Config, client *http.Client) ([]sample, time.Duration, error) {
+func runClosed(ctx context.Context, cfg Config, client *http.Client, body func(int) string) ([]sample, time.Duration, error) {
 	if cfg.Concurrency <= 0 || cfg.Duration <= 0 {
 		return nil, 0, fmt.Errorf("closed mode needs -concurrency and -duration > 0")
 	}
@@ -230,8 +246,8 @@ func runClosed(ctx context.Context, cfg Config, client *http.Client) ([]sample, 
 			p := newPRNG(cfg.Seed + uint64(w)*0x632be59bd9b4e019)
 			uniq := w << 24
 			for time.Now().Before(deadline) && ctx.Err() == nil {
-				body := TaskBody(cfg.Seed, cfg.Mix.pick(p, &uniq))
-				perWorker[w] = append(perWorker[w], issue(ctx, client, cfg, body))
+				b := body(cfg.Mix.pick(p, &uniq))
+				perWorker[w] = append(perWorker[w], issue(ctx, client, cfg, b))
 			}
 		}(w)
 	}
@@ -243,7 +259,7 @@ func runClosed(ctx context.Context, cfg Config, client *http.Client) ([]sample, 
 	return samples, time.Since(start), nil
 }
 
-func runOpen(ctx context.Context, cfg Config, client *http.Client) ([]sample, time.Duration, error) {
+func runOpen(ctx context.Context, cfg Config, client *http.Client, body func(int) string) ([]sample, time.Duration, error) {
 	if cfg.Rate <= 0 || cfg.Duration <= 0 {
 		return nil, 0, fmt.Errorf("open mode needs -rate and -duration > 0")
 	}
@@ -259,7 +275,7 @@ func runOpen(ctx context.Context, cfg Config, client *http.Client) ([]sample, ti
 			break
 		}
 		offsets = append(offsets, at)
-		bodies = append(bodies, TaskBody(cfg.Seed, cfg.Mix.pick(p, &uniq)))
+		bodies = append(bodies, body(cfg.Mix.pick(p, &uniq)))
 	}
 	samples := make([]sample, len(offsets))
 	var wg sync.WaitGroup
@@ -290,6 +306,7 @@ func collate(cfg Config, samples []sample, elapsed time.Duration, deltas []Snaps
 		Target:      cfg.Target,
 		Mode:        cfg.Mode,
 		Mix:         cfg.Mix,
+		Template:    cfg.Template,
 		Seed:        cfg.Seed,
 		Requests:    len(samples),
 		Concurrency: cfg.Concurrency,
@@ -367,10 +384,22 @@ func sanitizeNaNs(r *Result) {
 	}
 }
 
+// quantileMS returns the q-quantile of sorted client latencies in
+// milliseconds, using the nearest-rank convention: the smallest
+// sample with at least ceil(q*n) samples at or below it. The previous
+// `int(q*float64(n-1))` truncation under-read the tail — over 10
+// samples it reported the 89th percentile as ClientP99MS.
 func quantileMS(sorted []time.Duration, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
 	return float64(sorted[i].Microseconds()) / 1000
 }

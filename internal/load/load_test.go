@@ -225,3 +225,141 @@ func TestDeltaAndSum(t *testing.T) {
 		t.Errorf("Sum = %v, want 3", s)
 	}
 }
+
+// TestQuantileMS pins the nearest-rank convention: over ten sorted
+// 1..10ms samples, p50 is the 5th smallest (5ms) and p99 the 10th
+// (10ms) — the old truncating index read the 89th percentile as p99.
+func TestQuantileMS(t *testing.T) {
+	var sorted []time.Duration
+	for ms := 1; ms <= 10; ms++ {
+		sorted = append(sorted, time.Duration(ms)*time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 5},
+		{0.90, 9},
+		{0.99, 10},
+		{1.00, 10},
+		{0.0001, 1},
+	}
+	for _, c := range cases {
+		if got := quantileMS(sorted, c.q); got != c.want {
+			t.Errorf("quantileMS(1..10ms, %v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantileMS([]time.Duration{7 * time.Millisecond}, 0.99); got != 7 {
+		t.Errorf("single-sample p99 = %v, want 7", got)
+	}
+	if got := quantileMS(nil, 0.5); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+}
+
+// TestMixUniqueSequenceAdjacent pins the unique-index sequence: the
+// first unique task is HotTasks+0, directly adjacent to the hot
+// range, and the sequence increments by one (the old pre-increment
+// skipped HotTasks+0, leaving a permanent gap in replayed mixes).
+func TestMixUniqueSequenceAdjacent(t *testing.T) {
+	miss, _ := MixByName("miss")
+	p, uniq := newPRNG(1), 0
+	for i := 0; i < 5; i++ {
+		if idx := miss.pick(p, &uniq); idx != i {
+			t.Fatalf("miss pick %d = %d, want %d", i, idx, i)
+		}
+	}
+
+	mixed, _ := MixByName("mixed")
+	p, uniq = newPRNG(1), 0
+	next := mixed.HotTasks
+	for i := 0; i < 200; i++ {
+		idx := mixed.pick(p, &uniq)
+		if idx < mixed.HotTasks {
+			continue
+		}
+		if idx != next {
+			t.Fatalf("unique pick = %d, want %d (sequence must be adjacent and gap-free)", idx, next)
+		}
+		next++
+	}
+	if next == mixed.HotTasks {
+		t.Fatal("mixed mix drew no unique tasks in 200 picks")
+	}
+}
+
+// TestResolveTemplate covers the template registry: default and
+// inverse-parent are aliases, family templates are deterministic,
+// injective in index, and repeat byte-identically for hot indexes;
+// unknown names and classes are rejected.
+func TestResolveTemplate(t *testing.T) {
+	def, err := resolveTemplate("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named, err := resolveTemplate(TemplateInverseParent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def(3) != TaskBody(1, 3) || named(3) != TaskBody(1, 3) {
+		t.Error("default template is not the inverse-parent body")
+	}
+
+	fam, err := resolveTemplate("family:chain", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam(0) != fam(0) {
+		t.Error("family template not deterministic for equal indexes")
+	}
+	if fam(0) == fam(1) {
+		t.Error("family template identical for distinct indexes")
+	}
+	fam2, err := resolveTemplate("family:chain", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam(0) == fam2(0) {
+		t.Error("family template identical for distinct seeds")
+	}
+	if !strings.Contains(fam(0), "task fam-chain-") {
+		t.Errorf("family body missing task header:\n%s", fam(0))
+	}
+
+	for _, bad := range []string{"family:nosuch", "nosuch"} {
+		if _, err := resolveTemplate(bad, 1); err == nil {
+			t.Errorf("template %q accepted", bad)
+		}
+	}
+}
+
+// TestFamilyTemplateSolvable replays a family-template burst through
+// a real server: every class must synthesize OK end to end.
+func TestFamilyTemplateSolvable(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	for _, class := range []string{"chain", "star", "union", "negation", "typed"} {
+		res, err := Run(context.Background(), Config{
+			Scenario: "test-family-" + class,
+			Target:   ts.URL,
+			Mode:     "burst",
+			Requests: 3,
+			Mix:      Mix{Name: "miss"},
+			Template: "family:" + class,
+			Seed:     1,
+			Timeout:  30 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if res.OK != 3 || res.Errored != 0 || res.Rejected != 0 {
+			t.Errorf("%s: result %+v, want 3 ok", class, res)
+		}
+		if res.Template != "family:"+class {
+			t.Errorf("%s: result template %q not recorded", class, res.Template)
+		}
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"github.com/egs-synthesis/egs/internal/datagen/family"
 )
 
 // prng is the same 64-bit LCG the data generator uses (Knuth MMIX
@@ -73,13 +75,17 @@ func MixByName(name string) (Mix, error) {
 }
 
 // pick returns the task index for the next request. uniq is the
-// caller's monotonically increasing unique-task counter.
+// caller's monotonically increasing unique-task counter; the unique
+// sequence starts at HotTasks+0, adjacent to the hot range (the old
+// pre-increment skipped that first index, leaving an unused gap
+// between hot and unique task IDs).
 func (m Mix) pick(p *prng, uniq *int) int {
 	if m.HotRatio > 0 && m.HotTasks > 0 && p.float() < m.HotRatio {
 		return int(p.next() % uint64(m.HotTasks))
 	}
+	u := *uniq
 	*uniq++
-	return m.HotTasks + *uniq
+	return m.HotTasks + u
 }
 
 // TaskBody renders the load template for one (seed, index) pair: a
@@ -100,4 +106,52 @@ func TaskBody(seed uint64, index int) string {
 		fmt.Fprintf(&b, "+child(C%d_%d_%d, P%d_%d_%d).\n", seed, index, k, seed, index, k)
 	}
 	return b.String()
+}
+
+// TemplateInverseParent is the default Config.Template: the
+// three-fact inverse-copy micro-task above.
+const TemplateInverseParent = "inverse-parent"
+
+// familyTemplatePrefix selects scenario-factory bodies:
+// "family:<class>" draws small instances of the named program class
+// from internal/datagen/family.
+const familyTemplatePrefix = "family:"
+
+// familyLoadScale is the (domain, density) the load templates use:
+// small enough that solve time stays negligible next to the serving
+// overheads under test (sub-millisecond per class at this scale),
+// large enough to exercise real joins, unions, and negation.
+var familyLoadScale = family.Scale{Domain: 12, Density: 1.5}
+
+// resolveTemplate returns the per-index body function for one
+// Config.Template value. The empty string means TemplateInverseParent.
+// Family bodies derive the instance seed injectively from (seed,
+// index), so hot indexes repeat byte-identical bodies and unique
+// indexes are distinct synthesis problems, exactly like the
+// inverse-parent template.
+func resolveTemplate(name string, seed uint64) (func(index int) string, error) {
+	switch {
+	case name == "" || name == TemplateInverseParent:
+		return func(index int) string { return TaskBody(seed, index) }, nil
+	case strings.HasPrefix(name, familyTemplatePrefix):
+		spec := family.Spec{
+			Class:   strings.TrimPrefix(name, familyTemplatePrefix),
+			Domain:  familyLoadScale.Domain,
+			Density: familyLoadScale.Density,
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("template %q: %w", name, err)
+		}
+		return func(index int) string {
+			inst, err := family.Generate(spec, seed*0x632be59bd9b4e019+uint64(index)+1)
+			if err != nil {
+				// Unreachable: the spec validated above and Generate
+				// is deterministic, so any failure is a family bug.
+				panic(fmt.Sprintf("load: family template %q index %d: %v", name, index, err))
+			}
+			return inst.Content
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown template %q (want %s or family:<%s>)",
+		name, TemplateInverseParent, strings.Join(family.Classes(), "|"))
 }

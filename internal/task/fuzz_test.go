@@ -1,12 +1,18 @@
-package task
+package task_test
 
 import (
 	"strings"
 	"testing"
+
+	"github.com/egs-synthesis/egs/internal/datagen/family"
+	"github.com/egs-synthesis/egs/internal/task"
 )
 
 // FuzzParse checks the task-file loader never panics: every input
-// either yields a prepared task or an error.
+// either yields a prepared task or an error. The corpus mixes
+// hand-written directive edge cases with generated scenario-factory
+// instances (one per program class, plus a noisy one), so the fuzzer
+// mutates from realistic full-size task files too.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"task t\ninput p(1)\noutput q(1)\np(a).\n+q(a).\n",
@@ -18,11 +24,23 @@ func FuzzParse(f *testing.F) {
 		"garbage directive\n",
 		"+q(a).\n",
 	}
+	for _, class := range family.Classes() {
+		inst, err := family.Generate(family.Spec{Class: class, Domain: 8, Density: 1}, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, inst.Content)
+	}
+	noisy, err := family.Generate(family.Spec{Class: "union", Domain: 8, Density: 1, Noise: 0.3}, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, noisy.Content)
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		tk, err := Parse(strings.NewReader(src))
+		tk, err := task.Parse(strings.NewReader(src))
 		if err != nil {
 			return
 		}
